@@ -1,0 +1,100 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench binary accepts:
+//   --matrices=a,b,c   matrix subset (paper names; "all" = full Table 2 set)
+//   --scale=N          linear-size multiplier for the generated problems
+//   --rtol=X           convergence tolerance (paper: 1e-8)
+//   --max-iters=N      cap for the flat solvers (paper: 19200)
+//   --runs=N           repetitions; the minimum time is reported (paper
+//                      averages 3 runs; min is steadier on shared machines)
+//   --nblocks=N        block count for block-Jacobi ILU(0)/IC(0)
+//   --csv=path         also write the result table as CSV
+//   --best             include the fp16-F3R-best parameter search (slow)
+//
+// Default matrix subsets are chosen so the whole bench suite finishes in
+// minutes on a single core; pass --matrices=all --scale=2 (or more) for
+// paper-scale runs.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/env.hpp"
+#include "base/options.hpp"
+#include "base/table.hpp"
+#include "core/runner.hpp"
+#include "sparse/gen/suite_standins.hpp"
+
+namespace nk::bench {
+
+struct BenchConfig {
+  std::vector<std::string> matrices;
+  int scale = 1;
+  double rtol = 1e-8;
+  int max_iters = 3000;
+  int runs = 1;
+  int nblocks = 64;
+  std::string csv;
+  bool best = false;
+  bool gpu_sim = false;
+};
+
+inline BenchConfig parse_bench_options(const Options& opt,
+                                       std::vector<std::string> default_matrices) {
+  BenchConfig c;
+  c.matrices = opt.get_list("matrices", default_matrices);
+  if (c.matrices.size() == 1 && c.matrices[0] == "all") {
+    c.matrices.clear();
+    for (const auto& s : gen::standin_catalog()) c.matrices.push_back(s.paper_name);
+  }
+  if (c.matrices.size() == 1 && c.matrices[0] == "sym") c.matrices = gen::symmetric_set();
+  if (c.matrices.size() == 1 && c.matrices[0] == "nonsym")
+    c.matrices = gen::nonsymmetric_set();
+  c.scale = opt.get_int("scale", 1);
+  c.rtol = opt.get_double("rtol", 1e-8);
+  c.max_iters = opt.get_int("max-iters", 3000);
+  c.runs = opt.get_int("runs", 1);
+  c.nblocks = opt.get_int("nblocks", 64);
+  c.csv = opt.get("csv", "");
+  c.best = opt.get_bool("best", false);
+  c.gpu_sim = opt.get_bool("gpu-sim", false);
+  return c;
+}
+
+inline void print_header(const std::string& what, const BenchConfig& c) {
+  std::cout << "nkrylov bench: " << what << "\n";
+  std::cout << "env: " << env_summary() << "\n";
+  std::cout << "config: scale=" << c.scale << " rtol=" << c.rtol
+            << " max-iters=" << c.max_iters << " runs=" << c.runs
+            << " nblocks=" << c.nblocks << (c.gpu_sim ? " [GPU-sim]" : " [CPU]") << "\n";
+  std::cout << "matrices:";
+  for (const auto& m : c.matrices) std::cout << " " << m;
+  std::cout << "\n";
+}
+
+/// Re-run a solve `runs` times and keep the fastest (convergence metadata
+/// is identical across runs because everything is deterministic).
+template <class Fn>
+SolveResult best_of(int runs, Fn&& fn) {
+  SolveResult best = fn();
+  for (int r = 1; r < runs; ++r) {
+    SolveResult next = fn();
+    if (next.seconds < best.seconds) best = next;
+  }
+  return best;
+}
+
+/// "1.43x" (or "-" when the solver failed).
+inline std::string speedup_cell(const SolveResult& base, const SolveResult& r) {
+  if (!r.converged) return "-";
+  if (!base.converged || base.seconds <= 0.0) return "?";
+  return Table::fmt(base.seconds / r.seconds, 2) + "x";
+}
+
+inline void finish_table(Table& t, const BenchConfig& c) {
+  t.print(std::cout);
+  if (!c.csv.empty() && t.write_csv(c.csv)) std::cout << "(csv written to " << c.csv << ")\n";
+}
+
+}  // namespace nk::bench

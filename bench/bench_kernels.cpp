@@ -1,0 +1,229 @@
+// Kernel microbenchmarks (google-benchmark): the per-kernel speedups that
+// motivate the paper's precision reduction — SpMV across storage
+// precisions and formats, BLAS-1 reductions/updates, and preconditioner
+// application at fp64/fp32/fp16 storage.
+//
+// Bytes-per-second is the quantity to compare: all kernels are
+// memory-bound, so halving the value bytes should approach 2x on
+// out-of-cache sizes (pass --grid=7 to grow the matrix).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "base/rng.hpp"
+#include "precond/block_jacobi_ilu0.hpp"
+#include "sparse/gen/stencil.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/spmv.hpp"
+
+namespace {
+
+using nk::half;
+using nk::index_t;
+
+struct Fixture {
+  nk::CsrMatrix<double> a64;
+  nk::CsrMatrix<float> a32;
+  nk::CsrMatrix<half> a16;
+  nk::SellMatrix<double> s64;
+  nk::SellMatrix<half> s16;
+  std::vector<double> xd, yd;
+  std::vector<float> xf, yf;
+  std::vector<half> xh, yh;
+  std::unique_ptr<nk::BlockJacobiIlu0> ilu;
+
+  explicit Fixture(int l) {
+    a64 = nk::gen::hpcg(l, l, l);
+    nk::diagonal_scale_symmetric(a64);
+    a32 = nk::cast_matrix<float>(a64);
+    a16 = nk::cast_matrix<half>(a64);
+    s64 = nk::csr_to_sell(a64, 32);
+    s16 = nk::csr_to_sell(a16, 32);
+    const auto n = static_cast<std::size_t>(a64.nrows);
+    xd = nk::random_vector<double>(n, 1, 0.0, 1.0);
+    yd.resize(n);
+    xf = nk::converted<float>(xd);
+    yf.resize(n);
+    xh = nk::converted<half>(xd);
+    yh.resize(n);
+    ilu = std::make_unique<nk::BlockJacobiIlu0>(a64,
+                                                nk::BlockJacobiIlu0::Config{64, 1.0});
+  }
+};
+
+int g_grid = 6;  // 2^6 per axis = 262k rows, ~7M nnz
+
+Fixture& fixture() {
+  static Fixture f(g_grid);
+  return f;
+}
+
+void set_spmv_counters(benchmark::State& state, std::size_t value_bytes) {
+  auto& f = fixture();
+  const std::size_t nnz = static_cast<std::size_t>(f.a64.nnz());
+  state.counters["nnz"] = static_cast<double>(nnz);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nnz * (value_bytes + 4)));
+}
+
+void BM_SpMV_CSR_fp64(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    nk::spmv(f.a64, std::span<const double>(f.xd), std::span<double>(f.yd));
+    benchmark::DoNotOptimize(f.yd.data());
+  }
+  set_spmv_counters(state, 8);
+}
+BENCHMARK(BM_SpMV_CSR_fp64);
+
+void BM_SpMV_CSR_fp32(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    nk::spmv(f.a32, std::span<const float>(f.xf), std::span<float>(f.yf));
+    benchmark::DoNotOptimize(f.yf.data());
+  }
+  set_spmv_counters(state, 4);
+}
+BENCHMARK(BM_SpMV_CSR_fp32);
+
+void BM_SpMV_CSR_fp16matrix_fp32vec(benchmark::State& state) {
+  // The F3R level-3 kernel: fp16 A, fp32 vectors, fp32 accumulation.
+  auto& f = fixture();
+  for (auto _ : state) {
+    nk::spmv(f.a16, std::span<const float>(f.xf), std::span<float>(f.yf));
+    benchmark::DoNotOptimize(f.yf.data());
+  }
+  set_spmv_counters(state, 2);
+}
+BENCHMARK(BM_SpMV_CSR_fp16matrix_fp32vec);
+
+void BM_SpMV_CSR_fp16pure(benchmark::State& state) {
+  // The innermost Richardson kernel: everything fp16.
+  auto& f = fixture();
+  for (auto _ : state) {
+    nk::spmv(f.a16, std::span<const half>(f.xh), std::span<half>(f.yh));
+    benchmark::DoNotOptimize(f.yh.data());
+  }
+  set_spmv_counters(state, 2);
+}
+BENCHMARK(BM_SpMV_CSR_fp16pure);
+
+void BM_SpMV_SELL_fp64(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    nk::spmv(f.s64, std::span<const double>(f.xd), std::span<double>(f.yd));
+    benchmark::DoNotOptimize(f.yd.data());
+  }
+  set_spmv_counters(state, 8);
+}
+BENCHMARK(BM_SpMV_SELL_fp64);
+
+void BM_SpMV_SELL_fp16pure(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    nk::spmv(f.s16, std::span<const half>(f.xh), std::span<half>(f.yh));
+    benchmark::DoNotOptimize(f.yh.data());
+  }
+  set_spmv_counters(state, 2);
+}
+BENCHMARK(BM_SpMV_SELL_fp16pure);
+
+template <class T>
+void BM_Dot(benchmark::State& state) {
+  auto& f = fixture();
+  std::span<const T> x, y;
+  if constexpr (std::is_same_v<T, double>) {
+    x = std::span<const T>(f.xd);
+    y = std::span<const T>(f.xd);
+  } else if constexpr (std::is_same_v<T, float>) {
+    x = std::span<const T>(f.xf);
+    y = std::span<const T>(f.xf);
+  } else {
+    x = std::span<const T>(f.xh);
+    y = std::span<const T>(f.xh);
+  }
+  for (auto _ : state) {
+    auto s = nk::blas::dot(x, y);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * x.size() * sizeof(T)));
+}
+BENCHMARK_TEMPLATE(BM_Dot, double);
+BENCHMARK_TEMPLATE(BM_Dot, float);
+BENCHMARK_TEMPLATE(BM_Dot, half);
+
+template <class T>
+void BM_Axpy(benchmark::State& state) {
+  auto& f = fixture();
+  std::vector<T>* y;
+  std::span<const T> x;
+  if constexpr (std::is_same_v<T, double>) {
+    x = std::span<const T>(f.xd);
+    y = &f.yd;
+  } else if constexpr (std::is_same_v<T, float>) {
+    x = std::span<const T>(f.xf);
+    y = &f.yf;
+  } else {
+    x = std::span<const T>(f.xh);
+    y = &f.yh;
+  }
+  for (auto _ : state) {
+    nk::blas::axpy(static_cast<T>(1.0009765f), x, std::span<T>(*y));
+    benchmark::DoNotOptimize(y->data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(3 * x.size() * sizeof(T)));
+}
+BENCHMARK_TEMPLATE(BM_Axpy, double);
+BENCHMARK_TEMPLATE(BM_Axpy, float);
+BENCHMARK_TEMPLATE(BM_Axpy, half);
+
+void BM_Convert_fp64_to_fp16(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    nk::blas::convert(std::span<const double>(f.xd), std::span<half>(f.yh));
+    benchmark::DoNotOptimize(f.yh.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.xd.size() * 10));
+}
+BENCHMARK(BM_Convert_fp64_to_fp16);
+
+void bm_ilu_apply(benchmark::State& state, nk::Prec storage) {
+  auto& f = fixture();
+  auto h = f.ilu->make_apply_fp64(storage);
+  for (auto _ : state) {
+    h->apply(std::span<const double>(f.xd), std::span<double>(f.yd));
+    benchmark::DoNotOptimize(f.yd.data());
+  }
+  const std::size_t nnz = static_cast<std::size_t>(f.a64.nnz());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nnz * (nk::prec_bytes(storage) + 4)));
+}
+void BM_IluApply_fp64(benchmark::State& state) { bm_ilu_apply(state, nk::Prec::FP64); }
+void BM_IluApply_fp32(benchmark::State& state) { bm_ilu_apply(state, nk::Prec::FP32); }
+void BM_IluApply_fp16(benchmark::State& state) { bm_ilu_apply(state, nk::Prec::FP16); }
+BENCHMARK(BM_IluApply_fp64);
+BENCHMARK(BM_IluApply_fp32);
+BENCHMARK(BM_IluApply_fp16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Custom flag --grid=L (2^L per axis) consumed before google-benchmark.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--grid=", 0) == 0) {
+      g_grid = std::stoi(arg.substr(7));
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table 2 reproduction: the test-matrix inventory.
+//
+// Prints n, nnz, nnz/n, symmetry and the α_ILU / α_AINV factors for every
+// stand-in at the requested scale, mirroring the paper's Table 2 (our
+// sizes are scaled to a single node; --scale grows them).
+#include "bench_common.hpp"
+#include "sparse/stats.hpp"
+
+int main(int argc, char** argv) {
+  nk::Options opt(argc, argv);
+  auto cfg = nk::bench::parse_bench_options(opt, {"all"});
+  nk::bench::print_header("Table 2 — test matrices", cfg);
+
+  nk::Table t({"matrix", "standin", "n", "nnz", "nnz/n", "sym", "a_ILU", "a_AINV"});
+  for (const auto& name : cfg.matrices) {
+    const auto prob = nk::gen::make_problem(name, cfg.scale);
+    const auto s = nk::analyze(prob.a);
+    t.add_row({prob.spec.paper_name,
+               prob.spec.exact ? "(exact generator)" : prob.spec.standin,
+               nk::Table::fmt_int(s.n), nk::Table::fmt_int(s.nnz),
+               nk::Table::fmt(s.nnz_per_row, 2),
+               s.numerically_symmetric ? "yes" : "no",
+               nk::Table::fmt(prob.spec.alpha_ilu, 1),
+               nk::Table::fmt(prob.spec.alpha_ainv, 1)});
+  }
+  nk::bench::finish_table(t, cfg);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Mixed-precision tour: run every solver family of the paper on one
+// problem and print the comparison the paper's Figure 1 makes per matrix —
+// fp64/fp32/fp16-F3R, fp{64,32,16}-CG (or BiCGStab when nonsymmetric), and
+// fp{64,32,16}-FGMRES(64).
+//
+// Run:  ./mixed_precision_tour [--problem=hpcg_5_5_5] [--scale=1]
+//       [--gpu-sim] (sliced-ELLPACK + SD-AINV instead of CSR + ILU/IC)
+#include <iostream>
+
+#include "base/env.hpp"
+#include "base/options.hpp"
+#include "base/table.hpp"
+#include "core/runner.hpp"
+#include "core/variants.hpp"
+#include "sparse/stats.hpp"
+
+int main(int argc, char** argv) {
+  nk::Options opt(argc, argv);
+  const std::string name = opt.get("problem", "hpcg_5_5_5");
+  const int scale = opt.get_int("scale", 1);
+  const bool gpu_sim = opt.get_bool("gpu-sim", false);
+  const double rtol = opt.get_double("rtol", 1e-8);
+  const int max_iters = opt.get_int("max-iters", 19200);
+
+  std::cout << "nkrylov mixed-precision tour (" << nk::env_summary() << ")\n";
+  nk::PreparedProblem p = nk::prepare_standin(name, scale, 7, gpu_sim);
+  std::cout << "problem " << p.name << ": n=" << p.a->size()
+            << " nnz=" << p.a->csr_fp64().nnz() << (p.symmetric ? " symmetric" : " nonsymmetric")
+            << (gpu_sim ? " [GPU-sim: SELL-32 + SD-AINV]" : " [CPU: CSR + block-Jacobi ILU/IC]")
+            << "\n";
+
+  auto m = nk::make_primary(p, gpu_sim ? nk::PrecondKind::SdAinv
+                                       : nk::PrecondKind::BlockJacobiIluIc);
+
+  nk::FlatSolverCaps caps;
+  caps.rtol = rtol;
+  caps.max_iters = max_iters;
+
+  nk::Table table({"solver", "converged", "outer-its", "M-applies", "time[s]", "relres"});
+  auto add = [&](const nk::SolveResult& r) {
+    table.add_row({r.solver, r.converged ? "yes" : "NO", nk::Table::fmt_int(r.iterations),
+                   nk::Table::fmt_int(static_cast<long long>(r.precond_invocations)),
+                   nk::Table::fmt(r.seconds, 4), nk::Table::fmt_sci(r.final_relres)});
+  };
+
+  // The three F3R precision configurations.
+  for (nk::Prec prec : {nk::Prec::FP64, nk::Prec::FP32, nk::Prec::FP16})
+    add(nk::run_nested(p, m, nk::f3r_config(prec), nk::f3r_termination(rtol)));
+
+  // The paper's conventional baselines with fp64/fp32/fp16 preconditioners.
+  for (nk::Prec st : {nk::Prec::FP64, nk::Prec::FP32, nk::Prec::FP16}) {
+    if (p.symmetric)
+      add(nk::run_cg(p, *m, st, caps));
+    else
+      add(nk::run_bicgstab(p, *m, st, caps));
+    add(nk::run_fgmres_restarted(p, *m, st, 64, caps));
+  }
+
+  table.print(std::cout);
+  return 0;
+}

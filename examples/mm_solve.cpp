@@ -1,0 +1,79 @@
+// Matrix Market CLI solver: run any of the paper's solver configurations
+// on a user-supplied .mtx file.  Users with the real SuiteSparse
+// collection can reproduce the paper's per-matrix rows exactly:
+//
+//   ./mm_solve ecology2.mtx --solver=fp16-F3R
+//   ./mm_solve atmosmodd.mtx --solver=fp16-BiCGStab --alpha=1.0
+//   ./mm_solve audikw_1.mtx --solver=fp16-F3R --gpu-sim --alpha=1.6
+//
+// Solvers: {fp64,fp32,fp16}-F3R, {fp64,fp32,fp16}-{CG,BiCGStab,FGMRES64},
+//          F2, fp16-F2, F3, fp16-F3, F4.
+#include <iostream>
+
+#include "base/options.hpp"
+#include "core/runner.hpp"
+#include "core/variants.hpp"
+#include "sparse/io_matrix_market.hpp"
+#include "sparse/stats.hpp"
+
+int main(int argc, char** argv) {
+  nk::Options opt(argc, argv);
+  if (opt.positional().empty() || opt.wants_help()) {
+    std::cerr << "usage: mm_solve FILE.mtx [--solver=fp16-F3R] [--rtol=1e-8]\n"
+                 "         [--alpha=1.0] [--nblocks=64] [--gpu-sim] [--max-iters=19200]\n";
+    return opt.wants_help() ? 0 : 2;
+  }
+  const std::string path = opt.positional()[0];
+  const std::string solver = opt.get("solver", "fp16-F3R");
+  const double rtol = opt.get_double("rtol", 1e-8);
+  const double alpha = opt.get_double("alpha", 1.0);
+  const bool gpu_sim = opt.get_bool("gpu-sim", false);
+
+  nk::CsrMatrix<double> a;
+  try {
+    a = nk::read_matrix_market_file(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  const auto stats = nk::analyze(a);
+  std::cout << path << ": " << nk::stats_summary(stats) << "\n";
+
+  auto p = nk::prepare_problem(path, std::move(a), stats.numerically_symmetric, alpha, alpha,
+                               opt.get_int64("seed", 7), gpu_sim);
+  auto m = nk::make_primary(p, gpu_sim ? nk::PrecondKind::SdAinv
+                                       : nk::PrecondKind::BlockJacobiIluIc,
+                            opt.get_int("nblocks", 64));
+
+  nk::FlatSolverCaps caps;
+  caps.rtol = rtol;
+  caps.max_iters = opt.get_int("max-iters", 19200);
+
+  nk::SolveResult res;
+  auto starts_with = [&](const char* s) { return solver.rfind(s, 0) == 0; };
+  try {
+    if (solver.size() > 4 && solver.substr(4) == "-F3R" && solver != "fp16-F3R-best") {
+      res = nk::run_nested(p, m, nk::f3r_config(nk::parse_prec(solver.substr(0, 4))),
+                           nk::f3r_termination(rtol));
+    } else if (solver == "fp16-F3R-best") {
+      res = nk::run_f3r_best(p, m, rtol).result;
+    } else if (solver == "F2" || solver == "fp16-F2" || solver == "F3" ||
+               solver == "fp16-F3" || solver == "F4") {
+      res = nk::run_nested(p, m, nk::variant_config(solver), nk::f3r_termination(rtol));
+    } else if (starts_with("fp") && solver.find("-CG") != std::string::npos) {
+      res = nk::run_cg(p, *m, nk::parse_prec(solver.substr(0, 4)), caps);
+    } else if (starts_with("fp") && solver.find("-BiCGStab") != std::string::npos) {
+      res = nk::run_bicgstab(p, *m, nk::parse_prec(solver.substr(0, 4)), caps);
+    } else if (starts_with("fp") && solver.find("-FGMRES") != std::string::npos) {
+      res = nk::run_fgmres_restarted(p, *m, nk::parse_prec(solver.substr(0, 4)), 64, caps);
+    } else {
+      std::cerr << "error: unknown solver '" << solver << "'\n";
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << summarize(res) << "\n";
+  return res.converged ? 0 : 1;
+}

@@ -1,0 +1,185 @@
+// Mixed-precision BLAS-1 kernels.
+//
+// All kernels are OpenMP-parallel over contiguous index ranges (the paper
+// multi-threads every vector operation row-wise).  Reductions over fp16 data
+// accumulate in fp32 via nk::acc_t; mixed-type operations compute in the
+// wider of the input types (nk::promote_t), matching the paper's rule that
+// higher-precision instructions are used when inputs differ in precision.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "base/half.hpp"
+
+namespace nk {
+
+using index_t = std::int32_t;  // the paper stores indices as 32-bit integers
+
+namespace blas {
+
+/// y[i] = x[i] converted to the destination type.
+template <class Src, class Dst>
+void convert(std::span<const Src> x, std::span<Dst> y) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) y[i] = static_cast<Dst>(x[i]);
+}
+
+/// y = x (same type fast path).
+template <class T>
+void copy(std::span<const T> x, std::span<T> y) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) y[i] = x[i];
+}
+
+/// x = 0.
+template <class T>
+void set_zero(std::span<T> x) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) x[i] = static_cast<T>(0);
+}
+
+/// x *= alpha.
+template <class T, class S>
+void scal(S alpha, std::span<T> x) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  const auto a = static_cast<promote_t<T, S>>(alpha);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i)
+    x[i] = static_cast<T>(a * static_cast<promote_t<T, S>>(x[i]));
+}
+
+/// y += alpha * x   (classic axpy; computes in the promoted type).
+template <class TX, class TY, class S>
+void axpy(S alpha, std::span<const TX> x, std::span<TY> y) {
+  using W = promote_t<promote_t<TX, TY>, S>;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  const W a = static_cast<W>(alpha);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i)
+    y[i] = static_cast<TY>(static_cast<W>(y[i]) + a * static_cast<W>(x[i]));
+}
+
+/// y = alpha * x + beta * y.
+template <class TX, class TY, class S>
+void axpby(S alpha, std::span<const TX> x, S beta, std::span<TY> y) {
+  using W = promote_t<promote_t<TX, TY>, S>;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  const W a = static_cast<W>(alpha), b = static_cast<W>(beta);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i)
+    y[i] = static_cast<TY>(a * static_cast<W>(x[i]) + b * static_cast<W>(y[i]));
+}
+
+/// z = x - y (elementwise), computed in the promoted type.
+template <class TX, class TY, class TZ>
+void sub(std::span<const TX> x, std::span<const TY> y, std::span<TZ> z) {
+  using W = promote_t<TX, TY>;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i)
+    z[i] = static_cast<TZ>(static_cast<W>(x[i]) - static_cast<W>(y[i]));
+}
+
+/// Dot product; accumulates in acc_t of the promoted input type.
+/// Half inputs take a four-way unrolled path: scalar half→float conversion
+/// (`vcvtsh2ss`) merges into its destination register, and a single
+/// accumulator would serialize the loop on that false dependency.
+template <class TX, class TY>
+auto dot(std::span<const TX> x, std::span<const TY> y) {
+  using W = acc_t<promote_t<TX, TY>>;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  if constexpr (sizeof(TX) == 2 || sizeof(TY) == 2) {
+    W s0{0}, s1{0}, s2{0}, s3{0};
+#pragma omp parallel for schedule(static) reduction(+ : s0, s1, s2, s3)
+    for (std::ptrdiff_t i = 0; i < n - 3; i += 4) {
+      s0 += static_cast<W>(x[i]) * static_cast<W>(y[i]);
+      s1 += static_cast<W>(x[i + 1]) * static_cast<W>(y[i + 1]);
+      s2 += static_cast<W>(x[i + 2]) * static_cast<W>(y[i + 2]);
+      s3 += static_cast<W>(x[i + 3]) * static_cast<W>(y[i + 3]);
+    }
+    for (std::ptrdiff_t i = n - (n % 4); i < n; ++i)
+      s0 += static_cast<W>(x[i]) * static_cast<W>(y[i]);
+    return (s0 + s1) + (s2 + s3);
+  } else {
+    W s{0};
+#pragma omp parallel for schedule(static) reduction(+ : s)
+    for (std::ptrdiff_t i = 0; i < n; ++i)
+      s += static_cast<W>(x[i]) * static_cast<W>(y[i]);
+    return s;
+  }
+}
+
+/// Euclidean norm; accumulates in acc_t<T> (half → float; same unrolling
+/// rationale as dot()).
+template <class T>
+auto nrm2(std::span<const T> x) {
+  using W = acc_t<T>;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  if constexpr (sizeof(T) == 2) {
+    W s0{0}, s1{0}, s2{0}, s3{0};
+#pragma omp parallel for schedule(static) reduction(+ : s0, s1, s2, s3)
+    for (std::ptrdiff_t i = 0; i < n - 3; i += 4) {
+      const W v0 = static_cast<W>(x[i]), v1 = static_cast<W>(x[i + 1]);
+      const W v2 = static_cast<W>(x[i + 2]), v3 = static_cast<W>(x[i + 3]);
+      s0 += v0 * v0;
+      s1 += v1 * v1;
+      s2 += v2 * v2;
+      s3 += v3 * v3;
+    }
+    for (std::ptrdiff_t i = n - (n % 4); i < n; ++i) {
+      const W v = static_cast<W>(x[i]);
+      s0 += v * v;
+    }
+    return static_cast<W>(std::sqrt(static_cast<double>((s0 + s1) + (s2 + s3))));
+  } else {
+    W s{0};
+#pragma omp parallel for schedule(static) reduction(+ : s)
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      const W v = static_cast<W>(x[i]);
+      s += v * v;
+    }
+    return static_cast<W>(std::sqrt(static_cast<double>(s)));
+  }
+}
+
+/// Infinity norm (always returned as double; used for diagnostics).
+template <class T>
+double nrm_inf(std::span<const T> x) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  double m = 0.0;
+#pragma omp parallel for schedule(static) reduction(max : m)
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const double v = std::fabs(static_cast<double>(x[i]));
+    if (v > m) m = v;
+  }
+  return m;
+}
+
+/// Count of non-finite entries (inf/nan) — the fp16 overflow diagnostic.
+template <class T>
+std::size_t count_nonfinite(std::span<const T> x) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  std::size_t c = 0;
+#pragma omp parallel for schedule(static) reduction(+ : c)
+  for (std::ptrdiff_t i = 0; i < n; ++i)
+    if (!std::isfinite(static_cast<double>(x[i]))) ++c;
+  return c;
+}
+
+}  // namespace blas
+
+/// Convenience: convert a whole vector to another precision.
+template <class Dst, class Src>
+std::vector<Dst> converted(const std::vector<Src>& x) {
+  std::vector<Dst> y(x.size());
+  blas::convert<Src, Dst>(std::span<const Src>(x), std::span<Dst>(y));
+  return y;
+}
+
+}  // namespace nk

@@ -1,0 +1,55 @@
+#include "base/env.hpp"
+
+#include <sstream>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace nk {
+
+int num_threads() {
+#ifdef _OPENMP
+  int n = 1;
+#pragma omp parallel
+  {
+#pragma omp single
+    n = omp_get_num_threads();
+  }
+  return n;
+#else
+  return 1;
+#endif
+}
+
+bool has_f16c() {
+#if defined(__F16C__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::string env_summary() {
+  std::ostringstream os;
+  os << "threads=" << num_threads();
+#ifdef _OPENMP
+  os << " openmp=" << _OPENMP;
+#else
+  os << " openmp=off";
+#endif
+  os << " f16c=" << (has_f16c() ? "yes" : "no");
+#if defined(__AVX512FP16__)
+  os << " avx512fp16=yes";
+#else
+  os << " avx512fp16=no";
+#endif
+#ifdef NDEBUG
+  os << " build=release";
+#else
+  os << " build=debug";
+#endif
+  return os.str();
+}
+
+}  // namespace nk

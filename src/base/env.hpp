@@ -1,0 +1,19 @@
+// Runtime environment reporting: thread count, fp16 capability, build flags.
+// Benches print this header so results are interpretable later.
+#pragma once
+
+#include <string>
+
+namespace nk {
+
+/// Number of OpenMP threads the kernels will use (1 in serial builds).
+int num_threads();
+
+/// One-line description of the runtime (threads, fp16 path, build type).
+std::string env_summary();
+
+/// True when the build carries a hardware fp16 conversion path (F16C) —
+/// informational only; _Float16 is always functionally available.
+bool has_f16c();
+
+}  // namespace nk

@@ -1,0 +1,32 @@
+#include "base/half.hpp"
+
+#include <stdexcept>
+
+namespace nk {
+
+const char* prec_name(Prec p) noexcept {
+  switch (p) {
+    case Prec::FP64: return "fp64";
+    case Prec::FP32: return "fp32";
+    case Prec::FP16: return "fp16";
+  }
+  return "?";
+}
+
+Prec parse_prec(const std::string& s) {
+  if (s == "fp64" || s == "double" || s == "64") return Prec::FP64;
+  if (s == "fp32" || s == "single" || s == "float" || s == "32") return Prec::FP32;
+  if (s == "fp16" || s == "half" || s == "16") return Prec::FP16;
+  throw std::invalid_argument("unknown precision: '" + s + "' (expected fp64|fp32|fp16)");
+}
+
+double unit_roundoff(Prec p) noexcept {
+  switch (p) {
+    case Prec::FP64: return 0.5 * fp_limits<double>::eps;
+    case Prec::FP32: return 0.5 * static_cast<double>(fp_limits<float>::eps);
+    case Prec::FP16: return 0.5 * static_cast<double>(fp_limits<half>::eps);
+  }
+  return 0.0;
+}
+
+}  // namespace nk

@@ -1,0 +1,117 @@
+#include "base/options.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nk {
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg = arg.substr(2);
+      auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        kv_[arg] = argv[++i];
+      } else {
+        kv_[arg] = "true";
+      }
+    } else if (arg.rfind('-', 0) == 0 && arg.size() > 1 && !isdigit(arg[1])) {
+      kv_[arg.substr(1)] = "true";
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Options::get(const std::string& key, const std::string& def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+int Options::get_int(const std::string& key, int def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::stoi(it->second);
+}
+
+std::int64_t Options::get_int64(const std::string& key, std::int64_t def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::stoll(it->second);
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::stod(it->second);
+}
+
+bool Options::get_bool(const std::string& key, bool def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<int> Options::get_int_list(const std::string& key, const std::vector<int>& def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<int> out;
+  for (const auto& tok : split_csv(it->second))
+    if (!tok.empty()) out.push_back(std::stoi(tok));
+  return out;
+}
+
+std::vector<double> Options::get_double_list(const std::string& key,
+                                             const std::vector<double>& def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<double> out;
+  for (const auto& tok : split_csv(it->second))
+    if (!tok.empty()) out.push_back(std::stod(tok));
+  return out;
+}
+
+std::vector<std::string> Options::get_list(const std::string& key,
+                                           const std::vector<std::string>& def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<std::string> out;
+  for (auto& tok : split_csv(it->second))
+    if (!tok.empty()) out.push_back(tok);
+  return out;
+}
+
+void Options::describe(const std::string& key, const std::string& help) {
+  descriptions_.emplace_back(key, help);
+}
+
+std::string Options::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [--key=value ...]\n";
+  for (const auto& [k, h] : descriptions_) os << "  --" << k << "\t" << h << "\n";
+  return os.str();
+}
+
+}  // namespace nk

@@ -1,0 +1,58 @@
+// Minimal command-line option parsing shared by benches and examples.
+//
+// Syntax: --key=value or --key value or bare --flag (boolean true).
+// Unknown keys are kept so harnesses can pass through google-benchmark
+// flags; `Options::check_unknown` can be used to reject typos instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nk {
+
+class Options {
+ public:
+  Options() = default;
+  Options(int argc, char** argv);
+
+  /// True if --key was present at all.
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& def) const;
+  [[nodiscard]] int get_int(const std::string& key, int def) const;
+  [[nodiscard]] std::int64_t get_int64(const std::string& key, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  /// Comma-separated list of ints, e.g. --sizes=16,32,64.
+  [[nodiscard]] std::vector<int> get_int_list(const std::string& key,
+                                              const std::vector<int>& def) const;
+  /// Comma-separated list of doubles.
+  [[nodiscard]] std::vector<double> get_double_list(const std::string& key,
+                                                    const std::vector<double>& def) const;
+  /// Comma-separated list of strings.
+  [[nodiscard]] std::vector<std::string> get_list(const std::string& key,
+                                                  const std::vector<std::string>& def) const;
+
+  /// Positional (non --key) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Register a documented key (for --help output).
+  void describe(const std::string& key, const std::string& help);
+
+  /// Render a help string from registered descriptions.
+  [[nodiscard]] std::string help(const std::string& program) const;
+
+  /// True if --help/-h given.
+  [[nodiscard]] bool wants_help() const { return has("help") || has("h"); }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> descriptions_;
+};
+
+}  // namespace nk

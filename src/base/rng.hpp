@@ -1,0 +1,80 @@
+// Deterministic, seedable random number generation for reproducible
+// experiments.  The paper uses random right-hand sides uniformly
+// distributed in [0, 1); every bench and test here seeds explicitly so
+// reruns are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nk {
+
+/// SplitMix64 — tiny, fast, full-period 64-bit generator.  Used directly and
+/// to seed Xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — the library's workhorse RNG.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) { return next() % n; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+/// Fill `x` with uniform values in [lo, hi) — the paper's RHS distribution
+/// is uniform(0,1).
+template <class T>
+void fill_uniform(std::span<T> x, std::uint64_t seed, double lo = 0.0, double hi = 1.0) {
+  Xoshiro256 rng(seed);
+  for (auto& v : x) v = static_cast<T>(rng.uniform(lo, hi));
+}
+
+/// Convenience: a fresh uniform random vector of length n.
+template <class T>
+std::vector<T> random_vector(std::size_t n, std::uint64_t seed, double lo = 0.0, double hi = 1.0) {
+  std::vector<T> x(n);
+  fill_uniform<T>(x, seed, lo, hi);
+  return x;
+}
+
+}  // namespace nk

@@ -1,0 +1,44 @@
+// Aligned-column table printing + CSV export for the benchmark harness.
+// Every bench binary emits (i) a human-readable table mirroring the paper's
+// figure/table, and (ii) optionally a CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nk {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatting.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_sci(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+  /// Render with aligned columns to `os`.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV to `os`.
+  void print_csv(std::ostream& os) const;
+
+  /// Write CSV to a file path; returns false (and warns) on failure.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("=== title ===") used between bench phases.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace nk

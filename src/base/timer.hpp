@@ -1,0 +1,49 @@
+// Wall-clock timing utilities for solver and kernel measurement.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nk {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating timer: sums intervals across start/stop pairs.  Used to
+/// attribute time to individual nesting levels in instrumented runs.
+class SectionTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) { total_ += t_.seconds(); ++count_; running_ = false; }
+  }
+  [[nodiscard]] double total_seconds() const { return total_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  void reset() { total_ = 0.0; count_ = 0; running_ = false; }
+
+ private:
+  WallTimer t_;
+  double total_ = 0.0;
+  std::uint64_t count_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace nk

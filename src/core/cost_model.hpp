@@ -1,0 +1,73 @@
+// Memory-access cost model of Section 4.1 (Equations (1)-(3)).
+//
+// The model counts memory accesses per matrix row (per n) of a
+// preconditioned solver over one invocation of m iterations:
+//
+//   O(F^m, M)  = cA·m + cM·m + (5/2)·m²                        (1)
+//   O(R^m, M)  = cA·(m−1) + cM·m + 4·(m−1)                     (1)
+//   O(F^m̄,F^m̿,M) = cA·m̄ + O(F^m̿,M)·m̄ + (5/2)·m̄²             (2)
+//   O(F^m̄,R^m̿,M) = cA·m̄ + O(R^m̿,M)·m̄ + (5/2)·m̄²             (3)
+//
+// with cA, cM the per-row access constants of A and M (≈ 1.5× nnz/row for
+// fp64 values + 32-bit indices).  The model guides where to split FGMRES
+// (Assumption (i)) and where to replace an inner FGMRES by Richardson
+// (Assumption (ii)); the nesting advisor below automates the paper's
+// reasoning ("m̄ = 10 results in the least amount, though 10 is not a
+// divisor of 64").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/half.hpp"
+
+namespace nk {
+
+/// Per-row access constant of a CSR matrix: nnz/row values at `bytes_value`
+/// bytes plus nnz/row 32-bit indices, measured in 8-byte (fp64-equivalent)
+/// units — e.g. 30 nnz/row in fp64 gives cA = 30·(8+4)/8 = 45, the paper's
+/// example value.
+double access_constant(double nnz_per_row, std::size_t bytes_value);
+
+/// Equation (1), FGMRES: cA·m + cM·m + 2.5·m².
+double cost_fgmres(double ca, double cm, int m);
+
+/// Equation (1), Richardson (zero initial guess): cA·(m−1) + cM·m + 4·(m−1).
+double cost_richardson(double ca, double cm, int m);
+
+/// Equation (2): two-level nested FGMRES with inner dimension m_inner.
+/// m_inner may be fractional: the paper's analysis fixes the TOTAL number
+/// of primary applications m = m̄·m̿ and allows non-divisor splits ("m̄ = 10
+/// results in the least amount, though 10 is not a divisor of 64").
+double cost_nested_ff(double ca, double cm, int m_outer, double m_inner);
+
+/// Equation (3): FGMRES over Richardson.
+double cost_nested_fr(double ca, double cm, int m_outer, double m_inner);
+
+/// Generic nested cost: levels from outermost to innermost; the last level
+/// applies the primary preconditioner.  kind 'F' or 'R' per level.
+struct LevelCost {
+  char kind = 'F';  ///< 'F' = FGMRES, 'R' = Richardson
+  int m = 1;
+};
+double cost_nested(double ca, double cm, const std::vector<LevelCost>& levels);
+
+/// Result of the nesting advisor for a fixed total preconditioner budget m.
+struct SplitAdvice {
+  bool split = false;      ///< whether any nesting beats the flat solver
+  int m_outer = 0;         ///< advised outer dimension m̄
+  int m_inner = 0;         ///< advised inner count m̿ (= ceil(m/m̄))
+  char inner_kind = 'F';   ///< advised inner solver type
+  double flat_cost = 0.0;  ///< O(F^m, M)
+  double best_cost = 0.0;  ///< cost of the advised configuration
+};
+
+/// Search all m̄ ∈ [2, m/2] for the cheapest (F^m̄, S^m̿, M) with
+/// m̄·m̿ ≥ m; Richardson is considered for m̿ < `richardson_limit`
+/// (Assumption (ii): small inner counts only).
+SplitAdvice advise_split(double ca, double cm, int m, int richardson_limit = 5);
+
+/// Human-readable advisor trace for bench_cost_model.
+std::string advice_summary(const SplitAdvice& a);
+
+}  // namespace nk

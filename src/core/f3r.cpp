@@ -1,0 +1,64 @@
+#include "core/f3r.hpp"
+
+namespace nk {
+
+std::string f3r_name(Prec lowest) { return std::string(prec_name(lowest)) + "-F3R"; }
+
+NestedConfig f3r_config(Prec lowest, const F3rParams& p) {
+  NestedConfig cfg;
+  cfg.name = f3r_name(lowest);
+
+  LevelSpec l1;  // outermost: always fp64 FGMRES
+  l1.kind = SolverKind::FGMRES;
+  l1.m = p.m1;
+  l1.mat = Prec::FP64;
+  l1.vec = Prec::FP64;
+
+  LevelSpec l2;
+  l2.kind = SolverKind::FGMRES;
+  l2.m = p.m2;
+
+  LevelSpec l3;
+  l3.kind = SolverKind::FGMRES;
+  l3.m = p.m3;
+
+  LevelSpec l4;
+  l4.kind = SolverKind::Richardson;
+  l4.m = p.m4;
+  l4.cycle = p.cycle;
+  l4.adaptive = p.adaptive;
+  l4.fixed_weight = p.fixed_weight;
+
+  switch (lowest) {
+    case Prec::FP64:
+      l2.mat = l2.vec = Prec::FP64;
+      l3.mat = l3.vec = Prec::FP64;
+      l4.mat = l4.vec = Prec::FP64;
+      cfg.precond_storage = Prec::FP64;
+      break;
+    case Prec::FP32:
+      l2.mat = l2.vec = Prec::FP32;
+      l3.mat = l3.vec = Prec::FP32;
+      l4.mat = l4.vec = Prec::FP32;
+      cfg.precond_storage = Prec::FP32;
+      break;
+    case Prec::FP16:  // Table 1
+      l2.mat = l2.vec = Prec::FP32;
+      l3.mat = Prec::FP16;
+      l3.vec = Prec::FP32;
+      l4.mat = l4.vec = Prec::FP16;
+      cfg.precond_storage = Prec::FP16;
+      break;
+  }
+  cfg.levels = {l1, l2, l3, l4};
+  return cfg;
+}
+
+Termination f3r_termination(double rtol) {
+  Termination t;
+  t.rtol = rtol;
+  t.max_restarts = 3;  // "F3R was restarted only three times"
+  return t;
+}
+
+}  // namespace nk

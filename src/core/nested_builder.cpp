@@ -1,0 +1,275 @@
+#include "core/nested_builder.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "krylov/chebyshev.hpp"
+#include "sparse/spmv.hpp"
+
+namespace nk {
+
+// ---------------------------------------------------------------- matrices
+
+MultiPrecMatrix::MultiPrecMatrix(CsrMatrix<double> a, bool use_sell, int sell_chunk)
+    : a64_(std::move(a)), use_sell_(use_sell), chunk_(sell_chunk) {
+  if (a64_.nrows != a64_.ncols)
+    throw std::invalid_argument("MultiPrecMatrix: matrix must be square");
+  if (use_sell_) s64_ = csr_to_sell(a64_, chunk_);
+}
+
+void MultiPrecMatrix::ensure(Prec mp) {
+  switch (mp) {
+    case Prec::FP64:
+      break;  // always present
+    case Prec::FP32:
+      if (!a32_) a32_ = cast_matrix<float>(a64_);
+      if (use_sell_ && !s32_) s32_ = csr_to_sell(*a32_, chunk_);
+      break;
+    case Prec::FP16:
+      if (!a16_) a16_ = cast_matrix<half>(a64_);
+      if (use_sell_ && !s16_) s16_ = csr_to_sell(*a16_, chunk_);
+      break;
+  }
+}
+
+template <class VT>
+std::unique_ptr<Operator<VT>> MultiPrecMatrix::make_operator(Prec mp) {
+  ensure(mp);
+  if (use_sell_) {
+    switch (mp) {
+      case Prec::FP64: return std::make_unique<SellOperator<double, VT>>(*s64_);
+      case Prec::FP32: return std::make_unique<SellOperator<float, VT>>(*s32_);
+      case Prec::FP16: return std::make_unique<SellOperator<half, VT>>(*s16_);
+    }
+  } else {
+    switch (mp) {
+      case Prec::FP64: return std::make_unique<CsrOperator<double, VT>>(a64_);
+      case Prec::FP32: return std::make_unique<CsrOperator<float, VT>>(*a32_);
+      case Prec::FP16: return std::make_unique<CsrOperator<half, VT>>(*a16_);
+    }
+  }
+  throw std::logic_error("MultiPrecMatrix: bad precision");
+}
+
+template std::unique_ptr<Operator<double>> MultiPrecMatrix::make_operator<double>(Prec);
+template std::unique_ptr<Operator<float>> MultiPrecMatrix::make_operator<float>(Prec);
+template std::unique_ptr<Operator<half>> MultiPrecMatrix::make_operator<half>(Prec);
+
+std::size_t MultiPrecMatrix::value_bytes() const {
+  std::size_t b = a64_.vals.size() * sizeof(double);
+  if (a32_) b += a32_->vals.size() * sizeof(float);
+  if (a16_) b += a16_->vals.size() * sizeof(half);
+  if (s64_) b += s64_->vals.size() * sizeof(double);
+  if (s32_) b += s32_->vals.size() * sizeof(float);
+  if (s16_) b += s16_->vals.size() * sizeof(half);
+  return b;
+}
+
+// -------------------------------------------------------------- validation
+
+void validate(const NestedConfig& cfg) {
+  if (cfg.levels.empty()) throw std::invalid_argument("NestedConfig: no levels");
+  const LevelSpec& outer = cfg.levels.front();
+  if (outer.kind != SolverKind::FGMRES || outer.vec != Prec::FP64 || outer.mat != Prec::FP64)
+    throw std::invalid_argument(
+        "NestedConfig: the outermost level must be fp64 FGMRES (the paper's setting)");
+  for (const LevelSpec& lv : cfg.levels) {
+    if (lv.m <= 0) throw std::invalid_argument("NestedConfig: level iteration count must be > 0");
+    if (lv.kind == SolverKind::Richardson && lv.cycle <= 0)
+      throw std::invalid_argument("NestedConfig: Richardson cycle must be > 0");
+  }
+}
+
+std::string tuple_notation(const NestedConfig& cfg) {
+  std::ostringstream os;
+  os << "(";
+  for (const LevelSpec& lv : cfg.levels) {
+    const char* tag = lv.kind == SolverKind::FGMRES      ? "F^"
+                      : lv.kind == SolverKind::Richardson ? "R^"
+                                                          : "C^";
+    os << tag << lv.m << ", ";
+  }
+  os << "M)";
+  return os.str();
+}
+
+// ----------------------------------------------------------------- builder
+
+NestedSolver::NestedSolver(std::shared_ptr<MultiPrecMatrix> a,
+                           std::shared_ptr<PrimaryPrecond> m, NestedConfig cfg)
+    : a_(std::move(a)), m_(std::move(m)), cfg_(std::move(cfg)) {
+  validate(cfg_);
+  if (m_->size() != a_->size())
+    throw std::invalid_argument("NestedSolver: matrix/preconditioner size mismatch");
+
+  // Build the preconditioning pipeline below the outermost level, then the
+  // outermost fp64 FGMRES itself.
+  Preconditioner<double>* below;
+  if (cfg_.levels.size() == 1) {
+    auto handle = m_->make_apply<double>(cfg_.precond_storage);
+    below = handle.get();
+    owned_.push_back(std::shared_ptr<void>(std::move(handle)));
+  } else {
+    const Prec child_vec = cfg_.levels[1].vec;
+    switch (child_vec) {
+      case Prec::FP64:
+        below = build_level<double>(1);
+        break;
+      case Prec::FP32: {
+        auto* child = build_level<float>(1);
+        auto bridge = std::make_shared<PrecisionBridge<double, float>>(child);
+        below = bridge.get();
+        owned_.push_back(bridge);
+        break;
+      }
+      case Prec::FP16: {
+        auto* child = build_level<half>(1);
+        auto bridge = std::make_shared<PrecisionBridge<double, half>>(child);
+        below = bridge.get();
+        owned_.push_back(bridge);
+        break;
+      }
+      default:
+        throw std::logic_error("NestedSolver: bad child precision");
+    }
+  }
+
+  auto op = a_->make_operator<double>(cfg_.levels[0].mat);
+  outer_op_ = op.get();
+  owned_.push_back(std::shared_ptr<void>(std::move(op)));
+  auto outer = std::make_shared<FgmresSolver<double>>(
+      *outer_op_, *below, FgmresSolver<double>::Config{cfg_.levels[0].m});
+  outer_ = outer.get();
+  owned_.push_back(outer);
+}
+
+template <class VT>
+Preconditioner<VT>* NestedSolver::build_level(std::size_t d) {
+  const LevelSpec& lv = cfg_.levels[d];
+  // Operator for this level.
+  auto op_owned = a_->make_operator<VT>(lv.mat);
+  Operator<VT>* op = op_owned.get();
+  owned_.push_back(std::shared_ptr<void>(std::move(op_owned)));
+
+  // Preconditioner of this level: the next level, or the primary M.
+  Preconditioner<VT>* below;
+  if (d + 1 == cfg_.levels.size()) {
+    auto handle = m_->make_apply<VT>(cfg_.precond_storage);
+    below = handle.get();
+    owned_.push_back(std::shared_ptr<void>(std::move(handle)));
+  } else {
+    const Prec child_vec = cfg_.levels[d + 1].vec;
+    auto attach = [&]<class CV>(Preconditioner<CV>* child) -> Preconditioner<VT>* {
+      if constexpr (std::is_same_v<CV, VT>) {
+        return child;
+      } else {
+        auto bridge = std::make_shared<PrecisionBridge<VT, CV>>(child);
+        owned_.push_back(bridge);
+        return bridge.get();
+      }
+    };
+    switch (child_vec) {
+      case Prec::FP64: below = attach(build_level<double>(d + 1)); break;
+      case Prec::FP32: below = attach(build_level<float>(d + 1)); break;
+      case Prec::FP16: below = attach(build_level<half>(d + 1)); break;
+      default: throw std::logic_error("NestedSolver: bad child precision");
+    }
+  }
+
+  if (lv.kind == SolverKind::FGMRES) {
+    typename FgmresSolver<VT>::Config fc;
+    fc.m = lv.m;
+    fc.inner_rtol = lv.inner_rtol;
+    auto solver = std::make_shared<FgmresSolver<VT>>(*op, *below, fc);
+    owned_.push_back(solver);
+    return solver.get();
+  }
+
+  if (lv.kind == SolverKind::Chebyshev) {
+    typename ChebyshevSolver<VT>::Config cc;
+    cc.m = lv.m;
+    cc.eig_ratio = lv.eig_ratio;
+    auto solver = std::make_shared<ChebyshevSolver<VT>>(*op, *below, cc);
+    owned_.push_back(solver);
+    return solver.get();
+  }
+
+  // Richardson: when vectors are fp16 the ω' computation needs a separate
+  // fp32-accumulating operator over the same (fp16) matrix storage.
+  Operator<float>* op32 = nullptr;
+  if constexpr (std::is_same_v<VT, half>) {
+    auto op32_owned = a_->make_operator<float>(lv.mat);
+    op32 = op32_owned.get();
+    owned_.push_back(std::shared_ptr<void>(std::move(op32_owned)));
+  }
+  typename RichardsonSolver<VT>::Config rc;
+  rc.m = lv.m;
+  rc.cycle = lv.cycle;
+  rc.adaptive = lv.adaptive;
+  rc.fixed_weight = lv.fixed_weight;
+  auto solver = std::make_shared<RichardsonSolver<VT>>(*op, *below, rc, op32);
+  owned_.push_back(solver);
+  weight_probes_.push_back([s = solver.get()] { return s->weights(); });
+  state_resets_.push_back([s = solver.get()] { s->reset_state(); });
+  return solver.get();
+}
+
+// --------------------------------------------------------------- solving
+
+SolveResult NestedSolver::solve(std::span<const double> b, std::span<double> x,
+                                const Termination& term) {
+  SolveResult res;
+  res.solver = cfg_.name;
+  WallTimer timer;
+
+  const std::uint64_t m_calls0 = m_->invocations();
+  const std::uint64_t spmv0 = outer_op_->spmv_count();
+
+  const double bnorm = static_cast<double>(blas::nrm2(b));
+  const double bref = bnorm > 0.0 ? bnorm : 1.0;
+  const double target = term.rtol * bref;
+
+  std::vector<double> estimates;
+  outer_->set_iteration_log(term.record_history ? &estimates : nullptr);
+
+  bool x_nonzero = blas::nrm2(std::span<const double>(x.data(), x.size())) > 0.0;
+  for (int cycle = 0; cycle <= term.max_restarts; ++cycle) {
+    const auto stats = outer_->run(b, x, target, x_nonzero);
+    res.iterations += stats.iters;
+    res.restarts = cycle;
+    x_nonzero = true;
+    const double relres = relative_residual(
+        a_->csr_fp64(), std::span<const double>(x.data(), x.size()), b);
+    res.final_relres = relres;
+    if (relres < term.rtol) {
+      res.converged = true;
+      break;
+    }
+    if (!std::isfinite(relres)) break;
+  }
+  outer_->set_iteration_log(nullptr);
+
+  if (term.record_history) {
+    res.history.reserve(estimates.size());
+    for (double e : estimates) res.history.push_back(e / bref);
+  }
+  res.precond_invocations = m_->invocations() - m_calls0;
+  res.spmv_count = outer_op_->spmv_count() - spmv0;
+  res.seconds = timer.seconds();
+  return res;
+}
+
+std::vector<float> NestedSolver::richardson_weights() const {
+  std::vector<float> out;
+  for (const auto& probe : weight_probes_) {
+    const auto w = probe();
+    out.insert(out.end(), w.begin(), w.end());
+  }
+  return out;
+}
+
+void NestedSolver::reset_state() {
+  for (const auto& r : state_resets_) r();
+}
+
+}  // namespace nk

@@ -1,0 +1,283 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/rng.hpp"
+#include "base/timer.hpp"
+#include "core/cost_model.hpp"
+#include "krylov/fgmres.hpp"
+#include "precond/ainv.hpp"
+#include "precond/block_jacobi_ic0.hpp"
+#include "precond/block_jacobi_ilu0.hpp"
+#include "precond/jacobi.hpp"
+#include "sparse/gen/suite_standins.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/spmv.hpp"
+
+namespace nk {
+
+PreparedProblem prepare_problem(std::string name, CsrMatrix<double> a, bool symmetric,
+                                double alpha_ilu, double alpha_ainv, std::uint64_t rhs_seed,
+                                bool use_sell) {
+  PreparedProblem p;
+  p.name = std::move(name);
+  p.symmetric = symmetric;
+  p.alpha_ilu = alpha_ilu;
+  p.alpha_ainv = alpha_ainv;
+  a.sort_rows();
+  diagonal_scale_symmetric(a);  // the paper scales every matrix
+  const index_t n = a.nrows;
+  p.a = std::make_shared<MultiPrecMatrix>(std::move(a), use_sell);
+  p.b = random_vector<double>(static_cast<std::size_t>(n), rhs_seed, 0.0, 1.0);
+  return p;
+}
+
+PreparedProblem prepare_standin(const std::string& paper_name, int scale,
+                                std::uint64_t rhs_seed, bool use_sell) {
+  gen::Problem prob = gen::make_problem(paper_name, scale);
+  return prepare_problem(prob.spec.paper_name, std::move(prob.a), prob.spec.symmetric,
+                         prob.spec.alpha_ilu, prob.spec.alpha_ainv, rhs_seed, use_sell);
+}
+
+std::shared_ptr<PrimaryPrecond> make_primary(const PreparedProblem& p, PrecondKind kind,
+                                             int nblocks) {
+  const CsrMatrix<double>& a = p.a->csr_fp64();
+  switch (kind) {
+    case PrecondKind::BlockJacobiIluIc:
+      if (p.symmetric) {
+        BlockJacobiIc0::Config c;
+        c.nblocks = nblocks;
+        c.alpha = p.alpha_ilu;
+        return std::make_shared<BlockJacobiIc0>(a, c);
+      } else {
+        BlockJacobiIlu0::Config c;
+        c.nblocks = nblocks;
+        c.alpha = p.alpha_ilu;
+        return std::make_shared<BlockJacobiIlu0>(a, c);
+      }
+    case PrecondKind::SdAinv: {
+      SdAinv::Config c;
+      c.alpha = p.alpha_ainv;
+      c.symmetric = p.symmetric;
+      return std::make_shared<SdAinv>(a, c);
+    }
+    case PrecondKind::Jacobi:
+      return std::make_shared<JacobiPrecond>(a);
+  }
+  throw std::logic_error("make_primary: bad kind");
+}
+
+namespace {
+
+/// Finalize a SolveResult with timing + invocation-counter deltas.
+template <class SolveFn>
+SolveResult timed_solve(PrimaryPrecond& m, const std::string& name, SolveFn&& fn) {
+  SolveResult res;
+  const std::uint64_t calls0 = m.invocations();
+  WallTimer t;
+  res = fn();
+  res.seconds = t.seconds();
+  res.solver = name;
+  res.precond_invocations = m.invocations() - calls0;
+  return res;
+}
+
+}  // namespace
+
+SolveResult run_cg(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
+                   const FlatSolverCaps& caps) {
+  auto handle = m.make_apply<double>(storage);
+  CsrOperator<double, double> op(p.a->csr_fp64());
+  CgSolver<double>::Config cfg;
+  cfg.rtol = caps.rtol;
+  cfg.max_iters = caps.max_iters;
+  cfg.record_history = true;
+  CgSolver<double> solver(op, *handle, cfg);
+  std::vector<double> x(p.b.size(), 0.0);
+  auto res = timed_solve(m, std::string(prec_name(storage)) + "-CG", [&] {
+    return solver.solve(std::span<const double>(p.b), std::span<double>(x));
+  });
+  res.final_relres = relative_residual(p.a->csr_fp64(), std::span<const double>(x),
+                                       std::span<const double>(p.b));
+  res.converged = res.converged && res.final_relres < caps.rtol * 1.5;
+  res.spmv_count = op.spmv_count();
+  return res;
+}
+
+SolveResult run_bicgstab(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
+                         const FlatSolverCaps& caps) {
+  auto handle = m.make_apply<double>(storage);
+  CsrOperator<double, double> op(p.a->csr_fp64());
+  BiCgStabSolver<double>::Config cfg;
+  cfg.rtol = caps.rtol;
+  cfg.max_iters = caps.max_iters / 2;  // 2 preconditioner calls per iteration
+  cfg.record_history = true;
+  BiCgStabSolver<double> solver(op, *handle, cfg);
+  std::vector<double> x(p.b.size(), 0.0);
+  auto res = timed_solve(m, std::string(prec_name(storage)) + "-BiCGStab", [&] {
+    return solver.solve(std::span<const double>(p.b), std::span<double>(x));
+  });
+  res.final_relres = relative_residual(p.a->csr_fp64(), std::span<const double>(x),
+                                       std::span<const double>(p.b));
+  res.converged = res.converged && res.final_relres < caps.rtol * 1.5;
+  res.spmv_count = op.spmv_count();
+  return res;
+}
+
+SolveResult run_fgmres_restarted(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
+                                 int restart, const FlatSolverCaps& caps) {
+  auto handle = m.make_apply<double>(storage);
+  CsrOperator<double, double> op(p.a->csr_fp64());
+  FgmresSolver<double> solver(op, *handle, FgmresSolver<double>::Config{restart});
+  std::vector<double> x(p.b.size(), 0.0);
+
+  const std::string name =
+      std::string(prec_name(storage)) + "-FGMRES(" + std::to_string(restart) + ")";
+  auto res = timed_solve(m, name, [&] {
+    SolveResult r;
+    const double bnorm = static_cast<double>(blas::nrm2(std::span<const double>(p.b)));
+    const double bref = bnorm > 0.0 ? bnorm : 1.0;
+    const double target = caps.rtol * bref;
+    std::vector<double> estimates;
+    solver.set_iteration_log(&estimates);
+    bool x_nonzero = false;
+    while (r.iterations < caps.max_iters) {
+      const auto stats = solver.run(std::span<const double>(p.b), std::span<double>(x), target,
+                                    x_nonzero);
+      r.iterations += stats.iters;
+      x_nonzero = true;
+      const double relres = relative_residual(p.a->csr_fp64(), std::span<const double>(x),
+                                              std::span<const double>(p.b));
+      r.final_relres = relres;
+      if (relres < caps.rtol) {
+        r.converged = true;
+        break;
+      }
+      if (!std::isfinite(relres) || stats.iters == 0) break;
+      ++r.restarts;
+    }
+    solver.set_iteration_log(nullptr);
+    for (double e : estimates) r.history.push_back(e / bref);
+    return r;
+  });
+  res.spmv_count = op.spmv_count();
+  return res;
+}
+
+namespace {
+
+template <class VT>
+SolveResult ir_gmres_impl(const PreparedProblem& p, PrimaryPrecond& m, Prec prec, int inner_m,
+                          const FlatSolverCaps& caps) {
+  const std::size_t n = p.b.size();
+  auto op = p.a->make_operator<VT>(prec);
+  auto handle = m.make_apply<VT>(prec);
+  FgmresSolver<VT> inner(*op, *handle, typename FgmresSolver<VT>::Config{inner_m});
+  CsrOperator<double, double> op64(p.a->csr_fp64());
+
+  SolveResult r;
+  std::vector<double> x(n, 0.0), rd(n);
+  std::vector<VT> rl(n), cl(n);
+  const double bnorm = static_cast<double>(blas::nrm2(std::span<const double>(p.b)));
+  const double bref = bnorm > 0.0 ? bnorm : 1.0;
+  const int max_outer = std::max(1, caps.max_iters / inner_m);
+  for (int outer = 0; outer < max_outer; ++outer) {
+    op64.residual(std::span<const double>(p.b), std::span<const double>(x),
+                  std::span<double>(rd));
+    const double relres = static_cast<double>(blas::nrm2(std::span<const double>(rd))) / bref;
+    r.final_relres = relres;
+    r.history.push_back(relres);
+    if (relres < caps.rtol) {
+      r.converged = true;
+      break;
+    }
+    if (!std::isfinite(relres)) break;
+    // Low-precision correction solve A c ≈ r.  The residual is normalized
+    // before the downcast — late-stage residuals (~1e-8·‖b‖) would land in
+    // fp16's subnormal range and stall the refinement otherwise.
+    const double rnorm = static_cast<double>(blas::nrm2(std::span<const double>(rd)));
+    if (rnorm > 0.0) blas::scal(1.0 / rnorm, std::span<double>(rd));
+    blas::convert(std::span<const double>(rd), std::span<VT>(rl));
+    inner.apply(std::span<const VT>(rl), std::span<VT>(cl));
+    blas::axpy(rnorm, std::span<const VT>(cl), std::span<double>(x));
+    r.iterations = outer + 1;
+  }
+  r.spmv_count = op->spmv_count() + op64.spmv_count();
+  return r;
+}
+
+}  // namespace
+
+SolveResult run_ir_gmres(const PreparedProblem& p, PrimaryPrecond& m, Prec inner, int inner_m,
+                         const FlatSolverCaps& caps) {
+  const std::string name = std::string(prec_name(inner)) + "-IR-GMRES(" +
+                           std::to_string(inner_m) + ")";
+  return timed_solve(m, name, [&] {
+    switch (inner) {
+      case Prec::FP64: return ir_gmres_impl<double>(p, m, inner, inner_m, caps);
+      case Prec::FP32: return ir_gmres_impl<float>(p, m, inner, inner_m, caps);
+      case Prec::FP16: return ir_gmres_impl<half>(p, m, inner, inner_m, caps);
+    }
+    throw std::logic_error("run_ir_gmres: bad precision");
+  });
+}
+
+SolveResult run_nested(const PreparedProblem& p, std::shared_ptr<PrimaryPrecond> m,
+                       const NestedConfig& cfg, const Termination& term) {
+  NestedSolver solver(p.a, m, cfg);
+  std::vector<double> x(p.b.size(), 0.0);
+  const std::uint64_t calls0 = m->invocations();
+  SolveResult res = solver.solve(std::span<const double>(p.b), std::span<double>(x), term);
+  res.precond_invocations = m->invocations() - calls0;
+  return res;
+}
+
+BestSearchResult run_f3r_best(const PreparedProblem& p, std::shared_ptr<PrimaryPrecond> m,
+                              double rtol, int budget) {
+  // Candidate box from the paper's fp16-F3R-best rows: m2 ∈ 6..10,
+  // m3 ∈ 2..6, m4 ∈ {1,2}; ordered by the memory-access model so the
+  // cheapest configurations are tried first under a budget.
+  struct Cand {
+    F3rParams prm;
+    double model_cost;
+  };
+  const double ca = access_constant(p.a->csr_fp64().nnz_per_row(), 2);  // fp16 values
+  const double cm = ca;  // M has A-like sparsity for ILU(0)/IC(0)
+  std::vector<Cand> cands;
+  for (int m2 : {8, 6, 7, 9, 10})
+    for (int m3 : {4, 2, 3, 5, 6})
+      for (int m4 : {2, 1}) {
+        F3rParams prm;
+        prm.m2 = m2;
+        prm.m3 = m3;
+        prm.m4 = m4;
+        const double cost = cost_nested(
+            ca, cm,
+            {{'F', prm.m2}, {'F', prm.m3}, {'R', prm.m4}});
+        cands.push_back({prm, cost});
+      }
+  std::stable_sort(cands.begin(), cands.end(),
+                   [](const Cand& a, const Cand& b) { return a.model_cost < b.model_cost; });
+
+  BestSearchResult best;
+  best.result.seconds = std::numeric_limits<double>::max();
+  for (const Cand& c : cands) {
+    if (best.tried >= budget) break;
+    ++best.tried;
+    auto res = run_nested(p, m, f3r_config(Prec::FP16, c.prm), f3r_termination(rtol));
+    if (res.converged &&
+        (!best.result.converged || res.seconds < best.result.seconds)) {
+      best.result = res;
+      best.params = c.prm;
+      best.param_label = std::to_string(c.prm.m2) + "-" + std::to_string(c.prm.m3) + "-" +
+                         std::to_string(c.prm.m4);
+    }
+  }
+  if (best.param_label.empty()) best.param_label = "-";
+  best.result.solver = "fp16-F3R-best";
+  return best;
+}
+
+}  // namespace nk

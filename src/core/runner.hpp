@@ -1,0 +1,97 @@
+// Experiment runner — the shared orchestration behind the bench harness
+// and the examples: prepare a problem (generate → diagonal scale → random
+// RHS), build primary preconditioners, and run every solver family of the
+// paper with consistent termination, timing, and invocation accounting.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/f3r.hpp"
+#include "core/nested_builder.hpp"
+#include "krylov/bicgstab.hpp"
+#include "krylov/cg.hpp"
+#include "krylov/history.hpp"
+#include "precond/preconditioner.hpp"
+#include "sparse/csr.hpp"
+
+namespace nk {
+
+/// A prepared linear system: diagonally scaled matrix (the paper scales all
+/// matrices), uniform-[0,1) right-hand side, zero initial guess.
+struct PreparedProblem {
+  std::string name;
+  bool symmetric = false;
+  double alpha_ilu = 1.0;
+  double alpha_ainv = 1.0;
+  std::shared_ptr<MultiPrecMatrix> a;
+  std::vector<double> b;
+};
+
+/// Scale `a` symmetrically, build the RHS, wrap in MultiPrecMatrix.
+/// `use_sell` selects the sliced-ELLPACK kernels (GPU-node configuration).
+PreparedProblem prepare_problem(std::string name, CsrMatrix<double> a, bool symmetric,
+                                double alpha_ilu, double alpha_ainv, std::uint64_t rhs_seed,
+                                bool use_sell = false);
+
+/// Generate + prepare a Table 2 stand-in by paper name.
+PreparedProblem prepare_standin(const std::string& paper_name, int scale,
+                                std::uint64_t rhs_seed = 7, bool use_sell = false);
+
+enum class PrecondKind { BlockJacobiIluIc, SdAinv, Jacobi };
+
+/// Build the paper's primary preconditioner for a prepared problem:
+/// block-Jacobi ILU(0)/IC(0) with α_ILU on the CPU node, SD-AINV with
+/// α_AINV on the GPU node.
+std::shared_ptr<PrimaryPrecond> make_primary(const PreparedProblem& p, PrecondKind kind,
+                                             int nblocks = 0);
+
+/// Caps matching the paper: 19,200 iterations for the flat Krylov solvers
+/// (scaled down via `iteration_budget` for quick bench runs).
+struct FlatSolverCaps {
+  double rtol = 1e-8;
+  int max_iters = 19200;
+};
+
+/// fp64 CG with the preconditioner stored at `storage` ("fp16-CG" = fp64 CG
+/// with an fp16-stored preconditioner).
+SolveResult run_cg(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
+                   const FlatSolverCaps& caps = {});
+
+/// fp64 BiCGStab with `storage`-precision preconditioner.
+SolveResult run_bicgstab(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
+                         const FlatSolverCaps& caps = {});
+
+/// fp64 restarted FGMRES(restart) with `storage`-precision preconditioner —
+/// the paper's FGMRES(64) baseline.
+SolveResult run_fgmres_restarted(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
+                                 int restart = 64, const FlatSolverCaps& caps = {});
+
+/// Conventional mixed-precision baseline: fp64 iterative refinement
+/// (Richardson) outer with a low-precision GMRES(inner_m) inner solver —
+/// the two-level scheme of the prior work the paper improves on
+/// (Anzt et al. 2011; Lindquist et al. 2021).  `inner` selects the inner
+/// solver's working precision (fp32 or fp16; matrix, vectors, and M all
+/// stored at that precision).
+SolveResult run_ir_gmres(const PreparedProblem& p, PrimaryPrecond& m, Prec inner,
+                         int inner_m = 8, const FlatSolverCaps& caps = {});
+
+/// Any nested configuration (F3R and the Table 4 variants).
+SolveResult run_nested(const PreparedProblem& p, std::shared_ptr<PrimaryPrecond> m,
+                       const NestedConfig& cfg, const Termination& term = f3r_termination());
+
+/// Search the paper's fp16-F3R-best parameter box (m2 ∈ {6..10},
+/// m3 ∈ {2..6}, m4 ∈ {1,2}) and return the fastest converged run plus its
+/// parameters formatted "m2-m3-m4".  `budget` limits the number of
+/// configurations tried (they are ordered by the memory-access model).
+struct BestSearchResult {
+  SolveResult result;
+  F3rParams params;
+  std::string param_label;
+  int tried = 0;
+};
+BestSearchResult run_f3r_best(const PreparedProblem& p, std::shared_ptr<PrimaryPrecond> m,
+                              double rtol = 1e-8, int budget = 12);
+
+}  // namespace nk

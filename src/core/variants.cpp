@@ -1,0 +1,50 @@
+#include "core/variants.hpp"
+
+#include <stdexcept>
+
+namespace nk {
+
+namespace {
+
+LevelSpec fgmres_level(int m, Prec mat, Prec vec) {
+  LevelSpec l;
+  l.kind = SolverKind::FGMRES;
+  l.m = m;
+  l.mat = mat;
+  l.vec = vec;
+  return l;
+}
+
+}  // namespace
+
+NestedConfig variant_config(const std::string& name) {
+  NestedConfig cfg;
+  cfg.name = name;
+  cfg.precond_storage = Prec::FP16;  // Table 4: M is fp16 in every variant
+
+  const LevelSpec outer = fgmres_level(100, Prec::FP64, Prec::FP64);
+
+  if (name == "F2") {
+    cfg.levels = {outer, fgmres_level(64, Prec::FP32, Prec::FP32)};
+  } else if (name == "fp16-F2") {
+    cfg.levels = {outer, fgmres_level(64, Prec::FP16, Prec::FP16)};
+  } else if (name == "F3") {
+    cfg.levels = {outer, fgmres_level(8, Prec::FP32, Prec::FP32),
+                  fgmres_level(8, Prec::FP16, Prec::FP32)};
+  } else if (name == "fp16-F3") {
+    cfg.levels = {outer, fgmres_level(8, Prec::FP32, Prec::FP32),
+                  fgmres_level(8, Prec::FP16, Prec::FP16)};
+  } else if (name == "F4") {
+    cfg.levels = {outer, fgmres_level(8, Prec::FP32, Prec::FP32),
+                  fgmres_level(4, Prec::FP16, Prec::FP32),
+                  fgmres_level(2, Prec::FP16, Prec::FP16)};
+  } else {
+    throw std::invalid_argument("unknown variant: " + name +
+                                " (expected F2|fp16-F2|F3|fp16-F3|F4)");
+  }
+  return cfg;
+}
+
+std::vector<std::string> variant_names() { return {"F2", "fp16-F2", "F3", "fp16-F3", "F4"}; }
+
+}  // namespace nk

@@ -1,0 +1,27 @@
+// The Section 6.2 ablation solvers (Table 4): nesting-depth variants of
+// F3R used to examine Assumptions (i) and (ii).
+//
+//   F2       = (F^100, F^64, M)          inner F64: A fp32, vec fp32, M fp16
+//   fp16-F2  = (F^100, F^64, M)          inner F64: A fp16, vec fp16, M fp16
+//   F3       = (F^100, F^8, F^8, M)      fp32 mid, inner F8: A fp16 vec fp32, M fp16
+//   fp16-F3  = (F^100, F^8, F^8, M)      fp32 mid, inner F8: A fp16 vec fp16, M fp16
+//   F4       = (F^100, F^8, F^4, F^2, M) fp16-F3R with the innermost
+//                                        Richardson replaced by FGMRES
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/f3r.hpp"
+#include "core/nested_builder.hpp"
+
+namespace nk {
+
+/// Table 4 variant by name: "F2", "fp16-F2", "F3", "fp16-F3", "F4".
+/// Throws std::invalid_argument on unknown names.
+NestedConfig variant_config(const std::string& name);
+
+/// All Table 4 variant names in paper order.
+std::vector<std::string> variant_names();
+
+}  // namespace nk

@@ -1,0 +1,91 @@
+#include "krylov/bicgstab.hpp"
+
+#include <cmath>
+
+namespace nk {
+
+template <class VT>
+SolveResult BiCgStabSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
+  using S = acc_t<VT>;
+  SolveResult res;
+  res.solver = "bicgstab";
+  const auto n = b.size();
+  std::span<VT> r(r_), rhat(rhat_), p(p_), v(v_), s(s_), t(t_), phat(phat_), shat(shat_);
+
+  const double bnorm = static_cast<double>(blas::nrm2(b));
+  const double bref = bnorm > 0.0 ? bnorm : 1.0;
+  const double target = cfg_.rtol * bref;
+
+  a_->residual(b, std::span<const VT>(x.data(), n), r);
+  blas::copy(std::span<const VT>(r_), rhat);
+  double rnorm = static_cast<double>(blas::nrm2(std::span<const VT>(r_)));
+  if (cfg_.record_history) res.history.push_back(rnorm / bref);
+  if (rnorm <= target) {
+    res.converged = true;
+    return res;
+  }
+
+  S rho{1}, alpha{1}, omega{1};
+  blas::set_zero(p);
+  blas::set_zero(v);
+
+  for (int it = 1; it <= cfg_.max_iters; ++it) {
+    res.iterations = it;
+    const S rho_new = blas::dot(std::span<const VT>(rhat_), std::span<const VT>(r_));
+    if (!std::isfinite(static_cast<double>(rho_new)) || rho_new == S{0}) return res;
+    if (it == 1) {
+      blas::copy(std::span<const VT>(r_), p);
+    } else {
+      const S beta = (rho_new / rho) * (alpha / omega);
+      // p = r + beta (p - omega v)
+      blas::axpy(-omega, std::span<const VT>(v_), p);
+      blas::axpby(S{1}, std::span<const VT>(r_), beta, p);
+    }
+    rho = rho_new;
+
+    m_->apply(std::span<const VT>(p_), phat);
+    a_->apply(std::span<const VT>(phat_), v);
+    const S rhat_v = blas::dot(std::span<const VT>(rhat_), std::span<const VT>(v_));
+    if (!std::isfinite(static_cast<double>(rhat_v)) || rhat_v == S{0}) return res;
+    alpha = rho / rhat_v;
+
+    // s = r - alpha v
+    blas::copy(std::span<const VT>(r_), s);
+    blas::axpy(-alpha, std::span<const VT>(v_), s);
+    const double snorm = static_cast<double>(blas::nrm2(std::span<const VT>(s_)));
+    if (snorm <= target) {
+      blas::axpy(alpha, std::span<const VT>(phat_), x);
+      if (cfg_.record_history) res.history.push_back(snorm / bref);
+      res.converged = true;
+      return res;
+    }
+
+    m_->apply(std::span<const VT>(s_), shat);
+    a_->apply(std::span<const VT>(shat_), t);
+    const S tt = blas::dot(std::span<const VT>(t_), std::span<const VT>(t_));
+    if (!std::isfinite(static_cast<double>(tt)) || tt == S{0}) return res;
+    omega = blas::dot(std::span<const VT>(t_), std::span<const VT>(s_)) / tt;
+
+    blas::axpy(alpha, std::span<const VT>(phat_), x);
+    blas::axpy(omega, std::span<const VT>(shat_), x);
+
+    // r = s - omega t
+    blas::copy(std::span<const VT>(s_), r);
+    blas::axpy(-omega, std::span<const VT>(t_), r);
+
+    rnorm = static_cast<double>(blas::nrm2(std::span<const VT>(r_)));
+    if (cfg_.record_history) res.history.push_back(rnorm / bref);
+    if (!std::isfinite(rnorm)) return res;
+    if (rnorm <= target) {
+      res.converged = true;
+      return res;
+    }
+    if (omega == S{0}) return res;  // stagnation breakdown
+  }
+  return res;
+}
+
+template class BiCgStabSolver<double>;
+template class BiCgStabSolver<float>;
+
+}  // namespace nk

@@ -1,0 +1,63 @@
+#include "krylov/cg.hpp"
+
+#include <cmath>
+
+namespace nk {
+
+template <class VT>
+SolveResult CgSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
+  SolveResult res;
+  res.solver = "cg";
+  const auto n = b.size();
+  std::span<VT> r(r_), z(z_), p(p_), q(q_);
+
+  const double bnorm = static_cast<double>(blas::nrm2(b));
+  const double target = cfg_.rtol * (bnorm > 0.0 ? bnorm : 1.0);
+
+  a_->residual(b, std::span<const VT>(x.data(), n), r);
+  double rnorm = static_cast<double>(blas::nrm2(std::span<const VT>(r_)));
+  if (cfg_.record_history) res.history.push_back(rnorm / (bnorm > 0.0 ? bnorm : 1.0));
+  if (rnorm <= target) {
+    res.converged = true;
+    return res;
+  }
+
+  m_->apply(std::span<const VT>(r_), z);
+  blas::copy(std::span<const VT>(z_), p);
+  auto rz = blas::dot(std::span<const VT>(r_), std::span<const VT>(z_));
+
+  for (int it = 1; it <= cfg_.max_iters; ++it) {
+    a_->apply(std::span<const VT>(p_), q);
+    const auto pq = blas::dot(std::span<const VT>(p_), std::span<const VT>(q_));
+    if (!(std::abs(static_cast<double>(pq)) > 0.0) ||
+        !std::isfinite(static_cast<double>(pq))) {
+      res.iterations = it;
+      return res;  // breakdown (matrix not SPD w.r.t. p)
+    }
+    const auto alpha = rz / pq;
+    blas::axpy(alpha, std::span<const VT>(p_), x);
+    blas::axpy(-alpha, std::span<const VT>(q_), r);
+
+    rnorm = static_cast<double>(blas::nrm2(std::span<const VT>(r_)));
+    if (cfg_.record_history) res.history.push_back(rnorm / (bnorm > 0.0 ? bnorm : 1.0));
+    res.iterations = it;
+    if (!std::isfinite(rnorm)) return res;
+    if (rnorm <= target) {
+      res.converged = true;
+      return res;
+    }
+
+    m_->apply(std::span<const VT>(r_), z);
+    const auto rz_new = blas::dot(std::span<const VT>(r_), std::span<const VT>(z_));
+    const auto beta = rz_new / rz;
+    rz = rz_new;
+    blas::axpby(static_cast<decltype(rz)>(1), std::span<const VT>(z_),
+                static_cast<decltype(rz)>(beta), p);
+  }
+  return res;
+}
+
+template class CgSolver<double>;
+template class CgSolver<float>;
+
+}  // namespace nk

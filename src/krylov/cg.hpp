@@ -1,0 +1,47 @@
+// Preconditioned Conjugate Gradient — the paper's baseline for symmetric
+// positive definite systems ("CG is the de facto standard for SPD").
+//
+// The paper's fp64-CG / fp32-CG / fp16-CG are all fp64 solvers differing
+// only in the storage precision of the preconditioner, which is handled by
+// the PrimaryPrecond handle the caller passes in.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "krylov/history.hpp"
+#include "krylov/operator.hpp"
+#include "precond/preconditioner.hpp"
+
+namespace nk {
+
+template <class VT = double>
+class CgSolver {
+ public:
+  struct Config {
+    double rtol = 1e-8;     ///< on ‖r‖ / ‖b‖ (recurrence residual)
+    int max_iters = 19200;  ///< the paper's iteration cap
+    bool record_history = false;
+  };
+
+  CgSolver(Operator<VT>& a, Preconditioner<VT>& m, Config cfg) : a_(&a), m_(&m), cfg_(cfg) {
+    const std::size_t n = static_cast<std::size_t>(a.size());
+    r_.resize(n);
+    z_.resize(n);
+    p_.resize(n);
+    q_.resize(n);
+  }
+
+  /// Solve A x = b from the given initial guess; returns iteration data.
+  /// (final_relres / seconds / solver name are filled by the caller, which
+  /// owns true-residual evaluation and timing.)
+  SolveResult solve(std::span<const VT> b, std::span<VT> x);
+
+ private:
+  Operator<VT>* a_;
+  Preconditioner<VT>* m_;
+  Config cfg_;
+  std::vector<VT> r_, z_, p_, q_;
+};
+
+}  // namespace nk

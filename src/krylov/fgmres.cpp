@@ -1,0 +1,12 @@
+// Explicit instantiations of FGMRES for the three vector precisions.
+// fp64/fp32 appear at levels 1-3 of F3R; the half instantiation backs the
+// fp16-F2 / fp16-F3 ablation solvers of Section 6.2.
+#include "krylov/fgmres.hpp"
+
+namespace nk {
+
+template class FgmresSolver<double>;
+template class FgmresSolver<float>;
+template class FgmresSolver<half>;
+
+}  // namespace nk

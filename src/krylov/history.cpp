@@ -1,0 +1,26 @@
+#include "krylov/history.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace nk {
+
+std::string summarize(const SolveResult& r) {
+  std::ostringstream os;
+  os << r.solver << ": " << (r.converged ? "converged" : "FAILED") << " in " << r.iterations
+     << " outer its / " << r.precond_invocations << " M-applies, ";
+  os.precision(3);
+  os << r.seconds << " s, relres ";
+  os.precision(2);
+  os << std::scientific << r.final_relres;
+  return os.str();
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += std::log(x);
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace nk

@@ -1,0 +1,32 @@
+// Common solve-result and convergence-history types shared by all solvers
+// and the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nk {
+
+/// Outcome of one complete solve (outer loop including restarts).
+struct SolveResult {
+  std::string solver;                ///< e.g. "fp16-F3R", "fp64-CG"
+  bool converged = false;
+  int iterations = 0;                ///< outermost iterations (incl. restarts)
+  int restarts = 0;
+  std::uint64_t precond_invocations = 0;  ///< Table 3 metric
+  std::uint64_t spmv_count = 0;
+  double seconds = 0.0;
+  double final_relres = 0.0;         ///< true fp64 ‖b−Ax‖/‖b‖ at exit
+  std::vector<double> history;       ///< per-outer-iteration relative residual
+};
+
+/// Pretty one-line summary ("converged in 12 outer its / 768 M-applies,
+/// 0.42 s, relres 6.3e-09").
+std::string summarize(const SolveResult& r);
+
+/// Geometric mean of a set of positive ratios (used in the relative-speedup
+/// summaries that accompany the paper's figures).
+double geomean(const std::vector<double>& xs);
+
+}  // namespace nk

@@ -1,0 +1,82 @@
+// Typed linear-operator interface.
+//
+// A solver at nesting level d sees vectors of type VT; the matrix behind
+// the operator may be stored at a different (lower) precision.  Concrete
+// operators wrap a CSR or sliced-ELLPACK matrix and perform the product in
+// promote_t<matrix precision, VT> — e.g. the paper's level-3 FGMRES does
+// its SpMV in fp32 because A is fp16 and the Arnoldi basis is fp32.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "base/half.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/spmv.hpp"
+
+namespace nk {
+
+template <class VT>
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// y = A x.
+  virtual void apply(std::span<const VT> x, std::span<VT> y) = 0;
+
+  /// r = b - A x (fused).
+  virtual void residual(std::span<const VT> b, std::span<const VT> x, std::span<VT> r) = 0;
+
+  [[nodiscard]] virtual index_t size() const = 0;
+
+  /// Number of operator applications so far (SpMV count; diagnostics).
+  [[nodiscard]] std::uint64_t spmv_count() const { return count_; }
+  void reset_spmv_count() { count_ = 0; }
+
+ protected:
+  std::uint64_t count_ = 0;
+};
+
+/// CSR-backed operator; MT is the storage precision of the matrix values.
+template <class MT, class VT>
+class CsrOperator final : public Operator<VT> {
+ public:
+  explicit CsrOperator(const CsrMatrix<MT>& a) : a_(&a) {}
+
+  void apply(std::span<const VT> x, std::span<VT> y) override {
+    ++this->count_;
+    spmv(*a_, x, y);
+  }
+  void residual(std::span<const VT> b, std::span<const VT> x, std::span<VT> r) override {
+    ++this->count_;
+    nk::residual(*a_, x, b, r);
+  }
+  [[nodiscard]] index_t size() const override { return a_->nrows; }
+
+  [[nodiscard]] const CsrMatrix<MT>& matrix() const { return *a_; }
+
+ private:
+  const CsrMatrix<MT>* a_;
+};
+
+/// Sliced-ELLPACK-backed operator (the paper's GPU storage format).
+template <class MT, class VT>
+class SellOperator final : public Operator<VT> {
+ public:
+  explicit SellOperator(const SellMatrix<MT>& a) : a_(&a) {}
+
+  void apply(std::span<const VT> x, std::span<VT> y) override {
+    ++this->count_;
+    spmv(*a_, x, y);
+  }
+  void residual(std::span<const VT> b, std::span<const VT> x, std::span<VT> r) override {
+    ++this->count_;
+    nk::residual(*a_, x, b, r);
+  }
+  [[nodiscard]] index_t size() const override { return a_->nrows; }
+
+ private:
+  const SellMatrix<MT>* a_;
+};
+
+}  // namespace nk

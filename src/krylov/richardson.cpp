@@ -1,0 +1,11 @@
+// Explicit instantiations of the Richardson solver for the three vector
+// precisions (half is the paper's innermost configuration).
+#include "krylov/richardson.hpp"
+
+namespace nk {
+
+template class RichardsonSolver<double>;
+template class RichardsonSolver<float>;
+template class RichardsonSolver<half>;
+
+}  // namespace nk

@@ -1,0 +1,148 @@
+// Richardson iteration with adaptive weight updating (Algorithm 1).
+//
+// This is the innermost solver of F3R: a stationary iteration
+//
+//     z_k = z_{k-1} + ω_k M (v − A z_{k-1}),    z_0 = 0,
+//
+// run for a fixed, small m (default 2) as the flexible preconditioner of
+// its parent FGMRES.  The weight matters because Richardson's convergence
+// is governed by the spectral radius of I − ωMA (Assumption (ii) of the
+// paper).  The adaptive scheme:
+//
+//   * keeps one weight ω_k per inner iteration index k, initialized to 1;
+//   * every c-th invocation (default 64) computes the locally optimal
+//         ω'_k = (r_{k-1}, AMr_{k-1}) / (AMr_{k-1}, AMr_{k-1}),
+//     uses ω'_k for that step, and folds it into a running average
+//         ω_k ← (l·ω_k + ω'_k)/(l+1),  l = invocation count / c;
+//   * state (ω_k, call counter) persists across invocations because the
+//     optimal weight is a property of M·A, not of the right-hand side.
+//
+// Per the paper, everything runs in the solver's vector precision (fp16 in
+// fp16-F3R) except the ω' computation, which is carried out in fp32: the
+// SpMV A·(Mr) reads the fp16 matrix but accumulates in fp32 via a separate
+// fp32-vector operator, and both reductions accumulate fp32.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/blas1.hpp"
+#include "krylov/operator.hpp"
+#include "precond/preconditioner.hpp"
+
+namespace nk {
+
+template <class VT>
+class RichardsonSolver final : public Preconditioner<VT> {
+ public:
+  struct Config {
+    int m = 2;               ///< iterations per invocation (paper m4)
+    int cycle = 64;          ///< weight-update period c
+    bool adaptive = true;    ///< false → use fixed_weight for every step
+    float fixed_weight = 1.0f;
+  };
+
+  /// `a32` is the fp32-accumulation operator for the ω' computation; when
+  /// null the native operator is used (fp64/fp32 configurations, where the
+  /// native precision is already ≥ fp32).
+  RichardsonSolver(Operator<VT>& a, Preconditioner<VT>& m, Config cfg,
+                   Operator<float>* a32 = nullptr)
+      : a_(&a), m_(&m), a32_(a32), cfg_(cfg) {
+    const std::size_t n = static_cast<std::size_t>(a.size());
+    r_.resize(n);
+    mr_.resize(n);
+    weights_.assign(static_cast<std::size_t>(cfg_.m), 1.0f);
+    if (a32_ != nullptr) {
+      rf_.resize(n);
+      mrf_.resize(n);
+      amrf_.resize(n);
+    }
+  }
+
+  /// One invocation of Algorithm 1: m iterations from z = 0.
+  void apply(std::span<const VT> v, std::span<VT> z) override {
+    ++cntr_;
+    const bool update = cfg_.adaptive && (cntr_ % static_cast<std::uint64_t>(cfg_.cycle) == 0);
+    blas::set_zero(z);
+    for (int k = 0; k < cfg_.m; ++k) {
+      // r_{k-1} = v − A z_{k-1};  r_0 = v without computation.
+      std::span<const VT> r;
+      if (k == 0) {
+        r = v;
+      } else {
+        a_->residual(v, std::span<const VT>(z.data(), z.size()), std::span<VT>(r_));
+        r = std::span<const VT>(r_);
+      }
+      m_->apply(r, std::span<VT>(mr_));  // Mr in the native precision
+
+      float w;
+      if (update) {
+        const float wp = local_optimal_weight(r);
+        // ω_k ← (l·ω_k + ω'_k)/(l+1), and use ω'_k for this step (it
+        // minimizes the residual right now).
+        const auto l = static_cast<float>(cntr_ / static_cast<std::uint64_t>(cfg_.cycle));
+        weights_[k] = (l * weights_[k] + wp) / (l + 1.0f);
+        ++updates_;
+        w = wp;
+      } else {
+        w = cfg_.adaptive ? weights_[k] : cfg_.fixed_weight;
+      }
+      blas::axpy(w, std::span<const VT>(mr_), z);  // z += w · Mr
+    }
+  }
+
+  [[nodiscard]] index_t size() const override { return a_->size(); }
+
+  /// Current per-step weights (tests / diagnostics).
+  [[nodiscard]] const std::vector<float>& weights() const { return weights_; }
+  [[nodiscard]] std::uint64_t invocations() const { return cntr_; }
+  [[nodiscard]] std::uint64_t weight_updates() const { return updates_; }
+
+  /// Reset Algorithm 1 state (new linear system family).
+  void reset_state() {
+    cntr_ = 0;
+    updates_ = 0;
+    std::fill(weights_.begin(), weights_.end(), 1.0f);
+  }
+
+ private:
+  /// ω' = (r, AMr)/(AMr, AMr) computed in fp32.
+  float local_optimal_weight(std::span<const VT> r) {
+    if (a32_ != nullptr) {
+      // fp32 path: convert r and Mr, run the fp32-vector SpMV (fp16 matrix,
+      // fp32 accumulate), reduce in fp32.
+      blas::convert(r, std::span<float>(rf_));
+      blas::convert(std::span<const VT>(mr_), std::span<float>(mrf_));
+      a32_->apply(std::span<const float>(mrf_), std::span<float>(amrf_));
+      const float num = blas::dot(std::span<const float>(rf_), std::span<const float>(amrf_));
+      const float den =
+          blas::dot(std::span<const float>(amrf_), std::span<const float>(amrf_));
+      return den > 0.0f ? num / den : 1.0f;
+    }
+    // Native path (VT is fp32 or fp64): amr reuses the residual buffer.
+    a_->apply(std::span<const VT>(mr_), std::span<VT>(amr_native_workspace()));
+    const auto num = blas::dot(r, std::span<const VT>(amr_native_workspace()));
+    const auto den = blas::dot(std::span<const VT>(amr_native_workspace()),
+                               std::span<const VT>(amr_native_workspace()));
+    return den > 0 ? static_cast<float>(num / den) : 1.0f;
+  }
+
+  std::span<VT> amr_native_workspace() {
+    if (amr_.empty()) amr_.resize(r_.size());
+    return std::span<VT>(amr_);
+  }
+
+  Operator<VT>* a_;
+  Preconditioner<VT>* m_;
+  Operator<float>* a32_;
+  Config cfg_;
+
+  std::vector<VT> r_, mr_, amr_;
+  std::vector<float> rf_, mrf_, amrf_;  // fp32 ω' workspaces
+  std::vector<float> weights_;          // ω_k, persistent across invocations
+  std::uint64_t cntr_ = 0;              // invocation counter (Algorithm 1)
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace nk

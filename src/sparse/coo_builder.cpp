@@ -1,0 +1,47 @@
+#include "sparse/coo_builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace nk {
+
+void CooBuilder::add(index_t i, index_t j, double v) {
+  if (i < 0 || i >= nrows_ || j < 0 || j >= ncols_)
+    throw std::out_of_range("CooBuilder::add: index out of range");
+  is_.push_back(i);
+  js_.push_back(j);
+  vs_.push_back(v);
+}
+
+CsrMatrix<double> CooBuilder::to_csr() const {
+  const std::size_t m = is_.size();
+  std::vector<std::size_t> perm(m);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    if (is_[a] != is_[b]) return is_[a] < is_[b];
+    return js_[a] < js_[b];
+  });
+
+  CsrMatrix<double> out(nrows_, ncols_);
+  out.col_idx.reserve(m);
+  out.vals.reserve(m);
+  index_t prev_i = -1, prev_j = -1;
+  for (std::size_t p = 0; p < m; ++p) {
+    const std::size_t k = perm[p];
+    const index_t i = is_[k], j = js_[k];
+    if (i == prev_i && j == prev_j) {
+      out.vals.back() += vs_[k];  // duplicate: accumulate
+    } else {
+      out.col_idx.push_back(j);
+      out.vals.push_back(vs_[k]);
+      ++out.row_ptr[i + 1];
+      prev_i = i;
+      prev_j = j;
+    }
+  }
+  for (index_t i = 0; i < nrows_; ++i) out.row_ptr[i + 1] += out.row_ptr[i];
+  return out;
+}
+
+}  // namespace nk

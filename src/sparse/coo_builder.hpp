@@ -1,0 +1,38 @@
+// Coordinate-format accumulator for assembling CSR matrices.
+// Duplicate (i, j) entries are summed, matching finite-element assembly and
+// Matrix Market symmetric expansion semantics.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace nk {
+
+class CooBuilder {
+ public:
+  CooBuilder(index_t nrows, index_t ncols) : nrows_(nrows), ncols_(ncols) {}
+
+  /// Append one entry; out-of-range indices throw.
+  void add(index_t i, index_t j, double v);
+
+  /// Append v to (i,j) and (j,i) — symmetric assembly helper.
+  void add_sym(index_t i, index_t j, double v) {
+    add(i, j, v);
+    if (i != j) add(j, i, v);
+  }
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  [[nodiscard]] std::size_t entries() const { return is_.size(); }
+
+  /// Assemble into CSR with sorted rows; duplicates are summed.
+  [[nodiscard]] CsrMatrix<double> to_csr() const;
+
+ private:
+  index_t nrows_, ncols_;
+  std::vector<index_t> is_, js_;
+  std::vector<double> vs_;
+};
+
+}  // namespace nk

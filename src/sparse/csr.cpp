@@ -1,0 +1,26 @@
+// Explicit instantiations of the CSR templates for the three library
+// precisions, keeping duplicate codegen out of every translation unit.
+#include "sparse/csr.hpp"
+
+namespace nk {
+
+template struct CsrMatrix<double>;
+template struct CsrMatrix<float>;
+template struct CsrMatrix<half>;
+
+template CsrMatrix<double> cast_matrix<double, double>(const CsrMatrix<double>&);
+template CsrMatrix<float> cast_matrix<float, double>(const CsrMatrix<double>&);
+template CsrMatrix<half> cast_matrix<half, double>(const CsrMatrix<double>&);
+template CsrMatrix<half> cast_matrix<half, float>(const CsrMatrix<float>&);
+template CsrMatrix<float> cast_matrix<float, half>(const CsrMatrix<half>&);
+template CsrMatrix<double> cast_matrix<double, float>(const CsrMatrix<float>&);
+template CsrMatrix<double> cast_matrix<double, half>(const CsrMatrix<half>&);
+
+template CsrMatrix<double> transpose<double>(const CsrMatrix<double>&);
+template CsrMatrix<float> transpose<float>(const CsrMatrix<float>&);
+template CsrMatrix<half> transpose<half>(const CsrMatrix<half>&);
+
+template bool is_symmetric<double>(const CsrMatrix<double>&, double);
+template bool is_symmetric<float>(const CsrMatrix<float>&, double);
+
+}  // namespace nk

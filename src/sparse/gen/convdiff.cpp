@@ -1,0 +1,46 @@
+#include "sparse/gen/convdiff.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/coo_builder.hpp"
+
+namespace nk::gen {
+
+CsrMatrix<double> convdiff(const ConvDiffOptions& opt) {
+  const index_t nx = opt.nx, ny = opt.ny, nz = opt.nz;
+  if (nx <= 0 || ny <= 0 || nz <= 0) throw std::invalid_argument("convdiff: bad grid");
+  const std::int64_t n64 = static_cast<std::int64_t>(nx) * ny * nz;
+  if (n64 > std::int64_t{1} << 30)
+    throw std::invalid_argument("convdiff: grid too large for 32-bit indices");
+  const index_t n = static_cast<index_t>(n64);
+  const double h = 1.0 / static_cast<double>(nx + 1);  // uniform mesh width
+  const double d = opt.diffusion / (h * h);
+
+  // Upwind: for velocity v >= 0 the flux couples to the upwind (-1)
+  // neighbour; each axis contributes  (2d + |v|/h)  to the diagonal.
+  auto up = [&](double v) { return -d - std::max(v, 0.0) / h; };
+  auto down = [&](double v) { return -d - std::max(-v, 0.0) / h; };
+  auto dia = [&](double v) { return 2.0 * d + std::abs(v) / h; };
+
+  const bool threed = nz > 1;
+  CooBuilder b(n, n);
+  for (index_t z = 0; z < nz; ++z)
+    for (index_t y = 0; y < ny; ++y)
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t row = (z * ny + y) * nx + x;
+        double diag = dia(opt.vx) + dia(opt.vy) + (threed ? dia(opt.vz) : 0.0);
+        b.add(row, row, diag);
+        if (x > 0) b.add(row, row - 1, up(opt.vx));
+        if (x + 1 < nx) b.add(row, row + 1, down(opt.vx));
+        if (y > 0) b.add(row, row - nx, up(opt.vy));
+        if (y + 1 < ny) b.add(row, row + nx, down(opt.vy));
+        if (threed) {
+          if (z > 0) b.add(row, row - nx * ny, up(opt.vz));
+          if (z + 1 < nz) b.add(row, row + nx * ny, down(opt.vz));
+        }
+      }
+  return b.to_csr();
+}
+
+}  // namespace nk::gen

@@ -1,0 +1,28 @@
+// Convection–diffusion model problems (nonsymmetric).
+// Upwind-discretized  -Δu + v·∇u  on structured grids; the velocity
+// magnitude controls non-normality.  These are the stand-in class for the
+// paper's nonsymmetric atmospheric/semiconductor matrices (atmosmod*,
+// Transport, t2em, tmt_unsym).
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace nk::gen {
+
+struct ConvDiffOptions {
+  index_t nx = 32;
+  index_t ny = 32;
+  index_t nz = 1;    ///< nz == 1 gives the 2-D problem
+  double vx = 1.0;   ///< convection velocity along x
+  double vy = 0.5;   ///< along y
+  double vz = 0.25;  ///< along z (ignored in 2-D)
+  double diffusion = 1.0;
+};
+
+/// First-order upwind convection–diffusion matrix.  Row sums of the
+/// off-diagonal magnitudes never exceed the diagonal, so the matrix is an
+/// M-matrix (weakly diagonally dominant) for any velocity — mirroring the
+/// well-behaved but nonsymmetric character of the paper's atmosmod set.
+CsrMatrix<double> convdiff(const ConvDiffOptions& opt);
+
+}  // namespace nk::gen

@@ -1,0 +1,54 @@
+#include "sparse/gen/laplace.hpp"
+
+#include <stdexcept>
+
+#include "sparse/coo_builder.hpp"
+
+namespace nk::gen {
+
+CsrMatrix<double> laplace2d(index_t nx, index_t ny) { return anisotropic2d(nx, ny, 1.0); }
+
+CsrMatrix<double> laplace3d(index_t nx, index_t ny, index_t nz) {
+  return anisotropic3d(nx, ny, nz, 1.0, 1.0, 1.0);
+}
+
+CsrMatrix<double> anisotropic2d(index_t nx, index_t ny, double eps) {
+  if (nx <= 0 || ny <= 0) throw std::invalid_argument("anisotropic2d: bad grid");
+  const index_t n = nx * ny;
+  CooBuilder b(n, n);
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t row = y * nx + x;
+      b.add(row, row, 2.0 * eps + 2.0);
+      if (x > 0) b.add(row, row - 1, -eps);
+      if (x + 1 < nx) b.add(row, row + 1, -eps);
+      if (y > 0) b.add(row, row - nx, -1.0);
+      if (y + 1 < ny) b.add(row, row + nx, -1.0);
+    }
+  return b.to_csr();
+}
+
+CsrMatrix<double> anisotropic3d(index_t nx, index_t ny, index_t nz, double ex, double ey,
+                                double ez) {
+  if (nx <= 0 || ny <= 0 || nz <= 0) throw std::invalid_argument("anisotropic3d: bad grid");
+  const std::int64_t n64 = static_cast<std::int64_t>(nx) * ny * nz;
+  if (n64 > std::int64_t{1} << 30)
+    throw std::invalid_argument("anisotropic3d: grid too large for 32-bit indices");
+  const index_t n = static_cast<index_t>(n64);
+  CooBuilder b(n, n);
+  for (index_t z = 0; z < nz; ++z)
+    for (index_t y = 0; y < ny; ++y)
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t row = (z * ny + y) * nx + x;
+        b.add(row, row, 2.0 * (ex + ey + ez));
+        if (x > 0) b.add(row, row - 1, -ex);
+        if (x + 1 < nx) b.add(row, row + 1, -ex);
+        if (y > 0) b.add(row, row - nx, -ey);
+        if (y + 1 < ny) b.add(row, row + nx, -ey);
+        if (z > 0) b.add(row, row - nx * ny, -ez);
+        if (z + 1 < nz) b.add(row, row + nx * ny, -ez);
+      }
+  return b.to_csr();
+}
+
+}  // namespace nk::gen

@@ -1,0 +1,25 @@
+// Classic Laplacian / anisotropic diffusion model problems.
+// These serve both the test suite (small SPD problems with known behaviour)
+// and the SuiteSparse stand-ins (ecology2, tmt_sym, thermal2, G3_circuit
+// are 2-D/3-D diffusion-type SPD matrices with ~5-7 nnz/row).
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace nk::gen {
+
+/// 2-D 5-point Laplacian on an nx × ny grid (Dirichlet): diag 4, off -1.
+CsrMatrix<double> laplace2d(index_t nx, index_t ny);
+
+/// 3-D 7-point Laplacian on nx × ny × nz (Dirichlet): diag 6, off -1.
+CsrMatrix<double> laplace3d(index_t nx, index_t ny, index_t nz);
+
+/// 2-D anisotropic diffusion: -(eps u_xx + u_yy); five-point, SPD,
+/// conditioning worsens as eps → 0 (thermal-problem character).
+CsrMatrix<double> anisotropic2d(index_t nx, index_t ny, double eps);
+
+/// 3-D anisotropic diffusion with per-axis coefficients.
+CsrMatrix<double> anisotropic3d(index_t nx, index_t ny, index_t nz, double ex, double ey,
+                                double ez);
+
+}  // namespace nk::gen

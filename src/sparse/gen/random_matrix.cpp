@@ -1,0 +1,135 @@
+#include "sparse/gen/random_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "base/rng.hpp"
+#include "sparse/coo_builder.hpp"
+
+namespace nk::gen {
+
+CsrMatrix<double> random_sparse(const RandomOptions& opt) {
+  if (opt.n <= 0) throw std::invalid_argument("random_sparse: n must be positive");
+  Xoshiro256 rng(opt.seed);
+  const index_t n = opt.n;
+
+  // Draw off-diagonal pattern row by row.
+  std::vector<std::set<index_t>> pattern(n);
+  const double p_entry = opt.avg_nnz_per_row;
+  for (index_t i = 0; i < n; ++i) {
+    const int cnt = static_cast<int>(p_entry / (opt.symmetric ? 2.0 : 1.0) + rng.uniform());
+    for (int c = 0; c < cnt; ++c) {
+      index_t j = static_cast<index_t>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+      if (j == i) continue;
+      pattern[i].insert(j);
+      if (opt.symmetric) pattern[j].insert(i);
+    }
+  }
+
+  CooBuilder b(n, n);
+  std::vector<double> rowsum(n, 0.0);
+  // Values: symmetric case draws once per unordered pair.
+  std::map<std::pair<index_t, index_t>, double> symval;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j : pattern[i]) {
+      double v;
+      if (opt.symmetric) {
+        const auto key = std::minmax(i, j);
+        auto it = symval.find({key.first, key.second});
+        if (it == symval.end()) {
+          v = rng.uniform(opt.value_lo, opt.value_hi);
+          symval[{key.first, key.second}] = v;
+        } else {
+          v = it->second;
+        }
+      } else {
+        v = rng.uniform(opt.value_lo, opt.value_hi);
+      }
+      b.add(i, j, v);
+      rowsum[i] += std::abs(v);
+    }
+  }
+  for (index_t i = 0; i < n; ++i) {
+    const double d = opt.dominance * std::max(rowsum[i], 1e-3);
+    b.add(i, i, d);
+  }
+  return b.to_csr();
+}
+
+CsrMatrix<double> random_spd(index_t n, double density, double shift, std::uint64_t seed) {
+  if (n <= 0) throw std::invalid_argument("random_spd: n must be positive");
+  Xoshiro256 rng(seed);
+  // Sparse lower-triangular factor B with unit diagonal.
+  std::vector<std::vector<std::pair<index_t, double>>> bl(n);
+  for (index_t i = 0; i < n; ++i) {
+    bl[i].emplace_back(i, 1.0);
+    for (index_t j = 0; j < i; ++j)
+      if (rng.uniform() < density) bl[i].emplace_back(j, rng.uniform(-0.5, 0.5));
+    std::sort(bl[i].begin(), bl[i].end());
+  }
+  // A = B Bᵀ + shift I, assembled densely per row pair on the B pattern.
+  CooBuilder cb(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      // dot of sparse rows i and j of B
+      double s = 0.0;
+      std::size_t pi = 0, pj = 0;
+      while (pi < bl[i].size() && pj < bl[j].size()) {
+        if (bl[i][pi].first < bl[j][pj].first) ++pi;
+        else if (bl[i][pi].first > bl[j][pj].first) ++pj;
+        else { s += bl[i][pi].second * bl[j][pj].second; ++pi; ++pj; }
+      }
+      if (i == j) {
+        cb.add(i, i, s + shift);
+      } else if (s != 0.0) {
+        cb.add(i, j, s);
+        cb.add(j, i, s);
+      }
+    }
+  }
+  return cb.to_csr();
+}
+
+CsrMatrix<double> random_circuit(index_t n, index_t max_degree, double dominance,
+                                 std::uint64_t seed) {
+  if (n <= 1) throw std::invalid_argument("random_circuit: n must be > 1");
+  Xoshiro256 rng(seed);
+  std::vector<std::set<index_t>> pattern(n);
+  // Preferential attachment: node i connects to ~2 earlier nodes chosen with
+  // probability proportional to an earlier node's current degree + 1.
+  std::vector<index_t> targets;  // multiset encoded as repeated entries
+  targets.reserve(static_cast<std::size_t>(n) * 3);
+  targets.push_back(0);
+  for (index_t i = 1; i < n; ++i) {
+    const int links = 1 + static_cast<int>(rng.uniform_index(2));
+    for (int l = 0; l < links; ++l) {
+      index_t j = targets[rng.uniform_index(targets.size())];
+      if (j == i) j = (i + 1) % n == i ? 0 : static_cast<index_t>((i + 1) % n);
+      if (j != i && static_cast<index_t>(pattern[j].size()) < max_degree) {
+        pattern[i].insert(j);
+        pattern[j].insert(i);
+        targets.push_back(j);
+      }
+    }
+    targets.push_back(i);
+  }
+  CooBuilder b(n, n);
+  std::vector<double> rowsum(n, 0.0);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j : pattern[i])
+      if (j < i) {  // one draw per edge; slight asymmetry in values
+        const double v = rng.uniform(-1.0, -0.01);
+        const double w = v * rng.uniform(0.8, 1.2);
+        b.add(i, j, v);
+        b.add(j, i, w);
+        rowsum[i] += std::abs(v);
+        rowsum[j] += std::abs(w);
+      }
+  for (index_t i = 0; i < n; ++i) b.add(i, i, dominance * std::max(rowsum[i], 0.1));
+  return b.to_csr();
+}
+
+}  // namespace nk::gen

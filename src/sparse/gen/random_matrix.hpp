@@ -1,0 +1,36 @@
+// Random sparse matrix generators for property-based tests and for
+// SuiteSparse stand-ins with irregular sparsity (circuit-type rows).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace nk::gen {
+
+struct RandomOptions {
+  index_t n = 1000;
+  double avg_nnz_per_row = 8.0;  ///< expected off-diagonal count per row
+  double dominance = 1.1;        ///< diag = dominance * (row off-diag abs sum)
+  bool symmetric = false;
+  std::uint64_t seed = 42;
+  double value_lo = -1.0;        ///< off-diagonal value range
+  double value_hi = 1.0;
+};
+
+/// Random sparse matrix with a guaranteed-nonzero, diagonally dominant
+/// diagonal (dominance > 1 makes it an H-matrix, so ILU(0)/AINV exist and
+/// Krylov solvers converge — the controlled setting property tests need).
+CsrMatrix<double> random_sparse(const RandomOptions& opt);
+
+/// Random SPD matrix: builds B random lower-triangular sparse + unit
+/// diagonal scaling, returns  B Bᵀ + shift·I  (small, dense-ish rows; use
+/// n ≤ a few thousand).
+CsrMatrix<double> random_spd(index_t n, double density, double shift, std::uint64_t seed);
+
+/// Power-law row-degree matrix imitating circuit matrices (rajat31,
+/// Freescale1 class): most rows have 2-4 entries, a few hubs are dense.
+CsrMatrix<double> random_circuit(index_t n, index_t max_degree, double dominance,
+                                 std::uint64_t seed);
+
+}  // namespace nk::gen

@@ -1,0 +1,89 @@
+#include "sparse/gen/stencil.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nk::gen {
+
+CsrMatrix<double> stencil27(const StencilOptions& opt) {
+  const index_t nx = opt.nx, ny = opt.ny, nz = opt.nz;
+  if (nx <= 0 || ny <= 0 || nz <= 0) throw std::invalid_argument("stencil27: bad grid size");
+  const std::int64_t n64 = static_cast<std::int64_t>(nx) * ny * nz;
+  if (n64 > std::int64_t{1} << 30) throw std::invalid_argument("stencil27: grid too large for 32-bit indices");
+  const index_t n = static_cast<index_t>(n64);
+
+  CsrMatrix<double> a(n, n);
+  // First pass: count nnz per row (boundary rows have fewer neighbours).
+#pragma omp parallel for schedule(static) collapse(2)
+  for (std::ptrdiff_t z = 0; z < static_cast<std::ptrdiff_t>(nz); ++z)
+    for (std::ptrdiff_t y = 0; y < static_cast<std::ptrdiff_t>(ny); ++y)
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t row = static_cast<index_t>((z * ny + y) * nx + x);
+        index_t cnt = 0;
+        for (int dz = -1; dz <= 1; ++dz)
+          for (int dy = -1; dy <= 1; ++dy)
+            for (int dx = -1; dx <= 1; ++dx) {
+              const std::ptrdiff_t xx = x + dx, yy = y + dy, zz = z + dz;
+              if (xx >= 0 && xx < nx && yy >= 0 && yy < ny && zz >= 0 && zz < nz) ++cnt;
+            }
+        a.row_ptr[row + 1] = cnt;
+      }
+  for (index_t i = 0; i < n; ++i) a.row_ptr[i + 1] += a.row_ptr[i];
+  a.col_idx.resize(a.row_ptr[n]);
+  a.vals.resize(a.row_ptr[n]);
+
+  // Second pass: fill entries in lexicographic (sorted) column order.
+#pragma omp parallel for schedule(static) collapse(2)
+  for (std::ptrdiff_t z = 0; z < static_cast<std::ptrdiff_t>(nz); ++z)
+    for (std::ptrdiff_t y = 0; y < static_cast<std::ptrdiff_t>(ny); ++y)
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t row = static_cast<index_t>((z * ny + y) * nx + x);
+        index_t k = a.row_ptr[row];
+        for (int dz = -1; dz <= 1; ++dz)
+          for (int dy = -1; dy <= 1; ++dy)
+            for (int dx = -1; dx <= 1; ++dx) {
+              const std::ptrdiff_t xx = x + dx, yy = y + dy, zz = z + dz;
+              if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 || zz >= nz) continue;
+              const index_t col = static_cast<index_t>((zz * ny + yy) * nx + xx);
+              double v;
+              if (dx == 0 && dy == 0 && dz == 0) {
+                v = opt.diag;
+              } else if (dz > 0) {
+                v = opt.off + opt.beta;  // forward along z
+              } else if (dz < 0) {
+                v = opt.off - opt.beta;  // backward along z
+              } else {
+                v = opt.off;
+              }
+              a.col_idx[k] = col;
+              a.vals[k] = v;
+              ++k;
+            }
+      }
+  return a;
+}
+
+CsrMatrix<double> hpcg(int lx, int ly, int lz) {
+  StencilOptions opt;
+  opt.nx = index_t{1} << lx;
+  opt.ny = index_t{1} << ly;
+  opt.nz = index_t{1} << lz;
+  return stencil27(opt);
+}
+
+CsrMatrix<double> hpgmp(int lx, int ly, int lz, double beta) {
+  StencilOptions opt;
+  opt.nx = index_t{1} << lx;
+  opt.ny = index_t{1} << ly;
+  opt.nz = index_t{1} << lz;
+  opt.beta = beta;
+  return stencil27(opt);
+}
+
+std::string stencil_name(const char* base, int lx, int ly, int lz) {
+  std::ostringstream os;
+  os << base << "_" << lx << "_" << ly << "_" << lz;
+  return os.str();
+}
+
+}  // namespace nk::gen

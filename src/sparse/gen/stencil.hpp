@@ -1,0 +1,41 @@
+// HPCG / HPGMP stencil generators.
+//
+// HPCG (Dongarra, Heroux, Luszczek 2016): 27-point stencil on an
+// nx × ny × nz grid with diagonal 26 and off-diagonals -1.
+//
+// HPGMP (Yamazaki et al. 2022): the same stencil, except connections to
+// forward (+z) neighbours become -1 + β and backward (-z) neighbours
+// become -1 - β (β = 0.5 in the paper), which makes the matrix
+// nonsymmetric.  The paper names these matrices hpcg_x_y_z / hpgmp_x_y_z
+// where x,y,z are log2 of the per-axis sizes.
+#pragma once
+
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace nk::gen {
+
+struct StencilOptions {
+  index_t nx = 32;
+  index_t ny = 32;
+  index_t nz = 32;
+  double diag = 26.0;
+  double off = -1.0;
+  double beta = 0.0;  ///< HPGMP z-asymmetry; 0 reproduces HPCG
+};
+
+/// Build the 27-point stencil matrix described above (boundary rows simply
+/// omit out-of-range neighbours, as HPCG does).
+CsrMatrix<double> stencil27(const StencilOptions& opt);
+
+/// hpcg_x_y_z with per-axis sizes 2^lx, 2^ly, 2^lz.
+CsrMatrix<double> hpcg(int lx, int ly, int lz);
+
+/// hpgmp_x_y_z (β = 0.5 as in the paper's experiments).
+CsrMatrix<double> hpgmp(int lx, int ly, int lz, double beta = 0.5);
+
+/// Name helper: "hpcg_7_7_7" etc., matching Table 2 naming.
+std::string stencil_name(const char* base, int lx, int ly, int lz);
+
+}  // namespace nk::gen

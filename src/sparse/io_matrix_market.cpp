@@ -1,0 +1,93 @@
+#include "sparse/io_matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sparse/coo_builder.hpp"
+
+namespace nk {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+CsrMatrix<double> read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("mtx: empty stream");
+  std::istringstream head(line);
+  std::string banner, object, format, field, symmetry;
+  head >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") throw std::runtime_error("mtx: missing %%MatrixMarket banner");
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (object != "matrix" || format != "coordinate")
+    throw std::runtime_error("mtx: only coordinate matrices are supported");
+  if (field != "real" && field != "integer" && field != "pattern")
+    throw std::runtime_error("mtx: unsupported field '" + field + "'");
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  if (!symmetric && !skew && symmetry != "general")
+    throw std::runtime_error("mtx: unsupported symmetry '" + symmetry + "'");
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  long long rows = 0, cols = 0, entries = 0;
+  dims >> rows >> cols >> entries;
+  if (rows <= 0 || cols <= 0 || entries < 0) throw std::runtime_error("mtx: bad size line");
+
+  CooBuilder builder(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  long long seen = 0;
+  while (seen < entries && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    long long i = 0, j = 0;
+    double v = 1.0;
+    ls >> i >> j;
+    if (field != "pattern") ls >> v;
+    if (!ls && field != "pattern") throw std::runtime_error("mtx: bad entry line: " + line);
+    const index_t ii = static_cast<index_t>(i - 1), jj = static_cast<index_t>(j - 1);
+    builder.add(ii, jj, v);
+    if ((symmetric || skew) && ii != jj) builder.add(jj, ii, skew ? -v : v);
+    ++seen;
+  }
+  if (seen != entries) throw std::runtime_error("mtx: truncated entry list");
+  return builder.to_csr();
+}
+
+CsrMatrix<double> read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("mtx: cannot open " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix<double>& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by nkrylov\n";
+  out << a.nrows << " " << a.ncols << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (index_t i = 0; i < a.nrows; ++i)
+    for (index_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k)
+      out << (i + 1) << " " << (a.col_idx[k] + 1) << " " << a.vals[k] << "\n";
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix<double>& a) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("mtx: cannot write " + path);
+  write_matrix_market(f, a);
+}
+
+}  // namespace nk

@@ -1,0 +1,30 @@
+// Matrix Market (.mtx) coordinate-format I/O.
+//
+// The paper evaluates on SuiteSparse matrices distributed in this format;
+// the `mm_solve` example and the bench harness accept .mtx files so a user
+// with the real collection can rerun every experiment on the paper's exact
+// inputs.  Supports real/integer/pattern fields and general/symmetric
+// symmetry (symmetric entries are expanded on read).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace nk {
+
+/// Parse an .mtx stream into CSR (rows sorted, duplicates summed).
+/// Throws std::runtime_error on malformed input.
+CsrMatrix<double> read_matrix_market(std::istream& in);
+
+/// Read from a file path; throws std::runtime_error if unreadable.
+CsrMatrix<double> read_matrix_market_file(const std::string& path);
+
+/// Write CSR as a general real coordinate .mtx.
+void write_matrix_market(std::ostream& out, const CsrMatrix<double>& a);
+
+/// Write to a file path; throws std::runtime_error on failure.
+void write_matrix_market_file(const std::string& path, const CsrMatrix<double>& a);
+
+}  // namespace nk

@@ -1,0 +1,42 @@
+#include "sparse/scaling.hpp"
+
+#include <cmath>
+
+namespace nk {
+
+ScalingResult diagonal_scale_symmetric(CsrMatrix<double>& a) {
+  ScalingResult res;
+  res.scale.assign(a.nrows, 1.0);
+  const std::vector<double> d = a.diagonal();
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.nrows); ++i) {
+    const double di = std::abs(d[i]);
+    if (di > 0.0) res.scale[i] = 1.0 / std::sqrt(di);
+  }
+  for (index_t i = 0; i < a.nrows; ++i)
+    if (d[i] == 0.0) res.had_zero_diagonal = true;
+
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.nrows); ++i)
+    for (index_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k)
+      a.vals[k] *= res.scale[i] * res.scale[a.col_idx[k]];
+  return res;
+}
+
+std::vector<double> diagonal_scale_rows(CsrMatrix<double>& a) {
+  std::vector<double> d = a.diagonal();
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.nrows); ++i) {
+    const double di = d[i];
+    if (di != 0.0)
+      for (index_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) a.vals[k] /= di;
+  }
+  return d;
+}
+
+void apply_scale(const std::vector<double>& s, std::vector<double>& x) {
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(x.size()); ++i) x[i] *= s[i];
+}
+
+}  // namespace nk

@@ -1,0 +1,32 @@
+// Diagonal scaling.  The paper applies diagonal scaling to all test
+// matrices before solving; it is essential for fp16 viability because it
+// maps matrix values into a range binary16 can represent (diagonal becomes
+// exactly 1, off-diagonals O(1)).
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace nk {
+
+/// Result of a symmetric diagonal scaling  Ã = D^{-1/2} A D^{-1/2}.
+struct ScalingResult {
+  std::vector<double> scale;      ///< s_i = 1/sqrt(|a_ii|)
+  bool had_zero_diagonal = false; ///< rows with a_ii == 0 are left unscaled
+};
+
+/// Scale A in place symmetrically: a_ij <- s_i a_ij s_j with
+/// s_i = 1/sqrt(|a_ii|).  Returns the scale so right-hand sides and
+/// solutions can be transformed consistently:
+///   solve à x̃ = b̃ with b̃_i = s_i b_i, then x_i = s_i x̃_i.
+ScalingResult diagonal_scale_symmetric(CsrMatrix<double>& a);
+
+/// Row scaling a_ij <- a_ij / a_ii (Jacobi scaling), for experiments that
+/// want unit diagonal without preserving symmetry.
+std::vector<double> diagonal_scale_rows(CsrMatrix<double>& a);
+
+/// Apply elementwise scale to a vector: x_i <- s_i * x_i.
+void apply_scale(const std::vector<double>& s, std::vector<double>& x);
+
+}  // namespace nk

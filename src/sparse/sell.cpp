@@ -1,0 +1,11 @@
+// Explicit instantiations of the sliced-ELLPACK conversion for the three
+// library precisions.
+#include "sparse/sell.hpp"
+
+namespace nk {
+
+template SellMatrix<double> csr_to_sell<double>(const CsrMatrix<double>&, int);
+template SellMatrix<float> csr_to_sell<float>(const CsrMatrix<float>&, int);
+template SellMatrix<half> csr_to_sell<half>(const CsrMatrix<half>&, int);
+
+}  // namespace nk

@@ -1,0 +1,165 @@
+// Sliced ELLPACK (SELL-C) sparse format (Monakov et al., 2010).
+//
+// The paper's GPU experiments store matrices in sliced ELLPACK with a chunk
+// (slice) size of 32.  Rows are grouped into slices of C consecutive rows;
+// each slice is padded to its longest row and stored column-major within
+// the slice so that consecutive lanes read consecutive memory — the GPU
+// coalescing layout.  We reproduce the format faithfully (including padding
+// behaviour) on the CPU substrate; see DESIGN.md §4 for the GPU
+// substitution rationale.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/blas1.hpp"
+#include "sparse/csr.hpp"
+
+namespace nk {
+
+template <class T>
+struct SellMatrix {
+  using value_type = T;
+
+  index_t nrows = 0;
+  index_t ncols = 0;
+  int chunk = 32;                     ///< slice height C (paper: 32)
+  std::vector<index_t> slice_ptr;     ///< per-slice offset into cols/vals (size nslices+1)
+  std::vector<index_t> slice_width;   ///< padded width of each slice
+  std::vector<index_t> cols;          ///< padded, column-major within slice
+  std::vector<T> vals;                ///< padded, column-major within slice
+
+  [[nodiscard]] index_t nslices() const {
+    return static_cast<index_t>((nrows + chunk - 1) / chunk);
+  }
+
+  /// Stored entries including padding.
+  [[nodiscard]] std::size_t padded_nnz() const { return vals.size(); }
+};
+
+/// Convert CSR → SELL-C.  Padding entries carry column 0 and value 0 so the
+/// kernel needs no branch; `pad_ratio` (padded/real nnz) measures overhead.
+template <class T>
+SellMatrix<T> csr_to_sell(const CsrMatrix<T>& a, int chunk = 32) {
+  SellMatrix<T> s;
+  s.nrows = a.nrows;
+  s.ncols = a.ncols;
+  s.chunk = chunk;
+  const index_t ns = s.nslices();
+  s.slice_ptr.assign(ns + 1, 0);
+  s.slice_width.assign(ns, 0);
+  for (index_t sl = 0; sl < ns; ++sl) {
+    index_t w = 0;
+    const index_t r0 = sl * chunk;
+    const index_t r1 = std::min<index_t>(r0 + chunk, a.nrows);
+    for (index_t i = r0; i < r1; ++i)
+      w = std::max(w, a.row_ptr[i + 1] - a.row_ptr[i]);
+    s.slice_width[sl] = w;
+    s.slice_ptr[sl + 1] = s.slice_ptr[sl] + w * chunk;
+  }
+  s.cols.assign(s.slice_ptr[ns], 0);
+  s.vals.assign(s.slice_ptr[ns], static_cast<T>(0));
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t sl = 0; sl < static_cast<std::ptrdiff_t>(ns); ++sl) {
+    const index_t r0 = static_cast<index_t>(sl) * chunk;
+    const index_t r1 = std::min<index_t>(r0 + chunk, a.nrows);
+    const index_t base = s.slice_ptr[sl];
+    for (index_t i = r0; i < r1; ++i) {
+      const index_t lane = i - r0;
+      index_t j = 0;
+      for (index_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k, ++j) {
+        s.cols[base + j * chunk + lane] = a.col_idx[k];
+        s.vals[base + j * chunk + lane] = a.vals[k];
+      }
+      // remaining lanes already zero-padded; point padding at the row's own
+      // first column when available to keep accesses in-range and local
+      for (; j < s.slice_width[sl]; ++j)
+        s.cols[base + j * chunk + lane] =
+            (a.row_ptr[i + 1] > a.row_ptr[i]) ? a.col_idx[a.row_ptr[i]] : 0;
+    }
+  }
+  return s;
+}
+
+/// Padding overhead: padded_nnz / nnz (>= 1).
+template <class T>
+double sell_pad_ratio(const SellMatrix<T>& s, index_t real_nnz) {
+  return real_nnz == 0 ? 1.0
+                       : static_cast<double>(s.padded_nnz()) / static_cast<double>(real_nnz);
+}
+
+namespace sell_detail {
+
+/// Dot of one SELL lane (stride-C elements), accumulating in Acc.  Four
+/// independent partial sums break the scalar-convert dependency chain on
+/// mixed half→float reads (see spmv.hpp's row_dot note).
+template <class MT, class XT, class Acc>
+inline Acc lane_dot(const MT* __restrict vals, const index_t* __restrict cols,
+                    const XT* __restrict x, index_t base, index_t lane, index_t w, int C) {
+  if constexpr (sizeof(MT) == 2 && !std::is_same_v<Acc, MT>) {
+    Acc s0{0}, s1{0}, s2{0}, s3{0};
+    index_t j = 0;
+    for (; j + 4 <= w; j += 4) {
+      const index_t k = base + j * C + lane;
+      s0 += static_cast<Acc>(vals[k]) * static_cast<Acc>(x[cols[k]]);
+      s1 += static_cast<Acc>(vals[k + C]) * static_cast<Acc>(x[cols[k + C]]);
+      s2 += static_cast<Acc>(vals[k + 2 * C]) * static_cast<Acc>(x[cols[k + 2 * C]]);
+      s3 += static_cast<Acc>(vals[k + 3 * C]) * static_cast<Acc>(x[cols[k + 3 * C]]);
+    }
+    for (; j < w; ++j) {
+      const index_t k = base + j * C + lane;
+      s0 += static_cast<Acc>(vals[k]) * static_cast<Acc>(x[cols[k]]);
+    }
+    return (s0 + s1) + (s2 + s3);
+  } else {
+    Acc s{0};
+    for (index_t j = 0; j < w; ++j) {
+      const index_t k = base + j * C + lane;
+      s += static_cast<Acc>(vals[k]) * static_cast<Acc>(x[cols[k]]);
+    }
+    return s;
+  }
+}
+
+}  // namespace sell_detail
+
+/// y = A x over SELL-C.
+template <class MT, class XT, class YT, class Acc = promote_t<MT, XT>>
+void spmv(const SellMatrix<MT>& a, std::span<const XT> x, std::span<YT> y) {
+  const index_t ns = a.nslices();
+  const int C = a.chunk;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t sl = 0; sl < static_cast<std::ptrdiff_t>(ns); ++sl) {
+    const index_t r0 = static_cast<index_t>(sl) * C;
+    const index_t r1 = std::min<index_t>(r0 + C, a.nrows);
+    const index_t base = a.slice_ptr[sl];
+    const index_t w = a.slice_width[sl];
+    for (index_t i = r0; i < r1; ++i) {
+      y[i] = static_cast<YT>(sell_detail::lane_dot<MT, XT, Acc>(
+          a.vals.data(), a.cols.data(), x.data(), base, i - r0, w, C));
+    }
+  }
+}
+
+/// y = b - A x over SELL-C (fused residual, mirrors the CSR variant).
+template <class MT, class XT, class BT, class YT,
+          class Acc = promote_t<promote_t<MT, XT>, BT>>
+void residual(const SellMatrix<MT>& a, std::span<const XT> x, std::span<const BT> b,
+              std::span<YT> y) {
+  const index_t ns = a.nslices();
+  const int C = a.chunk;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t sl = 0; sl < static_cast<std::ptrdiff_t>(ns); ++sl) {
+    const index_t r0 = static_cast<index_t>(sl) * C;
+    const index_t r1 = std::min<index_t>(r0 + C, a.nrows);
+    const index_t base = a.slice_ptr[sl];
+    const index_t w = a.slice_width[sl];
+    for (index_t i = r0; i < r1; ++i) {
+      const Acc s = sell_detail::lane_dot<MT, XT, Acc>(a.vals.data(), a.cols.data(), x.data(),
+                                                       base, i - r0, w, C);
+      y[i] = static_cast<YT>(static_cast<Acc>(b[i]) - s);
+    }
+  }
+}
+
+}  // namespace nk

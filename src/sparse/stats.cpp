@@ -1,0 +1,74 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace nk {
+
+MatrixStats analyze(const CsrMatrix<double>& a) {
+  MatrixStats s;
+  s.n = a.nrows;
+  s.nnz = a.nnz();
+  s.nnz_per_row = a.nnz_per_row();
+  s.min_row_nnz = std::numeric_limits<index_t>::max();
+  s.max_row_nnz = 0;
+  s.has_full_diagonal = true;
+  s.diag_dominance_min = 1e300;
+  s.min_abs_nonzero = std::numeric_limits<double>::max();
+
+  for (index_t i = 0; i < a.nrows; ++i) {
+    const index_t rn = a.row_ptr[i + 1] - a.row_ptr[i];
+    s.min_row_nnz = std::min(s.min_row_nnz, rn);
+    s.max_row_nnz = std::max(s.max_row_nnz, rn);
+    double diag = 0.0, off = 0.0;
+    bool saw_diag = false;
+    for (index_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const double v = a.vals[k];
+      const double av = std::abs(v);
+      if (av > s.max_abs) s.max_abs = av;
+      if (av > 0.0 && av < s.min_abs_nonzero) s.min_abs_nonzero = av;
+      if (av > static_cast<double>(fp_limits<half>::max)) s.fp16_overflow_fraction += 1.0;
+      if (a.col_idx[k] == i) {
+        diag = av;
+        saw_diag = true;
+      } else {
+        off += av;
+      }
+    }
+    if (!saw_diag) s.has_full_diagonal = false;
+    const double dom = off > 0.0 ? diag / off : 1e300;
+    s.diag_dominance_min = std::min(s.diag_dominance_min, dom);
+  }
+  if (s.nnz > 0) s.fp16_overflow_fraction /= static_cast<double>(s.nnz);
+  if (s.min_abs_nonzero == std::numeric_limits<double>::max()) s.min_abs_nonzero = 0.0;
+
+  // Symmetry checks (pattern and values).
+  const CsrMatrix<double> at = transpose(a);
+  CsrMatrix<double> b = a, bt = at;
+  b.sort_rows();
+  bt.sort_rows();
+  s.structurally_symmetric = (b.row_ptr == bt.row_ptr && b.col_idx == bt.col_idx);
+  if (s.structurally_symmetric) {
+    s.numerically_symmetric = true;
+    for (std::size_t k = 0; k < b.vals.size(); ++k) {
+      const double x = b.vals[k], y = bt.vals[k];
+      if (std::abs(x - y) > 1e-12 * std::max({1.0, std::abs(x), std::abs(y)})) {
+        s.numerically_symmetric = false;
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+std::string stats_summary(const MatrixStats& s) {
+  std::ostringstream os;
+  os << "n=" << s.n << " nnz=" << s.nnz << " nnz/n=" << s.nnz_per_row
+     << " sym=" << (s.numerically_symmetric ? "yes" : "no")
+     << " diag_dom_min=" << s.diag_dominance_min << " max|a|=" << s.max_abs;
+  return os.str();
+}
+
+}  // namespace nk

@@ -1,0 +1,32 @@
+// Matrix structure analysis used by Table 2 reporting and test assertions.
+#pragma once
+
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace nk {
+
+struct MatrixStats {
+  index_t n = 0;
+  index_t nnz = 0;
+  double nnz_per_row = 0.0;
+  index_t max_row_nnz = 0;
+  index_t min_row_nnz = 0;
+  bool structurally_symmetric = false;
+  bool numerically_symmetric = false;
+  bool has_full_diagonal = false;   ///< every row stores its diagonal entry
+  double diag_dominance_min = 0.0;  ///< min_i |a_ii| / sum_{j!=i} |a_ij| (inf-safe cap 1e300)
+  double max_abs = 0.0;
+  double min_abs_nonzero = 0.0;
+  double fp16_overflow_fraction = 0.0;  ///< fraction of values outside binary16 range
+};
+
+/// Compute structural and numerical statistics (O(nnz) passes plus one
+/// transpose for the symmetry checks).
+MatrixStats analyze(const CsrMatrix<double>& a);
+
+/// Human-readable one-line summary: "n=... nnz=... nnz/n=... sym=yes ...".
+std::string stats_summary(const MatrixStats& s);
+
+}  // namespace nk

@@ -1,0 +1,150 @@
+// Unit + property tests for the mixed-precision BLAS-1 kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "base/blas1.hpp"
+#include "base/rng.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Blas1, ConvertDoubleToHalfAndBack) {
+  std::vector<double> x = {1.0, -2.5, 0.125, 1000.0, 3.14159};
+  std::vector<half> h(x.size());
+  std::vector<double> y(x.size());
+  blas::convert<double, half>(x, std::span<half>(h));
+  blas::convert<half, double>(h, std::span<double>(y));
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(y[i], x[i], std::abs(x[i]) * fp_limits<half>::eps);
+}
+
+TEST(Blas1, CopyAndSetZero) {
+  std::vector<float> x = {1, 2, 3, 4};
+  std::vector<float> y(4, -1);
+  blas::copy<float>(x, std::span<float>(y));
+  EXPECT_EQ(y, x);
+  blas::set_zero<float>(std::span<float>(y));
+  for (float v : y) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Blas1, ScalInPlace) {
+  std::vector<double> x = {1, -2, 4};
+  blas::scal(0.5, std::span<double>(x));
+  EXPECT_DOUBLE_EQ(x[0], 0.5);
+  EXPECT_DOUBLE_EQ(x[1], -1.0);
+  EXPECT_DOUBLE_EQ(x[2], 2.0);
+}
+
+TEST(Blas1, AxpyMatchesReference) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {10, 20, 30};
+  blas::axpy(2.0, std::span<const double>(x), std::span<double>(y));
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(Blas1, AxpyMixedHalfIntoFloatPromotes) {
+  // y (float) += alpha * x (half): computed in float, so small alpha·x
+  // contributions below half-eps of y still register.
+  std::vector<half> x(4, static_cast<half>(1.0f));
+  std::vector<float> y(4, 1.0f);
+  blas::axpy(1e-4f, std::span<const half>(x), std::span<float>(y));
+  for (float v : y) EXPECT_FLOAT_EQ(v, 1.0001f);
+}
+
+TEST(Blas1, AxpbyMatchesReference) {
+  std::vector<double> x = {1, 2};
+  std::vector<double> y = {3, 4};
+  blas::axpby(2.0, std::span<const double>(x), -1.0, std::span<double>(y));
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(Blas1, SubElementwise) {
+  std::vector<double> x = {5, 6}, y = {1, 8};
+  std::vector<double> z(2);
+  blas::sub(std::span<const double>(x), std::span<const double>(y), std::span<double>(z));
+  EXPECT_DOUBLE_EQ(z[0], 4.0);
+  EXPECT_DOUBLE_EQ(z[1], -2.0);
+}
+
+TEST(Blas1, DotMatchesReference) {
+  std::vector<double> x = {1, 2, 3}, y = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(blas::dot(std::span<const double>(x), std::span<const double>(y)), 32.0);
+}
+
+TEST(Blas1, DotOverHalfAccumulatesInFloat) {
+  // 4096 terms of 0.01 * 1.0: naive fp16 accumulation would saturate at
+  // coarse resolution; fp32 accumulation keeps ~7 digits.
+  const std::size_t n = 4096;
+  std::vector<half> x(n, static_cast<half>(0.01f));
+  std::vector<half> y(n, static_cast<half>(1.0f));
+  const float s = blas::dot(std::span<const half>(x), std::span<const half>(y));
+  const float exact = static_cast<float>(n) * round_to_half(0.01f);
+  EXPECT_NEAR(s, exact, 0.05f);
+  static_assert(std::is_same_v<decltype(blas::dot(std::span<const half>(x),
+                                                  std::span<const half>(y))),
+                               float>);
+}
+
+TEST(Blas1, Nrm2MatchesReference) {
+  std::vector<double> x = {3, 4};
+  EXPECT_DOUBLE_EQ(blas::nrm2(std::span<const double>(x)), 5.0);
+}
+
+TEST(Blas1, NrmInf) {
+  std::vector<double> x = {1, -7, 3};
+  EXPECT_DOUBLE_EQ(blas::nrm_inf(std::span<const double>(x)), 7.0);
+}
+
+TEST(Blas1, CountNonfinite) {
+  std::vector<float> x = {1.0f, INFINITY, -INFINITY, NAN, 2.0f};
+  EXPECT_EQ(blas::count_nonfinite(std::span<const float>(x)), 3u);
+  std::vector<half> h(3, static_cast<half>(1.0f));
+  EXPECT_EQ(blas::count_nonfinite(std::span<const half>(h)), 0u);
+  h[1] = static_cast<half>(1e6f);  // overflows to inf
+  EXPECT_EQ(blas::count_nonfinite(std::span<const half>(h)), 1u);
+}
+
+TEST(Blas1, ConvertedVectorHelper) {
+  std::vector<double> x = {1.5, 2.5};
+  auto f = converted<float>(x);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_FLOAT_EQ(f[0], 1.5f);
+  EXPECT_FLOAT_EQ(f[1], 2.5f);
+}
+
+// Property: for random vectors, kernel results match a long-double
+// reference within type-appropriate bounds, across sizes spanning the
+// OpenMP chunking boundaries.
+class Blas1Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Blas1Property, DotAxpyNrm2AgainstReference) {
+  const int n = GetParam();
+  auto x = random_vector<double>(n, 11, -1.0, 1.0);
+  auto y = random_vector<double>(n, 22, -1.0, 1.0);
+
+  long double dref = 0.0L, nref = 0.0L;
+  for (int i = 0; i < n; ++i) {
+    dref += static_cast<long double>(x[i]) * y[i];
+    nref += static_cast<long double>(x[i]) * x[i];
+  }
+  EXPECT_NEAR(blas::dot(std::span<const double>(x), std::span<const double>(y)),
+              static_cast<double>(dref), 1e-12 * n);
+  EXPECT_NEAR(blas::nrm2(std::span<const double>(x)),
+              std::sqrt(static_cast<double>(nref)), 1e-12 * n);
+
+  std::vector<double> z = y;
+  blas::axpy(0.37, std::span<const double>(x), std::span<double>(z));
+  for (int i = 0; i < n; i += std::max(1, n / 13))
+    EXPECT_NEAR(z[i], y[i] + 0.37 * x[i], 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Blas1Property, ::testing::Values(1, 2, 7, 64, 1000, 4097));
+
+}  // namespace
+}  // namespace nk

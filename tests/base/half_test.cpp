@@ -1,0 +1,131 @@
+// Unit tests for the half-precision scalar type and precision traits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "base/half.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Half, SizeIsTwoBytes) { EXPECT_EQ(sizeof(half), 2u); }
+
+TEST(Half, ExactSmallIntegers) {
+  // binary16 represents integers exactly up to 2048.
+  for (int i = -2048; i <= 2048; i += 77) {
+    EXPECT_EQ(static_cast<float>(static_cast<half>(static_cast<float>(i))),
+              static_cast<float>(i));
+  }
+}
+
+TEST(Half, EpsilonMatchesBinary16) {
+  // eps = 2^-10: 1 + eps is the next representable value after 1.
+  const float eps = fp_limits<half>::eps;
+  EXPECT_EQ(eps, std::ldexp(1.0f, -10));
+  EXPECT_NE(static_cast<float>(static_cast<half>(1.0f + eps)), 1.0f);
+  EXPECT_EQ(static_cast<float>(static_cast<half>(1.0f + eps / 4)), 1.0f);
+}
+
+TEST(Half, MaxFiniteAndOverflow) {
+  EXPECT_EQ(static_cast<float>(static_cast<half>(65504.0f)), 65504.0f);
+  EXPECT_TRUE(std::isinf(static_cast<float>(static_cast<half>(65536.0f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(static_cast<half>(-70000.0f))));
+  EXPECT_TRUE(overflows_half(65505.0f));
+  EXPECT_FALSE(overflows_half(65504.0f));
+  EXPECT_TRUE(overflows_half(-65505.0f));
+}
+
+TEST(Half, SubnormalRange) {
+  // min normal 2^-14; 2^-24 is the smallest subnormal.
+  EXPECT_EQ(fp_limits<half>::min_normal, std::ldexp(1.0f, -14));
+  const float smallest_sub = std::ldexp(1.0f, -24);
+  EXPECT_EQ(static_cast<float>(static_cast<half>(smallest_sub)), smallest_sub);
+  EXPECT_EQ(static_cast<float>(static_cast<half>(smallest_sub / 4)), 0.0f);
+}
+
+TEST(Half, ArithmeticRoundsEachOperation) {
+  // 1 + eps/2 rounds back to 1 in half arithmetic (round-to-nearest-even).
+  const half one{1.0f};
+  const half heps = static_cast<half>(fp_limits<half>::eps / 2.0f);
+  EXPECT_EQ(static_cast<float>(one + heps), 1.0f);
+}
+
+TEST(Half, PromotionToFloatInMixedExpressions) {
+  const half a = static_cast<half>(1.5f);
+  const float b = 0.25f;
+  // half ⊕ float computes in float (usual arithmetic conversions).
+  static_assert(std::is_same_v<decltype(a * b), float>);
+  EXPECT_FLOAT_EQ(a * b, 0.375f);
+}
+
+TEST(Half, RoundToHalfHelper) {
+  EXPECT_EQ(round_to_half(1.0f), 1.0f);
+  // 1.0005 is between 1 and 1+2^-10; rounds to 1.
+  EXPECT_EQ(round_to_half(1.0003f), 1.0f);
+  EXPECT_NEAR(round_to_half(3.14159f), 3.14159f, 3.14159f * fp_limits<half>::eps);
+}
+
+TEST(PrecTraits, PromoteRules) {
+  static_assert(std::is_same_v<promote_t<half, half>, half>);
+  static_assert(std::is_same_v<promote_t<half, float>, float>);
+  static_assert(std::is_same_v<promote_t<float, half>, float>);
+  static_assert(std::is_same_v<promote_t<half, double>, double>);
+  static_assert(std::is_same_v<promote_t<float, double>, double>);
+  static_assert(std::is_same_v<promote_t<double, double>, double>);
+  SUCCEED();
+}
+
+TEST(PrecTraits, AccumulatorRules) {
+  static_assert(std::is_same_v<acc_t<half>, float>);
+  static_assert(std::is_same_v<acc_t<float>, float>);
+  static_assert(std::is_same_v<acc_t<double>, double>);
+  SUCCEED();
+}
+
+TEST(PrecTraits, PrecOfAndNames) {
+  EXPECT_EQ(prec_of<double>(), Prec::FP64);
+  EXPECT_EQ(prec_of<float>(), Prec::FP32);
+  EXPECT_EQ(prec_of<half>(), Prec::FP16);
+  EXPECT_STREQ(prec_name(Prec::FP64), "fp64");
+  EXPECT_STREQ(prec_name(Prec::FP32), "fp32");
+  EXPECT_STREQ(prec_name(Prec::FP16), "fp16");
+}
+
+TEST(PrecTraits, ParsePrec) {
+  EXPECT_EQ(parse_prec("fp64"), Prec::FP64);
+  EXPECT_EQ(parse_prec("double"), Prec::FP64);
+  EXPECT_EQ(parse_prec("fp32"), Prec::FP32);
+  EXPECT_EQ(parse_prec("single"), Prec::FP32);
+  EXPECT_EQ(parse_prec("fp16"), Prec::FP16);
+  EXPECT_EQ(parse_prec("half"), Prec::FP16);
+  EXPECT_THROW(parse_prec("fp8"), std::invalid_argument);
+}
+
+TEST(PrecTraits, Bytes) {
+  EXPECT_EQ(prec_bytes(Prec::FP64), 8u);
+  EXPECT_EQ(prec_bytes(Prec::FP32), 4u);
+  EXPECT_EQ(prec_bytes(Prec::FP16), 2u);
+}
+
+TEST(PrecTraits, UnitRoundoff) {
+  EXPECT_DOUBLE_EQ(unit_roundoff(Prec::FP64), std::ldexp(1.0, -53));
+  EXPECT_DOUBLE_EQ(unit_roundoff(Prec::FP32), std::ldexp(1.0, -24));
+  EXPECT_DOUBLE_EQ(unit_roundoff(Prec::FP16), std::ldexp(1.0, -11));
+}
+
+// Property sweep: half round-trip error is bounded by eps/2 relative.
+class HalfRoundTrip : public ::testing::TestWithParam<float> {};
+
+TEST_P(HalfRoundTrip, RelativeErrorBounded) {
+  const float x = GetParam();
+  const float y = round_to_half(x);
+  EXPECT_LE(std::abs(x - y), std::abs(x) * fp_limits<half>::eps * 0.5f + 1e-30f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, HalfRoundTrip,
+                         ::testing::Values(1.0f, -1.0f, 0.1f, 3.14159f, 1000.5f, 6e4f,
+                                           -1.7e-3f, 2.44e-4f, 0.999f, 123.456f));
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,95 @@
+// Tests for the CLI option parser used by benches and examples.
+#include <gtest/gtest.h>
+
+#include "base/options.hpp"
+
+namespace nk {
+namespace {
+
+Options parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> keep;
+  keep = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : keep) argv.push_back(const_cast<char*>(s.c_str()));
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, KeyEqualsValue) {
+  auto o = parse({"--n=42", "--name=hpcg"});
+  EXPECT_EQ(o.get_int("n", 0), 42);
+  EXPECT_EQ(o.get("name", ""), "hpcg");
+}
+
+TEST(Options, KeySpaceValue) {
+  auto o = parse({"--n", "17"});
+  EXPECT_EQ(o.get_int("n", 0), 17);
+}
+
+TEST(Options, BareFlagIsTrue) {
+  auto o = parse({"--verbose"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_FALSE(o.get_bool("quiet", false));
+}
+
+TEST(Options, Defaults) {
+  auto o = parse({});
+  EXPECT_EQ(o.get_int("missing", -3), -3);
+  EXPECT_DOUBLE_EQ(o.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(o.get("missing", "d"), "d");
+  EXPECT_FALSE(o.has("missing"));
+}
+
+TEST(Options, DoubleParsing) {
+  auto o = parse({"--rtol=1e-8"});
+  EXPECT_DOUBLE_EQ(o.get_double("rtol", 0.0), 1e-8);
+}
+
+TEST(Options, BoolSpellings) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+}
+
+TEST(Options, IntList) {
+  auto o = parse({"--sizes=4,8,16"});
+  EXPECT_EQ(o.get_int_list("sizes", {}), (std::vector<int>{4, 8, 16}));
+  EXPECT_EQ(o.get_int_list("missing", {1, 2}), (std::vector<int>{1, 2}));
+}
+
+TEST(Options, DoubleList) {
+  auto o = parse({"--w=0.7,1.0,1.3"});
+  EXPECT_EQ(o.get_double_list("w", {}), (std::vector<double>{0.7, 1.0, 1.3}));
+}
+
+TEST(Options, StringList) {
+  auto o = parse({"--m=a,b,c"});
+  EXPECT_EQ(o.get_list("m", {}), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Options, Positional) {
+  auto o = parse({"file.mtx", "--n=2", "other"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "file.mtx");
+  EXPECT_EQ(o.positional()[1], "other");
+}
+
+TEST(Options, NegativeNumberIsPositional) {
+  auto o = parse({"-3"});
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "-3");
+}
+
+TEST(Options, HelpRendering) {
+  auto o = parse({"--help"});
+  EXPECT_TRUE(o.wants_help());
+  o.describe("n", "problem size");
+  const std::string h = o.help("prog");
+  EXPECT_NE(h.find("--n"), std::string::npos);
+  EXPECT_NE(h.find("problem size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nk

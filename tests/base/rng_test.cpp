@@ -1,0 +1,93 @@
+// Tests for the deterministic RNG used to generate reproducible workloads.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/half.hpp"
+#include "base/rng.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMixDifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, XoshiroDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Xoshiro256 rng(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Xoshiro256 rng(77);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto k = rng.uniform_index(10);
+    EXPECT_LT(k, 10u);
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit in 1000 draws
+}
+
+TEST(Rng, FillUniformMatchesPaperRhsRange) {
+  // The paper's right-hand sides are uniform in [0, 1).
+  auto v = random_vector<double>(4096, 7);
+  for (double x : v) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, FillUniformHalfStaysInRange) {
+  auto v = random_vector<half>(512, 3, 0.0, 1.0);
+  for (half x : v) {
+    EXPECT_GE(static_cast<float>(x), 0.0f);
+    EXPECT_LE(static_cast<float>(x), 1.0f);  // rounding may hit 1.0 exactly
+  }
+}
+
+TEST(Rng, SameSeedSameVector) {
+  auto a = random_vector<double>(100, 42);
+  auto b = random_vector<double>(100, 42);
+  EXPECT_EQ(a, b);
+  auto c = random_vector<double>(100, 43);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,60 @@
+// Tests for the bench-table renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/table.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Table, ArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, PrintAligned) {
+  Table t({"solver", "t"});
+  t.add_row({"fp16-F3R", "1.0"});
+  t.add_row({"cg", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("solver"), std::string::npos);
+  EXPECT_NE(s.find("fp16-F3R"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // First column is padded to the widest cell ("fp16-F3R", 8 chars): the
+  // header line must contain "solver" followed by at least 2 spaces.
+  EXPECT_NE(s.find("solver    "), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt_int(42), "42");
+  EXPECT_EQ(Table::fmt_sci(0.000123, 2), "1.23e-04");
+}
+
+TEST(Table, WriteCsvFailsGracefully) {
+  Table t({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir/x.csv"));
+}
+
+TEST(Table, Banner) {
+  std::ostringstream os;
+  print_banner(os, "phase 1");
+  EXPECT_EQ(os.str(), "\n=== phase 1 ===\n");
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,142 @@
+// Tests for the memory-access cost model (Equations (1)-(3)) including the
+// paper's worked example.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+
+namespace nk {
+namespace {
+
+TEST(CostModel, AccessConstantMatchesPaperExample) {
+  // "assuming cA = 45 (30 nonzeros per row, with fp64 for values and
+  //  32-bit integers for indices)"
+  EXPECT_DOUBLE_EQ(access_constant(30.0, 8), 45.0);
+  EXPECT_DOUBLE_EQ(access_constant(30.0, 4), 30.0);  // fp32
+  EXPECT_DOUBLE_EQ(access_constant(30.0, 2), 22.5);  // fp16
+}
+
+TEST(CostModel, Equation1Fgmres) {
+  // cA·m + cM·m + 2.5 m².
+  EXPECT_DOUBLE_EQ(cost_fgmres(45.0, 45.0, 8), 45.0 * 8 + 45.0 * 8 + 2.5 * 64);
+  EXPECT_DOUBLE_EQ(cost_fgmres(10.0, 5.0, 1), 17.5);
+}
+
+TEST(CostModel, Equation1Richardson) {
+  // cA(m−1) + cM·m + 4(m−1): zero initial guess saves the first SpMV.
+  EXPECT_DOUBLE_EQ(cost_richardson(45.0, 45.0, 2), 45.0 + 90.0 + 4.0);
+  EXPECT_DOUBLE_EQ(cost_richardson(45.0, 45.0, 1), 45.0);  // one M apply only
+}
+
+TEST(CostModel, Equation2ExpandedFormIdentity) {
+  // Eq (2): O(F^m̄,F^m̿,M) = O(F^m,M) + cA·m̄ + 2.5 m̿²m̄ + 2.5 m̄² − 2.5 m²
+  // when m = m̄·m̿.  Check both forms agree.
+  const double ca = 45.0, cm = 45.0;
+  for (int mo : {2, 4, 8, 16}) {
+    const int mi = 64 / mo;
+    const double direct = cost_nested_ff(ca, cm, mo, mi);
+    const double expanded = cost_fgmres(ca, cm, 64) + ca * mo + 2.5 * mi * mi * mo +
+                            2.5 * mo * mo - 2.5 * 64.0 * 64.0;
+    EXPECT_NEAR(direct, expanded, 1e-9) << "m_outer=" << mo;
+  }
+}
+
+TEST(CostModel, PaperExampleSplittingF64) {
+  // With cA = 45 and m = 64, nesting wins for most m̄, and m̄ = 10 is the
+  // model minimizer (the paper notes 10 is not a divisor of 64).
+  const double ca = 45.0, cm = 45.0;
+  const double flat = cost_fgmres(ca, cm, 64);
+  int best_mo = 0;
+  double best = 1e300;
+  int cheaper_count = 0;
+  for (int mo = 2; mo <= 32; ++mo) {
+    const double mi = 64.0 / mo;  // model fixes m = m̄·m̿ (continuous m̿)
+    const double c = cost_nested_ff(ca, cm, mo, mi);
+    if (c < flat) ++cheaper_count;
+    if (c < best) {
+      best = c;
+      best_mo = mo;
+    }
+  }
+  EXPECT_GT(cheaper_count, 20);  // "for most possible values of m̄"
+  EXPECT_EQ(best_mo, 10);
+}
+
+TEST(CostModel, Equation3RichardsonWinsForSmallM) {
+  // Replacing the inner FGMRES by Richardson reduces accesses for all m̄
+  // when m ≥ 3 (paper, after Eq. (3)).
+  const double ca = 45.0, cm = 45.0;
+  for (int m : {4, 8, 16}) {
+    for (int mo = 2; mo <= m / 2; ++mo) {
+      const double mi = static_cast<double>(m) / mo;
+      EXPECT_LT(cost_nested_fr(ca, cm, mo, mi), cost_nested_ff(ca, cm, mo, mi))
+          << "m=" << m << " mo=" << mo;
+    }
+  }
+}
+
+TEST(CostModel, NestingSmallMIncreasesAccesses) {
+  // For small m, Eq (2) indicates splitting costs MORE (the reason F3R
+  // replaces its would-be fourth FGMRES with Richardson).
+  const double ca = 45.0, cm = 45.0;
+  const double flat8 = cost_fgmres(ca, cm, 8);
+  EXPECT_GT(cost_nested_ff(ca, cm, 4, 2), flat8);
+  EXPECT_GT(cost_nested_ff(ca, cm, 2, 4), flat8);
+}
+
+TEST(CostModel, GenericNestedMatchesSpecializations) {
+  const double ca = 45.0, cm = 45.0;
+  EXPECT_DOUBLE_EQ(cost_nested(ca, cm, {{'F', 8}}), cost_fgmres(ca, cm, 8));
+  EXPECT_DOUBLE_EQ(cost_nested(ca, cm, {{'R', 2}}), cost_richardson(ca, cm, 2));
+  EXPECT_DOUBLE_EQ(cost_nested(ca, cm, {{'F', 8}, {'F', 8}}),
+                   cost_nested_ff(ca, cm, 8, 8));
+  EXPECT_DOUBLE_EQ(cost_nested(ca, cm, {{'F', 4}, {'R', 2}}),
+                   cost_nested_fr(ca, cm, 4, 2));
+  EXPECT_THROW(cost_nested(ca, cm, {}), std::invalid_argument);
+}
+
+TEST(CostModel, F3rConfigurationCheaperThanF64) {
+  // The whole point: (F8, F4, R2, M) costs less per 64 M-applications than
+  // flat F64.
+  const double ca = 45.0, cm = 45.0;
+  const double f3r = cost_nested(ca, cm, {{'F', 8}, {'F', 4}, {'R', 2}});
+  EXPECT_LT(f3r, cost_fgmres(ca, cm, 64));
+}
+
+TEST(CostModel, AdviseSplitLargeM) {
+  // With Richardson disallowed (limit 1) the advisor reproduces the
+  // paper's FGMRES-split example: m̄ = 10 for cA = 45, m = 64.
+  const auto ff_only = advise_split(45.0, 45.0, 64, 1);
+  EXPECT_TRUE(ff_only.split);
+  EXPECT_EQ(ff_only.m_outer, 10);
+  EXPECT_EQ(ff_only.inner_kind, 'F');
+  EXPECT_LT(ff_only.best_cost, ff_only.flat_cost);
+
+  // With Richardson allowed (Assumption (ii) holds below the limit), an
+  // F-over-R split is cheaper still (Eq. (3)).
+  const auto adv = advise_split(45.0, 45.0, 64);
+  EXPECT_TRUE(adv.split);
+  EXPECT_EQ(adv.inner_kind, 'R');
+  EXPECT_LE(adv.m_inner, 5);
+  EXPECT_LT(adv.best_cost, ff_only.best_cost);
+  const std::string s = advice_summary(adv);
+  EXPECT_NE(s.find("split"), std::string::npos);
+}
+
+TEST(CostModel, AdviseSplitTinyMKeepsFlatOrRichardson) {
+  // m = 2: the only candidate splits don't beat flat FGMRES via Eq (2),
+  // but Richardson replacement may still win via Eq (3); either way the
+  // advice must not be more expensive than flat.
+  const auto adv = advise_split(45.0, 45.0, 2);
+  EXPECT_LE(adv.best_cost, adv.flat_cost);
+  const std::string s = advice_summary(adv);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(CostModel, RichardsonLimitRespected) {
+  // With richardson_limit 1 no R-split can be advised.
+  const auto adv = advise_split(45.0, 45.0, 64, 1);
+  EXPECT_EQ(adv.inner_kind, 'F');
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,109 @@
+// Tests that the F3R factory reproduces Table 1 exactly.
+#include <gtest/gtest.h>
+
+#include "core/f3r.hpp"
+
+namespace nk {
+namespace {
+
+TEST(F3rConfig, DefaultParametersMatchPaper) {
+  const F3rParams p;
+  EXPECT_EQ(p.m1, 100);
+  EXPECT_EQ(p.m2, 8);
+  EXPECT_EQ(p.m3, 4);
+  EXPECT_EQ(p.m4, 2);
+  EXPECT_EQ(p.cycle, 64);
+  EXPECT_TRUE(p.adaptive);
+}
+
+TEST(F3rConfig, Fp16MatchesTable1) {
+  const auto cfg = f3r_config(Prec::FP16);
+  ASSERT_EQ(cfg.levels.size(), 4u);
+  EXPECT_EQ(cfg.name, "fp16-F3R");
+
+  // F^m1: A fp64, vectors fp64.
+  EXPECT_EQ(cfg.levels[0].kind, SolverKind::FGMRES);
+  EXPECT_EQ(cfg.levels[0].m, 100);
+  EXPECT_EQ(cfg.levels[0].mat, Prec::FP64);
+  EXPECT_EQ(cfg.levels[0].vec, Prec::FP64);
+
+  // F^m2: A fp32, vectors fp32.
+  EXPECT_EQ(cfg.levels[1].m, 8);
+  EXPECT_EQ(cfg.levels[1].mat, Prec::FP32);
+  EXPECT_EQ(cfg.levels[1].vec, Prec::FP32);
+
+  // F^m3: A fp16, vectors fp32 ("F^m3 performs SpMV in fp32 because A is
+  // stored in fp16 while the input Arnoldi basis is in fp32").
+  EXPECT_EQ(cfg.levels[2].m, 4);
+  EXPECT_EQ(cfg.levels[2].mat, Prec::FP16);
+  EXPECT_EQ(cfg.levels[2].vec, Prec::FP32);
+
+  // R^m4: everything fp16 including M.
+  EXPECT_EQ(cfg.levels[3].kind, SolverKind::Richardson);
+  EXPECT_EQ(cfg.levels[3].m, 2);
+  EXPECT_EQ(cfg.levels[3].mat, Prec::FP16);
+  EXPECT_EQ(cfg.levels[3].vec, Prec::FP16);
+  EXPECT_EQ(cfg.levels[3].cycle, 64);
+  EXPECT_EQ(cfg.precond_storage, Prec::FP16);
+}
+
+TEST(F3rConfig, Fp64AllLevelsDouble) {
+  const auto cfg = f3r_config(Prec::FP64);
+  EXPECT_EQ(cfg.name, "fp64-F3R");
+  for (const auto& lv : cfg.levels) {
+    EXPECT_EQ(lv.mat, Prec::FP64);
+    EXPECT_EQ(lv.vec, Prec::FP64);
+  }
+  EXPECT_EQ(cfg.precond_storage, Prec::FP64);
+}
+
+TEST(F3rConfig, Fp32InnerLevelsSingle) {
+  // "the latter use fp32 for all the inner solvers"
+  const auto cfg = f3r_config(Prec::FP32);
+  EXPECT_EQ(cfg.name, "fp32-F3R");
+  EXPECT_EQ(cfg.levels[0].vec, Prec::FP64);  // outermost stays fp64
+  for (std::size_t d = 1; d < cfg.levels.size(); ++d) {
+    EXPECT_EQ(cfg.levels[d].mat, Prec::FP32);
+    EXPECT_EQ(cfg.levels[d].vec, Prec::FP32);
+  }
+  EXPECT_EQ(cfg.precond_storage, Prec::FP32);
+}
+
+TEST(F3rConfig, CustomParametersPropagate) {
+  F3rParams p;
+  p.m1 = 50;
+  p.m2 = 6;
+  p.m3 = 5;
+  p.m4 = 3;
+  p.cycle = 16;
+  p.adaptive = false;
+  p.fixed_weight = 0.9f;
+  const auto cfg = f3r_config(Prec::FP16, p);
+  EXPECT_EQ(cfg.levels[0].m, 50);
+  EXPECT_EQ(cfg.levels[1].m, 6);
+  EXPECT_EQ(cfg.levels[2].m, 5);
+  EXPECT_EQ(cfg.levels[3].m, 3);
+  EXPECT_EQ(cfg.levels[3].cycle, 16);
+  EXPECT_FALSE(cfg.levels[3].adaptive);
+  EXPECT_FLOAT_EQ(cfg.levels[3].fixed_weight, 0.9f);
+}
+
+TEST(F3rConfig, Names) {
+  EXPECT_EQ(f3r_name(Prec::FP64), "fp64-F3R");
+  EXPECT_EQ(f3r_name(Prec::FP32), "fp32-F3R");
+  EXPECT_EQ(f3r_name(Prec::FP16), "fp16-F3R");
+}
+
+TEST(F3rConfig, TerminationMatchesPaper) {
+  const auto t = f3r_termination();
+  EXPECT_DOUBLE_EQ(t.rtol, 1e-8);
+  EXPECT_EQ(t.max_restarts, 3);  // 300 outermost iterations total
+}
+
+TEST(F3rConfig, ValidatesCleanly) {
+  for (Prec p : {Prec::FP64, Prec::FP32, Prec::FP16})
+    EXPECT_NO_THROW(validate(f3r_config(p)));
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,108 @@
+// Tests for the experiment runner shared by benches and examples.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/runner.hpp"
+#include "sparse/gen/laplace.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Runner, PrepareProblemScalesAndBuildsRhs) {
+  auto p = prepare_problem("t", gen::laplace2d(8, 8), true, 1.2, 1.3, 42);
+  EXPECT_EQ(p.name, "t");
+  EXPECT_TRUE(p.symmetric);
+  EXPECT_DOUBLE_EQ(p.alpha_ilu, 1.2);
+  EXPECT_DOUBLE_EQ(p.alpha_ainv, 1.3);
+  EXPECT_EQ(p.b.size(), static_cast<std::size_t>(p.a->size()));
+  // Diagonal scaling leaves a unit diagonal.
+  for (double d : p.a->csr_fp64().diagonal()) EXPECT_NEAR(d, 1.0, 1e-14);
+  // RHS in [0,1) (the paper's distribution).
+  for (double v : p.b) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Runner, PrepareStandinByName) {
+  auto p = prepare_standin("hpcg_4_4_4", 1);
+  EXPECT_EQ(p.name, "hpcg_4_4_4");
+  EXPECT_TRUE(p.symmetric);
+  EXPECT_EQ(p.a->size(), 4096);
+}
+
+TEST(Runner, MakePrimarySelectsIcForSymmetric) {
+  auto psym = prepare_problem("s", gen::laplace2d(8, 8), true, 1.0, 1.0, 1);
+  EXPECT_EQ(make_primary(psym, PrecondKind::BlockJacobiIluIc)->name(), "bj-ic0");
+  auto pnon = prepare_problem("n", gen::laplace2d(8, 8), false, 1.0, 1.0, 1);
+  EXPECT_EQ(make_primary(pnon, PrecondKind::BlockJacobiIluIc)->name(), "bj-ilu0");
+  EXPECT_EQ(make_primary(psym, PrecondKind::SdAinv)->name(), "sd-ainv");
+  EXPECT_EQ(make_primary(psym, PrecondKind::Jacobi)->name(), "jacobi");
+}
+
+TEST(Runner, CgReportsAccurateMetadata) {
+  auto p = prepare_problem("s", gen::laplace2d(12, 12), true, 1.0, 1.0, 2);
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 2);
+  const auto res = run_cg(p, *m, Prec::FP64);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.solver, "fp64-CG");
+  EXPECT_LT(res.final_relres, 1.5e-8);
+  // CG applies M once before the loop and once per iteration except the
+  // final (converged) one: total equals the iteration count.
+  EXPECT_EQ(res.precond_invocations, static_cast<std::uint64_t>(res.iterations));
+  EXPECT_GT(res.seconds, 0.0);
+}
+
+TEST(Runner, BicgstabNamesFollowStoragePrecision) {
+  auto p = prepare_problem("n", gen::laplace2d(12, 12), false, 1.0, 1.0, 3);
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 2);
+  const auto r16 = run_bicgstab(p, *m, Prec::FP16);
+  EXPECT_EQ(r16.solver, "fp16-BiCGStab");
+  EXPECT_TRUE(r16.converged);
+}
+
+TEST(Runner, FgmresRestartedConverges) {
+  auto p = prepare_problem("s", gen::laplace2d(12, 12), true, 1.0, 1.0, 4);
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 2);
+  const auto res = run_fgmres_restarted(p, *m, Prec::FP32, 16);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.solver, "fp32-FGMRES(16)");
+  EXPECT_EQ(res.precond_invocations, static_cast<std::uint64_t>(res.iterations));
+}
+
+TEST(Runner, FlatCapsRespected) {
+  auto p = prepare_problem("s", gen::laplace2d(16, 16), true, 1.0, 1.0, 5);
+  auto m = make_primary(p, PrecondKind::Jacobi);
+  FlatSolverCaps caps;
+  caps.max_iters = 4;  // far too few
+  const auto res = run_cg(p, *m, Prec::FP64, caps);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 4);
+}
+
+TEST(Runner, AllSolversAgreeOnSolutionQuality) {
+  auto p = prepare_problem("s", gen::laplace2d(12, 12), true, 1.0, 1.0, 6);
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 2);
+  const auto cg = run_cg(p, *m, Prec::FP64);
+  const auto fg = run_fgmres_restarted(p, *m, Prec::FP64, 32);
+  const auto f3r = run_nested(p, m, f3r_config(Prec::FP16));
+  for (const auto* r : {&cg, &fg, &f3r}) {
+    EXPECT_TRUE(r->converged) << r->solver;
+    EXPECT_LT(r->final_relres, 1.5e-8) << r->solver;
+  }
+}
+
+TEST(Runner, F3rBestSearchReturnsConvergedConfig) {
+  auto p = prepare_problem("s", gen::laplace2d(10, 10), true, 1.0, 1.0, 7);
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 2);
+  const auto best = run_f3r_best(p, m, 1e-8, 4);
+  EXPECT_EQ(best.tried, 4);
+  EXPECT_TRUE(best.result.converged);
+  EXPECT_EQ(best.result.solver, "fp16-F3R-best");
+  // Label has the paper's m2-m3-m4 form.
+  EXPECT_EQ(std::count(best.param_label.begin(), best.param_label.end(), '-'), 2);
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,69 @@
+// Tests that the Section 6.2 variants reproduce Table 4 exactly.
+#include <gtest/gtest.h>
+
+#include "core/variants.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Variants, AllNamesBuildAndValidate) {
+  for (const auto& name : variant_names()) {
+    const auto cfg = variant_config(name);
+    EXPECT_EQ(cfg.name, name);
+    EXPECT_NO_THROW(validate(cfg));
+    EXPECT_EQ(cfg.precond_storage, Prec::FP16);  // Table 4: M fp16 everywhere
+  }
+  EXPECT_THROW(variant_config("F9"), std::invalid_argument);
+}
+
+TEST(Variants, F2Structure) {
+  const auto cfg = variant_config("F2");
+  ASSERT_EQ(cfg.levels.size(), 2u);
+  EXPECT_EQ(cfg.levels[0].m, 100);
+  EXPECT_EQ(cfg.levels[1].m, 64);
+  EXPECT_EQ(cfg.levels[1].mat, Prec::FP32);
+  EXPECT_EQ(cfg.levels[1].vec, Prec::FP32);
+}
+
+TEST(Variants, Fp16F2Structure) {
+  const auto cfg = variant_config("fp16-F2");
+  ASSERT_EQ(cfg.levels.size(), 2u);
+  EXPECT_EQ(cfg.levels[1].m, 64);
+  EXPECT_EQ(cfg.levels[1].mat, Prec::FP16);
+  EXPECT_EQ(cfg.levels[1].vec, Prec::FP16);
+}
+
+TEST(Variants, F3Structure) {
+  const auto cfg = variant_config("F3");
+  ASSERT_EQ(cfg.levels.size(), 3u);
+  EXPECT_EQ(cfg.levels[1].m, 8);
+  EXPECT_EQ(cfg.levels[1].mat, Prec::FP32);
+  EXPECT_EQ(cfg.levels[2].m, 8);
+  EXPECT_EQ(cfg.levels[2].mat, Prec::FP16);
+  EXPECT_EQ(cfg.levels[2].vec, Prec::FP32);  // F3 keeps fp32 vectors inside
+}
+
+TEST(Variants, Fp16F3Structure) {
+  const auto cfg = variant_config("fp16-F3");
+  ASSERT_EQ(cfg.levels.size(), 3u);
+  EXPECT_EQ(cfg.levels[2].vec, Prec::FP16);  // the difference from F3
+}
+
+TEST(Variants, F4IsF3rWithFgmresInnermost) {
+  const auto cfg = variant_config("F4");
+  ASSERT_EQ(cfg.levels.size(), 4u);
+  EXPECT_EQ(cfg.levels[1].m, 8);
+  EXPECT_EQ(cfg.levels[2].m, 4);
+  EXPECT_EQ(cfg.levels[3].m, 2);
+  EXPECT_EQ(cfg.levels[3].kind, SolverKind::FGMRES);  // not Richardson
+  EXPECT_EQ(cfg.levels[3].mat, Prec::FP16);
+  EXPECT_EQ(cfg.levels[3].vec, Prec::FP16);
+}
+
+TEST(Variants, NamesInPaperOrder) {
+  EXPECT_EQ(variant_names(),
+            (std::vector<std::string>{"F2", "fp16-F2", "F3", "fp16-F3", "F4"}));
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,81 @@
+// Integration: every solver family must reach the same answer on the same
+// prepared problems, across symmetric/nonsymmetric and CPU/GPU-sim
+// configurations.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/runner.hpp"
+#include "core/variants.hpp"
+
+namespace nk {
+namespace {
+
+// (problem, gpu_sim) — the generated problems stay small (scale of the
+// stand-ins is fixed; we use HPCG/HPGMP at 4_4_4 plus tiny scale-1 classes).
+class SolverAgreement : public ::testing::TestWithParam<std::tuple<std::string, bool>> {};
+
+TEST_P(SolverAgreement, AllFamiliesConvergeTo1em8) {
+  const auto& [name, gpu_sim] = GetParam();
+  auto p = prepare_standin(name, 1, 7, gpu_sim);
+  auto m = make_primary(p, gpu_sim ? PrecondKind::SdAinv : PrecondKind::BlockJacobiIluIc,
+                        gpu_sim ? 0 : 4);
+
+  FlatSolverCaps caps;
+  caps.max_iters = 8000;
+
+  std::vector<SolveResult> results;
+  results.push_back(run_nested(p, m, f3r_config(Prec::FP64)));
+  results.push_back(run_nested(p, m, f3r_config(Prec::FP32)));
+  results.push_back(run_nested(p, m, f3r_config(Prec::FP16)));
+  if (p.symmetric)
+    results.push_back(run_cg(p, *m, Prec::FP64, caps));
+  else
+    results.push_back(run_bicgstab(p, *m, Prec::FP64, caps));
+  results.push_back(run_fgmres_restarted(p, *m, Prec::FP64, 64, caps));
+
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.converged) << name << " " << r.solver;
+    EXPECT_LT(r.final_relres, 1.5e-8) << name << " " << r.solver;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Problems, SolverAgreement,
+    ::testing::Values(std::make_tuple("hpcg_4_4_4", false),
+                      std::make_tuple("hpgmp_4_4_4", false),
+                      std::make_tuple("hpcg_4_4_4", true),
+                      std::make_tuple("hpgmp_4_4_4", true)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + (std::get<1>(info.param) ? "_gpusim" : "_cpu");
+    });
+
+TEST(SolverAgreementExtra, Table4VariantsSolveHpcg) {
+  auto p = prepare_standin("hpcg_4_4_4", 1);
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 4);
+  for (const auto& name : variant_names()) {
+    const auto res = run_nested(p, m, variant_config(name), f3r_termination(1e-8));
+    EXPECT_TRUE(res.converged) << name;
+    EXPECT_LT(res.final_relres, 1e-8) << name;
+  }
+}
+
+TEST(SolverAgreementExtra, PrecondStoragePrecisionSweepCg) {
+  // fp64/fp32/fp16-CG all converge with nearly identical iteration counts
+  // on a well-scaled SPD problem (the paper's Figure 1 observation).
+  auto p = prepare_standin("hpcg_4_4_4", 1);
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 4);
+  const auto r64 = run_cg(p, *m, Prec::FP64);
+  const auto r32 = run_cg(p, *m, Prec::FP32);
+  const auto r16 = run_cg(p, *m, Prec::FP16);
+  EXPECT_TRUE(r64.converged);
+  EXPECT_TRUE(r32.converged);
+  EXPECT_TRUE(r16.converged);
+  EXPECT_LE(std::abs(r32.iterations - r64.iterations), 2);
+  EXPECT_LE(std::abs(r16.iterations - r64.iterations),
+            std::max(2, r64.iterations / 4));
+}
+
+}  // namespace
+}  // namespace nk

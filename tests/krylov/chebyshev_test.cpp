@@ -1,0 +1,99 @@
+// Tests for the preconditioned Chebyshev inner solver and the power
+// iteration eigenvalue estimator.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "krylov/chebyshev.hpp"
+#include "precond/jacobi.hpp"
+#include "sparse/gen/laplace.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/spmv.hpp"
+
+namespace nk {
+namespace {
+
+TEST(PowerIteration, EstimatesDominantEigenvalueOfDiagonal) {
+  CsrMatrix<double> a(4, 4);
+  a.row_ptr = {0, 1, 2, 3, 4};
+  a.col_idx = {0, 1, 2, 3};
+  a.vals = {1.0, 2.0, 3.0, 7.0};
+  CsrOperator<double, double> op(a);
+  IdentityPrecond<double> ident(4);
+  const double lmax = estimate_lambda_max(op, ident, 60);
+  EXPECT_NEAR(lmax, 7.0, 0.05);
+}
+
+TEST(PowerIteration, ScaledLaplacianSpectrumBounded) {
+  // Diagonally scaled Laplacian has eigenvalues in (0, 2).
+  auto a = gen::laplace2d(16, 16);
+  diagonal_scale_symmetric(a);
+  CsrOperator<double, double> op(a);
+  IdentityPrecond<double> ident(a.nrows);
+  const double lmax = estimate_lambda_max(op, ident, 40);
+  EXPECT_GT(lmax, 1.0);
+  EXPECT_LT(lmax, 2.01);
+}
+
+TEST(Chebyshev, ReducesResidualEachInvocation) {
+  auto a = gen::laplace2d(12, 12);
+  diagonal_scale_symmetric(a);
+  CsrOperator<double, double> op(a);
+  JacobiPrecond jac(a);
+  auto m = jac.make_apply_fp64(Prec::FP64);
+  ChebyshevSolver<double> cheb(op, *m, {.m = 6});
+  const auto v = random_vector<double>(a.nrows, 1, 0.0, 1.0);
+  std::vector<double> z(a.nrows), r(a.nrows);
+  cheb.apply(std::span<const double>(v), std::span<double>(z));
+  residual(a, std::span<const double>(z), std::span<const double>(v), std::span<double>(r));
+  EXPECT_LT(blas::nrm2(std::span<const double>(r)),
+            0.7 * blas::nrm2(std::span<const double>(v)));
+}
+
+TEST(Chebyshev, MoreIterationsReduceMore) {
+  auto a = gen::laplace2d(12, 12);
+  diagonal_scale_symmetric(a);
+  CsrOperator<double, double> op(a);
+  IdentityPrecond<double> ident(a.nrows);
+  const auto v = random_vector<double>(a.nrows, 2, 0.0, 1.0);
+  double prev = 1e300;
+  for (int m : {2, 4, 8, 16}) {
+    ChebyshevSolver<double> cheb(op, ident, {.m = m, .eig_ratio = 50.0});
+    std::vector<double> z(a.nrows), r(a.nrows);
+    cheb.apply(std::span<const double>(v), std::span<double>(z));
+    residual(a, std::span<const double>(z), std::span<const double>(v), std::span<double>(r));
+    const double rn = blas::nrm2(std::span<const double>(r));
+    EXPECT_LT(rn, prev) << "m=" << m;
+    prev = rn;
+  }
+}
+
+TEST(Chebyshev, EllipseParametersFromConfig) {
+  auto a = gen::laplace2d(6, 6);
+  CsrOperator<double, double> op(a);
+  IdentityPrecond<double> ident(a.nrows);
+  ChebyshevSolver<double> cheb(op, ident, {.m = 2, .lambda_max = 10.0, .eig_ratio = 10.0,
+                                           .safety = 1.0});
+  EXPECT_NEAR(cheb.theta(), 0.5 * (10.0 + 1.0), 1e-12);
+  EXPECT_NEAR(cheb.delta(), 0.5 * (10.0 - 1.0), 1e-12);
+}
+
+TEST(Chebyshev, WorksOnFloatVectorsOverCastMatrix) {
+  // The mixed-precision configuration a nested level would use: fp32
+  // vectors over an fp32 copy of the matrix.
+  auto a = gen::laplace2d(12, 12);
+  diagonal_scale_symmetric(a);
+  auto a32 = cast_matrix<float>(a);
+  CsrOperator<float, float> op32(a32);
+  JacobiPrecond jac(a);
+  auto m32 = jac.make_apply_fp32(Prec::FP32);
+  ChebyshevSolver<float> cheb(op32, *m32, {.m = 4});
+  const auto vd = random_vector<double>(a.nrows, 3, 0.0, 1.0);
+  const auto v = converted<float>(vd);
+  std::vector<float> z(v.size()), r(v.size());
+  cheb.apply(std::span<const float>(v), std::span<float>(z));
+  residual(a32, std::span<const float>(z), std::span<const float>(v), std::span<float>(r));
+  EXPECT_LT(blas::nrm2(std::span<const float>(r)), blas::nrm2(std::span<const float>(v)));
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,202 @@
+// Tests for Richardson with adaptive weight updating (Algorithm 1).
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "krylov/richardson.hpp"
+#include "precond/jacobi.hpp"
+#include "sparse/gen/laplace.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/spmv.hpp"
+
+namespace nk {
+namespace {
+
+struct Fixture {
+  CsrMatrix<double> a;
+  std::unique_ptr<CsrOperator<double, double>> op;
+  std::unique_ptr<JacobiPrecond> jac;
+  std::unique_ptr<Preconditioner<double>> m;
+
+  explicit Fixture(index_t nx = 10) {
+    a = gen::laplace2d(nx, nx);
+    diagonal_scale_symmetric(a);
+    op = std::make_unique<CsrOperator<double, double>>(a);
+    jac = std::make_unique<JacobiPrecond>(a);
+    m = jac->make_apply_fp64(Prec::FP64);
+  }
+};
+
+TEST(Richardson, WeightsInitializeToOne) {
+  Fixture f;
+  RichardsonSolver<double> r(*f.op, *f.m, {.m = 3, .cycle = 64});
+  ASSERT_EQ(r.weights().size(), 3u);
+  for (float w : r.weights()) EXPECT_FLOAT_EQ(w, 1.0f);
+  EXPECT_EQ(r.invocations(), 0u);
+}
+
+TEST(Richardson, TwoIterationsReduceResidual) {
+  Fixture f;
+  RichardsonSolver<double> r(*f.op, *f.m, {.m = 2, .cycle = 64});
+  const auto v = random_vector<double>(f.a.nrows, 1, 0.0, 1.0);
+  std::vector<double> z(f.a.nrows);
+  r.apply(std::span<const double>(v), std::span<double>(z));
+  std::vector<double> res(f.a.nrows);
+  residual(f.a, std::span<const double>(z), std::span<const double>(v), std::span<double>(res));
+  EXPECT_LT(blas::nrm2(std::span<const double>(res)), blas::nrm2(std::span<const double>(v)));
+}
+
+TEST(Richardson, UpdateHappensExactlyEveryCycleCalls) {
+  Fixture f;
+  const int c = 4;
+  RichardsonSolver<double> r(*f.op, *f.m, {.m = 2, .cycle = c});
+  const auto v = random_vector<double>(f.a.nrows, 2, 0.0, 1.0);
+  std::vector<double> z(f.a.nrows);
+  for (int call = 1; call <= 2 * c; ++call) {
+    r.apply(std::span<const double>(v), std::span<double>(z));
+    EXPECT_EQ(r.weight_updates(), static_cast<std::uint64_t>(call / c) * 2)
+        << "after call " << call;  // 2 iterations per call → 2 ω'-updates
+  }
+  // Weights moved away from 1 after the first update.
+  for (float w : r.weights()) EXPECT_NE(w, 1.0f);
+}
+
+TEST(Richardson, CumulativeAverageFormula) {
+  // With cycle 1 every call updates: after the first update
+  // ω = (1·1 + ω′)/2; verify against a manually computed ω′.
+  Fixture f;
+  RichardsonSolver<double> r(*f.op, *f.m, {.m = 1, .cycle = 1});
+  const auto v = random_vector<double>(f.a.nrows, 3, 0.0, 1.0);
+
+  // Manual ω′ for the first step: (v, AMv)/(AMv, AMv).
+  std::vector<double> mv(f.a.nrows), amv(f.a.nrows);
+  f.m->apply(std::span<const double>(v), std::span<double>(mv));
+  spmv(f.a, std::span<const double>(mv), std::span<double>(amv));
+  const double num = blas::dot(std::span<const double>(v), std::span<const double>(amv));
+  const double den = blas::dot(std::span<const double>(amv), std::span<const double>(amv));
+  const float wp = static_cast<float>(num / den);
+
+  std::vector<double> z(f.a.nrows);
+  r.apply(std::span<const double>(v), std::span<double>(z));
+  // l = cntr/c = 1 → ω = (1·ω₀ + ω′)/2 with ω₀ = 1.
+  EXPECT_NEAR(r.weights()[0], (1.0f + wp) / 2.0f, 1e-4f);
+}
+
+TEST(Richardson, LocallyOptimalWeightMinimizesResidual) {
+  // On the update step the solver uses ω′ itself; the resulting residual
+  // must be no larger than with any fixed ω we try.
+  Fixture f;
+  const auto v = random_vector<double>(f.a.nrows, 4, 0.0, 1.0);
+
+  RichardsonSolver<double> adaptive(*f.op, *f.m, {.m = 1, .cycle = 1});
+  std::vector<double> za(f.a.nrows);
+  adaptive.apply(std::span<const double>(v), std::span<double>(za));
+  std::vector<double> ra(f.a.nrows);
+  residual(f.a, std::span<const double>(za), std::span<const double>(v), std::span<double>(ra));
+  const double best = blas::nrm2(std::span<const double>(ra));
+
+  for (float w : {0.5f, 0.8f, 1.0f, 1.2f}) {
+    RichardsonSolver<double> fixed(*f.op, *f.m,
+                                   {.m = 1, .cycle = 64, .adaptive = false, .fixed_weight = w});
+    std::vector<double> zf(f.a.nrows);
+    fixed.apply(std::span<const double>(v), std::span<double>(zf));
+    std::vector<double> rf(f.a.nrows);
+    residual(f.a, std::span<const double>(zf), std::span<const double>(v),
+             std::span<double>(rf));
+    EXPECT_LE(best, blas::nrm2(std::span<const double>(rf)) * (1.0 + 1e-5));
+  }
+}
+
+TEST(Richardson, FixedWeightModeUsesExactlyThatWeight) {
+  Fixture f;
+  const float w = 0.7f;
+  RichardsonSolver<double> r(*f.op, *f.m,
+                             {.m = 1, .cycle = 64, .adaptive = false, .fixed_weight = w});
+  const auto v = random_vector<double>(f.a.nrows, 5, 0.0, 1.0);
+  std::vector<double> z(f.a.nrows), mv(f.a.nrows);
+  r.apply(std::span<const double>(v), std::span<double>(z));
+  f.m->apply(std::span<const double>(v), std::span<double>(mv));
+  for (index_t i = 0; i < f.a.nrows; ++i) EXPECT_NEAR(z[i], w * mv[i], 1e-12);
+}
+
+TEST(Richardson, ResetStateRestoresInitialWeights) {
+  Fixture f;
+  RichardsonSolver<double> r(*f.op, *f.m, {.m = 2, .cycle = 1});
+  const auto v = random_vector<double>(f.a.nrows, 6, 0.0, 1.0);
+  std::vector<double> z(f.a.nrows);
+  r.apply(std::span<const double>(v), std::span<double>(z));
+  EXPECT_NE(r.weights()[0], 1.0f);
+  r.reset_state();
+  EXPECT_FLOAT_EQ(r.weights()[0], 1.0f);
+  EXPECT_EQ(r.invocations(), 0u);
+  EXPECT_EQ(r.weight_updates(), 0u);
+}
+
+TEST(Richardson, StatePersistsAcrossInvocations) {
+  // Algorithm 1's cntr and ω are global across calls: two solvers fed the
+  // same sequence have identical weights, and the weights depend on all
+  // previous calls (not just the last).
+  Fixture f;
+  RichardsonSolver<double> r1(*f.op, *f.m, {.m = 2, .cycle = 2});
+  RichardsonSolver<double> r2(*f.op, *f.m, {.m = 2, .cycle = 2});
+  std::vector<double> z(f.a.nrows);
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    const auto v = random_vector<double>(f.a.nrows, s, 0.0, 1.0);
+    r1.apply(std::span<const double>(v), std::span<double>(z));
+    r2.apply(std::span<const double>(v), std::span<double>(z));
+  }
+  ASSERT_EQ(r1.weights().size(), r2.weights().size());
+  for (std::size_t k = 0; k < r1.weights().size(); ++k)
+    EXPECT_FLOAT_EQ(r1.weights()[k], r2.weights()[k]);
+  EXPECT_EQ(r1.invocations(), 6u);
+}
+
+TEST(Richardson, Fp16PathWithSeparateFp32Operator) {
+  // The fp16-F3R innermost configuration: fp16 matrix + vectors, fp32 ω'.
+  auto a = gen::laplace2d(12, 12);
+  diagonal_scale_symmetric(a);
+  const auto a16 = cast_matrix<half>(a);
+  CsrOperator<half, half> op16(a16);
+  CsrOperator<half, float> op32(a16);
+  JacobiPrecond jac(a);
+  auto m16 = jac.make_apply_fp16(Prec::FP16);
+
+  RichardsonSolver<half> r(op16, *m16, {.m = 2, .cycle = 1}, &op32);
+  const auto vd = random_vector<double>(a.nrows, 8, 0.0, 1.0);
+  const auto v = converted<half>(vd);
+  std::vector<half> z(a.nrows);
+  r.apply(std::span<const half>(v), std::span<half>(z));
+  EXPECT_EQ(blas::count_nonfinite(std::span<const half>(z)), 0u);
+  EXPECT_GT(r.weight_updates(), 0u);
+  // The adapted weight should be positive and O(1) for this SPD problem.
+  EXPECT_GT(r.weights()[0], 0.1f);
+  EXPECT_LT(r.weights()[0], 3.0f);
+
+  // And the iteration reduces the residual measured in fp64.
+  std::vector<double> zd(a.nrows), res(a.nrows);
+  blas::convert(std::span<const half>(z), std::span<double>(zd));
+  residual(a, std::span<const double>(zd), std::span<const double>(vd), std::span<double>(res));
+  EXPECT_LT(blas::nrm2(std::span<const double>(res)),
+            blas::nrm2(std::span<const double>(vd)));
+}
+
+TEST(Richardson, MatchesManualRecurrenceNonUpdateStep) {
+  // On non-update calls, z after m=2 steps must equal the hand-rolled
+  // recurrence with ω = 1.
+  Fixture f;
+  RichardsonSolver<double> r(*f.op, *f.m, {.m = 2, .cycle = 1000});
+  const auto v = random_vector<double>(f.a.nrows, 9, 0.0, 1.0);
+  std::vector<double> z(f.a.nrows);
+  r.apply(std::span<const double>(v), std::span<double>(z));
+
+  const index_t n = f.a.nrows;
+  std::vector<double> zi(n, 0.0), mr(n), rr(n);
+  f.m->apply(std::span<const double>(v), std::span<double>(mr));
+  for (index_t i = 0; i < n; ++i) zi[i] += mr[i];  // step 1, r0 = v
+  residual(f.a, std::span<const double>(zi), std::span<const double>(v), std::span<double>(rr));
+  f.m->apply(std::span<const double>(rr), std::span<double>(mr));
+  for (index_t i = 0; i < n; ++i) zi[i] += mr[i];  // step 2
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(z[i], zi[i], 1e-13);
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,70 @@
+// Tests for the Jacobi (diagonal) preconditioner.
+#include <gtest/gtest.h>
+
+#include "precond/jacobi.hpp"
+#include "sparse/gen/laplace.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Jacobi, ApplyDividesByDiagonal) {
+  CsrMatrix<double> a(3, 3);
+  a.row_ptr = {0, 2, 3, 4};
+  a.col_idx = {0, 1, 1, 2};
+  a.vals = {2.0, 5.0, 4.0, -0.5};
+  JacobiPrecond m(a);
+  auto h = m.make_apply_fp64(Prec::FP64);
+  std::vector<double> r = {2.0, 8.0, 1.0}, z(3);
+  h->apply(std::span<const double>(r), std::span<double>(z));
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+  EXPECT_DOUBLE_EQ(z[1], 2.0);
+  EXPECT_DOUBLE_EQ(z[2], -2.0);
+}
+
+TEST(Jacobi, ZeroDiagonalFallsBackToIdentity) {
+  CsrMatrix<double> a(2, 2);
+  a.row_ptr = {0, 1, 1};  // row 1 has no entries
+  a.col_idx = {1};
+  a.vals = {3.0};  // row 0 stores only the off-diagonal
+  JacobiPrecond m(a);
+  auto h = m.make_apply_fp64(Prec::FP64);
+  std::vector<double> r = {7.0, 9.0}, z(2);
+  h->apply(std::span<const double>(r), std::span<double>(z));
+  EXPECT_DOUBLE_EQ(z[0], 7.0);
+  EXPECT_DOUBLE_EQ(z[1], 9.0);
+}
+
+TEST(Jacobi, StoragePrecisionRounding) {
+  CsrMatrix<double> a(1, 1);
+  a.row_ptr = {0, 1};
+  a.col_idx = {0};
+  a.vals = {3.0};
+  JacobiPrecond m(a);
+  auto h16 = m.make_apply_fp64(Prec::FP16);
+  std::vector<double> r = {1.0}, z(1);
+  h16->apply(std::span<const double>(r), std::span<double>(z));
+  EXPECT_NEAR(z[0], 1.0 / 3.0, (1.0 / 3.0) * 1e-3);
+  EXPECT_NE(z[0], 1.0 / 3.0);  // fp16 storage rounds 1/3
+}
+
+TEST(Jacobi, HalfVectorApply) {
+  const auto a = gen::laplace2d(4, 4);
+  JacobiPrecond m(a);
+  auto h = m.make_apply_fp16(Prec::FP16);
+  std::vector<half> r(a.nrows, static_cast<half>(2.0f)), z(a.nrows);
+  h->apply(std::span<const half>(r), std::span<half>(z));
+  for (half v : z) EXPECT_NEAR(static_cast<float>(v), 0.5f, 1e-3f);
+}
+
+TEST(Jacobi, CountsInvocations) {
+  const auto a = gen::laplace2d(3, 3);
+  JacobiPrecond m(a);
+  auto h = m.make_apply_fp32(Prec::FP32);
+  std::vector<float> r(a.nrows, 1.0f), z(a.nrows);
+  for (int i = 0; i < 4; ++i) h->apply(std::span<const float>(r), std::span<float>(z));
+  EXPECT_EQ(m.invocations(), 4u);
+  EXPECT_EQ(m.name(), "jacobi");
+}
+
+}  // namespace
+}  // namespace nk

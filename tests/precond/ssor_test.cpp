@@ -1,0 +1,119 @@
+// Tests for the block-Jacobi SSOR preconditioner.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "krylov/cg.hpp"
+#include "precond/ssor.hpp"
+#include "sparse/gen/laplace.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/spmv.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Ssor, DiagonalMatrixClosedForm) {
+  // For diagonal A, M_SSOR = ω/(2−ω)·(D/ω)D⁻¹(D/ω) = D/(ω(2−ω)), so
+  // M⁻¹ r = ω(2−ω)·D⁻¹ r; exactly D⁻¹ only at ω = 1.
+  CsrMatrix<double> a(3, 3);
+  a.row_ptr = {0, 1, 2, 3};
+  a.col_idx = {0, 1, 2};
+  a.vals = {2.0, 4.0, 8.0};
+  for (double om : {0.5, 1.0, 1.5}) {
+    SsorPrecond m(a, {.nblocks = 1, .omega = om});
+    auto h = m.make_apply_fp64(Prec::FP64);
+    std::vector<double> r = {2.0, 4.0, 8.0}, z(3);
+    h->apply(std::span<const double>(r), std::span<double>(z));
+    const double factor = om * (2.0 - om);
+    EXPECT_NEAR(z[0], factor, 1e-14) << "omega=" << om;
+    EXPECT_NEAR(z[1], factor, 1e-14);
+    EXPECT_NEAR(z[2], factor, 1e-14);
+  }
+}
+
+TEST(Ssor, MatchesManualSweepOnSmallSystem) {
+  // Hand-computed SSOR (ω = 1, symmetric Gauss-Seidel) on a 2×2 system:
+  // forward (D+L)y = r, scale y ← D y, backward (D+U)z = y.
+  CsrMatrix<double> a(2, 2);
+  a.row_ptr = {0, 2, 4};
+  a.col_idx = {0, 1, 0, 1};
+  a.vals = {4.0, 1.0, 1.0, 4.0};
+  SsorPrecond m(a, {.nblocks = 1, .omega = 1.0});
+  auto h = m.make_apply_fp64(Prec::FP64);
+  std::vector<double> r = {8.0, 9.0}, z(2);
+  h->apply(std::span<const double>(r), std::span<double>(z));
+  // y0 = 8/4 = 2; y1 = (9 − 1·2)/4 = 1.75; scale: (8, 7);
+  // back: z1 = 7/4 = 1.75; z0 = (8 − 1·1.75)/4 = 1.5625.
+  EXPECT_NEAR(z[1], 1.75, 1e-14);
+  EXPECT_NEAR(z[0], 1.5625, 1e-14);
+}
+
+TEST(Ssor, SymmetricApplyForSpdMatrix) {
+  auto a = gen::laplace2d(10, 10);
+  SsorPrecond m(a, {.nblocks = 2, .omega = 1.2});
+  auto h = m.make_apply_fp64(Prec::FP64);
+  const auto u = random_vector<double>(a.nrows, 1, -1.0, 1.0);
+  const auto v = random_vector<double>(a.nrows, 2, -1.0, 1.0);
+  std::vector<double> mu(a.nrows), mv(a.nrows);
+  h->apply(std::span<const double>(u), std::span<double>(mu));
+  h->apply(std::span<const double>(v), std::span<double>(mv));
+  const double lhs = blas::dot(std::span<const double>(mu), std::span<const double>(v));
+  const double rhs = blas::dot(std::span<const double>(u), std::span<const double>(mv));
+  EXPECT_NEAR(lhs, rhs, 1e-10 * std::abs(lhs));
+}
+
+TEST(Ssor, PreconditionsCgFasterThanJacobi) {
+  auto a = gen::laplace2d(20, 20);
+  diagonal_scale_symmetric(a);
+  CsrOperator<double, double> op(a);
+  const auto b = random_vector<double>(a.nrows, 3, 0.0, 1.0);
+
+  IdentityPrecond<double> ident(a.nrows);
+  CgSolver<double> plain(op, ident, {.rtol = 1e-8, .max_iters = 5000});
+  std::vector<double> x1(a.nrows, 0.0);
+  const auto r1 = plain.solve(b, std::span<double>(x1));
+
+  SsorPrecond ssor(a, {.nblocks = 1, .omega = 1.0});
+  auto h = ssor.make_apply_fp64(Prec::FP64);
+  CgSolver<double> pcg(op, *h, {.rtol = 1e-8, .max_iters = 5000});
+  std::vector<double> x2(a.nrows, 0.0);
+  const auto r2 = pcg.solve(b, std::span<double>(x2));
+
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  EXPECT_LT(r2.iterations, r1.iterations / 2);
+}
+
+TEST(Ssor, Fp16StorageApply) {
+  auto a = gen::laplace2d(8, 8);
+  diagonal_scale_symmetric(a);
+  SsorPrecond m(a, {.nblocks = 2, .omega = 1.0});
+  const auto r = random_vector<double>(a.nrows, 4, 0.0, 1.0);
+  std::vector<double> z64(a.nrows), z16(a.nrows);
+  m.make_apply_fp64(Prec::FP64)->apply(r, std::span<double>(z64));
+  m.make_apply_fp64(Prec::FP16)->apply(r, std::span<double>(z16));
+  const double ref = blas::nrm_inf(std::span<const double>(z64)) + 1e-12;
+  for (index_t i = 0; i < a.nrows; ++i) EXPECT_NEAR(z16[i], z64[i], 0.05 * ref);
+}
+
+TEST(Ssor, RejectsBadParameters) {
+  auto a = gen::laplace2d(4, 4);
+  EXPECT_THROW(SsorPrecond(a, {.nblocks = 1, .omega = 0.0}), std::invalid_argument);
+  EXPECT_THROW(SsorPrecond(a, {.nblocks = 1, .omega = 2.0}), std::invalid_argument);
+  CsrMatrix<double> rect(2, 3);
+  rect.row_ptr = {0, 0, 0};
+  EXPECT_THROW(SsorPrecond(rect, {}), std::invalid_argument);
+}
+
+TEST(Ssor, CountsInvocations) {
+  auto a = gen::laplace2d(4, 4);
+  SsorPrecond m(a, {.nblocks = 1, .omega = 1.0});
+  auto h = m.make_apply_fp32(Prec::FP32);
+  std::vector<float> r(a.nrows, 1.0f), z(a.nrows);
+  h->apply(std::span<const float>(r), std::span<float>(z));
+  h->apply(std::span<const float>(r), std::span<float>(z));
+  EXPECT_EQ(m.invocations(), 2u);
+  EXPECT_EQ(m.name(), "ssor");
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,70 @@
+// Tests for the COO → CSR assembler.
+#include <gtest/gtest.h>
+
+#include "sparse/coo_builder.hpp"
+
+namespace nk {
+namespace {
+
+TEST(CooBuilder, DuplicatesAreSummed) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 1, -1.0);
+  const auto a = b.to_csr();
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), -1.0);
+}
+
+TEST(CooBuilder, RowsComeOutSorted) {
+  CooBuilder b(2, 3);
+  b.add(0, 2, 3.0);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 2.0);
+  const auto a = b.to_csr();
+  EXPECT_TRUE(a.rows_sorted());
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 3.0);
+}
+
+TEST(CooBuilder, OutOfRangeThrows) {
+  CooBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(b.add(0, -1, 1.0), std::out_of_range);
+  EXPECT_THROW(b.add(-1, 0, 1.0), std::out_of_range);
+}
+
+TEST(CooBuilder, AddSymAddsBothTriangles) {
+  CooBuilder b(3, 3);
+  b.add_sym(0, 1, 5.0);
+  b.add_sym(2, 2, 7.0);  // diagonal only once
+  const auto a = b.to_csr();
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 7.0);
+  EXPECT_EQ(a.nnz(), 3);
+}
+
+TEST(CooBuilder, EmptyRowsHandled) {
+  CooBuilder b(4, 4);
+  b.add(0, 0, 1.0);
+  b.add(3, 3, 1.0);
+  const auto a = b.to_csr();
+  EXPECT_EQ(a.row_ptr[1], 1);
+  EXPECT_EQ(a.row_ptr[2], 1);  // row 1 empty
+  EXPECT_EQ(a.row_ptr[3], 1);  // row 2 empty
+  EXPECT_EQ(a.nnz(), 2);
+  a.validate();
+}
+
+TEST(CooBuilder, EntriesCounterIncludesDuplicates) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 1.0);
+  EXPECT_EQ(b.entries(), 2u);
+}
+
+}  // namespace
+}  // namespace nk

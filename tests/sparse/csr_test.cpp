@@ -1,0 +1,128 @@
+// Unit tests for the CSR container and its structural operations.
+#include <gtest/gtest.h>
+
+#include "sparse/coo_builder.hpp"
+#include "sparse/csr.hpp"
+
+namespace nk {
+namespace {
+
+CsrMatrix<double> small_matrix() {
+  // [ 2 -1  0 ]
+  // [-1  2 -1 ]
+  // [ 0 -1  2 ]
+  CooBuilder b(3, 3);
+  b.add(0, 0, 2);
+  b.add(0, 1, -1);
+  b.add(1, 0, -1);
+  b.add(1, 1, 2);
+  b.add(1, 2, -1);
+  b.add(2, 1, -1);
+  b.add(2, 2, 2);
+  return b.to_csr();
+}
+
+TEST(Csr, BasicAccessors) {
+  auto a = small_matrix();
+  EXPECT_EQ(a.nrows, 3);
+  EXPECT_EQ(a.ncols, 3);
+  EXPECT_EQ(a.nnz(), 7);
+  EXPECT_NEAR(a.nnz_per_row(), 7.0 / 3.0, 1e-15);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(CsrMatrix<double>{}.empty());
+}
+
+TEST(Csr, AtLooksUpStoredAndMissing) {
+  auto a = small_matrix();
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);  // not stored
+}
+
+TEST(Csr, Diagonal) {
+  auto a = small_matrix();
+  const auto d = a.diagonal();
+  ASSERT_EQ(d.size(), 3u);
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Csr, RowSpans) {
+  auto a = small_matrix();
+  const auto cols = a.row_cols(1);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 1);
+  EXPECT_EQ(cols[2], 2);
+  const auto vals = a.row_vals(1);
+  EXPECT_DOUBLE_EQ(vals[1], 2.0);
+}
+
+TEST(Csr, SortRowsAndCheck) {
+  CsrMatrix<double> a(2, 2);
+  a.row_ptr = {0, 2, 3};
+  a.col_idx = {1, 0, 1};  // row 0 unsorted
+  a.vals = {5.0, 7.0, 9.0};
+  EXPECT_FALSE(a.rows_sorted());
+  a.sort_rows();
+  EXPECT_TRUE(a.rows_sorted());
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 5.0);
+}
+
+TEST(Csr, ValidateCatchesBrokenStructure) {
+  auto a = small_matrix();
+  EXPECT_NO_THROW(a.validate());
+  auto bad = a;
+  bad.col_idx[0] = 99;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  auto bad2 = a;
+  bad2.row_ptr[1] = 100;
+  EXPECT_THROW(bad2.validate(), std::invalid_argument);
+  auto bad3 = a;
+  bad3.row_ptr.pop_back();
+  EXPECT_THROW(bad3.validate(), std::invalid_argument);
+}
+
+TEST(Csr, CastMatrixRoundsValues) {
+  auto a = small_matrix();
+  a.vals[0] = 1.0001;  // not representable in fp16
+  const auto h = cast_matrix<half>(a);
+  EXPECT_EQ(h.nnz(), a.nnz());
+  EXPECT_EQ(h.col_idx, a.col_idx);
+  EXPECT_FLOAT_EQ(static_cast<float>(h.vals[0]), 1.0f);
+  const auto f = cast_matrix<float>(a);
+  EXPECT_FLOAT_EQ(f.vals[0], 1.0001f);
+}
+
+TEST(Csr, TransposeInvolution) {
+  auto a = small_matrix();
+  a.vals[1] = -3.0;  // make it nonsymmetric
+  const auto at = transpose(a);
+  EXPECT_DOUBLE_EQ(at.at(1, 0), -3.0);
+  EXPECT_DOUBLE_EQ(at.at(0, 1), -1.0);
+  const auto att = transpose(at);
+  EXPECT_EQ(att.row_ptr, a.row_ptr);
+  EXPECT_EQ(att.col_idx, a.col_idx);
+  for (std::size_t k = 0; k < a.vals.size(); ++k)
+    EXPECT_DOUBLE_EQ(att.vals[k], a.vals[k]);
+}
+
+TEST(Csr, IsSymmetricDetects) {
+  auto a = small_matrix();
+  EXPECT_TRUE(is_symmetric(a));
+  a.vals[1] = -3.0;
+  EXPECT_FALSE(is_symmetric(a));
+  // Rectangular is never symmetric.
+  CsrMatrix<double> r(2, 3);
+  EXPECT_FALSE(is_symmetric(r));
+}
+
+TEST(Csr, IsSymmetricWithTolerance) {
+  auto a = small_matrix();
+  a.vals[1] = -1.0 + 1e-12;
+  EXPECT_FALSE(is_symmetric(a, 0.0));
+  EXPECT_TRUE(is_symmetric(a, 1e-10));
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,198 @@
+// Tests for the workload generators: HPCG/HPGMP stencils, Laplacians,
+// convection-diffusion, and random matrices.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "sparse/gen/convdiff.hpp"
+#include "sparse/gen/laplace.hpp"
+#include "sparse/gen/random_matrix.hpp"
+#include "sparse/gen/stencil.hpp"
+#include "sparse/stats.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Stencil, HpcgDimensionsAndNnz) {
+  const auto a = gen::hpcg(3, 3, 3);  // 8×8×8
+  EXPECT_EQ(a.nrows, 512);
+  a.validate();
+  EXPECT_TRUE(a.rows_sorted());
+  // Interior point count: 6³ rows with full 27 entries.
+  index_t full = 0;
+  for (index_t i = 0; i < a.nrows; ++i)
+    if (a.row_ptr[i + 1] - a.row_ptr[i] == 27) ++full;
+  EXPECT_EQ(full, 6 * 6 * 6);
+}
+
+TEST(Stencil, HpcgValues) {
+  const auto a = gen::hpcg(2, 2, 2);
+  for (index_t i = 0; i < a.nrows; ++i)
+    for (index_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (a.col_idx[k] == i)
+        EXPECT_DOUBLE_EQ(a.vals[k], 26.0);
+      else
+        EXPECT_DOUBLE_EQ(a.vals[k], -1.0);
+    }
+}
+
+TEST(Stencil, HpcgMatchesPaperNnzPerRow) {
+  // Table 2: hpcg_7_7_7 has nnz/n = 26.58.  The ratio depends only on the
+  // grid size, which we verify at 2^5 where generation is cheap:
+  // nnz/n grows toward 27 with size.
+  const auto a = gen::hpcg(5, 5, 5);
+  EXPECT_NEAR(a.nnz_per_row(), 26.0, 1.0);
+  EXPECT_LT(a.nnz_per_row(), 27.0);
+}
+
+TEST(Stencil, HpgmpBetaAsymmetry) {
+  const auto a = gen::hpgmp(2, 2, 2, 0.5);
+  // A z-forward neighbour of an interior point carries −0.5; backward −1.5.
+  const index_t nx = 4, ny = 4;
+  const index_t p = (1 * ny + 1) * nx + 1;  // interior point (1,1,1)
+  const index_t zf = (2 * ny + 1) * nx + 1;
+  const index_t zb = (0 * ny + 1) * nx + 1;
+  EXPECT_DOUBLE_EQ(a.at(p, zf), -0.5);
+  EXPECT_DOUBLE_EQ(a.at(p, zb), -1.5);
+  EXPECT_DOUBLE_EQ(a.at(p, p), 26.0);
+  // x/y neighbours with dz = 0 stay at −1.
+  EXPECT_DOUBLE_EQ(a.at(p, p + 1), -1.0);
+}
+
+TEST(Stencil, HpgmpNameHelper) {
+  EXPECT_EQ(gen::stencil_name("hpgmp", 8, 7, 7), "hpgmp_8_7_7");
+}
+
+TEST(Stencil, RejectsBadSizes) {
+  gen::StencilOptions o;
+  o.nx = 0;
+  EXPECT_THROW(gen::stencil27(o), std::invalid_argument);
+}
+
+TEST(Laplace, Structure2d) {
+  const auto a = gen::laplace2d(4, 4);
+  EXPECT_EQ(a.nrows, 16);
+  const auto s = analyze(a);
+  EXPECT_TRUE(s.numerically_symmetric);
+  EXPECT_EQ(s.max_row_nnz, 5);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+}
+
+TEST(Laplace, Structure3d) {
+  const auto a = gen::laplace3d(3, 3, 3);
+  EXPECT_EQ(a.nrows, 27);
+  EXPECT_DOUBLE_EQ(a.at(13, 13), 6.0);  // center point
+  EXPECT_EQ(a.row_ptr[14] - a.row_ptr[13], 7);
+  EXPECT_TRUE(is_symmetric(a));
+}
+
+TEST(Laplace, AnisotropicWeighting) {
+  const auto a = gen::anisotropic2d(4, 4, 0.1);
+  EXPECT_NEAR(a.at(5, 5), 2.0 * 0.1 + 2.0, 1e-15);
+  EXPECT_DOUBLE_EQ(a.at(5, 4), -0.1);  // x-neighbour gets eps
+  EXPECT_DOUBLE_EQ(a.at(5, 1), -1.0);  // y-neighbour gets 1
+}
+
+TEST(ConvDiff, UpwindRowSumsNonNegative) {
+  gen::ConvDiffOptions o;
+  o.nx = o.ny = 8;
+  o.nz = 4;
+  o.vx = 100.0;
+  const auto a = gen::convdiff(o);
+  // Upwinding keeps the M-matrix property: diag ≥ |off-diag row sum|.
+  for (index_t i = 0; i < a.nrows; ++i) {
+    double diag = 0.0, off = 0.0;
+    for (index_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (a.col_idx[k] == i)
+        diag = a.vals[k];
+      else
+        off += std::abs(a.vals[k]);
+    }
+    EXPECT_GE(diag, off - 1e-9 * diag);
+  }
+}
+
+TEST(ConvDiff, TwoDHasNoZCoupling) {
+  gen::ConvDiffOptions o;
+  o.nx = 8;
+  o.ny = 8;
+  o.nz = 1;
+  const auto a = gen::convdiff(o);
+  EXPECT_LE(analyze(a).max_row_nnz, 5);
+}
+
+TEST(ConvDiff, VelocityBreaksSymmetry) {
+  gen::ConvDiffOptions o;
+  o.nx = o.ny = 6;
+  o.nz = 1;
+  o.vx = 10.0;
+  EXPECT_FALSE(is_symmetric(gen::convdiff(o), 1e-12));
+  o.vx = o.vy = 0.0;
+  EXPECT_TRUE(is_symmetric(gen::convdiff(o), 1e-12));
+}
+
+TEST(RandomSparse, DominanceAndDiagonal) {
+  const auto a = gen::random_sparse({.n = 300, .dominance = 1.3, .seed = 6});
+  const auto s = analyze(a);
+  EXPECT_TRUE(s.has_full_diagonal);
+  EXPECT_GE(s.diag_dominance_min, 1.3 - 1e-9);
+}
+
+TEST(RandomSparse, SymmetricFlag) {
+  gen::RandomOptions o;
+  o.n = 150;
+  o.symmetric = true;
+  o.seed = 10;
+  EXPECT_TRUE(is_symmetric(gen::random_sparse(o), 1e-13));
+  o.symmetric = false;
+  EXPECT_FALSE(is_symmetric(gen::random_sparse(o), 1e-13));
+}
+
+TEST(RandomSparse, Deterministic) {
+  gen::RandomOptions o;
+  o.n = 100;
+  o.seed = 12;
+  const auto a = gen::random_sparse(o);
+  const auto b = gen::random_sparse(o);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  EXPECT_EQ(a.vals, b.vals);
+}
+
+TEST(RandomSpd, IsSpdByCholeskyConstruction) {
+  const auto a = gen::random_spd(60, 0.05, 0.1, 3);
+  EXPECT_TRUE(is_symmetric(a, 1e-12));
+  // Gershgorin lower bound may be negative, but x'Ax > 0 for random probes.
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> x(60);
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    double q = 0.0;
+    for (index_t i = 0; i < 60; ++i)
+      for (index_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k)
+        q += x[i] * a.vals[k] * x[a.col_idx[k]];
+    EXPECT_GT(q, 0.0);
+  }
+}
+
+TEST(RandomCircuit, StructureIsIrregular) {
+  const auto a = gen::random_circuit(500, 64, 1.1, 5);
+  const auto s = analyze(a);
+  EXPECT_TRUE(s.has_full_diagonal);
+  EXPECT_GE(s.max_row_nnz, 8);      // hubs exist
+  EXPECT_LE(s.nnz_per_row, 8.0);    // but most rows are small
+  EXPECT_TRUE(s.structurally_symmetric);
+  EXPECT_FALSE(s.numerically_symmetric);
+}
+
+TEST(Generators, RejectBadArguments) {
+  EXPECT_THROW(gen::laplace2d(0, 4), std::invalid_argument);
+  EXPECT_THROW(gen::anisotropic3d(-1, 2, 2, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(gen::random_sparse({.n = 0}), std::invalid_argument);
+  EXPECT_THROW(gen::random_circuit(1, 4, 1.1, 0), std::invalid_argument);
+  gen::ConvDiffOptions o;
+  o.nx = 0;
+  EXPECT_THROW(gen::convdiff(o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nk

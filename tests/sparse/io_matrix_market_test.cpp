@@ -1,0 +1,121 @@
+// Tests for Matrix Market I/O (the SuiteSparse distribution format).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/gen/random_matrix.hpp"
+#include "sparse/io_matrix_market.hpp"
+
+namespace nk {
+namespace {
+
+TEST(MatrixMarket, RoundTripGeneral) {
+  const auto a = gen::random_sparse({.n = 40, .avg_nnz_per_row = 5.0, .seed = 4});
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const auto b = read_matrix_market(ss);
+  ASSERT_EQ(b.nrows, a.nrows);
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (index_t i = 0; i < a.nrows; ++i)
+    for (index_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k)
+      EXPECT_NEAR(b.at(i, a.col_idx[k]), a.vals[k], 1e-15 * std::abs(a.vals[k]));
+}
+
+TEST(MatrixMarket, SymmetricExpansion) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% lower triangle only\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "2 2 2.0\n"
+      "3 3 2.0\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_EQ(a.nnz(), 5);  // off-diagonal mirrored
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+}
+
+TEST(MatrixMarket, SkewSymmetricExpansion) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -3.0);
+}
+
+TEST(MatrixMarket, PatternFieldGivesOnes) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 1.0);
+}
+
+TEST(MatrixMarket, IntegerField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 1 1\n"
+      "1 1 7\n");
+  EXPECT_DOUBLE_EQ(read_matrix_market(in).at(0, 0), 7.0);
+}
+
+TEST(MatrixMarket, CommentsSkipped) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment a\n"
+      "% comment b\n"
+      "1 1 1\n"
+      "1 1 4.5\n");
+  EXPECT_DOUBLE_EQ(read_matrix_market(in).at(0, 0), 4.5);
+}
+
+TEST(MatrixMarket, RejectsMalformedInputs) {
+  {
+    std::istringstream in("not a matrix\n1 1 1\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("%%MatrixMarket matrix array real general\n1 1\n1.0\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    // truncated entries
+    std::istringstream in("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const auto a = gen::random_sparse({.n = 10, .seed = 8});
+  const std::string path = ::testing::TempDir() + "/nk_io_test.mtx";
+  write_matrix_market_file(path, a);
+  const auto b = read_matrix_market_file(path);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  EXPECT_THROW(read_matrix_market_file("/no/such/file.mtx"), std::runtime_error);
+}
+
+TEST(MatrixMarket, DuplicateEntriesSummed) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1 1 2\n"
+      "1 1 1.5\n"
+      "1 1 2.5\n");
+  EXPECT_DOUBLE_EQ(read_matrix_market(in).at(0, 0), 4.0);
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,101 @@
+// Tests for diagonal scaling — the transformation the paper applies to all
+// matrices, which is what makes fp16 storage of A viable.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "sparse/gen/random_matrix.hpp"
+#include "sparse/gen/stencil.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/spmv.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Scaling, UnitDiagonalAfterSymmetricScaling) {
+  auto a = gen::hpcg(3, 3, 3);
+  diagonal_scale_symmetric(a);
+  for (double d : a.diagonal()) EXPECT_NEAR(d, 1.0, 1e-14);
+}
+
+TEST(Scaling, SymmetryPreserved) {
+  auto a = gen::hpcg(3, 3, 3);
+  diagonal_scale_symmetric(a);
+  EXPECT_TRUE(is_symmetric(a, 1e-13));
+}
+
+TEST(Scaling, ValuesEnterFp16Range) {
+  // HPCG values are 26 / −1 — representable anyway; rescale a badly scaled
+  // copy (× 1e6) and verify everything returns to O(1).
+  auto a = gen::hpcg(3, 3, 3);
+  for (auto& v : a.vals) v *= 1e6;
+  diagonal_scale_symmetric(a);
+  for (double v : a.vals) EXPECT_LE(std::abs(v), 1.0 + 1e-12);
+}
+
+TEST(Scaling, SolutionRecoveryThroughScaling) {
+  // Solve à x̃ = b̃ exactly by dense elimination on a tiny system, then map
+  // back: x = S x̃ where b̃ = S b.
+  CsrMatrix<double> a(2, 2);
+  a.row_ptr = {0, 2, 4};
+  a.col_idx = {0, 1, 0, 1};
+  a.vals = {4.0, 1.0, 1.0, 9.0};
+  const std::vector<double> x_true = {1.0, -2.0};
+  std::vector<double> b(2);
+  spmv(a, std::span<const double>(x_true), std::span<double>(b));
+
+  auto scaled = a;
+  const auto sres = diagonal_scale_symmetric(scaled);
+  std::vector<double> bt = b;
+  apply_scale(sres.scale, bt);
+
+  // Dense solve of the 2×2 scaled system.
+  const double a00 = scaled.at(0, 0), a01 = scaled.at(0, 1), a10 = scaled.at(1, 0),
+               a11 = scaled.at(1, 1);
+  const double det = a00 * a11 - a01 * a10;
+  std::vector<double> xt = {(bt[0] * a11 - a01 * bt[1]) / det,
+                            (a00 * bt[1] - a10 * bt[0]) / det};
+  apply_scale(sres.scale, xt);
+  EXPECT_NEAR(xt[0], x_true[0], 1e-12);
+  EXPECT_NEAR(xt[1], x_true[1], 1e-12);
+}
+
+TEST(Scaling, NegativeDiagonalUsesAbs) {
+  CsrMatrix<double> a(2, 2);
+  a.row_ptr = {0, 1, 2};
+  a.col_idx = {0, 1};
+  a.vals = {-4.0, 9.0};
+  const auto r = diagonal_scale_symmetric(a);
+  EXPECT_FALSE(r.had_zero_diagonal);
+  EXPECT_NEAR(a.at(0, 0), -1.0, 1e-15);  // sign preserved, magnitude 1
+  EXPECT_NEAR(a.at(1, 1), 1.0, 1e-15);
+}
+
+TEST(Scaling, ZeroDiagonalFlaggedAndLeftAlone) {
+  CsrMatrix<double> a(2, 2);
+  a.row_ptr = {0, 1, 2};
+  a.col_idx = {1, 0};  // no diagonal entries at all
+  a.vals = {3.0, 5.0};
+  const auto r = diagonal_scale_symmetric(a);
+  EXPECT_TRUE(r.had_zero_diagonal);
+  EXPECT_DOUBLE_EQ(r.scale[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.scale[1], 1.0);
+  EXPECT_DOUBLE_EQ(a.vals[0], 3.0);
+}
+
+TEST(Scaling, RowScalingMakesUnitDiagonal) {
+  auto a = gen::random_sparse({.n = 50, .seed = 3});
+  const auto d = diagonal_scale_rows(a);
+  EXPECT_EQ(d.size(), 50u);
+  for (double v : a.diagonal()) EXPECT_NEAR(v, 1.0, 1e-14);
+}
+
+TEST(Scaling, ApplyScaleElementwise) {
+  std::vector<double> s = {2.0, 3.0};
+  std::vector<double> x = {1.0, 1.0};
+  apply_scale(s, x);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+}  // namespace
+}  // namespace nk

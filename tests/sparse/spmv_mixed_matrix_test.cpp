@@ -1,0 +1,145 @@
+// Exhaustive property sweep over every (matrix precision × vector
+// precision) combination of the CSR SpMV — nine pairings, each checked
+// against the fp64 dense reference with a type-appropriate error budget.
+// This pins down the promotion semantics F3R depends on (Table 1 uses four
+// of the nine; the rest must still be correct for custom nestings).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "base/rng.hpp"
+#include "nkrylov.hpp"
+
+namespace nk {
+namespace {
+
+struct Combo {
+  Prec mat;
+  Prec vec;
+};
+
+class SpmvPrecisionMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+double budget(Prec mat, Prec vec, double rowsum) {
+  const double u = std::max(unit_roundoff(mat), unit_roundoff(vec));
+  return rowsum * u * 64.0 + 1e-12;  // rounding of values + accumulation slack
+}
+
+TEST_P(SpmvPrecisionMatrix, MatchesReferenceWithinPrecisionBudget) {
+  const auto [mi, vi] = GetParam();
+  const Prec mp = static_cast<Prec>(mi);
+  const Prec vp = static_cast<Prec>(vi);
+
+  auto a = gen::laplace2d(17, 13);  // non-square grid, 221 rows
+  diagonal_scale_symmetric(a);      // keep values fp16-representable
+  const index_t n = a.nrows;
+  const auto xd = random_vector<double>(n, 31, 0.0, 1.0);
+
+  // Reference in fp64.
+  std::vector<double> ref(n);
+  spmv(a, std::span<const double>(xd), std::span<double>(ref));
+
+  // Row |sums| for the budget.
+  std::vector<double> rowsum(n, 0.0);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k)
+      rowsum[i] += std::abs(a.vals[k]) * std::abs(xd[a.col_idx[k]]);
+
+  auto check = [&](const std::vector<double>& y) {
+    for (index_t i = 0; i < n; ++i)
+      EXPECT_NEAR(y[i], ref[i], budget(mp, vp, rowsum[i])) << "row " << i;
+  };
+
+  // Dispatch over the combination through MultiPrecMatrix (the production
+  // path the nested builder uses).
+  MultiPrecMatrix mpm(a);
+  std::vector<double> out(n);
+  switch (vp) {
+    case Prec::FP64: {
+      auto op = mpm.make_operator<double>(mp);
+      op->apply(std::span<const double>(xd), std::span<double>(out));
+      break;
+    }
+    case Prec::FP32: {
+      auto op = mpm.make_operator<float>(mp);
+      const auto x = converted<float>(xd);
+      std::vector<float> y(n);
+      op->apply(std::span<const float>(x), std::span<float>(y));
+      for (index_t i = 0; i < n; ++i) out[i] = y[i];
+      break;
+    }
+    case Prec::FP16: {
+      auto op = mpm.make_operator<half>(mp);
+      const auto x = converted<half>(xd);
+      std::vector<half> y(n);
+      op->apply(std::span<const half>(x), std::span<half>(y));
+      for (index_t i = 0; i < n; ++i) out[i] = static_cast<double>(y[i]);
+      break;
+    }
+  }
+  check(out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNine, SpmvPrecisionMatrix,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(0, 1, 2)),
+    [](const auto& info) {
+      return std::string("mat_") + prec_name(static_cast<Prec>(std::get<0>(info.param))) +
+             "_vec_" + prec_name(static_cast<Prec>(std::get<1>(info.param)));
+    });
+
+// The SELL format must agree with CSR for the same nine combinations.
+class SellPrecisionMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SellPrecisionMatrix, SellOperatorsMatchCsrOperators) {
+  const auto [mi, vi] = GetParam();
+  const Prec mp = static_cast<Prec>(mi);
+  const Prec vp = static_cast<Prec>(vi);
+
+  auto a = gen::hpcg(3, 3, 3);
+  diagonal_scale_symmetric(a);
+  const index_t n = a.nrows;
+  MultiPrecMatrix csr(a), sell(a, /*use_sell=*/true);
+  const auto xd = random_vector<double>(n, 5, 0.0, 1.0);
+
+  auto run = [&](MultiPrecMatrix& m) {
+    std::vector<double> out(n);
+    if (vp == Prec::FP64) {
+      auto op = m.make_operator<double>(mp);
+      op->apply(std::span<const double>(xd), std::span<double>(out));
+    } else if (vp == Prec::FP32) {
+      auto op = m.make_operator<float>(mp);
+      const auto x = converted<float>(xd);
+      std::vector<float> y(n);
+      op->apply(std::span<const float>(x), std::span<float>(y));
+      for (index_t i = 0; i < n; ++i) out[i] = y[i];
+    } else {
+      auto op = m.make_operator<half>(mp);
+      const auto x = converted<half>(xd);
+      std::vector<half> y(n);
+      op->apply(std::span<const half>(x), std::span<half>(y));
+      for (index_t i = 0; i < n; ++i) out[i] = static_cast<double>(y[i]);
+    }
+    return out;
+  };
+
+  const auto yc = run(csr);
+  const auto ys = run(sell);
+  // Same precision, same per-row arithmetic; only summation order may
+  // differ (padding taps multiply by zero), so agreement is tight.
+  const double tol = 200.0 * unit_roundoff(vp == Prec::FP16 ? Prec::FP16 : vp);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(ys[i], yc[i], tol * (1.0 + std::abs(yc[i]))) << "row " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNine, SellPrecisionMatrix,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(0, 1, 2)),
+    [](const auto& info) {
+      return std::string("mat_") + prec_name(static_cast<Prec>(std::get<0>(info.param))) +
+             "_vec_" + prec_name(static_cast<Prec>(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace nk

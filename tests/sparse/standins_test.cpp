@@ -1,0 +1,105 @@
+// Tests for the Table 2 SuiteSparse stand-in catalog.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sparse/gen/suite_standins.hpp"
+#include "sparse/stats.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Standins, CatalogCoversBothSets) {
+  const auto& cat = gen::standin_catalog();
+  EXPECT_GE(cat.size(), 28u);  // 31 paper matrices (HPCG/HPGMP at 4 sizes each)
+  const auto sym = gen::symmetric_set();
+  const auto nonsym = gen::nonsymmetric_set();
+  EXPECT_EQ(sym.size() + nonsym.size(), cat.size());
+  EXPECT_GE(sym.size(), 12u);
+  EXPECT_GE(nonsym.size(), 12u);
+}
+
+TEST(Standins, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& s : gen::standin_catalog()) names.insert(s.paper_name);
+  EXPECT_EQ(names.size(), gen::standin_catalog().size());
+}
+
+TEST(Standins, FindSpecKnownAndUnknown) {
+  const auto& s = gen::find_spec("ecology2");
+  EXPECT_TRUE(s.symmetric);
+  EXPECT_DOUBLE_EQ(s.alpha_ilu, 1.0);
+  const auto& q = gen::find_spec("Queen_4147");
+  EXPECT_DOUBLE_EQ(q.alpha_ilu, 1.1);
+  EXPECT_DOUBLE_EQ(q.alpha_ainv, 1.3);
+  EXPECT_THROW(gen::find_spec("not-a-matrix"), std::invalid_argument);
+  EXPECT_THROW(gen::make_problem("not-a-matrix"), std::invalid_argument);
+}
+
+TEST(Standins, AlphaValuesMatchTable2) {
+  // Spot-check the paper's α columns for stand-ins that carry them.
+  EXPECT_DOUBLE_EQ(gen::find_spec("audikw_1").alpha_ainv, 1.6);
+  EXPECT_DOUBLE_EQ(gen::find_spec("Bump_2911").alpha_ilu, 1.1);
+  EXPECT_DOUBLE_EQ(gen::find_spec("stokes").alpha_ainv, 1.3);
+  EXPECT_DOUBLE_EQ(gen::find_spec("atmosmodd").alpha_ilu, 1.0);
+}
+
+TEST(Standins, SymmetryFlagMatchesGeneratedMatrix) {
+  // Verify on a representative subset (full sweep lives in the benches).
+  for (const char* name : {"ecology2", "thermal2", "atmosmodd", "tmt_unsym"}) {
+    const auto p = gen::make_problem(name, 1);
+    EXPECT_EQ(is_symmetric(p.a, 1e-12), p.spec.symmetric) << name;
+  }
+}
+
+TEST(Standins, HpcgEntriesAreExact) {
+  const auto p = gen::make_problem("hpcg_4_4_4", 1);
+  EXPECT_TRUE(p.spec.exact);
+  EXPECT_EQ(p.a.nrows, 16 * 16 * 16);
+  EXPECT_DOUBLE_EQ(p.a.at(0, 0), 26.0);
+}
+
+TEST(Standins, HpgmpEntriesAreExact) {
+  const auto p = gen::make_problem("hpgmp_4_4_4", 1);
+  EXPECT_TRUE(p.spec.exact);
+  EXPECT_FALSE(is_symmetric(p.a, 1e-12));
+}
+
+TEST(Standins, ElasticityClassHasWideRows) {
+  const auto p = gen::make_problem("audikw_1", 1);
+  const auto s = analyze(p.a);
+  // audikw_1 has ~82 nnz/row; the block stand-in targets the same regime
+  // (27-point × 3×3 block = 81 interior entries per row).
+  EXPECT_GT(s.nnz_per_row, 60.0);
+  EXPECT_TRUE(s.numerically_symmetric);
+}
+
+TEST(Standins, LowNnzClassMatches) {
+  const auto p = gen::make_problem("ecology2", 1);
+  EXPECT_NEAR(p.a.nnz_per_row(), 5.0, 0.2);  // paper: 5.00
+}
+
+TEST(Standins, KronBlockExpandsStructure) {
+  CsrMatrix<double> a(2, 2);
+  a.row_ptr = {0, 2, 4};
+  a.col_idx = {0, 1, 0, 1};
+  a.vals = {2.0, -1.0, -1.0, 2.0};
+  const std::vector<double> blk = {1.0, 0.5, 0.5, 2.0};  // SPD 2×2
+  const auto k = gen::kron_block(a, blk, 2);
+  EXPECT_EQ(k.nrows, 4);
+  EXPECT_EQ(k.nnz(), 16);
+  EXPECT_DOUBLE_EQ(k.at(0, 0), 2.0 * 1.0);
+  EXPECT_DOUBLE_EQ(k.at(0, 1), 2.0 * 0.5);
+  EXPECT_DOUBLE_EQ(k.at(1, 2), -1.0 * 0.5);
+  EXPECT_TRUE(is_symmetric(k, 1e-14));
+  EXPECT_THROW(gen::kron_block(a, blk, 3), std::invalid_argument);
+}
+
+TEST(Standins, HardProblemsAreFlagged) {
+  EXPECT_TRUE(gen::find_spec("stokes").hard);
+  EXPECT_TRUE(gen::find_spec("Freescale1").hard);
+  EXPECT_FALSE(gen::find_spec("hpcg_4_4_4").hard);
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,69 @@
+// Tests for the matrix analysis used in Table 2 reporting.
+#include <gtest/gtest.h>
+
+#include "sparse/gen/convdiff.hpp"
+#include "sparse/gen/stencil.hpp"
+#include "sparse/stats.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Stats, HpcgStencilProperties) {
+  const auto a = gen::hpcg(3, 3, 3);
+  const auto s = analyze(a);
+  EXPECT_EQ(s.n, 512);
+  EXPECT_TRUE(s.structurally_symmetric);
+  EXPECT_TRUE(s.numerically_symmetric);
+  EXPECT_TRUE(s.has_full_diagonal);
+  EXPECT_EQ(s.max_row_nnz, 27);
+  EXPECT_EQ(s.min_row_nnz, 8);  // corner rows: 2×2×2 neighbourhood
+  EXPECT_DOUBLE_EQ(s.max_abs, 26.0);
+  EXPECT_DOUBLE_EQ(s.fp16_overflow_fraction, 0.0);
+  // interior: 26 / 26 off-diagonals of magnitude 1 → dominance 1.
+  EXPECT_NEAR(s.diag_dominance_min, 1.0, 1e-12);
+}
+
+TEST(Stats, HpgmpIsNonsymmetric) {
+  const auto a = gen::hpgmp(3, 3, 3);
+  const auto s = analyze(a);
+  EXPECT_TRUE(s.structurally_symmetric);  // pattern symmetric
+  EXPECT_FALSE(s.numerically_symmetric);  // ±β breaks value symmetry
+}
+
+TEST(Stats, ConvdiffWeaklyDiagonallyDominant) {
+  gen::ConvDiffOptions o;
+  o.nx = o.ny = 16;
+  o.nz = 1;
+  o.vx = 50.0;
+  const auto s = analyze(gen::convdiff(o));
+  EXPECT_GE(s.diag_dominance_min, 1.0 - 1e-12);
+  EXPECT_FALSE(s.numerically_symmetric);
+}
+
+TEST(Stats, Fp16OverflowFractionCounts) {
+  CsrMatrix<double> a(2, 2);
+  a.row_ptr = {0, 1, 2};
+  a.col_idx = {0, 1};
+  a.vals = {1e6, 2.0};  // 1e6 overflows binary16
+  const auto s = analyze(a);
+  EXPECT_DOUBLE_EQ(s.fp16_overflow_fraction, 0.5);
+}
+
+TEST(Stats, MissingDiagonalDetected) {
+  CsrMatrix<double> a(2, 2);
+  a.row_ptr = {0, 1, 2};
+  a.col_idx = {1, 0};
+  a.vals = {1.0, 1.0};
+  const auto s = analyze(a);
+  EXPECT_FALSE(s.has_full_diagonal);
+}
+
+TEST(Stats, SummaryContainsKeyFields) {
+  const auto s = analyze(gen::hpcg(3, 3, 3));
+  const std::string str = stats_summary(s);
+  EXPECT_NE(str.find("n=512"), std::string::npos);
+  EXPECT_NE(str.find("sym=yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nk
