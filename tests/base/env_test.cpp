@@ -1,0 +1,36 @@
+// Tests for the runtime-environment report printed by every bench header.
+#include <gtest/gtest.h>
+
+#include "base/env.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Env, ThreadCountIsPositive) {
+  EXPECT_GE(num_threads(), 1);
+}
+
+TEST(Env, SummaryReportsThreadCount) {
+  const std::string s = env_summary();
+  EXPECT_NE(s.find("threads=" + std::to_string(num_threads())), std::string::npos);
+}
+
+TEST(Env, SummaryReportsF16cConsistentWithPredicate) {
+  const std::string s = env_summary();
+  EXPECT_NE(s.find(has_f16c() ? "f16c=yes" : "f16c=no"), std::string::npos);
+}
+
+TEST(Env, SummaryReportsOpenmpAndBuildFields) {
+  const std::string s = env_summary();
+  EXPECT_NE(s.find("openmp="), std::string::npos);
+  EXPECT_NE(s.find("build="), std::string::npos);
+  EXPECT_NE(s.find("avx512fp16="), std::string::npos);
+}
+
+TEST(Env, SummaryIsStableAcrossCalls) {
+  // The report describes the build/runtime, not per-call state.
+  EXPECT_EQ(env_summary(), env_summary());
+}
+
+}  // namespace
+}  // namespace nk

@@ -8,6 +8,7 @@
 
 #include "core/runner.hpp"
 #include "core/variants.hpp"
+#include "support/solver_checks.hpp"
 
 namespace nk {
 namespace {
@@ -24,9 +25,9 @@ TEST(F3rConvergence, PrecisionDoesNotChangeIterationCounts) {
     const auto r64 = run_nested(p, m, f3r_config(Prec::FP64));
     const auto r32 = run_nested(p, m, f3r_config(Prec::FP32));
     const auto r16 = run_nested(p, m, f3r_config(Prec::FP16));
-    ASSERT_TRUE(r64.converged) << name;
-    ASSERT_TRUE(r32.converged) << name;
-    ASSERT_TRUE(r16.converged) << name;
+    ASSERT_TRUE(test::converged(r64)) << name;
+    ASSERT_TRUE(test::converged(r32)) << name;
+    ASSERT_TRUE(test::converged(r16)) << name;
     EXPECT_LE(std::abs(static_cast<double>(r32.iterations) - r64.iterations), 1.0) << name;
     EXPECT_LE(std::abs(static_cast<double>(r16.iterations) - r64.iterations), 1.0) << name;
   }
@@ -37,7 +38,7 @@ TEST(F3rConvergence, InvocationsPerOuterIterationIsM2M3M4) {
   auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 8);
   F3rParams prm;  // 8·4·2 = 64
   const auto res = run_nested(p, m, f3r_config(Prec::FP16, prm));
-  ASSERT_TRUE(res.converged);
+  ASSERT_TRUE(test::converged(res));
   EXPECT_EQ(res.precond_invocations,
             static_cast<std::uint64_t>(res.iterations) * 64u);
 
@@ -45,7 +46,7 @@ TEST(F3rConvergence, InvocationsPerOuterIterationIsM2M3M4) {
   prm.m3 = 3;
   prm.m4 = 1;  // 18 per outer iteration
   const auto res2 = run_nested(p, m, f3r_config(Prec::FP16, prm));
-  ASSERT_TRUE(res2.converged);
+  ASSERT_TRUE(test::converged(res2));
   EXPECT_EQ(res2.precond_invocations,
             static_cast<std::uint64_t>(res2.iterations) * 18u);
 }
@@ -57,8 +58,8 @@ TEST(F3rConvergence, AssumptionIiRichardsonVsInnerFgmres) {
   auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 8);
   const auto f3r = run_nested(p, m, f3r_config(Prec::FP16));
   const auto f4 = run_nested(p, m, variant_config("F4"));
-  ASSERT_TRUE(f3r.converged);
-  ASSERT_TRUE(f4.converged);
+  ASSERT_TRUE(test::converged(f3r));
+  ASSERT_TRUE(test::converged(f4));
   const double ratio = static_cast<double>(f3r.precond_invocations) /
                        static_cast<double>(f4.precond_invocations);
   EXPECT_GT(ratio, 0.5);
@@ -80,7 +81,7 @@ TEST(F3rConvergence, DeeperNestingStillConverges) {
   cfg.levels.insert(cfg.levels.begin() + 3, extra);
   cfg.levels[0].m = 50;
   const auto res = run_nested(p, m, cfg, f3r_termination(1e-8));
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(test::converged(res));
 }
 
 TEST(F3rConvergence, AdaptiveWeightBeatsBadFixedWeight) {
@@ -98,7 +99,7 @@ TEST(F3rConvergence, AdaptiveWeightBeatsBadFixedWeight) {
   fixed.fixed_weight = 0.3f;
   const auto rf = run_nested(p, m, f3r_config(Prec::FP16, fixed));
 
-  ASSERT_TRUE(ra.converged);
+  ASSERT_TRUE(test::converged(ra));
   if (rf.converged) {
     EXPECT_LE(ra.precond_invocations, rf.precond_invocations);
   }
@@ -112,8 +113,8 @@ TEST(F3rConvergence, SellAndCsrGiveSameIterationCounts) {
   auto ms = make_primary(ps, PrecondKind::SdAinv);
   const auto rc = run_nested(pc, mc, f3r_config(Prec::FP32));
   const auto rs = run_nested(ps, ms, f3r_config(Prec::FP32));
-  ASSERT_TRUE(rc.converged);
-  ASSERT_TRUE(rs.converged);
+  ASSERT_TRUE(test::converged(rc));
+  ASSERT_TRUE(test::converged(rs));
   EXPECT_EQ(rc.iterations, rs.iterations);
   EXPECT_EQ(rc.precond_invocations, rs.precond_invocations);
 }

@@ -8,6 +8,7 @@
 
 #include "core/runner.hpp"
 #include "core/variants.hpp"
+#include "support/solver_checks.hpp"
 
 namespace nk {
 namespace {
@@ -36,7 +37,7 @@ TEST_P(SolverAgreement, AllFamiliesConvergeTo1em8) {
   results.push_back(run_fgmres_restarted(p, *m, Prec::FP64, 64, caps));
 
   for (const auto& r : results) {
-    EXPECT_TRUE(r.converged) << name << " " << r.solver;
+    EXPECT_TRUE(test::converged(r)) << name << " " << r.solver;
     EXPECT_LT(r.final_relres, 1.5e-8) << name << " " << r.solver;
   }
 }
@@ -56,7 +57,7 @@ TEST(SolverAgreementExtra, Table4VariantsSolveHpcg) {
   auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 4);
   for (const auto& name : variant_names()) {
     const auto res = run_nested(p, m, variant_config(name), f3r_termination(1e-8));
-    EXPECT_TRUE(res.converged) << name;
+    EXPECT_TRUE(test::converged(res)) << name;
     EXPECT_LT(res.final_relres, 1e-8) << name;
   }
 }
@@ -69,9 +70,9 @@ TEST(SolverAgreementExtra, PrecondStoragePrecisionSweepCg) {
   const auto r64 = run_cg(p, *m, Prec::FP64);
   const auto r32 = run_cg(p, *m, Prec::FP32);
   const auto r16 = run_cg(p, *m, Prec::FP16);
-  EXPECT_TRUE(r64.converged);
-  EXPECT_TRUE(r32.converged);
-  EXPECT_TRUE(r16.converged);
+  EXPECT_TRUE(test::converged(r64));
+  EXPECT_TRUE(test::converged(r32));
+  EXPECT_TRUE(test::converged(r16));
   EXPECT_LE(std::abs(r32.iterations - r64.iterations), 2);
   EXPECT_LE(std::abs(r16.iterations - r64.iterations),
             std::max(2, r64.iterations / 4));

@@ -1,74 +1,54 @@
 // Tests for preconditioned BiCGStab.
 #include <gtest/gtest.h>
 
-#include "base/rng.hpp"
 #include "krylov/bicgstab.hpp"
 #include "precond/block_jacobi_ilu0.hpp"
 #include "precond/jacobi.hpp"
-#include "sparse/gen/convdiff.hpp"
-#include "sparse/gen/laplace.hpp"
-#include "sparse/scaling.hpp"
-#include "sparse/spmv.hpp"
+#include "support/problems.hpp"
+#include "support/solver_checks.hpp"
 
 namespace nk {
 namespace {
 
-CsrMatrix<double> nonsym_problem(index_t nx, double v) {
-  gen::ConvDiffOptions o;
-  o.nx = nx;
-  o.ny = nx;
-  o.nz = 1;
-  o.vx = v;
-  o.vy = v / 2;
-  auto a = gen::convdiff(o);
-  diagonal_scale_symmetric(a);
-  return a;
-}
-
 TEST(BiCgStab, SolvesConvectionDiffusion) {
-  const auto a = nonsym_problem(16, 10.0);
-  CsrOperator<double, double> op(a);
-  JacobiPrecond jac(a);
+  auto p = test::make_problem(test::scaled_convdiff2d(16, 10.0), 1);
+  CsrOperator<double, double> op(p.a);
+  JacobiPrecond jac(p.a);
   auto m = jac.make_apply_fp64(Prec::FP64);
   BiCgStabSolver<double> s(op, *m, {.rtol = 1e-9, .max_iters = 2000});
-  const auto b = random_vector<double>(a.nrows, 1, 0.0, 1.0);
-  std::vector<double> x(a.nrows, 0.0);
-  const auto res = s.solve(b, std::span<double>(x));
-  EXPECT_TRUE(res.converged);
-  EXPECT_LT(relative_residual(a, std::span<const double>(x), std::span<const double>(b)), 1e-8);
+  const auto res = s.solve(p.b, std::span<double>(p.x));
+  EXPECT_TRUE(test::converged(res));
+  EXPECT_TRUE(test::residual_below(p.a, p.x, p.b, 1e-8));
 }
 
 TEST(BiCgStab, IluPreconditioningReducesIterations) {
-  const auto a = nonsym_problem(20, 30.0);
-  CsrOperator<double, double> op(a);
-  const auto b = random_vector<double>(a.nrows, 2, 0.0, 1.0);
+  auto p = test::make_problem(test::scaled_convdiff2d(20, 30.0), 2);
+  CsrOperator<double, double> op(p.a);
 
-  IdentityPrecond<double> ident(a.nrows);
+  IdentityPrecond<double> ident(p.a.nrows);
   BiCgStabSolver<double> plain(op, ident, {.rtol = 1e-8, .max_iters = 4000});
-  std::vector<double> x1(a.nrows, 0.0);
-  const auto r1 = plain.solve(b, std::span<double>(x1));
+  std::vector<double> x1(p.a.nrows, 0.0);
+  const auto r1 = plain.solve(p.b, std::span<double>(x1));
 
-  BlockJacobiIlu0 ilu(a, {.nblocks = 2, .alpha = 1.0});
+  BlockJacobiIlu0 ilu(p.a, {.nblocks = 2, .alpha = 1.0});
   auto m = ilu.make_apply_fp64(Prec::FP64);
   BiCgStabSolver<double> pre(op, *m, {.rtol = 1e-8, .max_iters = 4000});
-  std::vector<double> x2(a.nrows, 0.0);
-  const auto r2 = pre.solve(b, std::span<double>(x2));
+  std::vector<double> x2(p.a.nrows, 0.0);
+  const auto r2 = pre.solve(p.b, std::span<double>(x2));
 
-  EXPECT_TRUE(r1.converged);
-  EXPECT_TRUE(r2.converged);
+  EXPECT_TRUE(test::converged(r1));
+  EXPECT_TRUE(test::converged(r2));
   EXPECT_LT(r2.iterations, r1.iterations);
 }
 
 TEST(BiCgStab, TwoPrecondCallsPerIteration) {
-  const auto a = nonsym_problem(8, 5.0);
-  CsrOperator<double, double> op(a);
-  BlockJacobiIlu0 ilu(a, {.nblocks = 1, .alpha = 1.0});
+  auto p = test::make_problem(test::scaled_convdiff2d(8, 5.0), 3);
+  CsrOperator<double, double> op(p.a);
+  BlockJacobiIlu0 ilu(p.a, {.nblocks = 1, .alpha = 1.0});
   auto m = ilu.make_apply_fp64(Prec::FP64);
   BiCgStabSolver<double> s(op, *m, {.rtol = 1e-9, .max_iters = 500});
-  const auto b = random_vector<double>(a.nrows, 3, 0.0, 1.0);
-  std::vector<double> x(a.nrows, 0.0);
-  const auto res = s.solve(b, std::span<double>(x));
-  EXPECT_TRUE(res.converged);
+  const auto res = s.solve(p.b, std::span<double>(p.x));
+  EXPECT_TRUE(test::converged(res));
   // Table 3 counts preconditioner invocations: 2 per full iteration
   // (the converged-at-s early exit uses only 1 on the last step).
   EXPECT_GE(ilu.invocations(), static_cast<std::uint64_t>(2 * res.iterations - 1));
@@ -76,62 +56,52 @@ TEST(BiCgStab, TwoPrecondCallsPerIteration) {
 }
 
 TEST(BiCgStab, HistoryMonotoneAtExit) {
-  const auto a = nonsym_problem(10, 8.0);
-  CsrOperator<double, double> op(a);
-  IdentityPrecond<double> m(a.nrows);
+  auto p = test::make_problem(test::scaled_convdiff2d(10, 8.0), 4);
+  CsrOperator<double, double> op(p.a);
+  IdentityPrecond<double> m(p.a.nrows);
   BiCgStabSolver<double> s(op, m, {.rtol = 1e-8, .max_iters = 2000, .record_history = true});
-  const auto b = random_vector<double>(a.nrows, 4, 0.0, 1.0);
-  std::vector<double> x(a.nrows, 0.0);
-  const auto res = s.solve(b, std::span<double>(x));
-  EXPECT_TRUE(res.converged);
+  const auto res = s.solve(p.b, std::span<double>(p.x));
+  EXPECT_TRUE(test::converged(res));
   ASSERT_GE(res.history.size(), 2u);
   EXPECT_LE(res.history.back(), 1e-8);  // final entry below tolerance
 }
 
 TEST(BiCgStab, IterationCapReportsFailure) {
-  const auto a = nonsym_problem(16, 50.0);
-  CsrOperator<double, double> op(a);
-  IdentityPrecond<double> m(a.nrows);
+  auto p = test::make_problem(test::scaled_convdiff2d(16, 50.0), 5);
+  CsrOperator<double, double> op(p.a);
+  IdentityPrecond<double> m(p.a.nrows);
   BiCgStabSolver<double> s(op, m, {.rtol = 1e-14, .max_iters = 2});
-  const auto b = random_vector<double>(a.nrows, 5, 0.0, 1.0);
-  std::vector<double> x(a.nrows, 0.0);
-  EXPECT_FALSE(s.solve(b, std::span<double>(x)).converged);
+  EXPECT_TRUE(test::not_converged(s.solve(p.b, std::span<double>(p.x))));
 }
 
 TEST(BiCgStab, ZeroRhsImmediate) {
-  const auto a = nonsym_problem(4, 1.0);
+  const auto a = test::scaled_convdiff2d(4, 1.0);
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> m(a.nrows);
   BiCgStabSolver<double> s(op, m, {});
   std::vector<double> b(a.nrows, 0.0), x(a.nrows, 0.0);
   const auto res = s.solve(std::span<const double>(b), std::span<double>(x));
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(test::converged(res));
   EXPECT_EQ(res.iterations, 0);
 }
 
 TEST(BiCgStab, SymmetricSystemAlsoWorks) {
-  auto a = gen::laplace2d(12, 12);
-  diagonal_scale_symmetric(a);
-  CsrOperator<double, double> op(a);
-  IdentityPrecond<double> m(a.nrows);
+  auto p = test::make_problem(test::scaled_laplace2d(12, 12), 6);
+  CsrOperator<double, double> op(p.a);
+  IdentityPrecond<double> m(p.a.nrows);
   BiCgStabSolver<double> s(op, m, {.rtol = 1e-9, .max_iters = 2000});
-  const auto b = random_vector<double>(a.nrows, 6, 0.0, 1.0);
-  std::vector<double> x(a.nrows, 0.0);
-  EXPECT_TRUE(s.solve(b, std::span<double>(x)).converged);
+  EXPECT_TRUE(test::converged(s.solve(p.b, std::span<double>(p.x))));
 }
 
 TEST(BiCgStab, NoNanOnSingularMatrix) {
-  CsrMatrix<double> a(2, 2);
-  a.row_ptr = {0, 1, 1};
-  a.col_idx = {0};
-  a.vals = {1.0};  // second row identically zero
+  const auto a = test::singular_row2();
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> m(2);
   BiCgStabSolver<double> s(op, m, {.rtol = 1e-10, .max_iters = 10});
   std::vector<double> b = {1.0, 1.0}, x(2, 0.0);
   const auto res = s.solve(std::span<const double>(b), std::span<double>(x));
-  EXPECT_FALSE(res.converged);
-  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(test::not_converged(res));
+  EXPECT_TRUE(test::all_finite(x));
 }
 
 }  // namespace

@@ -5,59 +5,51 @@
 #include "krylov/cg.hpp"
 #include "precond/block_jacobi_ic0.hpp"
 #include "precond/jacobi.hpp"
-#include "sparse/gen/laplace.hpp"
-#include "sparse/gen/stencil.hpp"
-#include "sparse/scaling.hpp"
 #include "sparse/spmv.hpp"
+#include "support/problems.hpp"
+#include "support/solver_checks.hpp"
 
 namespace nk {
 namespace {
 
 TEST(Cg, SolvesLaplacianWithJacobi) {
-  auto a = gen::laplace2d(16, 16);
-  diagonal_scale_symmetric(a);
-  CsrOperator<double, double> op(a);
-  JacobiPrecond jac(a);
+  auto p = test::make_problem(test::scaled_laplace2d(16, 16), 1);
+  CsrOperator<double, double> op(p.a);
+  JacobiPrecond jac(p.a);
   auto m = jac.make_apply_fp64(Prec::FP64);
   CgSolver<double> cg(op, *m, {.rtol = 1e-10, .max_iters = 2000});
-  const auto b = random_vector<double>(a.nrows, 1, 0.0, 1.0);
-  std::vector<double> x(a.nrows, 0.0);
-  const auto res = cg.solve(b, std::span<double>(x));
-  EXPECT_TRUE(res.converged);
-  EXPECT_LT(relative_residual(a, std::span<const double>(x), std::span<const double>(b)), 1e-9);
+  const auto res = cg.solve(p.b, std::span<double>(p.x));
+  EXPECT_TRUE(test::converged(res));
+  EXPECT_TRUE(test::residual_below(p.a, p.x, p.b, 1e-9));
 }
 
 TEST(Cg, Ic0PreconditioningReducesIterations) {
-  auto a = gen::hpcg(3, 3, 3);
-  diagonal_scale_symmetric(a);
-  CsrOperator<double, double> op(a);
-  const auto b = random_vector<double>(a.nrows, 2, 0.0, 1.0);
+  auto p = test::make_problem(test::scaled_hpcg(3), 2);
+  CsrOperator<double, double> op(p.a);
 
-  IdentityPrecond<double> ident(a.nrows);
+  IdentityPrecond<double> ident(p.a.nrows);
   CgSolver<double> plain(op, ident, {.rtol = 1e-8, .max_iters = 5000});
-  std::vector<double> x1(a.nrows, 0.0);
-  const auto r1 = plain.solve(b, std::span<double>(x1));
+  std::vector<double> x1(p.a.nrows, 0.0);
+  const auto r1 = plain.solve(p.b, std::span<double>(x1));
 
-  BlockJacobiIc0 ic(a, {.nblocks = 2, .alpha = 1.0});
+  BlockJacobiIc0 ic(p.a, {.nblocks = 2, .alpha = 1.0});
   auto m = ic.make_apply_fp64(Prec::FP64);
   CgSolver<double> pcg(op, *m, {.rtol = 1e-8, .max_iters = 5000});
-  std::vector<double> x2(a.nrows, 0.0);
-  const auto r2 = pcg.solve(b, std::span<double>(x2));
+  std::vector<double> x2(p.a.nrows, 0.0);
+  const auto r2 = pcg.solve(p.b, std::span<double>(x2));
 
-  EXPECT_TRUE(r1.converged);
-  EXPECT_TRUE(r2.converged);
+  EXPECT_TRUE(test::converged(r1));
+  EXPECT_TRUE(test::converged(r2));
   EXPECT_LT(r2.iterations, r1.iterations);
 }
 
 TEST(Cg, HistoryRecordsEveryIteration) {
-  auto a = gen::laplace2d(8, 8);
-  CsrOperator<double, double> op(a);
-  IdentityPrecond<double> m(a.nrows);
+  auto p = test::make_problem(test::laplace2d(8, 8), 3);
+  CsrOperator<double, double> op(p.a);
+  IdentityPrecond<double> m(p.a.nrows);
   CgSolver<double> cg(op, m, {.rtol = 1e-8, .max_iters = 500, .record_history = true});
-  const auto b = random_vector<double>(a.nrows, 3, 0.0, 1.0);
-  std::vector<double> x(a.nrows, 0.0);
-  const auto res = cg.solve(b, std::span<double>(x));
-  EXPECT_TRUE(res.converged);
+  const auto res = cg.solve(p.b, std::span<double>(p.x));
+  EXPECT_TRUE(test::converged(res));
   // history[0] is the initial relres 1.0; one entry per iteration after.
   ASSERT_EQ(static_cast<int>(res.history.size()), res.iterations + 1);
   EXPECT_DOUBLE_EQ(res.history.front(), 1.0);
@@ -65,30 +57,28 @@ TEST(Cg, HistoryRecordsEveryIteration) {
 }
 
 TEST(Cg, IterationCapReportsFailure) {
-  auto a = gen::laplace2d(20, 20);
-  CsrOperator<double, double> op(a);
-  IdentityPrecond<double> m(a.nrows);
+  auto p = test::make_problem(test::laplace2d(20, 20), 4);
+  CsrOperator<double, double> op(p.a);
+  IdentityPrecond<double> m(p.a.nrows);
   CgSolver<double> cg(op, m, {.rtol = 1e-14, .max_iters = 3});
-  const auto b = random_vector<double>(a.nrows, 4, 0.0, 1.0);
-  std::vector<double> x(a.nrows, 0.0);
-  const auto res = cg.solve(b, std::span<double>(x));
-  EXPECT_FALSE(res.converged);
+  const auto res = cg.solve(p.b, std::span<double>(p.x));
+  EXPECT_TRUE(test::not_converged(res));
   EXPECT_EQ(res.iterations, 3);
 }
 
 TEST(Cg, ZeroRhsConvergesImmediately) {
-  auto a = gen::laplace2d(4, 4);
+  const auto a = test::laplace2d(4, 4);
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> m(a.nrows);
   CgSolver<double> cg(op, m, {});
   std::vector<double> b(a.nrows, 0.0), x(a.nrows, 0.0);
   const auto res = cg.solve(std::span<const double>(b), std::span<double>(x));
-  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(test::converged(res));
   EXPECT_EQ(res.iterations, 0);
 }
 
 TEST(Cg, WarmStartFromGoodGuess) {
-  auto a = gen::laplace2d(10, 10);
+  const auto a = test::laplace2d(10, 10);
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> m(a.nrows);
   const auto xs = random_vector<double>(a.nrows, 5, -1.0, 1.0);
@@ -100,17 +90,14 @@ TEST(Cg, WarmStartFromGoodGuess) {
   const auto rc = cg.solve(std::span<const double>(b), std::span<double>(cold));
   std::vector<double> warm = xs;  // exact solution as guess
   const auto rw = cg.solve(std::span<const double>(b), std::span<double>(warm));
-  EXPECT_TRUE(rw.converged);
+  EXPECT_TRUE(test::converged(rw));
   EXPECT_LT(rw.iterations, rc.iterations);
 }
 
 TEST(Cg, BreakdownOnIndefiniteMatrixDetected) {
   // CG on an indefinite matrix: (p, Ap) can hit 0/negative — the solver
   // must exit without crashing (converged = false or early exit).
-  CsrMatrix<double> a(2, 2);
-  a.row_ptr = {0, 1, 2};
-  a.col_idx = {0, 1};
-  a.vals = {1.0, -1.0};
+  const auto a = test::indefinite_diag2();
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> m(2);
   CgSolver<double> cg(op, m, {.rtol = 1e-12, .max_iters = 50});
@@ -118,24 +105,20 @@ TEST(Cg, BreakdownOnIndefiniteMatrixDetected) {
   const auto res = cg.solve(std::span<const double>(b), std::span<double>(x));
   // Diagonal ±1: CG actually solves it in 2 steps or breaks down — either
   // way, no NaNs in x.
-  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(test::all_finite(x));
   (void)res;
 }
 
 TEST(Cg, Fp16PreconditionerStorageStillConverges) {
   // The paper's fp16-CG: fp64 CG + fp16-stored IC(0).
-  auto a = gen::hpcg(3, 3, 3);
-  diagonal_scale_symmetric(a);
-  CsrOperator<double, double> op(a);
-  BlockJacobiIc0 ic(a, {.nblocks = 2, .alpha = 1.0});
+  auto p = test::make_problem(test::scaled_hpcg(3), 7);
+  CsrOperator<double, double> op(p.a);
+  BlockJacobiIc0 ic(p.a, {.nblocks = 2, .alpha = 1.0});
   auto m16 = ic.make_apply_fp64(Prec::FP16);
   CgSolver<double> cg(op, *m16, {.rtol = 1e-8, .max_iters = 5000});
-  const auto b = random_vector<double>(a.nrows, 7, 0.0, 1.0);
-  std::vector<double> x(a.nrows, 0.0);
-  const auto res = cg.solve(b, std::span<double>(x));
-  EXPECT_TRUE(res.converged);
-  EXPECT_LT(relative_residual(a, std::span<const double>(x), std::span<const double>(b)),
-            2e-8);
+  const auto res = cg.solve(p.b, std::span<double>(p.x));
+  EXPECT_TRUE(test::converged(res));
+  EXPECT_TRUE(test::residual_below(p.a, p.x, p.b, 2e-8));
 }
 
 }  // namespace

@@ -5,9 +5,8 @@
 #include "base/rng.hpp"
 #include "krylov/chebyshev.hpp"
 #include "precond/jacobi.hpp"
-#include "sparse/gen/laplace.hpp"
-#include "sparse/scaling.hpp"
 #include "sparse/spmv.hpp"
+#include "support/problems.hpp"
 
 namespace nk {
 namespace {
@@ -25,8 +24,7 @@ TEST(PowerIteration, EstimatesDominantEigenvalueOfDiagonal) {
 
 TEST(PowerIteration, ScaledLaplacianSpectrumBounded) {
   // Diagonally scaled Laplacian has eigenvalues in (0, 2).
-  auto a = gen::laplace2d(16, 16);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(16, 16);
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> ident(a.nrows);
   const double lmax = estimate_lambda_max(op, ident, 40);
@@ -35,8 +33,7 @@ TEST(PowerIteration, ScaledLaplacianSpectrumBounded) {
 }
 
 TEST(Chebyshev, ReducesResidualEachInvocation) {
-  auto a = gen::laplace2d(12, 12);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(12, 12);
   CsrOperator<double, double> op(a);
   JacobiPrecond jac(a);
   auto m = jac.make_apply_fp64(Prec::FP64);
@@ -50,8 +47,7 @@ TEST(Chebyshev, ReducesResidualEachInvocation) {
 }
 
 TEST(Chebyshev, MoreIterationsReduceMore) {
-  auto a = gen::laplace2d(12, 12);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(12, 12);
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> ident(a.nrows);
   const auto v = random_vector<double>(a.nrows, 2, 0.0, 1.0);
@@ -68,7 +64,7 @@ TEST(Chebyshev, MoreIterationsReduceMore) {
 }
 
 TEST(Chebyshev, EllipseParametersFromConfig) {
-  auto a = gen::laplace2d(6, 6);
+  auto a = test::laplace2d(6, 6);
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> ident(a.nrows);
   ChebyshevSolver<double> cheb(op, ident, {.m = 2, .lambda_max = 10.0, .eig_ratio = 10.0,
@@ -80,8 +76,7 @@ TEST(Chebyshev, EllipseParametersFromConfig) {
 TEST(Chebyshev, WorksOnFloatVectorsOverCastMatrix) {
   // The mixed-precision configuration a nested level would use: fp32
   // vectors over an fp32 copy of the matrix.
-  auto a = gen::laplace2d(12, 12);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(12, 12);
   auto a32 = cast_matrix<float>(a);
   CsrOperator<float, float> op32(a32);
   JacobiPrecond jac(a);

@@ -4,10 +4,8 @@
 #include "base/rng.hpp"
 #include "krylov/fgmres.hpp"
 #include "precond/jacobi.hpp"
-#include "sparse/gen/convdiff.hpp"
-#include "sparse/gen/laplace.hpp"
-#include "sparse/scaling.hpp"
 #include "sparse/spmv.hpp"
+#include "support/problems.hpp"
 
 namespace nk {
 namespace {
@@ -29,8 +27,7 @@ TEST(Fgmres, SolvesIdentityInOneIteration) {
 }
 
 TEST(Fgmres, SolvesSpdSystemToTolerance) {
-  auto a = gen::laplace2d(12, 12);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(12, 12);
   CsrOperator<double, double> op(a);
   JacobiPrecond jac(a);
   auto m = jac.make_apply_fp64(Prec::FP64);
@@ -44,12 +41,7 @@ TEST(Fgmres, SolvesSpdSystemToTolerance) {
 }
 
 TEST(Fgmres, SolvesNonsymmetricSystem) {
-  gen::ConvDiffOptions o;
-  o.nx = o.ny = 10;
-  o.nz = 1;
-  o.vx = 20.0;
-  auto a = gen::convdiff(o);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_convdiff2d(10, 20.0);
   CsrOperator<double, double> op(a);
   JacobiPrecond jac(a);
   auto m = jac.make_apply_fp64(Prec::FP64);
@@ -62,8 +54,7 @@ TEST(Fgmres, SolvesNonsymmetricSystem) {
 }
 
 TEST(Fgmres, GivensEstimateTracksTrueResidual) {
-  auto a = gen::laplace2d(10, 10);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(10, 10);
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> m(a.nrows);
   FgmresSolver<double> s(op, m, {.m = 40});
@@ -77,7 +68,7 @@ TEST(Fgmres, GivensEstimateTracksTrueResidual) {
 }
 
 TEST(Fgmres, ResidualEstimatesMonotoneNonincreasing) {
-  auto a = gen::laplace2d(8, 8);
+  auto a = test::laplace2d(8, 8);
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> m(a.nrows);
   FgmresSolver<double> s(op, m, {.m = 30});
@@ -91,8 +82,7 @@ TEST(Fgmres, ResidualEstimatesMonotoneNonincreasing) {
 }
 
 TEST(Fgmres, InnerApplyReducesResidualFromZeroGuess) {
-  auto a = gen::laplace2d(10, 10);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(10, 10);
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> m(a.nrows);
   FgmresSolver<double> inner(op, m, {.m = 8});
@@ -106,7 +96,7 @@ TEST(Fgmres, InnerApplyReducesResidualFromZeroGuess) {
 }
 
 TEST(Fgmres, NonzeroInitialGuessContinuesSolve) {
-  auto a = gen::laplace2d(8, 8);
+  auto a = test::laplace2d(8, 8);
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> m(a.nrows);
   FgmresSolver<double> s(op, m, {.m = 20});
@@ -121,7 +111,7 @@ TEST(Fgmres, NonzeroInitialGuessContinuesSolve) {
 }
 
 TEST(Fgmres, ZeroRhsReturnsImmediately) {
-  auto a = gen::laplace2d(4, 4);
+  auto a = test::laplace2d(4, 4);
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> m(a.nrows);
   FgmresSolver<double> s(op, m, {.m = 5});
@@ -147,8 +137,7 @@ TEST(Fgmres, FlexiblePreconditioningWithVariableInner) {
     index_t n_;
     int calls_ = 0;
   };
-  auto a = gen::laplace2d(10, 10);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(10, 10);
   CsrOperator<double, double> op(a);
   Alternating m(a.nrows);
   FgmresSolver<double> s(op, m, {.m = 120});
@@ -160,7 +149,7 @@ TEST(Fgmres, FlexiblePreconditioningWithVariableInner) {
 }
 
 TEST(Fgmres, TotalIterationsAccumulate) {
-  auto a = gen::laplace2d(6, 6);
+  auto a = test::laplace2d(6, 6);
   CsrOperator<double, double> op(a);
   IdentityPrecond<double> m(a.nrows);
   FgmresSolver<double> s(op, m, {.m = 4});
@@ -173,8 +162,7 @@ TEST(Fgmres, TotalIterationsAccumulate) {
 
 TEST(Fgmres, Fp32SolverOnFp16Matrix) {
   // The F3R level-3 configuration: fp16-stored matrix, fp32 vectors.
-  auto a = gen::laplace2d(12, 12);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(12, 12);
   const auto a16 = cast_matrix<half>(a);
   CsrOperator<half, float> op(a16);
   IdentityPrecond<float> m(a.nrows);

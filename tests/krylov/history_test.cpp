@@ -1,0 +1,60 @@
+// Tests for the SolveResult summary line and the geometric-mean helper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "krylov/history.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Summarize, ConvergedRunMentionsEveryHeadlineMetric) {
+  SolveResult r;
+  r.solver = "fp16-F3R";
+  r.converged = true;
+  r.iterations = 12;
+  r.precond_invocations = 768;
+  r.seconds = 0.42;
+  r.final_relres = 6.3e-9;
+  const std::string s = summarize(r);
+  EXPECT_NE(s.find("fp16-F3R"), std::string::npos);
+  EXPECT_NE(s.find("converged"), std::string::npos);
+  EXPECT_NE(s.find("12 outer its"), std::string::npos);
+  EXPECT_NE(s.find("768 M-applies"), std::string::npos);
+  EXPECT_NE(s.find("0.42 s"), std::string::npos);
+  EXPECT_NE(s.find("6.30e-09"), std::string::npos);
+}
+
+TEST(Summarize, FailedRunSaysFailed) {
+  SolveResult r;
+  r.solver = "fp64-CG";
+  r.converged = false;
+  r.iterations = 19200;
+  const std::string s = summarize(r);
+  EXPECT_NE(s.find("FAILED"), std::string::npos);
+  EXPECT_EQ(s.find("converged"), std::string::npos);
+}
+
+TEST(Geomean, EmptyInputIsZero) { EXPECT_DOUBLE_EQ(geomean({}), 0.0); }
+
+TEST(Geomean, SingletonIsIdentity) { EXPECT_DOUBLE_EQ(geomean({2.5}), 2.5); }
+
+TEST(Geomean, KnownValues) {
+  // geomean(2, 8) = 4; geomean(1, 10, 100) = 10.
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-12);
+}
+
+TEST(Geomean, InvariantUnderPermutation) {
+  EXPECT_DOUBLE_EQ(geomean({3.0, 1.5, 0.5}), geomean({0.5, 3.0, 1.5}));
+}
+
+TEST(Geomean, MatchesLogDefinitionForSpeedupRatios) {
+  const std::vector<double> xs = {1.43, 0.97, 2.10, 1.08};
+  double s = 0.0;
+  for (double x : xs) s += std::log(x);
+  EXPECT_NEAR(geomean(xs), std::exp(s / 4.0), 1e-15);
+}
+
+}  // namespace
+}  // namespace nk

@@ -4,9 +4,8 @@
 #include "base/rng.hpp"
 #include "krylov/richardson.hpp"
 #include "precond/jacobi.hpp"
-#include "sparse/gen/laplace.hpp"
-#include "sparse/scaling.hpp"
 #include "sparse/spmv.hpp"
+#include "support/problems.hpp"
 
 namespace nk {
 namespace {
@@ -18,8 +17,7 @@ struct Fixture {
   std::unique_ptr<Preconditioner<double>> m;
 
   explicit Fixture(index_t nx = 10) {
-    a = gen::laplace2d(nx, nx);
-    diagonal_scale_symmetric(a);
+    a = test::scaled_laplace2d(nx, nx);
     op = std::make_unique<CsrOperator<double, double>>(a);
     jac = std::make_unique<JacobiPrecond>(a);
     m = jac->make_apply_fp64(Prec::FP64);
@@ -152,8 +150,7 @@ TEST(Richardson, StatePersistsAcrossInvocations) {
 
 TEST(Richardson, Fp16PathWithSeparateFp32Operator) {
   // The fp16-F3R innermost configuration: fp16 matrix + vectors, fp32 ω'.
-  auto a = gen::laplace2d(12, 12);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(12, 12);
   const auto a16 = cast_matrix<half>(a);
   CsrOperator<half, half> op16(a16);
   CsrOperator<half, float> op32(a16);

@@ -3,10 +3,8 @@
 
 #include "base/rng.hpp"
 #include "precond/ainv.hpp"
-#include "sparse/gen/convdiff.hpp"
-#include "sparse/gen/laplace.hpp"
-#include "sparse/scaling.hpp"
 #include "sparse/spmv.hpp"
+#include "support/problems.hpp"
 
 namespace nk {
 namespace {
@@ -38,27 +36,19 @@ TEST(Ainv, ExactOnDiagonalMatrix) {
 
 TEST(Ainv, NoDropGivesExactInverseSmallSpd) {
   // With drop tolerance 0 and unlimited fill, biconjugation is exact.
-  auto a = gen::laplace2d(5, 5);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(5, 5);
   SdAinv m(a, {.drop_tol = 0.0, .max_fill = 0, .symmetric = true});
   EXPECT_LT(apply_and_residual(a, m), 1e-8);
 }
 
 TEST(Ainv, NoDropGivesExactInverseSmallNonsym) {
-  gen::ConvDiffOptions o;
-  o.nx = 5;
-  o.ny = 5;
-  o.nz = 1;
-  o.vx = 3.0;
-  auto a = gen::convdiff(o);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_convdiff2d(5, 3.0);
   SdAinv m(a, {.drop_tol = 0.0, .max_fill = 0, .symmetric = false});
   EXPECT_LT(apply_and_residual(a, m), 1e-8);
 }
 
 TEST(Ainv, DroppedVersionStillReducesResidual) {
-  auto a = gen::laplace2d(16, 16);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(16, 16);
   SdAinv m(a, {.drop_tol = 0.1, .max_fill = 10, .symmetric = true});
   // Approximate inverse: A·M⁻¹r should be much closer to r than 0 is
   // (relative residual < 1 means M is better than identity scaling-wise).
@@ -69,8 +59,7 @@ TEST(Ainv, ApplyCostsExactlyTwoSpmvEquivalents) {
   // Structure check: Wᵀ and Z each have ≥ n entries (unit diagonals) and
   // the handle performs spmv(wt) + diag + spmv(z); we verify fill is
   // bounded by the max_fill cap.
-  auto a = gen::laplace2d(12, 12);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(12, 12);
   SdAinv m(a, {.drop_tol = 0.1, .max_fill = 5, .symmetric = true});
   const auto& f = m.factors_fp64();
   EXPECT_EQ(f.n, a.nrows);
@@ -80,8 +69,7 @@ TEST(Ainv, ApplyCostsExactlyTwoSpmvEquivalents) {
 }
 
 TEST(Ainv, SymmetricModeSharesFactors) {
-  auto a = gen::laplace2d(8, 8);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(8, 8);
   SdAinv m(a, {.drop_tol = 0.05, .max_fill = 8, .symmetric = true});
   const auto& f = m.factors_fp64();
   // W = Z → Wᵀ must equal Zᵀ: compare via transpose(z).
@@ -93,8 +81,7 @@ TEST(Ainv, SymmetricModeSharesFactors) {
 }
 
 TEST(Ainv, AlphaBoostChangesFactors) {
-  auto a = gen::laplace2d(8, 8);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(8, 8);
   SdAinv m1(a, {.alpha = 1.0, .symmetric = true});
   SdAinv m2(a, {.alpha = 1.5, .symmetric = true});
   // Boosted construction yields smaller |M⁻¹| (more diagonally dominant).
@@ -115,8 +102,7 @@ TEST(Ainv, PivotClampOnSingularMatrix) {
 }
 
 TEST(Ainv, CastHandles) {
-  auto a = gen::laplace2d(10, 10);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(10, 10);
   SdAinv m(a, {.symmetric = true});
   const auto r = random_vector<double>(a.nrows, 3, 0.0, 1.0);
   std::vector<double> z64(a.nrows), z16(a.nrows);
@@ -127,8 +113,7 @@ TEST(Ainv, CastHandles) {
 }
 
 TEST(Ainv, Fp16HandleApplyOnHalfVectors) {
-  auto a = gen::laplace2d(10, 10);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(10, 10);
   SdAinv m(a, {.symmetric = true});
   auto h = m.make_apply_fp16(Prec::FP16);
   const auto r = random_vector<half>(a.nrows, 4, 0.0, 1.0);
@@ -138,7 +123,7 @@ TEST(Ainv, Fp16HandleApplyOnHalfVectors) {
 }
 
 TEST(Ainv, InvocationCounting) {
-  auto a = gen::laplace2d(6, 6);
+  auto a = test::laplace2d(6, 6);
   SdAinv m(a, {.symmetric = true});
   auto h = m.make_apply_fp64(Prec::FP64);
   std::vector<double> r(a.nrows, 1.0), z(a.nrows);

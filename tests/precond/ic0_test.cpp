@@ -3,10 +3,9 @@
 
 #include "base/rng.hpp"
 #include "precond/block_jacobi_ic0.hpp"
-#include "sparse/gen/laplace.hpp"
 #include "sparse/gen/stencil.hpp"
-#include "sparse/scaling.hpp"
 #include "sparse/spmv.hpp"
+#include "support/problems.hpp"
 
 namespace nk {
 namespace {
@@ -60,7 +59,7 @@ TEST(Ic0, FactorsReproduceMatrixOnPattern) {
 
 TEST(Ic0, SymmetricApplyIsSymmetric) {
   // M⁻¹ = L⁻ᵀL⁻¹ is symmetric: (M⁻¹u, v) == (u, M⁻¹v).
-  auto a = gen::laplace2d(12, 12);
+  auto a = test::laplace2d(12, 12);
   BlockJacobiIc0 m(a, {.nblocks = 3, .alpha = 1.0});
   auto h = m.make_apply_fp64(Prec::FP64);
   const auto u = random_vector<double>(a.nrows, 4, -1.0, 1.0);
@@ -75,8 +74,7 @@ TEST(Ic0, SymmetricApplyIsSymmetric) {
 
 TEST(Ic0, PositiveDefiniteApply) {
   // (r, M⁻¹ r) > 0 for any nonzero r.
-  auto a = gen::hpcg(3, 3, 3);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_hpcg(3);
   BlockJacobiIc0 m(a, {.nblocks = 4, .alpha = 1.0});
   auto h = m.make_apply_fp64(Prec::FP64);
   for (std::uint64_t seed : {1u, 2u, 3u}) {
@@ -116,8 +114,7 @@ TEST(Ic0, AlphaReducesBreakdowns) {
 }
 
 TEST(Ic0, CastHandlesAgree) {
-  auto a = gen::laplace2d(10, 10);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(10, 10);
   BlockJacobiIc0 m(a, {.nblocks = 2, .alpha = 1.0});
   const auto r = random_vector<double>(a.nrows, 9, 0.0, 1.0);
   std::vector<double> z64(a.nrows), z16(a.nrows);

@@ -5,8 +5,8 @@
 #include "precond/block_jacobi_ilu0.hpp"
 #include "sparse/gen/random_matrix.hpp"
 #include "sparse/gen/stencil.hpp"
-#include "sparse/scaling.hpp"
 #include "sparse/spmv.hpp"
+#include "support/problems.hpp"
 
 namespace nk {
 namespace {
@@ -135,8 +135,7 @@ TEST(Ilu0, MissingDiagonalInsertedAndCounted) {
 }
 
 TEST(Ilu0, CastStorageCloseToFp64Apply) {
-  auto a = gen::hpcg(3, 3, 3);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_hpcg(3);
   BlockJacobiIlu0 m(a, {.nblocks = 4, .alpha = 1.0});
   const auto r = random_vector<double>(a.nrows, 5, 0.0, 1.0);
   std::vector<double> z64(a.nrows), z32(a.nrows), z16(a.nrows);
@@ -178,8 +177,7 @@ TEST(Ilu0, RejectsNonSquare) {
 }
 
 TEST(Ilu0, Fp16VectorApplyStaysFinite) {
-  auto a = gen::hpcg(3, 3, 3);
-  diagonal_scale_symmetric(a);  // required for fp16 viability
+  auto a = test::scaled_hpcg(3);
   BlockJacobiIlu0 m(a, {.nblocks = 4, .alpha = 1.0});
   auto h = m.make_apply_fp16(Prec::FP16);
   const auto r = random_vector<half>(a.nrows, 6, 0.0, 1.0);

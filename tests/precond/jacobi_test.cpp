@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "precond/jacobi.hpp"
-#include "sparse/gen/laplace.hpp"
+#include "support/problems.hpp"
 
 namespace nk {
 namespace {
@@ -48,7 +48,7 @@ TEST(Jacobi, StoragePrecisionRounding) {
 }
 
 TEST(Jacobi, HalfVectorApply) {
-  const auto a = gen::laplace2d(4, 4);
+  const auto a = test::laplace2d(4, 4);
   JacobiPrecond m(a);
   auto h = m.make_apply_fp16(Prec::FP16);
   std::vector<half> r(a.nrows, static_cast<half>(2.0f)), z(a.nrows);
@@ -57,7 +57,7 @@ TEST(Jacobi, HalfVectorApply) {
 }
 
 TEST(Jacobi, CountsInvocations) {
-  const auto a = gen::laplace2d(3, 3);
+  const auto a = test::laplace2d(3, 3);
   JacobiPrecond m(a);
   auto h = m.make_apply_fp32(Prec::FP32);
   std::vector<float> r(a.nrows, 1.0f), z(a.nrows);

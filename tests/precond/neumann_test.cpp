@@ -5,15 +5,14 @@
 #include "krylov/cg.hpp"
 #include "precond/jacobi.hpp"
 #include "precond/neumann.hpp"
-#include "sparse/gen/laplace.hpp"
-#include "sparse/scaling.hpp"
 #include "sparse/spmv.hpp"
+#include "support/problems.hpp"
 
 namespace nk {
 namespace {
 
 TEST(Neumann, DegreeZeroIsJacobi) {
-  auto a = gen::laplace2d(6, 6);
+  auto a = test::laplace2d(6, 6);
   NeumannPrecond nm(a, {.degree = 0});
   JacobiPrecond jac(a);
   auto hn = nm.make_apply_fp64(Prec::FP64);
@@ -28,8 +27,7 @@ TEST(Neumann, DegreeZeroIsJacobi) {
 TEST(Neumann, MatchesExplicitSeriesOnScaledMatrix) {
   // On a diagonally scaled matrix (D = I), degree-2 must equal
   // (I + N + N²) r with N = I − A.
-  auto a = gen::laplace2d(5, 5);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(5, 5);
   NeumannPrecond nm(a, {.degree = 2});
   auto h = nm.make_apply_fp64(Prec::FP64);
   const auto r = random_vector<double>(a.nrows, 2, -1.0, 1.0);
@@ -49,8 +47,7 @@ TEST(Neumann, MatchesExplicitSeriesOnScaledMatrix) {
 }
 
 TEST(Neumann, HigherDegreeImprovesApproximation) {
-  auto a = gen::laplace2d(10, 10);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(10, 10);
   const auto r = random_vector<double>(a.nrows, 3, 0.0, 1.0);
   double prev = 1e300;
   for (int deg : {0, 1, 2, 4}) {
@@ -68,8 +65,7 @@ TEST(Neumann, HigherDegreeImprovesApproximation) {
 }
 
 TEST(Neumann, AcceleratesCg) {
-  auto a = gen::laplace2d(20, 20);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(20, 20);
   CsrOperator<double, double> op(a);
   const auto b = random_vector<double>(a.nrows, 4, 0.0, 1.0);
 
@@ -91,8 +87,7 @@ TEST(Neumann, AcceleratesCg) {
 }
 
 TEST(Neumann, Fp16StorageApplyFinite) {
-  auto a = gen::laplace2d(8, 8);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(8, 8);
   NeumannPrecond nm(a, {.degree = 2});
   auto h = nm.make_apply_fp16(Prec::FP16);
   const auto r = random_vector<half>(a.nrows, 5, 0.0, 1.0);
@@ -102,7 +97,7 @@ TEST(Neumann, Fp16StorageApplyFinite) {
 }
 
 TEST(Neumann, RejectsBadArguments) {
-  auto a = gen::laplace2d(4, 4);
+  auto a = test::laplace2d(4, 4);
   EXPECT_THROW(NeumannPrecond(a, {.degree = -1}), std::invalid_argument);
   CsrMatrix<double> rect(2, 3);
   rect.row_ptr = {0, 0, 0};
@@ -110,7 +105,7 @@ TEST(Neumann, RejectsBadArguments) {
 }
 
 TEST(Neumann, CountsInvocations) {
-  auto a = gen::laplace2d(4, 4);
+  auto a = test::laplace2d(4, 4);
   NeumannPrecond nm(a, {.degree = 1});
   auto h = nm.make_apply_fp64(Prec::FP64);
   std::vector<double> r(a.nrows, 1.0), z(a.nrows);

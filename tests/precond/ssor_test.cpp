@@ -4,9 +4,8 @@
 #include "base/rng.hpp"
 #include "krylov/cg.hpp"
 #include "precond/ssor.hpp"
-#include "sparse/gen/laplace.hpp"
-#include "sparse/scaling.hpp"
 #include "sparse/spmv.hpp"
+#include "support/problems.hpp"
 
 namespace nk {
 namespace {
@@ -48,7 +47,7 @@ TEST(Ssor, MatchesManualSweepOnSmallSystem) {
 }
 
 TEST(Ssor, SymmetricApplyForSpdMatrix) {
-  auto a = gen::laplace2d(10, 10);
+  auto a = test::laplace2d(10, 10);
   SsorPrecond m(a, {.nblocks = 2, .omega = 1.2});
   auto h = m.make_apply_fp64(Prec::FP64);
   const auto u = random_vector<double>(a.nrows, 1, -1.0, 1.0);
@@ -62,8 +61,7 @@ TEST(Ssor, SymmetricApplyForSpdMatrix) {
 }
 
 TEST(Ssor, PreconditionsCgFasterThanJacobi) {
-  auto a = gen::laplace2d(20, 20);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(20, 20);
   CsrOperator<double, double> op(a);
   const auto b = random_vector<double>(a.nrows, 3, 0.0, 1.0);
 
@@ -84,8 +82,7 @@ TEST(Ssor, PreconditionsCgFasterThanJacobi) {
 }
 
 TEST(Ssor, Fp16StorageApply) {
-  auto a = gen::laplace2d(8, 8);
-  diagonal_scale_symmetric(a);
+  auto a = test::scaled_laplace2d(8, 8);
   SsorPrecond m(a, {.nblocks = 2, .omega = 1.0});
   const auto r = random_vector<double>(a.nrows, 4, 0.0, 1.0);
   std::vector<double> z64(a.nrows), z16(a.nrows);
@@ -96,7 +93,7 @@ TEST(Ssor, Fp16StorageApply) {
 }
 
 TEST(Ssor, RejectsBadParameters) {
-  auto a = gen::laplace2d(4, 4);
+  auto a = test::laplace2d(4, 4);
   EXPECT_THROW(SsorPrecond(a, {.nblocks = 1, .omega = 0.0}), std::invalid_argument);
   EXPECT_THROW(SsorPrecond(a, {.nblocks = 1, .omega = 2.0}), std::invalid_argument);
   CsrMatrix<double> rect(2, 3);
@@ -105,7 +102,7 @@ TEST(Ssor, RejectsBadParameters) {
 }
 
 TEST(Ssor, CountsInvocations) {
-  auto a = gen::laplace2d(4, 4);
+  auto a = test::laplace2d(4, 4);
   SsorPrecond m(a, {.nblocks = 1, .omega = 1.0});
   auto h = m.make_apply_fp32(Prec::FP32);
   std::vector<float> r(a.nrows, 1.0f), z(a.nrows);

@@ -1,0 +1,68 @@
+#include "support/problems.hpp"
+
+#include "base/rng.hpp"
+#include "sparse/gen/convdiff.hpp"
+#include "sparse/gen/laplace.hpp"
+#include "sparse/gen/stencil.hpp"
+#include "sparse/scaling.hpp"
+
+namespace nk::test {
+
+CsrMatrix<double> laplace2d(int nx, int ny) { return gen::laplace2d(nx, ny); }
+
+CsrMatrix<double> scaled_laplace2d(int nx, int ny) {
+  auto a = gen::laplace2d(nx, ny);
+  diagonal_scale_symmetric(a);
+  return a;
+}
+
+CsrMatrix<double> scaled_hpcg(int l) {
+  auto a = gen::hpcg(l, l, l);
+  diagonal_scale_symmetric(a);
+  return a;
+}
+
+CsrMatrix<double> scaled_convdiff2d(int nx, double vx) {
+  gen::ConvDiffOptions o;
+  o.nx = nx;
+  o.ny = nx;
+  o.nz = 1;
+  o.vx = vx;
+  o.vy = vx / 2;
+  auto a = gen::convdiff(o);
+  diagonal_scale_symmetric(a);
+  return a;
+}
+
+CsrMatrix<double> spd_tridiag3() {
+  CsrMatrix<double> a(3, 3);
+  a.row_ptr = {0, 2, 5, 7};
+  a.col_idx = {0, 1, 0, 1, 2, 1, 2};
+  a.vals = {4.0, -1.0, -1.0, 4.0, -1.0, -1.0, 4.0};
+  return a;
+}
+
+CsrMatrix<double> indefinite_diag2() {
+  CsrMatrix<double> a(2, 2);
+  a.row_ptr = {0, 1, 2};
+  a.col_idx = {0, 1};
+  a.vals = {1.0, -1.0};
+  return a;
+}
+
+CsrMatrix<double> singular_row2() {
+  CsrMatrix<double> a(2, 2);
+  a.row_ptr = {0, 1, 1};
+  a.col_idx = {0};
+  a.vals = {1.0};
+  return a;
+}
+
+TestProblem make_problem(CsrMatrix<double> a, std::uint64_t seed, double lo, double hi) {
+  TestProblem p{std::move(a), {}, {}};
+  p.b = random_vector<double>(p.a.nrows, seed, lo, hi);
+  p.x.assign(p.a.nrows, 0.0);
+  return p;
+}
+
+}  // namespace nk::test

@@ -1,0 +1,55 @@
+// Shared test fixtures: the canonical small matrices and prepared linear
+// systems the krylov/precond/integration tests exercise solvers on.
+//
+// Every factory returns the matrix *after* symmetric diagonal scaling when
+// the paper's pipeline would scale it (all solver tests run on scaled
+// systems), and every right-hand side is seeded, so tests stay
+// deterministic and bit-reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace nk::test {
+
+/// 5-point 2-D Laplacian on an nx x ny grid, symmetrically scaled to unit
+/// diagonal. SPD; the workhorse matrix of the flat-solver tests.
+CsrMatrix<double> scaled_laplace2d(int nx, int ny);
+
+/// Unscaled 5-point 2-D Laplacian (for preconditioner construction tests
+/// that need the raw diagonal).
+CsrMatrix<double> laplace2d(int nx, int ny);
+
+/// HPCG 27-point stencil on a (2^l)^3 grid, symmetrically scaled. SPD.
+CsrMatrix<double> scaled_hpcg(int l);
+
+/// 2-D convection-diffusion on an nx x nx grid with convection (vx, vx/2),
+/// symmetrically scaled. Nonsymmetric; the workhorse of the
+/// BiCGStab/FGMRES tests.
+CsrMatrix<double> scaled_convdiff2d(int nx, double vx);
+
+/// Small dense-diagonal SPD matrix with known entries:
+///   [ 4 -1  0; -1  4 -1; 0 -1  4 ]  (CSR, 3x3)
+CsrMatrix<double> spd_tridiag3();
+
+/// Indefinite diagonal diag(1, -1): CG/IC0 breakdown-path probe.
+CsrMatrix<double> indefinite_diag2();
+
+/// Singular 2x2 matrix whose second row is identically zero:
+/// breakdown/no-NaN probe for the nonsymmetric solvers.
+CsrMatrix<double> singular_row2();
+
+/// A prepared system: matrix + seeded RHS + zero initial guess.
+struct TestProblem {
+  CsrMatrix<double> a;
+  std::vector<double> b;
+  std::vector<double> x;  ///< zero-initialised, sized to a.nrows
+};
+
+/// Attach a seeded uniform-[lo,hi) RHS and a zero guess to `a`.
+TestProblem make_problem(CsrMatrix<double> a, std::uint64_t seed, double lo = 0.0,
+                         double hi = 1.0);
+
+}  // namespace nk::test

@@ -1,0 +1,50 @@
+#include "support/solver_checks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/blas1.hpp"
+#include "sparse/spmv.hpp"
+
+namespace nk::test {
+
+::testing::AssertionResult converged(const SolveResult& r) {
+  if (r.converged) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << (r.solver.empty() ? "solver" : r.solver) << " did not converge: " << r.iterations
+         << " iterations, " << r.restarts << " restarts, final relres " << r.final_relres;
+}
+
+::testing::AssertionResult not_converged(const SolveResult& r) {
+  if (!r.converged) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << (r.solver.empty() ? "solver" : r.solver) << " unexpectedly converged in "
+         << r.iterations << " iterations (final relres " << r.final_relres << ")";
+}
+
+::testing::AssertionResult residual_below(const CsrMatrix<double>& a,
+                                          std::span<const double> x,
+                                          std::span<const double> b, double tol) {
+  const double rr = relative_residual(a, x, b);
+  if (rr < tol) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "relative residual " << rr << " is not below " << tol;
+}
+
+::testing::AssertionResult all_finite(std::span<const double> x) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i])) {
+      return ::testing::AssertionFailure() << "x[" << i << "] = " << x[i] << " is not finite";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+double max_rel_diff(const std::vector<double>& x, const std::vector<double>& ref) {
+  const double rn = blas::nrm2(std::span<const double>(ref));
+  double d = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) d = std::max(d, std::abs(x[i] - ref[i]));
+  return rn > 0.0 ? d / rn : d;
+}
+
+}  // namespace nk::test

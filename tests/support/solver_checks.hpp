@@ -1,0 +1,38 @@
+// Solver-result matchers shared by the krylov/precond/integration tests.
+//
+// Use with EXPECT_TRUE so failures carry the full solve context:
+//
+//   EXPECT_TRUE(test::converged(res));
+//   EXPECT_TRUE(test::residual_below(a, x, b, 1e-9));
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "krylov/history.hpp"
+#include "sparse/csr.hpp"
+
+namespace nk::test {
+
+/// Passes iff the solve converged; failure message carries the solver name,
+/// iteration count, and final residual.
+::testing::AssertionResult converged(const SolveResult& r);
+
+/// Passes iff the solve did NOT converge (for cap/breakdown tests).
+::testing::AssertionResult not_converged(const SolveResult& r);
+
+/// Passes iff the true fp64 relative residual ‖b − Ax‖/‖b‖ is below `tol`.
+::testing::AssertionResult residual_below(const CsrMatrix<double>& a,
+                                          std::span<const double> x,
+                                          std::span<const double> b, double tol);
+
+/// Passes iff every element of `x` is finite (breakdown-path tests).
+::testing::AssertionResult all_finite(std::span<const double> x);
+
+/// Max-norm relative difference between two solution vectors, normalised by
+/// ‖ref‖₂ (solution-agreement tests).
+double max_rel_diff(const std::vector<double>& x, const std::vector<double>& ref);
+
+}  // namespace nk::test
