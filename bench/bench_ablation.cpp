@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   };
 
   for (const auto& name : cfg.matrices) {
-    auto p = prepare_standin(name, cfg.scale);
+    auto p = prepare_standin(name, cfg.scale, 7, cfg.use_sell());
     auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, cfg.nblocks);
 
     row(name, run_nested(p, m, f3r_config(Prec::FP16), f3r_termination(cfg.rtol)));
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   // --- D: primary preconditioner sweep under fp16-F3R ---
   Table tp({"matrix", "primary M", "outer-its", "M-applies", "time[s]", "conv"});
   for (const auto& name : cfg.matrices) {
-    auto p = prepare_standin(name, cfg.scale);
+    auto p = prepare_standin(name, cfg.scale, 7, cfg.use_sell());
     struct Entry {
       std::string label;
       std::shared_ptr<PrimaryPrecond> m;

@@ -10,13 +10,19 @@
 //   --nblocks=N        block count for block-Jacobi ILU(0)/IC(0)
 //   --csv=path         also write the result table as CSV
 //   --best             include the fp16-F3R-best parameter search (slow)
+//   --format=csr|sell  sparse storage for the solver operators (sell =
+//                      sliced ELLPACK, the paper's GPU-node layout)
 //
 // Default matrix subsets are chosen so the whole bench suite finishes in
 // minutes on a single core; pass --matrices=all --scale=2 (or more) for
 // paper-scale runs.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -38,6 +44,9 @@ struct BenchConfig {
   std::string csv;
   bool best = false;
   bool gpu_sim = false;
+  std::string format = "csr";  ///< sparse storage: "csr" or "sell"
+
+  [[nodiscard]] bool use_sell() const { return format == "sell"; }
 };
 
 inline BenchConfig parse_bench_options(const Options& opt,
@@ -59,6 +68,9 @@ inline BenchConfig parse_bench_options(const Options& opt,
   c.csv = opt.get("csv", "");
   c.best = opt.get_bool("best", false);
   c.gpu_sim = opt.get_bool("gpu-sim", false);
+  c.format = opt.get("format", "csr");
+  if (c.format != "csr" && c.format != "sell")
+    throw std::invalid_argument("--format must be csr or sell, got: " + c.format);
   return c;
 }
 
@@ -67,7 +79,8 @@ inline void print_header(const std::string& what, const BenchConfig& c) {
   std::cout << "env: " << env_summary() << "\n";
   std::cout << "config: scale=" << c.scale << " rtol=" << c.rtol
             << " max-iters=" << c.max_iters << " runs=" << c.runs
-            << " nblocks=" << c.nblocks << (c.gpu_sim ? " [GPU-sim]" : " [CPU]") << "\n";
+            << " nblocks=" << c.nblocks << " format=" << c.format
+            << (c.gpu_sim ? " [GPU-sim]" : " [CPU]") << "\n";
   std::cout << "matrices:";
   for (const auto& m : c.matrices) std::cout << " " << m;
   std::cout << "\n";
@@ -96,5 +109,81 @@ inline void finish_table(Table& t, const BenchConfig& c) {
   t.print(std::cout);
   if (!c.csv.empty() && t.write_csv(c.csv)) std::cout << "(csv written to " << c.csv << ")\n";
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable perf records (BENCH_*.json) — the repo's perf trajectory.
+// One flat array of records so downstream tooling can diff runs:
+//   {"name": ..., "n": ..., "nnz": ..., "seconds": ..., "gbps": ...}
+// ---------------------------------------------------------------------------
+
+/// One timed kernel/solver measurement.
+struct PerfRecord {
+  std::string name;     ///< kernel id, e.g. "spmv_sell_fp16_fp32"
+  std::int64_t n = 0;   ///< problem size (rows / vector length)
+  std::int64_t nnz = 0; ///< nonzeros (0 for BLAS-1 kernels)
+  double seconds = 0.0; ///< min wall time of one kernel invocation
+  double gbps = 0.0;    ///< effective memory bandwidth (0 if not meaningful)
+};
+
+/// Collects PerfRecords and writes them as a JSON document with enough
+/// environment metadata to interpret the numbers later.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string tool) : tool_(std::move(tool)) {}
+
+  void add(PerfRecord r) { records_.push_back(std::move(r)); }
+  void add(const std::string& name, std::int64_t n, std::int64_t nnz, double seconds,
+           double gbps) {
+    records_.push_back({name, n, nnz, seconds, gbps});
+  }
+
+  [[nodiscard]] const std::vector<PerfRecord>& records() const { return records_; }
+
+  /// Serialize the whole report ({schema, tool, env, threads, records}).
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream os;
+    os.precision(9);
+    os << "{\n  \"schema\": \"nkrylov-bench-v1\",\n";
+    os << "  \"tool\": \"" << escape(tool_) << "\",\n";
+    os << "  \"env\": \"" << escape(env_summary()) << "\",\n";
+    os << "  \"threads\": " << num_threads() << ",\n";
+    os << "  \"records\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const auto& r = records_[i];
+      os << (i ? ",\n    " : "\n    ");
+      os << "{\"name\": \"" << escape(r.name) << "\", \"n\": " << r.n
+         << ", \"nnz\": " << r.nnz << ", \"seconds\": " << r.seconds
+         << ", \"gbps\": " << r.gbps << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+  }
+
+  /// Write to `path`; returns false (and reports) on I/O failure.
+  bool write(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) {
+      std::cerr << "JsonReport: cannot open " << path << "\n";
+      return false;
+    }
+    f << to_json();
+    return static_cast<bool>(f);
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars: drop
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string tool_;
+  std::vector<PerfRecord> records_;
+};
 
 }  // namespace nk::bench

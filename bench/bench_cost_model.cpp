@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   // volumes of one outer F3R iteration.
   print_banner(std::cout, "model vs measured bytes per outer iteration (fp16-F3R)");
   for (const auto& name : cfg.matrices) {
-    auto p = prepare_standin(name, cfg.scale);
+    auto p = prepare_standin(name, cfg.scale, 7, cfg.use_sell());
     auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, cfg.nblocks);
     const auto res = run_nested(p, m, f3r_config(Prec::FP16), f3r_termination(cfg.rtol));
     if (!res.converged || res.iterations == 0) continue;

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   std::vector<double> sp32, sp16;  // speedup collections for the closing summary
 
   for (const auto& name : cfg.matrices) {
-    auto p = prepare_standin(name, cfg.scale);
+    auto p = prepare_standin(name, cfg.scale, 7, cfg.use_sell());
     auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, cfg.nblocks);
 
     auto f3r = [&](Prec prec) {

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   Table t({"matrix", "solver", "rel-conv-speed", "rel-performance", "M-applies", "time[s]",
            "conv"});
   for (const auto& name : cfg.matrices) {
-    auto p = prepare_standin(name, cfg.scale);
+    auto p = prepare_standin(name, cfg.scale, 7, cfg.use_sell());
     auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, cfg.nblocks);
 
     const auto base = bench::best_of(cfg.runs, [&] {

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
 
   Table t({"matrix", "omega", "performance-vs-adaptive", "conv-speed-vs-adaptive", "conv"});
   for (const auto& name : cfg.matrices) {
-    auto p = prepare_standin(name, cfg.scale);
+    auto p = prepare_standin(name, cfg.scale, 7, cfg.use_sell());
     auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, cfg.nblocks);
 
     const auto adaptive = bench::best_of(cfg.runs, [&] {

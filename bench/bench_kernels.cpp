@@ -1,229 +1,402 @@
-// Kernel microbenchmarks (google-benchmark): the per-kernel speedups that
-// motivate the paper's precision reduction — SpMV across storage
-// precisions and formats, BLAS-1 reductions/updates, and preconditioner
-// application at fp64/fp32/fp16 storage.
+// Kernel microbenchmarks + fused-kernel verification — the perf-tracking
+// bench behind BENCH_kernels.json.
 //
-// Bytes-per-second is the quantity to compare: all kernels are
-// memory-bound, so halving the value bytes should approach 2x on
-// out-of-cache sizes (pass --grid=7 to grow the matrix).
-#include <benchmark/benchmark.h>
+// Measures, across the paper's precision combos (fp64 / fp32 / fp16 with
+// fp32 accumulation):
+//   * BLAS-1:  dot, axpy, and the fused blas_block kernels dot_many /
+//              axpy_many / scal_copy against their unfused sequences
+//   * Arnoldi: one full classical-Gram-Schmidt step (k projections +
+//              corrections + normalize-copy), unfused blas1 sequence vs
+//              the fused hot path FGMRES now runs
+//   * SpMV:    CSR vs SELL-C (SIMD column-major) vs the pre-SIMD row-wise
+//              SELL reference, on HPCG/HPGMP stencil matrices
+//
+// Every fused kernel is checked against its unfused reference first; any
+// disagreement beyond tolerance makes the binary exit non-zero (CI runs
+// this as the perf-smoke job).  Results land in BENCH_kernels.json
+// (schema nkrylov-bench-v1: name, n, nnz, seconds, GB/s).
+//
+// Flags: --scale=N (problem size multiplier), --n=N (BLAS-1 length,
+// default 100000·scale), --runs=R (min-of-R timing, default 5),
+// --json=path (default BENCH_kernels.json).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
 
-#include <memory>
-
+#include "base/blas1.hpp"
+#include "base/blas_block.hpp"
+#include "base/options.hpp"
 #include "base/rng.hpp"
+#include "base/timer.hpp"
+#include "bench_common.hpp"
 #include "precond/block_jacobi_ilu0.hpp"
 #include "sparse/gen/stencil.hpp"
 #include "sparse/scaling.hpp"
 #include "sparse/sell.hpp"
 #include "sparse/spmv.hpp"
 
+using namespace nk;
+
 namespace {
 
-using nk::half;
-using nk::index_t;
+int g_runs = 5;
+bool g_all_ok = true;
 
-struct Fixture {
-  nk::CsrMatrix<double> a64;
-  nk::CsrMatrix<float> a32;
-  nk::CsrMatrix<half> a16;
-  nk::SellMatrix<double> s64;
-  nk::SellMatrix<half> s16;
-  std::vector<double> xd, yd;
-  std::vector<float> xf, yf;
-  std::vector<half> xh, yh;
-  std::unique_ptr<nk::BlockJacobiIlu0> ilu;
-
-  explicit Fixture(int l) {
-    a64 = nk::gen::hpcg(l, l, l);
-    nk::diagonal_scale_symmetric(a64);
-    a32 = nk::cast_matrix<float>(a64);
-    a16 = nk::cast_matrix<half>(a64);
-    s64 = nk::csr_to_sell(a64, 32);
-    s16 = nk::csr_to_sell(a16, 32);
-    const auto n = static_cast<std::size_t>(a64.nrows);
-    xd = nk::random_vector<double>(n, 1, 0.0, 1.0);
-    yd.resize(n);
-    xf = nk::converted<float>(xd);
-    yf.resize(n);
-    xh = nk::converted<half>(xd);
-    yh.resize(n);
-    ilu = std::make_unique<nk::BlockJacobiIlu0>(a64,
-                                                nk::BlockJacobiIlu0::Config{64, 1.0});
+/// Min-of-runs wall time of one invocation of `fn` (one untimed warmup).
+template <class Fn>
+double time_min(Fn&& fn) {
+  fn();
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < g_runs; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
   }
-};
-
-int g_grid = 6;  // 2^6 per axis = 262k rows, ~7M nnz
-
-Fixture& fixture() {
-  static Fixture f(g_grid);
-  return f;
+  return best;
 }
 
-void set_spmv_counters(benchmark::State& state, std::size_t value_bytes) {
-  auto& f = fixture();
-  const std::size_t nnz = static_cast<std::size_t>(f.a64.nnz());
-  state.counters["nnz"] = static_cast<double>(nnz);
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(nnz * (value_bytes + 4)));
-}
-
-void BM_SpMV_CSR_fp64(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    nk::spmv(f.a64, std::span<const double>(f.xd), std::span<double>(f.yd));
-    benchmark::DoNotOptimize(f.yd.data());
+/// Record a fused-vs-reference agreement check; failures flip the exit code.
+void check(const std::string& what, double max_abs_diff, double tol) {
+  if (!(max_abs_diff <= tol) || !std::isfinite(max_abs_diff)) {
+    std::cerr << "VERIFY FAIL: " << what << " max|diff|=" << max_abs_diff
+              << " tol=" << tol << "\n";
+    g_all_ok = false;
   }
-  set_spmv_counters(state, 8);
 }
-BENCHMARK(BM_SpMV_CSR_fp64);
-
-void BM_SpMV_CSR_fp32(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    nk::spmv(f.a32, std::span<const float>(f.xf), std::span<float>(f.yf));
-    benchmark::DoNotOptimize(f.yf.data());
-  }
-  set_spmv_counters(state, 4);
-}
-BENCHMARK(BM_SpMV_CSR_fp32);
-
-void BM_SpMV_CSR_fp16matrix_fp32vec(benchmark::State& state) {
-  // The F3R level-3 kernel: fp16 A, fp32 vectors, fp32 accumulation.
-  auto& f = fixture();
-  for (auto _ : state) {
-    nk::spmv(f.a16, std::span<const float>(f.xf), std::span<float>(f.yf));
-    benchmark::DoNotOptimize(f.yf.data());
-  }
-  set_spmv_counters(state, 2);
-}
-BENCHMARK(BM_SpMV_CSR_fp16matrix_fp32vec);
-
-void BM_SpMV_CSR_fp16pure(benchmark::State& state) {
-  // The innermost Richardson kernel: everything fp16.
-  auto& f = fixture();
-  for (auto _ : state) {
-    nk::spmv(f.a16, std::span<const half>(f.xh), std::span<half>(f.yh));
-    benchmark::DoNotOptimize(f.yh.data());
-  }
-  set_spmv_counters(state, 2);
-}
-BENCHMARK(BM_SpMV_CSR_fp16pure);
-
-void BM_SpMV_SELL_fp64(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    nk::spmv(f.s64, std::span<const double>(f.xd), std::span<double>(f.yd));
-    benchmark::DoNotOptimize(f.yd.data());
-  }
-  set_spmv_counters(state, 8);
-}
-BENCHMARK(BM_SpMV_SELL_fp64);
-
-void BM_SpMV_SELL_fp16pure(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    nk::spmv(f.s16, std::span<const half>(f.xh), std::span<half>(f.yh));
-    benchmark::DoNotOptimize(f.yh.data());
-  }
-  set_spmv_counters(state, 2);
-}
-BENCHMARK(BM_SpMV_SELL_fp16pure);
 
 template <class T>
-void BM_Dot(benchmark::State& state) {
-  auto& f = fixture();
-  std::span<const T> x, y;
-  if constexpr (std::is_same_v<T, double>) {
-    x = std::span<const T>(f.xd);
-    y = std::span<const T>(f.xd);
-  } else if constexpr (std::is_same_v<T, float>) {
-    x = std::span<const T>(f.xf);
-    y = std::span<const T>(f.xf);
-  } else {
-    x = std::span<const T>(f.xh);
-    y = std::span<const T>(f.xh);
-  }
-  for (auto _ : state) {
-    auto s = nk::blas::dot(x, y);
-    benchmark::DoNotOptimize(s);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(2 * x.size() * sizeof(T)));
+const char* tname() {
+  if constexpr (std::is_same_v<T, double>) return "fp64";
+  else if constexpr (std::is_same_v<T, float>) return "fp32";
+  else return "fp16";
 }
-BENCHMARK_TEMPLATE(BM_Dot, double);
-BENCHMARK_TEMPLATE(BM_Dot, float);
-BENCHMARK_TEMPLATE(BM_Dot, half);
+
+/// Agreement tolerance for values of magnitude ~`scale` computed in T's
+/// accumulator precision.
+template <class T>
+double tol_for(double scale) {
+  const double eps = std::is_same_v<T, double> ? 1e-12 : 1e-5;  // fp16 accumulates fp32
+  return eps * std::max(1.0, scale);
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-1 + fused-kernel benches (one precision)
+// ---------------------------------------------------------------------------
 
 template <class T>
-void BM_Axpy(benchmark::State& state) {
-  auto& f = fixture();
-  std::vector<T>* y;
-  std::span<const T> x;
-  if constexpr (std::is_same_v<T, double>) {
-    x = std::span<const T>(f.xd);
-    y = &f.yd;
-  } else if constexpr (std::is_same_v<T, float>) {
-    x = std::span<const T>(f.xf);
-    y = &f.yf;
-  } else {
-    x = std::span<const T>(f.xh);
-    y = &f.yh;
-  }
-  for (auto _ : state) {
-    nk::blas::axpy(static_cast<T>(1.0009765f), x, std::span<T>(*y));
-    benchmark::DoNotOptimize(y->data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(3 * x.size() * sizeof(T)));
-}
-BENCHMARK_TEMPLATE(BM_Axpy, double);
-BENCHMARK_TEMPLATE(BM_Axpy, float);
-BENCHMARK_TEMPLATE(BM_Axpy, half);
+void bench_blas1(bench::JsonReport& rep, std::int64_t n) {
+  const int k = 8;  // basis size of the paper's second F3R level
+  const auto nn = static_cast<std::size_t>(n);
+  const auto xd = random_vector<double>(nn * static_cast<std::size_t>(k + 1), 11, -1.0, 1.0);
+  std::vector<T> vbuf = converted<T>(xd);                 // k basis rows + spare
+  std::vector<T> w = converted<T>(random_vector<double>(nn, 12, -1.0, 1.0));
+  std::vector<T> vnext(nn);
+  using S = acc_t<T>;
+  std::vector<S> h(static_cast<std::size_t>(k), S{0});
+  // Tiny coefficients keep repeated unrestored axpy applications bounded.
+  for (int j = 0; j < k; ++j) h[static_cast<std::size_t>(j)] = static_cast<S>(1e-8 * (j + 1));
+  std::vector<S> dots(static_cast<std::size_t>(k)), dots_ref(static_cast<std::size_t>(k));
+  const std::string p = tname<T>();
+  const double vec_bytes = static_cast<double>(n) * sizeof(T);
 
-void BM_Convert_fp64_to_fp16(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    nk::blas::convert(std::span<const double>(f.xd), std::span<half>(f.yh));
-    benchmark::DoNotOptimize(f.yh.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(f.xd.size() * 10));
-}
-BENCHMARK(BM_Convert_fp64_to_fp16);
+  auto vrow = [&](int j) {
+    return std::span<const T>(vbuf.data() + static_cast<std::size_t>(j) * nn, nn);
+  };
 
-void bm_ilu_apply(benchmark::State& state, nk::Prec storage) {
-  auto& f = fixture();
-  auto h = f.ilu->make_apply_fp64(storage);
-  for (auto _ : state) {
-    h->apply(std::span<const double>(f.xd), std::span<double>(f.yd));
-    benchmark::DoNotOptimize(f.yd.data());
+  // --- verification -------------------------------------------------------
+  blas::dot_many(vbuf.data(), n, k, std::span<const T>(w), dots.data());
+  for (int j = 0; j < k; ++j) dots_ref[j] = blas::dot(vrow(j), std::span<const T>(w));
+  double dmax = 0.0;
+  for (int j = 0; j < k; ++j)
+    dmax = std::max(dmax, std::abs(static_cast<double>(dots[j]) - static_cast<double>(dots_ref[j])));
+  check("dot_many_" + p, dmax, tol_for<T>(static_cast<double>(n)));
+
+  {
+    std::vector<T> wf = w, wu = w;
+    blas::axpy_many(vbuf.data(), n, k, h.data(), std::span<T>(wf), /*subtract=*/true);
+    for (int j = 0; j < k; ++j) blas::axpy(-h[j], vrow(j), std::span<T>(wu));
+    double amax = 0.0;
+    for (std::size_t i = 0; i < nn; ++i)
+      amax = std::max(amax, std::abs(static_cast<double>(wf[i]) - static_cast<double>(wu[i])));
+    check("axpy_many_" + p, amax, 0.0);  // element-local chains: bit-exact
+
+    std::vector<T> sc(nn), su = w;
+    blas::scal_copy(S{2} / S{3}, std::span<const T>(w), std::span<T>(sc));
+    blas::scal(S{2} / S{3}, std::span<T>(su));
+    double smax = 0.0;
+    for (std::size_t i = 0; i < nn; ++i)
+      smax = std::max(smax, std::abs(static_cast<double>(sc[i]) - static_cast<double>(su[i])));
+    check("scal_copy_" + p, smax, 0.0);  // same per-element op: bit-exact
   }
-  const std::size_t nnz = static_cast<std::size_t>(f.a64.nnz());
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(nnz * (nk::prec_bytes(storage) + 4)));
+
+  // --- timing -------------------------------------------------------------
+  double s = time_min([&] {
+    auto d = blas::dot(vrow(0), std::span<const T>(w));
+    asm volatile("" ::"r"(&d) : "memory");
+  });
+  rep.add("dot_" + p, n, 0, s, 2 * vec_bytes / s / 1e9);
+
+  s = time_min([&] {
+    blas::dot_many(vbuf.data(), n, k, std::span<const T>(w), dots.data());
+    asm volatile("" ::"r"(dots.data()) : "memory");
+  });
+  rep.add("dot_many_" + p + "_k8", n, 0, s, (k + 1) * vec_bytes / s / 1e9);
+
+  s = time_min([&] {
+    for (int j = 0; j < k; ++j) dots_ref[j] = blas::dot(vrow(j), std::span<const T>(w));
+    asm volatile("" ::"r"(dots_ref.data()) : "memory");
+  });
+  rep.add("dot_x8_" + p, n, 0, s, 2 * k * vec_bytes / s / 1e9);
+
+  s = time_min([&] {
+    blas::axpy_many(vbuf.data(), n, k, h.data(), std::span<T>(w), true);
+    asm volatile("" ::"r"(w.data()) : "memory");
+  });
+  rep.add("axpy_many_" + p + "_k8", n, 0, s, (k + 2) * vec_bytes / s / 1e9);
+
+  s = time_min([&] {
+    for (int j = 0; j < k; ++j) blas::axpy(-h[j], vrow(j), std::span<T>(w));
+    asm volatile("" ::"r"(w.data()) : "memory");
+  });
+  rep.add("axpy_x8_" + p, n, 0, s, 3 * k * vec_bytes / s / 1e9);
+
+  s = time_min([&] {
+    blas::scal_copy(S{2} / S{3}, std::span<const T>(w), std::span<T>(vnext));
+    asm volatile("" ::"r"(vnext.data()) : "memory");
+  });
+  rep.add("scal_copy_" + p, n, 0, s, 2 * vec_bytes / s / 1e9);
+
+  s = time_min([&] {
+    blas::scal(S{1.0000001}, std::span<T>(w));
+    blas::copy(std::span<const T>(w), std::span<T>(vnext));
+    asm volatile("" ::"r"(vnext.data()) : "memory");
+  });
+  rep.add("scal_plus_copy_" + p, n, 0, s, 4 * vec_bytes / s / 1e9);
 }
-void BM_IluApply_fp64(benchmark::State& state) { bm_ilu_apply(state, nk::Prec::FP64); }
-void BM_IluApply_fp32(benchmark::State& state) { bm_ilu_apply(state, nk::Prec::FP32); }
-void BM_IluApply_fp16(benchmark::State& state) { bm_ilu_apply(state, nk::Prec::FP16); }
-BENCHMARK(BM_IluApply_fp64);
-BENCHMARK(BM_IluApply_fp32);
-BENCHMARK(BM_IluApply_fp16);
+
+// ---------------------------------------------------------------------------
+// Fused vs unfused Arnoldi step (the FGMRES inner loop at j = k-1)
+// ---------------------------------------------------------------------------
+
+template <class T>
+void bench_arnoldi_step(bench::JsonReport& rep, std::int64_t n) {
+  const int k = 8;
+  const auto nn = static_cast<std::size_t>(n);
+  using S = acc_t<T>;
+  std::vector<T> vbuf =
+      converted<T>(random_vector<double>(nn * static_cast<std::size_t>(k), 21, -1.0, 1.0));
+  const std::vector<T> w0 = converted<T>(random_vector<double>(nn, 22, -1.0, 1.0));
+  std::vector<T> w(nn), vnext(nn);
+  std::vector<S> h(static_cast<std::size_t>(k));
+  const std::string p = tname<T>();
+  auto vrow = [&](int j) {
+    return std::span<const T>(vbuf.data() + static_cast<std::size_t>(j) * nn, nn);
+  };
+
+  // Both variants restore w from w0 inside the timed region (the projection
+  // drives ‖w‖ toward 0, so an unrestored steady state would hit 1/‖w‖
+  // blowups); the restore cost is identical on both sides.
+  const double s_unfused = time_min([&] {
+    blas::copy(std::span<const T>(w0), std::span<T>(w));
+    for (int j = 0; j < k; ++j) h[j] = blas::dot(vrow(j), std::span<const T>(w));
+    for (int j = 0; j < k; ++j) blas::axpy(-h[j], vrow(j), std::span<T>(w));
+    const S hj1 = blas::nrm2(std::span<const T>(w));
+    blas::scal(S{1} / hj1, std::span<T>(w));
+    blas::copy(std::span<const T>(w), std::span<T>(vnext));
+    asm volatile("" ::"r"(vnext.data()) : "memory");
+  });
+  rep.add("arnoldi_step_unfused_" + p + "_k8", n, 0, s_unfused, 0.0);
+
+  const double s_fused = time_min([&] {
+    blas::copy(std::span<const T>(w0), std::span<T>(w));
+    blas::dot_many(vbuf.data(), n, k, std::span<const T>(w), h.data());
+    blas::axpy_many(vbuf.data(), n, k, h.data(), std::span<T>(w), /*subtract=*/true);
+    const S hj1 = blas::nrm2(std::span<const T>(w));
+    blas::scal_copy(S{1} / hj1, std::span<const T>(w), std::span<T>(vnext));
+    asm volatile("" ::"r"(vnext.data()) : "memory");
+  });
+  rep.add("arnoldi_step_fused_" + p + "_k8", n, 0, s_fused, 0.0);
+
+  std::cout << "arnoldi step (" << p << ", n=" << n << ", k=8): unfused "
+            << s_unfused * 1e6 << " us, fused " << s_fused * 1e6 << " us  ("
+            << s_unfused / s_fused << "x)\n";
+}
+
+// ---------------------------------------------------------------------------
+// SpMV: CSR vs SELL-C SIMD vs row-wise SELL reference
+// ---------------------------------------------------------------------------
+
+template <class MT, class XT>
+void bench_spmv_combo(bench::JsonReport& rep, const std::string& mat_name,
+                      const CsrMatrix<MT>& a, const SellMatrix<MT>& s,
+                      std::span<const XT> x, const CsrMatrix<double>& a64) {
+  const auto n = static_cast<std::int64_t>(a.nrows);
+  const auto nnz = static_cast<std::int64_t>(a.nnz());
+  const auto nn = static_cast<std::size_t>(a.nrows);
+  std::vector<XT> yc(nn), ys(nn), yr(nn);
+  const std::string combo =
+      std::string(tname<MT>()) + (std::is_same_v<MT, XT> ? "" : std::string("_") + tname<XT>());
+  const std::string suffix = combo + "/" + mat_name;
+
+  // Verify: SELL (SIMD and row-wise) against CSR, in fp64 ground truth.
+  spmv(a, x, std::span<XT>(yc));
+  spmv(s, x, std::span<XT>(ys));
+  spmv_rowwise(s, x, std::span<XT>(yr));
+  std::vector<double> truth(nn);
+  spmv(a64, std::span<const XT>(x), std::span<double>(truth));
+  double row_norm = 0.0;  // ~max |row dot| scale for the tolerance
+  for (std::size_t i = 0; i < nn; ++i) row_norm = std::max(row_norm, std::abs(truth[i]));
+  double dsell = 0.0, drow = 0.0;
+  for (std::size_t i = 0; i < nn; ++i) {
+    dsell = std::max(dsell, std::abs(static_cast<double>(ys[i]) - static_cast<double>(yc[i])));
+    drow = std::max(drow, std::abs(static_cast<double>(yr[i]) - static_cast<double>(ys[i])));
+  }
+  const double eps = sizeof(MT) == 2 || sizeof(XT) == 2
+                         ? (std::is_same_v<XT, half> ? 5e-2 : 1e-3)
+                         : (std::is_same_v<MT, float> ? 1e-4 : 1e-11);
+  check("spmv_sell_vs_csr_" + suffix, dsell, eps * std::max(1.0, row_norm));
+  check("spmv_sell_simd_vs_rowwise_" + suffix, drow, eps * std::max(1.0, row_norm));
+
+  const double csr_bytes = static_cast<double>(nnz) * (sizeof(MT) + 4.0);
+  const double sell_bytes = static_cast<double>(s.padded_nnz()) * (sizeof(MT) + 4.0);
+
+  double t = time_min([&] {
+    spmv(a, x, std::span<XT>(yc));
+    asm volatile("" ::"r"(yc.data()) : "memory");
+  });
+  rep.add("spmv_csr_" + suffix, n, nnz, t, csr_bytes / t / 1e9);
+
+  t = time_min([&] {
+    spmv(s, x, std::span<XT>(ys));
+    asm volatile("" ::"r"(ys.data()) : "memory");
+  });
+  rep.add("spmv_sell_" + suffix, n, nnz, t, sell_bytes / t / 1e9);
+  const double t_simd = t;
+
+  t = time_min([&] {
+    spmv_rowwise(s, x, std::span<XT>(yr));
+    asm volatile("" ::"r"(yr.data()) : "memory");
+  });
+  rep.add("spmv_sell_rowwise_" + suffix, n, nnz, t, sell_bytes / t / 1e9);
+  std::cout << "spmv " << suffix << " (n=" << n << "): sell simd " << t_simd * 1e6
+            << " us vs rowwise " << t * 1e6 << " us (" << t / t_simd << "x)\n";
+}
+
+// ---------------------------------------------------------------------------
+// Precision conversion + preconditioner application (the paper's other
+// dominant kernels; carried over from the pre-rewrite bench)
+// ---------------------------------------------------------------------------
+
+void bench_convert(bench::JsonReport& rep, std::int64_t n) {
+  const auto nn = static_cast<std::size_t>(n);
+  const auto xd = random_vector<double>(nn, 55, -1.0, 1.0);
+  const auto xf = converted<float>(xd);
+  std::vector<half> yh(nn);
+  std::vector<float> yf(nn);
+
+  double s = time_min([&] {
+    blas::convert(std::span<const double>(xd), std::span<half>(yh));
+    asm volatile("" ::"r"(yh.data()) : "memory");
+  });
+  rep.add("convert_fp64_to_fp16", n, 0, s, n * 10.0 / s / 1e9);
+
+  s = time_min([&] {
+    blas::convert(std::span<const float>(xf), std::span<half>(yh));
+    asm volatile("" ::"r"(yh.data()) : "memory");
+  });
+  rep.add("convert_fp32_to_fp16", n, 0, s, n * 6.0 / s / 1e9);
+
+  s = time_min([&] {
+    blas::convert(std::span<const half>(yh), std::span<float>(yf));
+    asm volatile("" ::"r"(yf.data()) : "memory");
+  });
+  rep.add("convert_fp16_to_fp32", n, 0, s, n * 6.0 / s / 1e9);
+}
+
+void bench_ilu_apply(bench::JsonReport& rep, const CsrMatrix<double>& a64) {
+  BlockJacobiIlu0 ilu(a64, BlockJacobiIlu0::Config{64, 1.0});
+  const auto nn = static_cast<std::size_t>(a64.nrows);
+  const auto xd = random_vector<double>(nn, 56, 0.0, 1.0);
+  std::vector<double> yd(nn);
+  const auto nnz = static_cast<std::int64_t>(a64.nnz());
+  for (const Prec storage : {Prec::FP64, Prec::FP32, Prec::FP16}) {
+    auto h = ilu.make_apply_fp64(storage);
+    const double s = time_min([&] {
+      h->apply(std::span<const double>(xd), std::span<double>(yd));
+      asm volatile("" ::"r"(yd.data()) : "memory");
+    });
+    rep.add(std::string("ilu_apply_") + prec_name(storage), a64.nrows, nnz, s,
+            static_cast<double>(nnz) * (prec_bytes(storage) + 4.0) / s / 1e9);
+  }
+}
+
+void bench_spmv(bench::JsonReport& rep, const std::string& mat_name, CsrMatrix<double> a64) {
+  const auto a32 = cast_matrix<float>(a64);
+  const auto a16 = cast_matrix<half>(a64);
+  const auto s64 = csr_to_sell(a64, 32);
+  const auto s32 = csr_to_sell(a32, 32);
+  const auto s16 = csr_to_sell(a16, 32);
+  const auto nn = static_cast<std::size_t>(a64.nrows);
+  const auto xd = random_vector<double>(nn, 33, -1.0, 1.0);
+  const auto xf = converted<float>(xd);
+  const auto xh = converted<half>(xd);
+
+  bench_spmv_combo<double, double>(rep, mat_name, a64, s64, std::span<const double>(xd), a64);
+  bench_spmv_combo<float, float>(rep, mat_name, a32, s32, std::span<const float>(xf), a64);
+  bench_spmv_combo<half, float>(rep, mat_name, a16, s16, std::span<const float>(xf), a64);
+  bench_spmv_combo<half, half>(rep, mat_name, a16, s16, std::span<const half>(xh), a64);
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Custom flag --grid=L (2^L per axis) consumed before google-benchmark.
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--grid=", 0) == 0) {
-      g_grid = std::stoi(arg.substr(7));
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-      break;
-    }
+  Options opt(argc, argv);
+  if (opt.wants_help()) {
+    std::cout << "bench_kernels --scale=N --n=N --runs=R --json=path\n";
+    return 0;
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  const int scale = opt.get_int("scale", 1);
+  const std::int64_t n = opt.get_int64("n", 100000LL * scale);
+  g_runs = opt.get_int("runs", 5);
+  const std::string json = opt.get("json", "BENCH_kernels.json");
+
+  std::cout << "nkrylov bench: kernel microbenchmarks (fused Arnoldi + SIMD SELL)\n";
+  std::cout << "env: " << env_summary() << "\n";
+  std::cout << "config: scale=" << scale << " n=" << n << " runs=" << g_runs << "\n";
+
+  bench::JsonReport rep("bench_kernels");
+
+  bench_blas1<double>(rep, n);
+  bench_blas1<float>(rep, n);
+  bench_blas1<half>(rep, n);
+
+  bench_arnoldi_step<double>(rep, n);
+  bench_arnoldi_step<float>(rep, n);
+  bench_arnoldi_step<half>(rep, n);
+
+  bench_convert(rep, n);
+
+  const index_t side = static_cast<index_t>(32 * scale);
+  auto hpcg = gen::stencil27({.nx = side, .ny = side, .nz = side});
+  bench_ilu_apply(rep, hpcg);
+  bench_spmv(rep, "hpcg", std::move(hpcg));
+  bench_spmv(rep, "hpgmp",
+             gen::stencil27({.nx = side, .ny = side, .nz = side, .beta = 0.5}));
+
+  std::cout << "\nname, n, nnz, seconds, GB/s\n";
+  for (const auto& r : rep.records())
+    std::cout << r.name << ", " << r.n << ", " << r.nnz << ", " << r.seconds << ", "
+              << r.gbps << "\n";
+
+  if (rep.write(json)) std::cout << "(json written to " << json << ")\n";
+  if (!g_all_ok) {
+    std::cerr << "bench_kernels: fused-kernel verification FAILED\n";
+    return 1;
+  }
+  std::cout << "bench_kernels: all fused kernels verified against references\n";
   return 0;
 }

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
   Table t({"matrix", "CG/BiCGStab", "fp64-FGMRES(64)", "fp64-F3R", "fp32-F3R", "fp16-F3R"});
   for (const auto& name : cfg.matrices) {
-    auto p = prepare_standin(name, cfg.scale);
+    auto p = prepare_standin(name, cfg.scale, 7, cfg.use_sell());
     auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, cfg.nblocks);
 
     const auto kry = p.symmetric ? run_cg(p, *m, Prec::FP64, caps)

@@ -5,10 +5,17 @@
 // accumulate in fp32 via nk::acc_t; mixed-type operations compute in the
 // wider of the input types (nk::promote_t), matching the paper's rule that
 // higher-precision instructions are used when inputs differ in precision.
+//
+// Every parallel loop carries an `if(n > parallel_threshold())` clause: the
+// inner levels of F3R operate on short vectors millions of times per solve,
+// and an OpenMP fork-join on a vector that fits in L1 costs more than the
+// arithmetic it distributes.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdlib>
 #include <span>
 #include <vector>
 
@@ -20,19 +27,71 @@ using index_t = std::int32_t;  // the paper stores indices as 32-bit integers
 
 namespace blas {
 
+/// Minimum element count before a kernel opens an OpenMP parallel region.
+/// Override with the environment variable NKRYLOV_PAR_THRESHOLD (elements;
+/// 0 = always parallel).
+inline std::ptrdiff_t parallel_threshold() {
+  static const std::ptrdiff_t t = [] {
+    if (const char* s = std::getenv("NKRYLOV_PAR_THRESHOLD")) {
+      char* end = nullptr;
+      const long v = std::strtol(s, &end, 10);
+      if (end != s && v >= 0) return static_cast<std::ptrdiff_t>(v);
+    }
+    return std::ptrdiff_t{4096};
+  }();
+  return t;
+}
+
+/// Chunk length for the tiled fp16 kernels below (fits L1 alongside the
+/// streamed operand).
+inline constexpr std::ptrdiff_t kHalfChunk = 1024;
+
+/// Present `len` elements of `src` in the accumulator precision W, using
+/// `buf` as scratch when a conversion is needed.  fp16 sources convert via
+/// the vectorized F16C helper — half→float is conversion-exact, so working
+/// on the converted chunk is bit-identical to converting inside the
+/// arithmetic loop (which GCC 12 scalarizes into a serial vcvtsh2ss chain;
+/// see half.hpp).
+template <class T, class W>
+inline const W* to_acc_chunk(const T* src, W* buf, std::ptrdiff_t len) {
+  if constexpr (std::is_same_v<T, W>) {
+    return src;
+  } else if constexpr (std::is_same_v<T, half> && std::is_same_v<W, float>) {
+    half_to_float_n(src, buf, len);
+    return buf;
+  } else {
+    for (std::ptrdiff_t i = 0; i < len; ++i) buf[i] = static_cast<W>(src[i]);
+    return buf;
+  }
+}
+
 /// y[i] = x[i] converted to the destination type.
 template <class Src, class Dst>
 void convert(std::span<const Src> x, std::span<Dst> y) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < n; ++i) y[i] = static_cast<Dst>(x[i]);
+  if constexpr ((std::is_same_v<Src, half> && std::is_same_v<Dst, float>) ||
+                (std::is_same_v<Src, float> && std::is_same_v<Dst, half>)) {
+    // The precision-bridge hot path (every F3R inner-level invocation):
+    // vectorized F16C conversion, chunked so it still parallelizes.
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
+    for (std::ptrdiff_t t0 = 0; t0 < n; t0 += kHalfChunk) {
+      const std::ptrdiff_t len = std::min(t0 + kHalfChunk, n) - t0;
+      if constexpr (std::is_same_v<Src, half>)
+        half_to_float_n(x.data() + t0, y.data() + t0, len);
+      else
+        float_to_half_n(x.data() + t0, y.data() + t0, len);
+    }
+  } else {
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
+    for (std::ptrdiff_t i = 0; i < n; ++i) y[i] = static_cast<Dst>(x[i]);
+  }
 }
 
 /// y = x (same type fast path).
 template <class T>
 void copy(std::span<const T> x, std::span<T> y) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
   for (std::ptrdiff_t i = 0; i < n; ++i) y[i] = x[i];
 }
 
@@ -40,18 +99,33 @@ void copy(std::span<const T> x, std::span<T> y) {
 template <class T>
 void set_zero(std::span<T> x) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
   for (std::ptrdiff_t i = 0; i < n; ++i) x[i] = static_cast<T>(0);
 }
 
 /// x *= alpha.
 template <class T, class S>
 void scal(S alpha, std::span<T> x) {
+  using W = promote_t<T, S>;
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
-  const auto a = static_cast<promote_t<T, S>>(alpha);
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < n; ++i)
-    x[i] = static_cast<T>(a * static_cast<promote_t<T, S>>(x[i]));
+  const auto a = static_cast<W>(alpha);
+  if constexpr (std::is_same_v<T, half> && std::is_same_v<W, float>) {
+    // Same per-element op — x[i] = half(a·float(x[i])) — via the
+    // vectorized F16C conversions (GCC scalarizes _Float16 loops).
+    T* __restrict xp = x.data();
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
+    for (std::ptrdiff_t t0 = 0; t0 < n; t0 += kHalfChunk) {
+      const std::ptrdiff_t len = std::min(t0 + kHalfChunk, n) - t0;
+      float buf[kHalfChunk];
+      half_to_float_n(xp + t0, buf, len);
+      for (std::ptrdiff_t i = 0; i < len; ++i) buf[i] *= a;
+      float_to_half_n(buf, xp + t0, len);
+    }
+  } else {
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
+    for (std::ptrdiff_t i = 0; i < n; ++i)
+      x[i] = static_cast<T>(a * static_cast<W>(x[i]));
+  }
 }
 
 /// y += alpha * x   (classic axpy; computes in the promoted type).
@@ -60,9 +134,31 @@ void axpy(S alpha, std::span<const TX> x, std::span<TY> y) {
   using W = promote_t<promote_t<TX, TY>, S>;
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
   const W a = static_cast<W>(alpha);
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < n; ++i)
-    y[i] = static_cast<TY>(static_cast<W>(y[i]) + a * static_cast<W>(x[i]));
+  if constexpr ((std::is_same_v<TX, half> || std::is_same_v<TY, half>) &&
+                std::is_same_v<W, float>) {
+    // Same per-element op via chunked F16C conversion (the innermost
+    // Richardson update x += ω·r runs entirely on fp16 vectors).
+    const TX* __restrict xp = x.data();
+    TY* __restrict yp = y.data();
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
+    for (std::ptrdiff_t t0 = 0; t0 < n; t0 += kHalfChunk) {
+      const std::ptrdiff_t len = std::min(t0 + kHalfChunk, n) - t0;
+      float xb[kHalfChunk], yb[kHalfChunk];
+      const float* xc = to_acc_chunk(xp + t0, xb, len);
+      const float* yc = to_acc_chunk(yp + t0, yb, len);
+      float out[kHalfChunk];
+      for (std::ptrdiff_t i = 0; i < len; ++i) out[i] = yc[i] + a * xc[i];
+      if constexpr (std::is_same_v<TY, half>) {
+        float_to_half_n(out, yp + t0, len);
+      } else {
+        for (std::ptrdiff_t i = 0; i < len; ++i) yp[t0 + i] = static_cast<TY>(out[i]);
+      }
+    }
+  } else {
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
+    for (std::ptrdiff_t i = 0; i < n; ++i)
+      y[i] = static_cast<TY>(static_cast<W>(y[i]) + a * static_cast<W>(x[i]));
+  }
 }
 
 /// y = alpha * x + beta * y.
@@ -71,7 +167,7 @@ void axpby(S alpha, std::span<const TX> x, S beta, std::span<TY> y) {
   using W = promote_t<promote_t<TX, TY>, S>;
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
   const W a = static_cast<W>(alpha), b = static_cast<W>(beta);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
   for (std::ptrdiff_t i = 0; i < n; ++i)
     y[i] = static_cast<TY>(a * static_cast<W>(x[i]) + b * static_cast<W>(y[i]));
 }
@@ -81,7 +177,7 @@ template <class TX, class TY, class TZ>
 void sub(std::span<const TX> x, std::span<const TY> y, std::span<TZ> z) {
   using W = promote_t<TX, TY>;
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
   for (std::ptrdiff_t i = 0; i < n; ++i)
     z[i] = static_cast<TZ>(static_cast<W>(x[i]) - static_cast<W>(y[i]));
 }
@@ -96,7 +192,7 @@ auto dot(std::span<const TX> x, std::span<const TY> y) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
   if constexpr (sizeof(TX) == 2 || sizeof(TY) == 2) {
     W s0{0}, s1{0}, s2{0}, s3{0};
-#pragma omp parallel for schedule(static) reduction(+ : s0, s1, s2, s3)
+#pragma omp parallel for schedule(static) reduction(+ : s0, s1, s2, s3) if (n > parallel_threshold())
     for (std::ptrdiff_t i = 0; i < n - 3; i += 4) {
       s0 += static_cast<W>(x[i]) * static_cast<W>(y[i]);
       s1 += static_cast<W>(x[i + 1]) * static_cast<W>(y[i + 1]);
@@ -108,7 +204,7 @@ auto dot(std::span<const TX> x, std::span<const TY> y) {
     return (s0 + s1) + (s2 + s3);
   } else {
     W s{0};
-#pragma omp parallel for schedule(static) reduction(+ : s)
+#pragma omp parallel for schedule(static) reduction(+ : s) if (n > parallel_threshold())
     for (std::ptrdiff_t i = 0; i < n; ++i)
       s += static_cast<W>(x[i]) * static_cast<W>(y[i]);
     return s;
@@ -123,7 +219,7 @@ auto nrm2(std::span<const T> x) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
   if constexpr (sizeof(T) == 2) {
     W s0{0}, s1{0}, s2{0}, s3{0};
-#pragma omp parallel for schedule(static) reduction(+ : s0, s1, s2, s3)
+#pragma omp parallel for schedule(static) reduction(+ : s0, s1, s2, s3) if (n > parallel_threshold())
     for (std::ptrdiff_t i = 0; i < n - 3; i += 4) {
       const W v0 = static_cast<W>(x[i]), v1 = static_cast<W>(x[i + 1]);
       const W v2 = static_cast<W>(x[i + 2]), v3 = static_cast<W>(x[i + 3]);
@@ -139,7 +235,7 @@ auto nrm2(std::span<const T> x) {
     return static_cast<W>(std::sqrt(static_cast<double>((s0 + s1) + (s2 + s3))));
   } else {
     W s{0};
-#pragma omp parallel for schedule(static) reduction(+ : s)
+#pragma omp parallel for schedule(static) reduction(+ : s) if (n > parallel_threshold())
     for (std::ptrdiff_t i = 0; i < n; ++i) {
       const W v = static_cast<W>(x[i]);
       s += v * v;
@@ -153,7 +249,7 @@ template <class T>
 double nrm_inf(std::span<const T> x) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
   double m = 0.0;
-#pragma omp parallel for schedule(static) reduction(max : m)
+#pragma omp parallel for schedule(static) reduction(max : m) if (n > parallel_threshold())
   for (std::ptrdiff_t i = 0; i < n; ++i) {
     const double v = std::fabs(static_cast<double>(x[i]));
     if (v > m) m = v;
@@ -166,7 +262,7 @@ template <class T>
 std::size_t count_nonfinite(std::span<const T> x) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
   std::size_t c = 0;
-#pragma omp parallel for schedule(static) reduction(+ : c)
+#pragma omp parallel for schedule(static) reduction(+ : c) if (n > parallel_threshold())
   for (std::ptrdiff_t i = 0; i < n; ++i)
     if (!std::isfinite(static_cast<double>(x[i]))) ++c;
   return c;

@@ -1,0 +1,262 @@
+// Blocked multi-vector BLAS kernels — the fused Arnoldi hot path.
+//
+// Classical Gram-Schmidt against k basis vectors, written with blas1
+// primitives, is k independent dot() calls followed by k independent
+// axpy() calls: 2k parallel-region launches and 2k full passes over w.
+// F3R nests three FGMRES levels, so that sequence executes millions of
+// times per solve.  The kernels here do the same math in one pass:
+//
+//   dot_many   out[j] = V_jᵀ·w  for all j   — one sweep over V and w
+//   axpy_many  w (±)= Σ_j h[j]·V_j          — one read-modify-write of w
+//   scal_copy  dst = α·src                  — fuses normalize-then-copy
+//
+// V is a contiguous row-major block (vector j starts at v + j·ld), which
+// is how FgmresSolver now stores its Arnoldi and preconditioned bases.
+//
+// Numerical contract: per output element these kernels perform bit-for-bit
+// the same operation sequence as the blas1 loops they replace (at one
+// thread for dot_many; at any thread count for axpy_many/scal_copy, whose
+// chains are element-local).  In particular axpy_many rounds the running
+// value to the vector precision after every term — exactly what k chained
+// axpy() stores do — so fusing changes the schedule, never the math.
+// Reductions over fp16 inputs accumulate in fp32 with the same four-way
+// unrolling as blas::dot (see the false-dependency note there).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "base/blas1.hpp"
+#include "base/half.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace nk::blas {
+
+namespace block_detail {
+
+/// Cache tile (elements) for the i-dimension: w's tile stays in L1 while
+/// the k basis rows stream past it.  Multiple of 4 so the fp16 four-way
+/// accumulator grouping stays aligned with blas::dot's across tiles.
+inline constexpr std::ptrdiff_t kTile = 1024;
+
+/// Stack-scratch capacity in basis vectors: covers every FGMRES
+/// configuration in the repo (outermost m = 100 → k ≤ 101) without heap
+/// allocation; larger k falls back to a heap buffer.
+inline constexpr int kMaxStackK = 128;
+
+/// Sequential dot_many over the index range [i0, i1): accumulates into
+/// acc[j] (general path) or acc4[4j..4j+3] (half path), preserving
+/// blas::dot's per-vector operation order.  `i1 - i0` must be a multiple
+/// of 4 on the half path (callers peel the remainder).
+template <class TV, class TW, class W>
+inline void dot_many_range(const TV* __restrict v, std::ptrdiff_t ld, int k,
+                           const TW* __restrict w, std::ptrdiff_t i0, std::ptrdiff_t i1,
+                           W* __restrict acc) {
+  for (std::ptrdiff_t t0 = i0; t0 < i1; t0 += kTile) {
+    const std::ptrdiff_t t1 = std::min(t0 + kTile, i1);
+    if constexpr (sizeof(TV) == 2 || sizeof(TW) == 2) {
+      // Convert fp16 operands chunk-wise up front (exact, so the four-way
+      // partial sums below are bit-identical to blas::dot's) — w's chunk
+      // once per tile, each row's chunk once.
+      W wbuf[kTile], vbufc[kTile];
+      const std::ptrdiff_t len = t1 - t0;
+      const W* __restrict wc = to_acc_chunk(w + t0, wbuf, len);
+      for (int j = 0; j < k; ++j) {
+        const TV* __restrict vj = v + static_cast<std::ptrdiff_t>(j) * ld;
+        const W* __restrict vc = to_acc_chunk(vj + t0, vbufc, len);
+        W s0 = acc[4 * j], s1 = acc[4 * j + 1], s2 = acc[4 * j + 2], s3 = acc[4 * j + 3];
+        for (std::ptrdiff_t i = 0; i < len; i += 4) {
+          s0 += vc[i] * wc[i];
+          s1 += vc[i + 1] * wc[i + 1];
+          s2 += vc[i + 2] * wc[i + 2];
+          s3 += vc[i + 3] * wc[i + 3];
+        }
+        acc[4 * j] = s0;
+        acc[4 * j + 1] = s1;
+        acc[4 * j + 2] = s2;
+        acc[4 * j + 3] = s3;
+      }
+    } else {
+      for (int j = 0; j < k; ++j) {
+        const TV* __restrict vj = v + static_cast<std::ptrdiff_t>(j) * ld;
+        W s = acc[j];
+        for (std::ptrdiff_t i = t0; i < t1; ++i)
+          s += static_cast<W>(vj[i]) * static_cast<W>(w[i]);
+        acc[j] = s;
+      }
+    }
+  }
+}
+
+}  // namespace block_detail
+
+/// out[j] = Σ_i V_j[i]·w[i] for j in [0, k).  V_j = v + j·ld; out has k
+/// entries of the accumulator type (fp32 when either input is fp16).
+/// One sweep over the k·n block instead of k launches re-reading w.
+template <class TV, class TW>
+void dot_many(const TV* v, std::ptrdiff_t ld, int k, std::span<const TW> w,
+              acc_t<promote_t<TV, TW>>* out) {
+  using W = acc_t<promote_t<TV, TW>>;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(w.size());
+  if (k <= 0) return;
+  constexpr bool half_path = (sizeof(TV) == 2 || sizeof(TW) == 2);
+  constexpr int lanes = half_path ? 4 : 1;
+  const std::ptrdiff_t n4 = half_path ? n - (n % 4) : n;
+
+  // Stack accumulators for the common case — the inner F3R levels call this
+  // millions of times on short vectors, where a malloc would rival the
+  // fork-join cost the fusion removes.
+  W acc_stack[block_detail::kMaxStackK * 4];
+  std::vector<W> acc_heap;
+  W* acc = acc_stack;
+  if (k > block_detail::kMaxStackK) {
+    acc_heap.resize(static_cast<std::size_t>(k) * lanes);
+    acc = acc_heap.data();
+  }
+  for (std::ptrdiff_t j = 0; j < static_cast<std::ptrdiff_t>(k) * lanes; ++j) acc[j] = W{0};
+#ifdef _OPENMP
+  if (static_cast<std::ptrdiff_t>(k) * n > parallel_threshold() && n4 >= 4) {
+    // Per-thread partials over 4-aligned chunks, combined in thread order:
+    // deterministic for a fixed thread count, and identical to the serial
+    // (= blas::dot single-thread) order when one thread runs.
+    const int max_t = omp_get_max_threads();
+    // Reusable scratch (grows, never shrinks): no malloc per Arnoldi step.
+    static thread_local std::vector<W> partial;
+    partial.assign(static_cast<std::size_t>(max_t) * k * lanes, W{0});
+    int used = 1;
+#pragma omp parallel
+    {
+      const int nt = omp_get_num_threads();
+      const int tid = omp_get_thread_num();
+#pragma omp single
+      used = nt;
+      // ceil(n4/nt) rounded UP to a multiple of 4: chunks stay 4-aligned
+      // for the fp16 unroll while the last chunk still reaches n4.
+      const std::ptrdiff_t per = (((n4 + nt - 1) / nt) + 3) / 4 * 4;
+      const std::ptrdiff_t i0 = std::min<std::ptrdiff_t>(per * tid, n4);
+      const std::ptrdiff_t i1 = std::min<std::ptrdiff_t>(i0 + per, n4);
+      if (i0 < i1)
+        block_detail::dot_many_range<TV, TW, W>(
+            v, ld, k, w.data(), i0, i1,
+            partial.data() + static_cast<std::size_t>(tid) * k * lanes);
+    }
+    for (int t = 0; t < used; ++t)
+      for (std::size_t j = 0; j < static_cast<std::size_t>(k) * lanes; ++j)
+        acc[j] += partial[static_cast<std::size_t>(t) * k * lanes + j];
+  } else {
+    block_detail::dot_many_range<TV, TW, W>(v, ld, k, w.data(), 0, n4, acc);
+  }
+#else
+  block_detail::dot_many_range<TV, TW, W>(v, ld, k, w.data(), 0, n4, acc);
+#endif
+
+  if constexpr (half_path) {
+    for (int j = 0; j < k; ++j) {
+      const TV* vj = v + static_cast<std::ptrdiff_t>(j) * ld;
+      W s0 = acc[4 * j];
+      for (std::ptrdiff_t i = n4; i < n; ++i)
+        s0 += static_cast<W>(vj[i]) * static_cast<W>(w[i]);
+      out[j] = (s0 + acc[4 * j + 1]) + (acc[4 * j + 2] + acc[4 * j + 3]);
+    }
+  } else {
+    for (int j = 0; j < k; ++j) out[j] = acc[j];
+  }
+}
+
+/// w ±= Σ_j h[j]·V_j in one read-modify-write of w (`subtract` picks the
+/// sign; Gram-Schmidt subtracts, the solution update adds).  The running
+/// value is rounded to TW after every term, reproducing the k chained
+/// axpy() stores bit-for-bit — element-local, so exact at any thread count.
+template <class TV, class TW, class S>
+void axpy_many(const TV* v, std::ptrdiff_t ld, int k, const S* h, std::span<TW> w,
+               bool subtract = false) {
+  using W = promote_t<promote_t<TV, TW>, S>;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(w.size());
+  if (k <= 0) return;
+  W a_stack[block_detail::kMaxStackK];
+  std::vector<W> a_heap;
+  W* a = a_stack;
+  if (k > block_detail::kMaxStackK) {
+    a_heap.resize(static_cast<std::size_t>(k));
+    a = a_heap.data();
+  }
+  for (int j = 0; j < k; ++j) a[j] = subtract ? -static_cast<W>(h[j]) : static_cast<W>(h[j]);
+  const W* __restrict ap = a;
+  TW* __restrict wp = w.data();
+#pragma omp parallel for schedule(static) if (static_cast<std::ptrdiff_t>(k) * n > parallel_threshold())
+  for (std::ptrdiff_t t0 = 0; t0 < n; t0 += block_detail::kTile) {
+    const std::ptrdiff_t len = std::min(t0 + block_detail::kTile, n) - t0;
+    W buf[block_detail::kTile];
+    if constexpr (std::is_same_v<TW, half> && std::is_same_v<W, float>) {
+      half_to_float_n(wp + t0, buf, len);
+    } else {
+      for (std::ptrdiff_t i = 0; i < len; ++i) buf[i] = static_cast<W>(wp[t0 + i]);
+    }
+    for (int j = 0; j < k; ++j) {
+      const TV* __restrict vj = v + static_cast<std::ptrdiff_t>(j) * ld + t0;
+      const W aj = ap[j];
+      if constexpr (std::is_same_v<TW, W>) {
+#pragma omp simd
+        for (std::ptrdiff_t i = 0; i < len; ++i) buf[i] += aj * static_cast<W>(vj[i]);
+      } else {
+        // TW narrower than the compute type: round after every term, as the
+        // chained axpy() stores would.  fp16 conversions go through the
+        // vectorized F16C helpers — GCC scalarizes _Float16 conversion
+        // loops into serial vcvtsh2ss chains otherwise (see half.hpp).
+        W vf[block_detail::kTile];
+        const W* __restrict vc = to_acc_chunk(vj, vf, len);
+        if constexpr (std::is_same_v<TW, half> && std::is_same_v<W, float>) {
+          for (std::ptrdiff_t i = 0; i < len; ++i) buf[i] += aj * vc[i];
+          round_half_n(buf, len);
+        } else {
+          for (std::ptrdiff_t i = 0; i < len; ++i)
+            buf[i] = static_cast<W>(static_cast<TW>(buf[i] + aj * vc[i]));
+        }
+      }
+    }
+    if constexpr (std::is_same_v<TW, half> && std::is_same_v<W, float>) {
+      // buf already carries half-rounded values; this conversion is exact.
+      float_to_half_n(buf, wp + t0, len);
+    } else {
+      for (std::ptrdiff_t i = 0; i < len; ++i) wp[t0 + i] = static_cast<TW>(buf[i]);
+    }
+  }
+}
+
+/// y = α·x — fuses FGMRES's normalize-then-copy (scal + copy: two passes,
+/// one of them read-modify-write) into a single streaming read and write.
+/// Rounds α·x[i] to TY exactly as scal()'s store does.
+template <class TX, class TY, class S>
+void scal_copy(S alpha, std::span<const TX> x, std::span<TY> y) {
+  using W = promote_t<promote_t<TX, TY>, S>;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  const W a = static_cast<W>(alpha);
+  const TX* __restrict xp = x.data();
+  TY* __restrict yp = y.data();
+  if constexpr ((std::is_same_v<TX, half> || std::is_same_v<TY, half>) &&
+                std::is_same_v<W, float>) {
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
+    for (std::ptrdiff_t t0 = 0; t0 < n; t0 += block_detail::kTile) {
+      const std::ptrdiff_t len = std::min(t0 + block_detail::kTile, n) - t0;
+      float xb[block_detail::kTile], yb[block_detail::kTile];
+      const float* xc = to_acc_chunk(xp + t0, xb, len);
+      for (std::ptrdiff_t i = 0; i < len; ++i) yb[i] = a * xc[i];
+      if constexpr (std::is_same_v<TY, half>) {
+        float_to_half_n(yb, yp + t0, len);
+      } else {
+        for (std::ptrdiff_t i = 0; i < len; ++i) yp[t0 + i] = static_cast<TY>(yb[i]);
+      }
+    }
+  } else {
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
+    for (std::ptrdiff_t i = 0; i < n; ++i)
+      yp[i] = static_cast<TY>(a * static_cast<W>(xp[i]));
+  }
+}
+
+}  // namespace nk::blas

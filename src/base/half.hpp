@@ -12,10 +12,15 @@
 // targets without a native fp16 ALU, and uses F16C for conversions).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string>
 #include <type_traits>
+
+#if defined(__F16C__)
+#include <immintrin.h>
+#endif
 
 namespace nk {
 
@@ -105,5 +110,53 @@ inline float round_to_half(float x) noexcept { return static_cast<float>(static_
 
 /// Unit roundoff of precision `p` (as double, for cost/accuracy models).
 double unit_roundoff(Prec p) noexcept;
+
+// ---------------------------------------------------------------------------
+// Bulk fp16 ⇄ fp32 conversion.
+//
+// GCC 12's vectorizer has no vector type for _Float16 → float statements
+// ("missed: no vectype"), so a plain conversion loop compiles to scalar
+// vcvtsh2ss whose destination-register merge serializes the whole loop.
+// These helpers issue the 8-wide F16C forms (vcvtph2ps / vcvtps2ph) by
+// hand; without F16C they degrade to the scalar loop.  Round-to-nearest-
+// even on both directions — identical results to the scalar casts.
+// ---------------------------------------------------------------------------
+
+/// dst[i] = float(src[i]) for i < n.
+inline void half_to_float_n(const half* src, float* dst, std::ptrdiff_t n) {
+  std::ptrdiff_t i = 0;
+#if defined(__F16C__)
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+#endif
+  for (; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+/// dst[i] = half(src[i]) for i < n (round to nearest even).
+inline void float_to_half_n(const float* src, half* dst, std::ptrdiff_t n) {
+  std::ptrdiff_t i = 0;
+#if defined(__F16C__)
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm256_cvtps_ph(_mm256_loadu_ps(src + i), _MM_FROUND_TO_NEAREST_INT);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+#endif
+  for (; i < n; ++i) dst[i] = static_cast<half>(src[i]);
+}
+
+/// x[i] = float(half(x[i])) in place — the binary16 rounding step mixed
+/// kernels apply between fused updates.
+inline void round_half_n(float* x, std::ptrdiff_t n) {
+  std::ptrdiff_t i = 0;
+#if defined(__F16C__)
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm256_cvtps_ph(_mm256_loadu_ps(x + i), _MM_FROUND_TO_NEAREST_INT);
+    _mm256_storeu_ps(x + i, _mm256_cvtph_ps(h));
+  }
+#endif
+  for (; i < n; ++i) x[i] = static_cast<float>(static_cast<half>(x[i]));
+}
 
 }  // namespace nk

@@ -11,6 +11,14 @@
 // QR scalars and vectors held in the solver's vector precision VT (fp32 in
 // the inner levels of F3R; reductions over fp16 inputs accumulate fp32).
 //
+// The Arnoldi basis V and the preconditioned basis Z live in single
+// contiguous row-major buffers (vector j at offset j·n), and the CGS
+// projection / correction / normalization run through the fused kernels in
+// base/blas_block.hpp (dot_many / axpy_many / scal_copy): one pass over the
+// basis block per step instead of 2(j+1) blas1 launches re-reading w.  The
+// fused kernels reproduce the blas1 operation sequence bit-for-bit (see
+// blas_block.hpp), so only the schedule changed, not the math.
+//
 // The same class serves two roles:
 //   * inner solver: apply() — solve A z ≈ v from a zero initial guess for
 //     exactly m iterations, no convergence test (the paper checks
@@ -25,6 +33,7 @@
 #include <vector>
 
 #include "base/blas1.hpp"
+#include "base/blas_block.hpp"
 #include "krylov/operator.hpp"
 #include "precond/preconditioner.hpp"
 
@@ -52,12 +61,11 @@ class FgmresSolver final : public Preconditioner<VT> {
   };
 
   FgmresSolver(Operator<VT>& a, Preconditioner<VT>& m, Config cfg)
-      : a_(&a), m_(&m), cfg_(cfg) {
-    const std::size_t n = static_cast<std::size_t>(a.size());
+      : a_(&a), m_(&m), cfg_(cfg), n_(static_cast<std::size_t>(a.size())) {
     const std::size_t mm = static_cast<std::size_t>(cfg_.m);
-    v_.assign(mm + 1, std::vector<VT>(n));
-    z_.assign(mm, std::vector<VT>(n));
-    w_.resize(n);
+    vbuf_.assign((mm + 1) * n_, VT{0});
+    zbuf_.assign(mm * n_, VT{0});
+    w_.resize(n_);
     h_.assign((mm + 1) * mm, S{0});
     g_.assign(mm + 1, S{0});
     cs_.assign(mm, S{0});
@@ -85,17 +93,17 @@ class FgmresSolver final : public Preconditioner<VT> {
 
     // r0 (x = 0 ⇒ r0 = b without an SpMV).
     if (x_nonzero) {
-      a_->residual(b, std::span<const VT>(x.data(), n), std::span<VT>(v_[0]));
+      a_->residual(b, std::span<const VT>(x.data(), n), vcol(0));
     } else {
-      blas::copy(b, std::span<VT>(v_[0]));
+      blas::copy(b, vcol(0));
     }
-    const S beta = blas::nrm2(std::span<const VT>(v_[0]));
+    const S beta = blas::nrm2(std::span<const VT>(vcol(0)));
     if (!(static_cast<double>(beta) > 0.0) || !std::isfinite(static_cast<double>(beta))) {
       stats.residual_est = static_cast<double>(beta);
       stats.reached_target = static_cast<double>(beta) <= abs_target;
       return stats;
     }
-    blas::scal(S{1} / beta, std::span<VT>(v_[0]));
+    blas::scal(S{1} / beta, vcol(0));
     std::fill(g_.begin(), g_.end(), S{0});
     g_[0] = beta;
 
@@ -103,14 +111,16 @@ class FgmresSolver final : public Preconditioner<VT> {
     int j = 0;
     for (; j < m; ++j) {
       // Flexible preconditioning: z_j = M⁻¹ v_j (M may itself be a solver).
-      m_->apply(std::span<const VT>(v_[j]), std::span<VT>(z_[j]));
-      a_->apply(std::span<const VT>(z_[j]), std::span<VT>(w_));
+      m_->apply(std::span<const VT>(vcol(j)), zcol(j));
+      a_->apply(std::span<const VT>(zcol(j)), std::span<VT>(w_));
 
-      // Classical Gram-Schmidt: all projections against the ORIGINAL w.
-      for (int i = 0; i <= j; ++i)
-        hcol_[i] = blas::dot(std::span<const VT>(v_[i]), std::span<const VT>(w_));
-      for (int i = 0; i <= j; ++i)
-        blas::axpy(-hcol_[i], std::span<const VT>(v_[i]), std::span<VT>(w_));
+      // Classical Gram-Schmidt: all projections against the ORIGINAL w,
+      // fused — one sweep over the contiguous basis block for the j+1
+      // dots, one read-modify-write of w for the j+1 corrections.
+      blas::dot_many(vbuf_.data(), static_cast<std::ptrdiff_t>(n_), j + 1,
+                     std::span<const VT>(w_), hcol_.data());
+      blas::axpy_many(vbuf_.data(), static_cast<std::ptrdiff_t>(n_), j + 1, hcol_.data(),
+                      std::span<VT>(w_), /*subtract=*/true);
       S hj1 = blas::nrm2(std::span<const VT>(w_));
 
       // Apply the accumulated Givens rotations to the new column.
@@ -144,9 +154,10 @@ class FgmresSolver final : public Preconditioner<VT> {
         ++j;
         break;
       }
-      // Normalize the next basis vector.
-      blas::scal(S{1} / hj1, std::span<VT>(w_));
-      blas::copy(std::span<const VT>(w_), std::span<VT>(v_[j + 1]));
+      // Normalize the next basis vector: v_{j+1} = w/h in a single write
+      // (w is scratch and is rebuilt by the next A·z, so it need not be
+      // scaled in place).
+      blas::scal_copy(S{1} / hj1, std::span<const VT>(w_), vcol(j + 1));
     }
     stats.iters = std::min(j, m);
     stats.residual_est = std::abs(static_cast<double>(g_[std::min(j, m)]));
@@ -159,7 +170,9 @@ class FgmresSolver final : public Preconditioner<VT> {
       const S hii = h_[col_major(i, i)];
       y_[i] = (hii != S{0}) ? s / hii : S{0};
     }
-    for (int i = 0; i < k; ++i) blas::axpy(y_[i], std::span<const VT>(z_[i]), x);
+    if (k > 0)
+      blas::axpy_many(zbuf_.data(), static_cast<std::ptrdiff_t>(n_), k, y_.data(),
+                      std::span<VT>(x.data(), n_));  // bound by n_, x may be oversized
     return stats;
   }
 
@@ -179,12 +192,22 @@ class FgmresSolver final : public Preconditioner<VT> {
            static_cast<std::size_t>(i);
   }
 
+  /// Column j of the contiguous Arnoldi basis (row-major, stride n).
+  [[nodiscard]] std::span<VT> vcol(int j) {
+    return {vbuf_.data() + static_cast<std::size_t>(j) * n_, n_};
+  }
+  /// Column j of the contiguous preconditioned basis.
+  [[nodiscard]] std::span<VT> zcol(int j) {
+    return {zbuf_.data() + static_cast<std::size_t>(j) * n_, n_};
+  }
+
   Operator<VT>* a_;
   Preconditioner<VT>* m_;
   Config cfg_;
+  std::size_t n_ = 0;
 
-  std::vector<std::vector<VT>> v_;  ///< Arnoldi basis (m+1 vectors)
-  std::vector<std::vector<VT>> z_;  ///< preconditioned basis (m vectors)
+  std::vector<VT> vbuf_;  ///< Arnoldi basis V, (m+1)·n contiguous row-major
+  std::vector<VT> zbuf_;  ///< preconditioned basis Z, m·n contiguous
   std::vector<VT> w_;
   std::vector<S> h_, g_, cs_, sn_, y_, hcol_;
   std::vector<double>* iter_log_ = nullptr;

@@ -88,6 +88,10 @@ double sell_pad_ratio(const SellMatrix<T>& s, index_t real_nnz) {
                        : static_cast<double>(s.padded_nnz()) / static_cast<double>(real_nnz);
 }
 
+/// Largest slice height the SIMD kernel handles with stack accumulators.
+/// The paper's setting is C = 32; anything up to 64 stays on the fast path.
+inline constexpr int kSellSimdMaxChunk = 64;
+
 namespace sell_detail {
 
 /// Dot of one SELL lane (stride-C elements), accumulating in Acc.  Four
@@ -121,14 +125,60 @@ inline Acc lane_dot(const MT* __restrict vals, const index_t* __restrict cols,
   }
 }
 
+/// Column-major SIMD slice sweep: for each stored column j of the slice,
+/// one `omp simd` pass across the C lanes.  This is the access pattern
+/// SELL-C exists for (Monakov et al. 2010): `vals`/`cols` reads are
+/// contiguous across lanes (unit stride), the per-lane accumulators are
+/// independent (no reduction dependency), and on fp16 storage the C
+/// adjacent half values convert with vectorized vcvtph2ps instead of the
+/// serial scalar converts a lane-at-a-time walk degenerates to.
+/// Padding lanes accumulate exact zeros and are discarded by the stores.
+template <class MT, class XT, class Acc, class Store>
+inline void slice_sweep_simd(const MT* __restrict vals, const index_t* __restrict cols,
+                             const XT* __restrict x, index_t base, index_t w, int C,
+                             index_t r0, index_t r1, Store&& store) {
+  Acc acc[kSellSimdMaxChunk] = {};
+  XT xb[kSellSimdMaxChunk];
+  for (index_t j = 0; j < w; ++j) {
+    const MT* __restrict vj = vals + base + static_cast<std::ptrdiff_t>(j) * C;
+    const index_t* __restrict cj = cols + base + static_cast<std::ptrdiff_t>(j) * C;
+    // Gather first, arithmetic second: the gather loop is the only
+    // irregular access, and splitting it out leaves the FMA loop fully
+    // contiguous so it vectorizes for every precision combo.
+#pragma omp simd
+    for (int lane = 0; lane < C; ++lane) xb[lane] = x[cj[lane]];
+    if constexpr (sizeof(MT) == 2 && !std::is_same_v<Acc, MT>) {
+      // Convert the C adjacent half values in one vectorized pass; a scalar
+      // convert inside the FMA loop would serialize on its destination-
+      // register merge (see spmv.hpp's row_dot note), and GCC cannot
+      // auto-vectorize _Float16→float, hence the explicit F16C helper.
+      Acc vf[kSellSimdMaxChunk];
+      if constexpr (std::is_same_v<Acc, float>) {
+        half_to_float_n(vj, vf, C);
+      } else {
+        for (int lane = 0; lane < C; ++lane) vf[lane] = static_cast<Acc>(vj[lane]);
+      }
+#pragma omp simd
+      for (int lane = 0; lane < C; ++lane) acc[lane] += vf[lane] * static_cast<Acc>(xb[lane]);
+    } else {
+#pragma omp simd
+      for (int lane = 0; lane < C; ++lane)
+        acc[lane] += static_cast<Acc>(vj[lane]) * static_cast<Acc>(xb[lane]);
+    }
+  }
+  for (index_t i = r0; i < r1; ++i) store(i, acc[i - r0]);
+}
+
 }  // namespace sell_detail
 
-/// y = A x over SELL-C.
+/// y = A x over SELL-C, row-wise (the pre-SIMD reference kernel: each lane
+/// walks its row with stride-C reads).  Kept for the perf-tracking bench;
+/// use spmv() for real work.
 template <class MT, class XT, class YT, class Acc = promote_t<MT, XT>>
-void spmv(const SellMatrix<MT>& a, std::span<const XT> x, std::span<YT> y) {
+void spmv_rowwise(const SellMatrix<MT>& a, std::span<const XT> x, std::span<YT> y) {
   const index_t ns = a.nslices();
   const int C = a.chunk;
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (static_cast<std::ptrdiff_t>(a.padded_nnz()) > blas::parallel_threshold())
   for (std::ptrdiff_t sl = 0; sl < static_cast<std::ptrdiff_t>(ns); ++sl) {
     const index_t r0 = static_cast<index_t>(sl) * C;
     const index_t r1 = std::min<index_t>(r0 + C, a.nrows);
@@ -141,23 +191,48 @@ void spmv(const SellMatrix<MT>& a, std::span<const XT> x, std::span<YT> y) {
   }
 }
 
-/// y = b - A x over SELL-C (fused residual, mirrors the CSR variant).
+/// y = A x over SELL-C: column-major within each slice, SIMD across lanes.
+template <class MT, class XT, class YT, class Acc = promote_t<MT, XT>>
+void spmv(const SellMatrix<MT>& a, std::span<const XT> x, std::span<YT> y) {
+  const index_t ns = a.nslices();
+  const int C = a.chunk;
+  if (C > kSellSimdMaxChunk) {  // oversize chunks fall back to the lane walk
+    spmv_rowwise<MT, XT, YT, Acc>(a, x, y);
+    return;
+  }
+#pragma omp parallel for schedule(static) if (static_cast<std::ptrdiff_t>(a.padded_nnz()) > blas::parallel_threshold())
+  for (std::ptrdiff_t sl = 0; sl < static_cast<std::ptrdiff_t>(ns); ++sl) {
+    const index_t r0 = static_cast<index_t>(sl) * C;
+    const index_t r1 = std::min<index_t>(r0 + C, a.nrows);
+    sell_detail::slice_sweep_simd<MT, XT, Acc>(
+        a.vals.data(), a.cols.data(), x.data(), a.slice_ptr[sl], a.slice_width[sl], C, r0, r1,
+        [&](index_t i, Acc s) { y[i] = static_cast<YT>(s); });
+  }
+}
+
+/// y = b - A x over SELL-C (fused residual, same SIMD slice sweep).
 template <class MT, class XT, class BT, class YT,
           class Acc = promote_t<promote_t<MT, XT>, BT>>
 void residual(const SellMatrix<MT>& a, std::span<const XT> x, std::span<const BT> b,
               std::span<YT> y) {
   const index_t ns = a.nslices();
   const int C = a.chunk;
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (static_cast<std::ptrdiff_t>(a.padded_nnz()) > blas::parallel_threshold())
   for (std::ptrdiff_t sl = 0; sl < static_cast<std::ptrdiff_t>(ns); ++sl) {
     const index_t r0 = static_cast<index_t>(sl) * C;
     const index_t r1 = std::min<index_t>(r0 + C, a.nrows);
     const index_t base = a.slice_ptr[sl];
     const index_t w = a.slice_width[sl];
-    for (index_t i = r0; i < r1; ++i) {
-      const Acc s = sell_detail::lane_dot<MT, XT, Acc>(a.vals.data(), a.cols.data(), x.data(),
-                                                       base, i - r0, w, C);
-      y[i] = static_cast<YT>(static_cast<Acc>(b[i]) - s);
+    if (C <= kSellSimdMaxChunk) {
+      sell_detail::slice_sweep_simd<MT, XT, Acc>(
+          a.vals.data(), a.cols.data(), x.data(), base, w, C, r0, r1,
+          [&](index_t i, Acc s) { y[i] = static_cast<YT>(static_cast<Acc>(b[i]) - s); });
+    } else {
+      for (index_t i = r0; i < r1; ++i) {
+        const Acc s = sell_detail::lane_dot<MT, XT, Acc>(a.vals.data(), a.cols.data(),
+                                                         x.data(), base, i - r0, w, C);
+        y[i] = static_cast<YT>(static_cast<Acc>(b[i]) - s);
+      }
     }
   }
 }

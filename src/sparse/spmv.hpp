@@ -37,7 +37,10 @@ inline Acc row_dot(const MT* __restrict v, const index_t* __restrict ci,
     Acc s0{0}, s1{0}, s2{0}, s3{0};
     index_t k = begin;
     for (; k + 16 <= end; k += 16) {
-      for (int j = 0; j < 16; ++j) vf[j] = static_cast<Acc>(v[k + j]);
+      if constexpr (std::is_same_v<Acc, float>)
+        half_to_float_n(v + k, vf, 16);  // GCC can't vectorize this loop itself
+      else
+        for (int j = 0; j < 16; ++j) vf[j] = static_cast<Acc>(v[k + j]);
       for (int j = 0; j < 16; j += 4) {
         s0 += vf[j] * static_cast<Acc>(x[ci[k + j]]);
         s1 += vf[j + 1] * static_cast<Acc>(x[ci[k + j + 1]]);
@@ -67,12 +70,13 @@ inline Acc row_dot(const MT* __restrict v, const index_t* __restrict ci,
 template <class MT, class XT, class YT, class Acc = promote_t<MT, XT>>
 void spmv(const CsrMatrix<MT>& a, std::span<const XT> x, std::span<YT> y) {
   const std::ptrdiff_t n = a.nrows;
+  const std::ptrdiff_t work = a.nnz();
   const index_t* __restrict rp = a.row_ptr.data();
   const index_t* __restrict ci = a.col_idx.data();
   const MT* __restrict v = a.vals.data();
   const XT* __restrict xp = x.data();
   YT* __restrict yp = y.data();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (work > blas::parallel_threshold())
   for (std::ptrdiff_t i = 0; i < n; ++i)
     yp[i] = static_cast<YT>(detail::row_dot<MT, XT, Acc>(v, ci, xp, rp[i], rp[i + 1]));
 }
@@ -82,13 +86,14 @@ template <class MT, class XT, class BT, class YT, class Acc = promote_t<promote_
 void residual(const CsrMatrix<MT>& a, std::span<const XT> x, std::span<const BT> b,
               std::span<YT> y) {
   const std::ptrdiff_t n = a.nrows;
+  const std::ptrdiff_t work = a.nnz();
   const index_t* __restrict rp = a.row_ptr.data();
   const index_t* __restrict ci = a.col_idx.data();
   const MT* __restrict v = a.vals.data();
   const XT* __restrict xp = x.data();
   const BT* __restrict bp = b.data();
   YT* __restrict yp = y.data();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (work > blas::parallel_threshold())
   for (std::ptrdiff_t i = 0; i < n; ++i) {
     const Acc s = detail::row_dot<MT, XT, Acc>(v, ci, xp, rp[i], rp[i + 1]);
     yp[i] = static_cast<YT>(static_cast<Acc>(bp[i]) - s);
@@ -101,11 +106,12 @@ template <class MT, class XT>
 double relative_residual(const CsrMatrix<MT>& a, std::span<const XT> x,
                          std::span<const double> b) {
   const std::ptrdiff_t n = a.nrows;
+  const std::ptrdiff_t work = a.nnz();
   const index_t* __restrict rp = a.row_ptr.data();
   const index_t* __restrict ci = a.col_idx.data();
   const MT* __restrict v = a.vals.data();
   double rr = 0.0, bb = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : rr, bb)
+#pragma omp parallel for schedule(static) reduction(+ : rr, bb) if (work > blas::parallel_threshold())
   for (std::ptrdiff_t i = 0; i < n; ++i) {
     double s = b[i];
     for (index_t k = rp[i]; k < rp[i + 1]; ++k)
