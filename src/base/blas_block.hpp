@@ -125,9 +125,14 @@ void dot_many(const TV* v, std::ptrdiff_t ld, int k, std::span<const TW> w,
     // deterministic for a fixed thread count, and identical to the serial
     // (= blas::dot single-thread) order when one thread runs.
     const int max_t = omp_get_max_threads();
-    // Reusable scratch (grows, never shrinks): no malloc per Arnoldi step.
+    // Reusable team-wide scratch owned by the CALLING thread (grows, never
+    // shrinks: no malloc per Arnoldi step).  The pointer must be hoisted
+    // before the parallel region — naming `partial` inside it would resolve
+    // to each worker's own (empty) thread_local instance; all workers have
+    // to write through this one buffer, tid-offset, for the merge below.
     static thread_local std::vector<W> partial;
     partial.assign(static_cast<std::size_t>(max_t) * k * lanes, W{0});
+    W* const part = partial.data();
     int used = 1;
 #pragma omp parallel
     {
@@ -143,11 +148,11 @@ void dot_many(const TV* v, std::ptrdiff_t ld, int k, std::span<const TW> w,
       if (i0 < i1)
         block_detail::dot_many_range<TV, TW, W>(
             v, ld, k, w.data(), i0, i1,
-            partial.data() + static_cast<std::size_t>(tid) * k * lanes);
+            part + static_cast<std::size_t>(tid) * k * lanes);
     }
     for (int t = 0; t < used; ++t)
       for (std::size_t j = 0; j < static_cast<std::size_t>(k) * lanes; ++j)
-        acc[j] += partial[static_cast<std::size_t>(t) * k * lanes + j];
+        acc[j] += part[static_cast<std::size_t>(t) * k * lanes + j];
   } else {
     block_detail::dot_many_range<TV, TW, W>(v, ld, k, w.data(), 0, n4, acc);
   }

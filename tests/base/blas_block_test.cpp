@@ -4,8 +4,13 @@
 // (vector-of-vectors, unfused blas1) implementation exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "base/blas1.hpp"
 #include "base/blas_block.hpp"
@@ -70,6 +75,85 @@ TEST(DotMany, MatchesDotAllPrecisionPairs) {
   check_dot_many<half, double>();
   check_dot_many<double, half>();
 }
+
+#ifdef _OPENMP
+// Regression for the team-wide reduction scratch: force a real multi-thread
+// team through the fused kernels' parallel path (k·n far above the default
+// 4096-element threshold).  A per-thread `thread_local` scratch indexed by
+// tid left every worker writing through its own empty vector — segfault or
+// silently dropped partial sums — and the ordinary suite sizes never caught
+// it because CI ran single-threaded.
+TEST(BlasBlockParallel, MultiThreadTeamThroughFusedKernels) {
+  // Restore on every exit path (GTEST_SKIP and ASSERT return early).
+  struct ThreadGuard {
+    int saved = omp_get_max_threads();
+    ~ThreadGuard() { omp_set_num_threads(saved); }
+  } guard;
+  omp_set_num_threads(4);
+  // omp_set_num_threads is a request the runtime may refuse (OMP_THREAD_LIMIT,
+  // dynamic adjustment); with a 1-thread team the pre-fix bug is invisible, so
+  // prove the team formed or the regression is silently lost.
+  int team = 0;
+#pragma omp parallel
+  {
+#pragma omp single
+    team = omp_get_num_threads();
+  }
+  if (team < 2)
+    GTEST_SKIP() << "runtime refused a multi-thread team (got " << team << ")";
+  const std::size_t n = 200000;
+  const int k = 4;
+
+  {  // dot_many, fp64: reassociation-bounded vs a serial reference.
+    const auto vd = random_vector<double>(n * k, 48, -1.0, 1.0);
+    const auto wd = random_vector<double>(n, 49, -1.0, 1.0);
+    std::vector<double> out(k, 99.0);
+    blas::dot_many(vd.data(), static_cast<std::ptrdiff_t>(n), k,
+                   std::span<const double>(wd), out.data());
+    for (int j = 0; j < k; ++j) {
+      double ref = 0.0;
+      for (std::size_t i = 0; i < n; ++i) ref += vd[j * n + i] * wd[i];
+      EXPECT_NEAR(out[j], ref,
+                  1e-15 * static_cast<double>(n) * std::max(1.0, std::abs(ref)))
+          << "j=" << j;
+    }
+  }
+
+  {  // dot_many, fp16 inputs / fp32 accumulation: same bound in fp32 eps.
+    const auto vd = random_vector<double>(n * k, 50, -1.0, 1.0);
+    const auto wd = random_vector<double>(n, 51, -1.0, 1.0);
+    std::vector<half> v(n * k), w(n);
+    for (std::size_t i = 0; i < n * k; ++i) v[i] = static_cast<half>(vd[i]);
+    for (std::size_t i = 0; i < n; ++i) w[i] = static_cast<half>(wd[i]);
+    std::vector<float> out(k, 99.0f);
+    blas::dot_many(v.data(), static_cast<std::ptrdiff_t>(n), k,
+                   std::span<const half>(w), out.data());
+    for (int j = 0; j < k; ++j) {
+      double ref = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        ref += static_cast<double>(static_cast<float>(v[j * n + i])) *
+               static_cast<double>(static_cast<float>(w[i]));
+      EXPECT_NEAR(static_cast<double>(out[j]), ref,
+                  1e-6 * static_cast<double>(n) * std::max(1.0, std::abs(ref)))
+          << "j=" << j;
+    }
+  }
+
+  {  // axpy_many: element-local chains, bit-exact at any thread count.
+    const auto vd = random_vector<double>(n * k, 52, -1.0, 1.0);
+    const auto wd = random_vector<double>(n, 53, -1.0, 1.0);
+    std::vector<double> fused = wd, ref = wd;
+    const double h[] = {0.1, -0.2, 0.3, -0.4};
+    blas::axpy_many(vd.data(), static_cast<std::ptrdiff_t>(n), k, h,
+                    std::span<double>(fused), true);
+    for (int j = 0; j < k; ++j)
+      blas::axpy(-h[j], std::span<const double>(vd.data() + j * n, n),
+                 std::span<double>(ref));
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(fused[i], ref[i]) << "i=" << i;  // abort on first of 200k
+  }
+}
+#endif  // _OPENMP
 
 TEST(DotMany, ZeroCountIsNoop) {
   std::vector<double> v(8, 1.0), w(8, 1.0);
