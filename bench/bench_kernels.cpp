@@ -33,10 +33,14 @@
 #include "base/rng.hpp"
 #include "base/timer.hpp"
 #include "bench_common.hpp"
+#include "krylov/cg.hpp"
+#include "krylov/operator.hpp"
 #include "precond/block_jacobi_ilu0.hpp"
+#include "sparse/gen/laplace.hpp"
 #include "sparse/gen/stencil.hpp"
 #include "sparse/scaling.hpp"
 #include "sparse/sell.hpp"
+#include "sparse/spmm.hpp"
 #include "sparse/spmv.hpp"
 
 using namespace nk;
@@ -287,6 +291,186 @@ void bench_spmv_combo(bench::JsonReport& rep, const std::string& mat_name,
 }
 
 // ---------------------------------------------------------------------------
+// SpMM: one batched sweep vs k separate SpMVs (the batched-solve kernel)
+// ---------------------------------------------------------------------------
+
+template <class MT, class XT>
+void bench_spmm_combo(bench::JsonReport& rep, const std::string& mat_name,
+                      const CsrMatrix<MT>& a, const SellMatrix<MT>& s, int k) {
+  const auto n = static_cast<std::int64_t>(a.nrows);
+  const auto nnz = static_cast<std::int64_t>(a.nnz());
+  const auto nn = static_cast<std::size_t>(a.nrows);
+  const std::string combo =
+      std::string(tname<MT>()) + (std::is_same_v<MT, XT> ? "" : std::string("_") + tname<XT>());
+  const std::string suffix = combo + "_k" + std::to_string(k) + "/" + mat_name;
+  const auto xd = random_vector<double>(nn * static_cast<std::size_t>(k), 71, -1.0, 1.0);
+  std::vector<XT> x(xd.size());
+  for (std::size_t i = 0; i < xd.size(); ++i) x[i] = static_cast<XT>(xd[i]);
+  std::vector<XT> y(nn * static_cast<std::size_t>(k)), yref(nn);
+
+  // Verify: spmm column c must equal spmv on column c — bit-for-bit except
+  // fp16 storage with wider vectors, where compiler FMA-contraction freedom
+  // across the two loop shapes leaves fp32-rounding-level differences (see
+  // spmm.hpp).
+  spmm(a, x.data(), static_cast<std::ptrdiff_t>(nn), y.data(),
+       static_cast<std::ptrdiff_t>(nn), k);
+  double dmax = 0.0, yscale = 0.0;
+  for (int c = 0; c < k; ++c) {
+    spmv(a, std::span<const XT>(x.data() + static_cast<std::size_t>(c) * nn, nn),
+         std::span<XT>(yref));
+    for (std::size_t i = 0; i < nn; ++i) {
+      dmax = std::max(dmax,
+                      std::abs(static_cast<double>(y[static_cast<std::size_t>(c) * nn + i]) -
+                               static_cast<double>(yref[i])));
+      yscale = std::max(yscale, std::abs(static_cast<double>(yref[i])));
+    }
+  }
+  const double csr_tol = (sizeof(MT) == 2 && !std::is_same_v<MT, XT>)
+                             ? 1e-5 * std::max(1.0, yscale)
+                             : 0.0;
+  check("spmm_csr_vs_spmv_" + suffix, dmax, csr_tol);
+
+  spmm(s, x.data(), static_cast<std::ptrdiff_t>(nn), y.data(),
+       static_cast<std::ptrdiff_t>(nn), k);
+  dmax = 0.0;
+  for (int c = 0; c < k; ++c) {
+    spmv(s, std::span<const XT>(x.data() + static_cast<std::size_t>(c) * nn, nn),
+         std::span<XT>(yref));
+    for (std::size_t i = 0; i < nn; ++i)
+      dmax = std::max(dmax,
+                      std::abs(static_cast<double>(y[static_cast<std::size_t>(c) * nn + i]) -
+                               static_cast<double>(yref[i])));
+  }
+  check("spmm_sell_vs_spmv_" + suffix, dmax, 0.0);
+
+  // Timing: the batched sweep reads A once; the k-SpMV loop reads it k
+  // times.  GB/s uses actual traffic, so the speedup shows as bandwidth.
+  const double csr_bytes =
+      static_cast<double>(nnz) * (sizeof(MT) + 4.0) + 2.0 * k * n * sizeof(XT);
+  double t = time_min([&] {
+    spmm(a, x.data(), static_cast<std::ptrdiff_t>(nn), y.data(),
+         static_cast<std::ptrdiff_t>(nn), k);
+    asm volatile("" ::"r"(y.data()) : "memory");
+  });
+  rep.add("spmm_csr_" + suffix, n, nnz, t, csr_bytes / t / 1e9);
+  const double t_spmm = t;
+
+  t = time_min([&] {
+    for (int c = 0; c < k; ++c)
+      spmv(a, std::span<const XT>(x.data() + static_cast<std::size_t>(c) * nn, nn),
+           std::span<XT>(y.data() + static_cast<std::size_t>(c) * nn, nn));
+    asm volatile("" ::"r"(y.data()) : "memory");
+  });
+  rep.add("spmv_x" + std::to_string(k) + "_csr_" + suffix, n, nnz, t,
+          (static_cast<double>(nnz) * (sizeof(MT) + 4.0) * k + 2.0 * k * n * sizeof(XT)) /
+              t / 1e9);
+  std::cout << "spmm csr " << suffix << ": batched " << t_spmm * 1e6 << " us vs " << k
+            << " spmv " << t * 1e6 << " us (" << t / t_spmm << "x)\n";
+
+  t = time_min([&] {
+    spmm(s, x.data(), static_cast<std::ptrdiff_t>(nn), y.data(),
+         static_cast<std::ptrdiff_t>(nn), k);
+    asm volatile("" ::"r"(y.data()) : "memory");
+  });
+  rep.add("spmm_sell_" + suffix, n, nnz, t,
+          (static_cast<double>(s.padded_nnz()) * (sizeof(MT) + 4.0) +
+           2.0 * k * n * sizeof(XT)) / t / 1e9);
+}
+
+void bench_spmm(bench::JsonReport& rep, const std::string& mat_name,
+                const CsrMatrix<double>& a64) {
+  const auto a32 = cast_matrix<float>(a64);
+  const auto a16 = cast_matrix<half>(a64);
+  const auto s64 = csr_to_sell(a64, 32);
+  const auto s32 = csr_to_sell(a32, 32);
+  const auto s16 = csr_to_sell(a16, 32);
+  bench_spmm_combo<double, double>(rep, mat_name, a64, s64, 8);
+  bench_spmm_combo<float, float>(rep, mat_name, a32, s32, 8);
+  bench_spmm_combo<half, float>(rep, mat_name, a16, s16, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Batched multi-RHS solve: 8 RHS through one CG in lockstep vs 8 sequential
+// solves (the ISSUE 3 acceptance benchmark: >= 1.5x on the n = 100k
+// Laplace problem, with per-column agreement)
+// ---------------------------------------------------------------------------
+
+void bench_batched_solve(bench::JsonReport& rep, std::int64_t n_target) {
+  const auto side = static_cast<index_t>(std::llround(std::sqrt(static_cast<double>(n_target))));
+  CsrMatrix<double> a = gen::laplace2d(side, side);
+  a.sort_rows();
+  diagonal_scale_symmetric(a);
+  const std::size_t n = static_cast<std::size_t>(a.nrows);
+  const auto nnz = static_cast<std::int64_t>(a.nnz());
+  const int k = 8;
+  BlockJacobiIlu0 ilu(a, BlockJacobiIlu0::Config{64, 1.0});
+
+  std::vector<double> B(n * k);
+  for (int c = 0; c < k; ++c) {
+    const auto col = random_vector<double>(n, 900 + static_cast<std::uint64_t>(c), 0.0, 1.0);
+    std::copy(col.begin(), col.end(), B.begin() + static_cast<std::size_t>(c) * n);
+  }
+  CgSolver<double>::Config cfg;
+  cfg.rtol = 1e-8;
+  cfg.max_iters = 1000;
+
+  // Sequential: k independent solves, each paying its own matrix sweeps.
+  std::vector<double> Xs(n * k, 0.0);
+  CsrOperator<double, double> op_s(a);
+  auto h_s = ilu.make_apply<double>(Prec::FP64);
+  CgSolver<double> seq(op_s, *h_s, cfg);
+  int iters_seq = 0;
+  WallTimer ts;
+  for (int c = 0; c < k; ++c) {
+    auto r = seq.solve(std::span<const double>(B.data() + static_cast<std::size_t>(c) * n, n),
+                       std::span<double>(Xs.data() + static_cast<std::size_t>(c) * n, n));
+    iters_seq += r.iterations;
+    if (!r.converged) check("batched_cg_seq_converged", 1.0, 0.0);
+  }
+  const double t_seq = ts.seconds();
+  rep.add("solve_cg_seq_8rhs_laplace", static_cast<std::int64_t>(n), nnz, t_seq, 0.0);
+
+  // Batched: one lockstep solve sharing every matrix and factor sweep.
+  std::vector<double> Xb(n * k, 0.0);
+  CsrOperator<double, double> op_b(a);
+  auto h_b = ilu.make_apply<double>(Prec::FP64);
+  CgSolver<double> bat(op_b, *h_b, cfg);
+  WallTimer tb;
+  auto many = bat.solve_many(B.data(), static_cast<std::ptrdiff_t>(n), Xb.data(),
+                             static_cast<std::ptrdiff_t>(n), k);
+  const double t_bat = tb.seconds();
+  rep.add("solve_cg_batched_8rhs_laplace", static_cast<std::int64_t>(n), nnz, t_bat, 0.0);
+  rep.add("solve_cg_batched_8rhs_speedup", static_cast<std::int64_t>(n), nnz, t_bat,
+          t_seq / t_bat);  // gbps column doubles as the speedup ratio
+
+  // Per-column agreement between the two paths.  Identical kernels per
+  // column ⇒ identical iterates; allow ulp-level slack only for the
+  // multi-threaded reductions.
+  int iters_bat = 0;
+  double dmax = 0.0, xscale = 0.0;
+  for (int c = 0; c < k; ++c) {
+    iters_bat += many[c].iterations;
+    if (!many[c].converged) check("batched_cg_bat_converged", 1.0, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      dmax = std::max(dmax, std::abs(Xb[static_cast<std::size_t>(c) * n + i] -
+                                     Xs[static_cast<std::size_t>(c) * n + i]));
+      xscale = std::max(xscale, std::abs(Xs[static_cast<std::size_t>(c) * n + i]));
+    }
+  }
+  // Single-threaded the two paths are bit-identical; with parallel blas1
+  // reductions each path rounds differently, and two independently
+  // converged solutions only agree to convergence level.
+  check("batched_cg_column_agreement", dmax,
+        (num_threads() == 1 ? 0.0 : 1e-5 * std::max(1.0, xscale)));
+  check("batched_cg_iteration_agreement", std::abs(iters_bat - iters_seq),
+        num_threads() == 1 ? 0.0 : std::max(2.0 * k, 0.05 * iters_seq));
+
+  std::cout << "batched CG 8 RHS (n=" << n << ", bj-ilu0): sequential " << t_seq
+            << " s vs batched " << t_bat << " s  (" << t_seq / t_bat << "x, "
+            << iters_seq << "/" << iters_bat << " iters)\n";
+}
+
+// ---------------------------------------------------------------------------
 // Precision conversion + preconditioner application (the paper's other
 // dominant kernels; carried over from the pre-rewrite bench)
 // ---------------------------------------------------------------------------
@@ -383,9 +567,12 @@ int main(int argc, char** argv) {
   const index_t side = static_cast<index_t>(32 * scale);
   auto hpcg = gen::stencil27({.nx = side, .ny = side, .nz = side});
   bench_ilu_apply(rep, hpcg);
+  bench_spmm(rep, "hpcg", hpcg);
   bench_spmv(rep, "hpcg", std::move(hpcg));
   bench_spmv(rep, "hpgmp",
              gen::stencil27({.nx = side, .ny = side, .nz = side, .beta = 0.5}));
+
+  bench_batched_solve(rep, n);
 
   std::cout << "\nname, n, nnz, seconds, GB/s\n";
   for (const auto& r : rep.records())

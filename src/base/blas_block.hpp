@@ -233,6 +233,178 @@ void axpy_many(const TV* v, std::ptrdiff_t ld, int k, const S* h, std::span<TW> 
   }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-RHS column kernels — the batched-solve hot path.
+//
+// A batched solver advances k independent right-hand sides in lockstep:
+// column c lives at x + c·ld (each column contiguous, length n).  The
+// kernels below fuse the k per-column BLAS-1 calls of one solver step into
+// a single parallel region.  Element-local kernels (axpy_cols / axpby_cols)
+// are bit-identical to the per-column blas1 calls they replace at any
+// thread count; dot_cols reproduces the SERIAL blas::dot accumulation
+// order per column exactly (each column is reduced by one thread), which
+// is the deterministic contract the conformance tests pin.
+//
+// `active` (optional) masks columns out of the update entirely — a batched
+// solver freezes a column the moment it converges or breaks down, and a
+// frozen column's data must not be touched (it may hold non-finite values
+// after a breakdown, so even a mathematically-neutral `+= 0·x` would
+// corrupt it with NaNs).
+// ---------------------------------------------------------------------------
+
+/// Column-group width of the reduction kernels' stack accumulators; wider
+/// batches are processed in groups (per-column results unaffected).
+inline constexpr int kColsMax = 16;
+
+namespace block_detail {
+
+/// Interleaved multi-column dot core: per column c the accumulation order
+/// over i is exactly single-threaded blas::dot's (single chain on the
+/// general path, the four-way unroll on the fp16 path); the column loop is
+/// innermost so the k independent chains advance together — the reduction
+/// becomes throughput-bound instead of latency-bound.  Deliberately
+/// serial: determinism of the batched path must not depend on the OpenMP
+/// team, and the reduction is a small slice of a batched solver step.
+template <class TX, class TY, class W, int KC>
+inline void dot_cols_group(const TX* __restrict x, std::ptrdiff_t ldx,
+                           const TY* __restrict y, std::ptrdiff_t ldy, int k_dyn,
+                           std::ptrdiff_t nn, W* __restrict out) {
+  const int k = KC > 0 ? KC : k_dyn;
+  if constexpr (sizeof(TX) == 2 || sizeof(TY) == 2) {
+    W acc[4][kColsMax] = {};
+    std::ptrdiff_t i = 0;
+    for (; i + 4 <= nn; i += 4) {
+      for (int j = 0; j < 4; ++j) {
+        W* __restrict lane = acc[j];
+        const TX* __restrict xi = x + i + j;
+        const TY* __restrict yi = y + i + j;
+        for (int c = 0; c < k; ++c)
+          lane[c] += static_cast<W>(xi[c * ldx]) * static_cast<W>(yi[c * ldy]);
+      }
+    }
+    for (; i < nn; ++i)
+      for (int c = 0; c < k; ++c)
+        acc[0][c] += static_cast<W>(x[c * ldx + i]) * static_cast<W>(y[c * ldy + i]);
+    for (int c = 0; c < k; ++c)
+      out[c] = (acc[0][c] + acc[1][c]) + (acc[2][c] + acc[3][c]);
+  } else {
+    W acc[kColsMax] = {};
+    for (std::ptrdiff_t i = 0; i < nn; ++i)
+      for (int c = 0; c < k; ++c)
+        acc[c] += static_cast<W>(x[c * ldx + i]) * static_cast<W>(y[c * ldy + i]);
+    for (int c = 0; c < k; ++c) out[c] = acc[c];
+  }
+}
+
+}  // namespace block_detail
+
+/// out[c] = Σ_i x_c[i]·y_c[i] for c in [0, k), columns at stride ldx/ldy.
+/// Per column bit-identical to SINGLE-THREADED blas::dot (including the
+/// four-way fp16 unroll) at any k: only the schedule across columns
+/// differs.  `active` masks columns out entirely (their out[] untouched).
+template <class TX, class TY>
+void dot_cols(const TX* x, std::ptrdiff_t ldx, const TY* y, std::ptrdiff_t ldy, int k,
+              std::size_t n, acc_t<promote_t<TX, TY>>* out,
+              const unsigned char* active = nullptr) {
+  using W = acc_t<promote_t<TX, TY>>;
+  const std::ptrdiff_t nn = static_cast<std::ptrdiff_t>(n);
+  W grp[kColsMax];
+  for (int c0 = 0; c0 < k; c0 += kColsMax) {
+    const int kc = std::min(k - c0, kColsMax);
+    const TX* xg = x + static_cast<std::ptrdiff_t>(c0) * ldx;
+    const TY* yg = y + static_cast<std::ptrdiff_t>(c0) * ldy;
+    // Masked columns still participate in the sweep (their chains cost a
+    // few registers, and compacting would change nothing numerically);
+    // only the result store honors the mask.
+    switch (kc) {
+      case 4: block_detail::dot_cols_group<TX, TY, W, 4>(xg, ldx, yg, ldy, kc, nn, grp); break;
+      case 8: block_detail::dot_cols_group<TX, TY, W, 8>(xg, ldx, yg, ldy, kc, nn, grp); break;
+      case kColsMax:
+        block_detail::dot_cols_group<TX, TY, W, kColsMax>(xg, ldx, yg, ldy, kc, nn, grp);
+        break;
+      default: block_detail::dot_cols_group<TX, TY, W, 0>(xg, ldx, yg, ldy, kc, nn, grp); break;
+    }
+    for (int c = 0; c < kc; ++c)
+      if (active == nullptr || active[c0 + c]) out[c0 + c] = grp[c];
+  }
+}
+
+/// out[c] = ‖x_c‖₂ for c in [0, k): per column bit-identical to
+/// single-threaded blas::nrm2 — the sum of squares goes through dot_cols'
+/// interleaved sweep (x·x is nrm2's accumulation exactly, lane grouping
+/// included), followed by the same double-rounded sqrt store.
+template <class T>
+void nrm2_cols(const T* x, std::ptrdiff_t ldx, int k, std::size_t n, acc_t<T>* out,
+               const unsigned char* active = nullptr) {
+  using W = acc_t<T>;
+  W sq[kColsMax];
+  for (int c0 = 0; c0 < k; c0 += kColsMax) {
+    const int kc = std::min(k - c0, kColsMax);
+    const T* xg = x + static_cast<std::ptrdiff_t>(c0) * ldx;
+    dot_cols(xg, ldx, xg, ldx, kc, n, sq);
+    for (int c = 0; c < kc; ++c)
+      if (active == nullptr || active[c0 + c])
+        out[c0 + c] = static_cast<W>(std::sqrt(static_cast<double>(sq[c])));
+  }
+}
+
+/// y_c += alpha[c]·x_c for every unmasked column — k axpys in one parallel
+/// region, each element rounded exactly as blas::axpy's store rounds it.
+template <class TX, class TY, class S>
+void axpy_cols(const S* alpha, const TX* x, std::ptrdiff_t ldx, TY* yp,
+               std::ptrdiff_t ldy, int k, std::size_t n,
+               const unsigned char* active = nullptr) {
+  using W = promote_t<promote_t<TX, TY>, S>;
+  const std::ptrdiff_t len = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for schedule(static) if (static_cast<std::ptrdiff_t>(k) * len > parallel_threshold())
+  for (std::ptrdiff_t t0 = 0; t0 < len; t0 += block_detail::kTile) {
+    const std::ptrdiff_t tl = std::min(t0 + block_detail::kTile, len) - t0;
+    for (int c = 0; c < k; ++c) {
+      if (active != nullptr && !active[c]) continue;
+      const W a = static_cast<W>(alpha[c]);
+      const TX* __restrict xc = x + static_cast<std::ptrdiff_t>(c) * ldx + t0;
+      TY* __restrict yc = yp + static_cast<std::ptrdiff_t>(c) * ldy + t0;
+      if constexpr ((std::is_same_v<TX, half> || std::is_same_v<TY, half>) &&
+                    std::is_same_v<W, float>) {
+        float xb[block_detail::kTile], yb[block_detail::kTile], ob[block_detail::kTile];
+        const float* xv = to_acc_chunk(xc, xb, tl);
+        const float* yv = to_acc_chunk(yc, yb, tl);
+        for (std::ptrdiff_t i = 0; i < tl; ++i) ob[i] = yv[i] + a * xv[i];
+        if constexpr (std::is_same_v<TY, half>) {
+          float_to_half_n(ob, yc, tl);
+        } else {
+          for (std::ptrdiff_t i = 0; i < tl; ++i) yc[i] = static_cast<TY>(ob[i]);
+        }
+      } else {
+        for (std::ptrdiff_t i = 0; i < tl; ++i)
+          yc[i] = static_cast<TY>(static_cast<W>(yc[i]) + a * static_cast<W>(xc[i]));
+      }
+    }
+  }
+}
+
+/// y_c = alpha[c]·x_c + beta[c]·y_c for every unmasked column (the CG /
+/// BiCGStab direction update, batched).  Element-local like blas::axpby.
+template <class TX, class TY, class S>
+void axpby_cols(const S* alpha, const TX* x, std::ptrdiff_t ldx, const S* beta, TY* yp,
+                std::ptrdiff_t ldy, int k, std::size_t n,
+                const unsigned char* active = nullptr) {
+  using W = promote_t<promote_t<TX, TY>, S>;
+  const std::ptrdiff_t len = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for schedule(static) if (static_cast<std::ptrdiff_t>(k) * len > parallel_threshold())
+  for (std::ptrdiff_t t0 = 0; t0 < len; t0 += block_detail::kTile) {
+    const std::ptrdiff_t tl = std::min(t0 + block_detail::kTile, len) - t0;
+    for (int c = 0; c < k; ++c) {
+      if (active != nullptr && !active[c]) continue;
+      const W a = static_cast<W>(alpha[c]), b = static_cast<W>(beta[c]);
+      const TX* __restrict xc = x + static_cast<std::ptrdiff_t>(c) * ldx + t0;
+      TY* __restrict yc = yp + static_cast<std::ptrdiff_t>(c) * ldy + t0;
+      for (std::ptrdiff_t i = 0; i < tl; ++i)
+        yc[i] = static_cast<TY>(a * static_cast<W>(xc[i]) + b * static_cast<W>(yc[i]));
+    }
+  }
+}
+
 /// y = α·x — fuses FGMRES's normalize-then-copy (scal + copy: two passes,
 /// one of them read-modify-write) into a single streaming read and write.
 /// Rounds α·x[i] to TY exactly as scal()'s store does.

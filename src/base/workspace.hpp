@@ -1,0 +1,96 @@
+// SolverWorkspace — the reusable allocation arena behind the solver
+// setup/solve split.
+//
+// Krylov solvers need substantial scratch: FGMRES keeps the contiguous V/Z
+// basis blocks, Richardson its residual and ω'-computation vectors, the
+// precision bridges their conversion buffers.  Before this workspace every
+// solver object owned those buffers privately, so solving against a new
+// matrix (or rebuilding a nested solver tuple) re-allocated the whole set.
+// A production service that solves many systems back-to-back wants the
+// opposite: pay for setup once, then run solve()/solve_many() with zero
+// per-call allocation, and *reuse* the same memory when it moves on to the
+// next matrix of the same (or smaller) size.
+//
+// SolverWorkspace is a keyed, grow-only pool of typed buffers:
+//
+//   * get<T>(key, n) returns a span of n T's backed by a persistent slab.
+//     The slab grows when n outgrows it and is otherwise reused as-is, so a
+//     second setup() against an equally-sized matrix performs no
+//     allocation at all.
+//   * Keys are hierarchical by convention ("lvl1.fgmres.V"): every solver
+//     in a nested tuple draws from the same workspace under its own
+//     prefix, and rebuilding the tuple (new matrix, same shape) hits the
+//     same keys.
+//   * allocations() counts slab growths — tests assert it stays flat
+//     across repeated solves, which is the "zero per-call allocation"
+//     contract made checkable.
+//
+// A slab's span stays valid until a larger get() on the same key or
+// release(); each key must have exactly ONE live consumer (the solver that
+// owns the prefix), so the growth-invalidates-spans rule is local by
+// construction.  Two live solvers sharing a workspace must therefore use
+// distinct key prefixes — every solver constructor takes one — since the
+// workspace cannot tell consumers apart: a second solver set up under the
+// same key silently aliases (or, if larger, dangles) the first one's
+// buffers.  Sequential reuse of a key by a NEW solver against the next
+// matrix is exactly the intended pattern.  The workspace is not
+// thread-safe; share one per solver pipeline, not across
+// concurrently-solving pipelines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nk {
+
+class SolverWorkspace {
+ public:
+  /// Typed view of the slab registered under `key`, grown to hold at least
+  /// `n` elements.  Newly grown bytes are zero; reused bytes keep whatever
+  /// the previous user left (solvers initialize their buffers in setup()).
+  template <class T>
+  std::span<T> get(std::string_view key, std::size_t n) {
+    static_assert(alignof(T) <= 16, "slab alignment covers new-aligned types only");
+    auto [it, inserted] = slabs_.try_emplace(std::string(key));
+    std::vector<std::byte>& mem = it->second;
+    const std::size_t need = n * sizeof(T);
+    if (mem.size() < need) {
+      mem.resize(need);  // operator-new alignment (>= 16) suits all scalar types
+      ++allocations_;
+    }
+    return {reinterpret_cast<T*>(mem.data()), n};
+  }
+
+  /// Number of slab growths since construction/release; flat across two
+  /// identical setup()+solve() rounds ⇒ the second round allocated nothing.
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+
+  /// Distinct keys currently held.
+  [[nodiscard]] std::size_t buffers() const { return slabs_.size(); }
+
+  /// Total bytes of slab capacity (the memory the setup phase committed).
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t b = 0;
+    for (const auto& [k, mem] : slabs_) b += mem.size();
+    return b;
+  }
+
+  /// Drop every slab (spans handed out become dangling).
+  void release() {
+    slabs_.clear();
+    allocations_ = 0;
+  }
+
+ private:
+  // std::map: stable iteration for bytes(), no rehash cost on lookup-heavy
+  // use, and key count is small (a handful of buffers per solver level).
+  std::map<std::string, std::vector<std::byte>, std::less<>> slabs_;
+  std::uint64_t allocations_ = 0;
+};
+
+}  // namespace nk

@@ -96,8 +96,10 @@ std::string tuple_notation(const NestedConfig& cfg) {
 // ----------------------------------------------------------------- builder
 
 NestedSolver::NestedSolver(std::shared_ptr<MultiPrecMatrix> a,
-                           std::shared_ptr<PrimaryPrecond> m, NestedConfig cfg)
-    : a_(std::move(a)), m_(std::move(m)), cfg_(std::move(cfg)) {
+                           std::shared_ptr<PrimaryPrecond> m, NestedConfig cfg,
+                           SolverWorkspace* ws, std::string ws_prefix)
+    : a_(std::move(a)), m_(std::move(m)), cfg_(std::move(cfg)), ws_(ws),
+      ws_prefix_(std::move(ws_prefix)) {
   validate(cfg_);
   if (m_->size() != a_->size())
     throw std::invalid_argument("NestedSolver: matrix/preconditioner size mismatch");
@@ -117,14 +119,16 @@ NestedSolver::NestedSolver(std::shared_ptr<MultiPrecMatrix> a,
         break;
       case Prec::FP32: {
         auto* child = build_level<float>(1);
-        auto bridge = std::make_shared<PrecisionBridge<double, float>>(child);
+        auto bridge = std::make_shared<PrecisionBridge<double, float>>(
+            child, ws_, ws_prefix_ + "lvl0.bridge");
         below = bridge.get();
         owned_.push_back(bridge);
         break;
       }
       case Prec::FP16: {
         auto* child = build_level<half>(1);
-        auto bridge = std::make_shared<PrecisionBridge<double, half>>(child);
+        auto bridge = std::make_shared<PrecisionBridge<double, half>>(
+            child, ws_, ws_prefix_ + "lvl0.bridge");
         below = bridge.get();
         owned_.push_back(bridge);
         break;
@@ -138,7 +142,8 @@ NestedSolver::NestedSolver(std::shared_ptr<MultiPrecMatrix> a,
   outer_op_ = op.get();
   owned_.push_back(std::shared_ptr<void>(std::move(op)));
   auto outer = std::make_shared<FgmresSolver<double>>(
-      *outer_op_, *below, FgmresSolver<double>::Config{cfg_.levels[0].m});
+      *outer_op_, *below, FgmresSolver<double>::Config{cfg_.levels[0].m}, ws_,
+      ws_prefix_ + "lvl0.fgmres");
   outer_ = outer.get();
   owned_.push_back(outer);
 }
@@ -146,6 +151,7 @@ NestedSolver::NestedSolver(std::shared_ptr<MultiPrecMatrix> a,
 template <class VT>
 Preconditioner<VT>* NestedSolver::build_level(std::size_t d) {
   const LevelSpec& lv = cfg_.levels[d];
+  const std::string lvl_key = ws_prefix_ + "lvl" + std::to_string(d);
   // Operator for this level.
   auto op_owned = a_->make_operator<VT>(lv.mat);
   Operator<VT>* op = op_owned.get();
@@ -163,7 +169,8 @@ Preconditioner<VT>* NestedSolver::build_level(std::size_t d) {
       if constexpr (std::is_same_v<CV, VT>) {
         return child;
       } else {
-        auto bridge = std::make_shared<PrecisionBridge<VT, CV>>(child);
+        auto bridge =
+            std::make_shared<PrecisionBridge<VT, CV>>(child, ws_, lvl_key + ".bridge");
         owned_.push_back(bridge);
         return bridge.get();
       }
@@ -180,7 +187,8 @@ Preconditioner<VT>* NestedSolver::build_level(std::size_t d) {
     typename FgmresSolver<VT>::Config fc;
     fc.m = lv.m;
     fc.inner_rtol = lv.inner_rtol;
-    auto solver = std::make_shared<FgmresSolver<VT>>(*op, *below, fc);
+    auto solver =
+        std::make_shared<FgmresSolver<VT>>(*op, *below, fc, ws_, lvl_key + ".fgmres");
     owned_.push_back(solver);
     return solver.get();
   }
@@ -207,7 +215,8 @@ Preconditioner<VT>* NestedSolver::build_level(std::size_t d) {
   rc.cycle = lv.cycle;
   rc.adaptive = lv.adaptive;
   rc.fixed_weight = lv.fixed_weight;
-  auto solver = std::make_shared<RichardsonSolver<VT>>(*op, *below, rc, op32);
+  auto solver = std::make_shared<RichardsonSolver<VT>>(*op, *below, rc, op32, ws_,
+                                                       lvl_key + ".richardson");
   owned_.push_back(solver);
   weight_probes_.push_back([s = solver.get()] { return s->weights(); });
   state_resets_.push_back([s = solver.get()] { s->reset_state(); });
@@ -257,6 +266,22 @@ SolveResult NestedSolver::solve(std::span<const double> b, std::span<double> x,
   res.spmv_count = outer_op_->spmv_count() - spmv0;
   res.seconds = timer.seconds();
   return res;
+}
+
+std::vector<SolveResult> NestedSolver::solve_many(const double* b, std::ptrdiff_t ldb,
+                                                  double* x, std::ptrdiff_t ldx, int k,
+                                                  const Termination& term) {
+  std::vector<SolveResult> out;
+  out.reserve(static_cast<std::size_t>(std::max(k, 0)));
+  const std::size_t n = static_cast<std::size_t>(size());
+  // Columns run in invocation order (see the header): identical to k
+  // sequential solve() calls by construction, with the tuple's entire
+  // setup — matrix copies, factors, level workspaces — shared.
+  for (int c = 0; c < k; ++c)
+    out.push_back(solve(std::span<const double>(b + static_cast<std::ptrdiff_t>(c) * ldb, n),
+                        std::span<double>(x + static_cast<std::ptrdiff_t>(c) * ldx, n),
+                        term));
+  return out;
 }
 
 std::vector<float> NestedSolver::richardson_weights() const {

@@ -26,6 +26,7 @@
 
 #include "base/half.hpp"
 #include "base/timer.hpp"
+#include "base/workspace.hpp"
 #include "krylov/fgmres.hpp"
 #include "krylov/history.hpp"
 #include "krylov/operator.hpp"
@@ -74,25 +75,38 @@ class MultiPrecMatrix {
 /// Converts between the vector precisions of adjacent nesting levels:
 /// implements Preconditioner<Outer> by converting the residual down to the
 /// inner precision, invoking the inner solver, and converting the
-/// correction back up.
+/// correction back up.  Conversion scratch comes from the (optional)
+/// SolverWorkspace so rebuilding a tuple against a new same-sized matrix
+/// reuses the buffers.
 template <class Outer, class Inner>
 class PrecisionBridge final : public Preconditioner<Outer> {
  public:
-  explicit PrecisionBridge(Preconditioner<Inner>* inner)
-      : inner_(inner),
-        rin_(static_cast<std::size_t>(inner->size())),
-        zin_(static_cast<std::size_t>(inner->size())) {}
+  explicit PrecisionBridge(Preconditioner<Inner>* inner, SolverWorkspace* ws = nullptr,
+                           const std::string& key = "bridge")
+      : inner_(inner) {
+    const std::size_t n = static_cast<std::size_t>(inner->size());
+    SolverWorkspace& w = ws != nullptr ? *ws : own_;
+    rin_ = w.get<Inner>(key + ".rin", n);
+    zin_ = w.get<Inner>(key + ".zin", n);
+  }
+
+  // The scratch spans point into own_ (or the shared workspace); a copy
+  // would alias them.
+  PrecisionBridge(const PrecisionBridge&) = delete;
+  PrecisionBridge& operator=(const PrecisionBridge&) = delete;
 
   void apply(std::span<const Outer> r, std::span<Outer> z) override {
-    blas::convert(r, std::span<Inner>(rin_));
-    inner_->apply(std::span<const Inner>(rin_), std::span<Inner>(zin_));
-    blas::convert(std::span<const Inner>(zin_), z);
+    blas::convert(r, rin_);
+    inner_->apply(std::span<const Inner>(rin_.data(), rin_.size()),
+                  std::span<Inner>(zin_.data(), zin_.size()));
+    blas::convert(std::span<const Inner>(zin_.data(), zin_.size()), z);
   }
   [[nodiscard]] index_t size() const override { return inner_->size(); }
 
  private:
   Preconditioner<Inner>* inner_;
-  std::vector<Inner> rin_, zin_;
+  SolverWorkspace own_;
+  std::span<Inner> rin_, zin_;
 };
 
 enum class SolverKind { FGMRES, Richardson, Chebyshev };
@@ -130,16 +144,42 @@ struct Termination {
 };
 
 /// A fully built nested solver, ready to solve repeatedly.
+///
+/// Setup/solve split: construction is the setup phase — it materializes
+/// the per-precision matrix copies (cached inside MultiPrecMatrix), mints
+/// the preconditioner apply handles, and acquires every level's Krylov
+/// buffers.  With an external SolverWorkspace those buffers are drawn from
+/// the shared pool under "lvl<d>."-prefixed keys, so building a second
+/// tuple of the same shape (new matrix, same sizes) allocates nothing.
+/// solve() and solve_many() then run with zero per-call allocation beyond
+/// the optional convergence history.
 class NestedSolver {
  public:
   /// Builds all operators, bridges, and level solvers.  `a` and `m` must
-  /// outlive this object.
+  /// outlive this object; `ws` (optional, must outlive this object too)
+  /// supplies every level's buffers under `ws_prefix` + "lvl<d>." keys.
+  /// Two tuples kept ALIVE on one workspace need distinct prefixes (see
+  /// workspace.hpp's one-live-consumer-per-key rule); sequential rebuilds
+  /// reuse the default prefix — that is what makes them allocation-free.
   NestedSolver(std::shared_ptr<MultiPrecMatrix> a, std::shared_ptr<PrimaryPrecond> m,
-               NestedConfig cfg);
+               NestedConfig cfg, SolverWorkspace* ws = nullptr,
+               std::string ws_prefix = "");
 
   /// Solve A x = b (x holds the initial guess, normally 0).  Restarts the
   /// whole tuple up to term.max_restarts times.
   SolveResult solve(std::span<const double> b, std::span<double> x, const Termination& term);
+
+  /// Batched solve: k systems sharing this tuple's setup (column c of B/X
+  /// at b + c·ldb / x + c·ldx).  Columns are solved in order through
+  /// solve() rather than in lockstep: the innermost Richardson's adaptive
+  /// weights (Algorithm 1) are shared state whose update schedule is part
+  /// of the math, so per-column agreement with k sequential solve() calls
+  /// — which the conformance tests pin exactly — requires preserving the
+  /// invocation order.  What batching amortizes here is the setup: matrix
+  /// format conversions, preconditioner factorization, and every level's
+  /// workspace are built once for the whole batch.
+  std::vector<SolveResult> solve_many(const double* b, std::ptrdiff_t ldb, double* x,
+                                      std::ptrdiff_t ldx, int k, const Termination& term);
 
   [[nodiscard]] const NestedConfig& config() const { return cfg_; }
   [[nodiscard]] index_t size() const { return a_->size(); }
@@ -158,6 +198,8 @@ class NestedSolver {
   std::shared_ptr<MultiPrecMatrix> a_;
   std::shared_ptr<PrimaryPrecond> m_;
   NestedConfig cfg_;
+  SolverWorkspace* ws_ = nullptr;  ///< external workspace (null → levels own theirs)
+  std::string ws_prefix_;          ///< key prefix isolating this tuple in ws_
 
   // Ownership of all typed level objects; raw pointers below reference these.
   std::vector<std::shared_ptr<void>> owned_;

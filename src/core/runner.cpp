@@ -89,12 +89,14 @@ SolveResult timed_solve(PrimaryPrecond& m, const std::string& name, SolveFn&& fn
 SolveResult run_cg(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
                    const FlatSolverCaps& caps) {
   auto handle = m.make_apply<double>(storage);
-  CsrOperator<double, double> op(p.a->csr_fp64());
+  // Honor the prepared problem's storage format (CSR or SELL), like the
+  // nested solvers always did.
+  auto op = p.a->make_operator<double>(Prec::FP64);
   CgSolver<double>::Config cfg;
   cfg.rtol = caps.rtol;
   cfg.max_iters = caps.max_iters;
   cfg.record_history = true;
-  CgSolver<double> solver(op, *handle, cfg);
+  CgSolver<double> solver(*op, *handle, cfg);
   std::vector<double> x(p.b.size(), 0.0);
   auto res = timed_solve(m, std::string(prec_name(storage)) + "-CG", [&] {
     return solver.solve(std::span<const double>(p.b), std::span<double>(x));
@@ -102,19 +104,19 @@ SolveResult run_cg(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
   res.final_relres = relative_residual(p.a->csr_fp64(), std::span<const double>(x),
                                        std::span<const double>(p.b));
   res.converged = res.converged && res.final_relres < caps.rtol * 1.5;
-  res.spmv_count = op.spmv_count();
+  res.spmv_count = op->spmv_count();
   return res;
 }
 
 SolveResult run_bicgstab(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
                          const FlatSolverCaps& caps) {
   auto handle = m.make_apply<double>(storage);
-  CsrOperator<double, double> op(p.a->csr_fp64());
+  auto op = p.a->make_operator<double>(Prec::FP64);
   BiCgStabSolver<double>::Config cfg;
   cfg.rtol = caps.rtol;
   cfg.max_iters = caps.max_iters / 2;  // 2 preconditioner calls per iteration
   cfg.record_history = true;
-  BiCgStabSolver<double> solver(op, *handle, cfg);
+  BiCgStabSolver<double> solver(*op, *handle, cfg);
   std::vector<double> x(p.b.size(), 0.0);
   auto res = timed_solve(m, std::string(prec_name(storage)) + "-BiCGStab", [&] {
     return solver.solve(std::span<const double>(p.b), std::span<double>(x));
@@ -122,14 +124,15 @@ SolveResult run_bicgstab(const PreparedProblem& p, PrimaryPrecond& m, Prec stora
   res.final_relres = relative_residual(p.a->csr_fp64(), std::span<const double>(x),
                                        std::span<const double>(p.b));
   res.converged = res.converged && res.final_relres < caps.rtol * 1.5;
-  res.spmv_count = op.spmv_count();
+  res.spmv_count = op->spmv_count();
   return res;
 }
 
 SolveResult run_fgmres_restarted(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
                                  int restart, const FlatSolverCaps& caps) {
   auto handle = m.make_apply<double>(storage);
-  CsrOperator<double, double> op(p.a->csr_fp64());
+  auto op_owned = p.a->make_operator<double>(Prec::FP64);
+  Operator<double>& op = *op_owned;
   FgmresSolver<double> solver(op, *handle, FgmresSolver<double>::Config{restart});
   std::vector<double> x(p.b.size(), 0.0);
 
@@ -231,6 +234,95 @@ SolveResult run_nested(const PreparedProblem& p, std::shared_ptr<PrimaryPrecond>
   const std::uint64_t calls0 = m->invocations();
   SolveResult res = solver.solve(std::span<const double>(p.b), std::span<double>(x), term);
   res.precond_invocations = m->invocations() - calls0;
+  return res;
+}
+
+// ------------------------------------------------------------------ batched
+
+std::vector<double> batch_rhs(const PreparedProblem& p, int k, std::uint64_t seed0) {
+  const std::size_t n = p.b.size();
+  std::vector<double> B(n * static_cast<std::size_t>(std::max(k, 0)));
+  for (int c = 0; c < k; ++c) {
+    const auto col = random_vector<double>(n, seed0 + static_cast<std::uint64_t>(c), 0.0, 1.0);
+    std::copy(col.begin(), col.end(), B.begin() + static_cast<std::size_t>(c) * n);
+  }
+  return B;
+}
+
+namespace {
+
+/// Shared tail of the batched flat-solver runners: per-column true
+/// residuals, batch-total counters, and naming.
+void finalize_many(std::vector<SolveResult>& res, const PreparedProblem& p,
+                   std::span<const double> B, std::span<const double> X,
+                   const std::string& name, double rtol, double seconds,
+                   std::uint64_t m_calls, std::uint64_t spmvs) {
+  const std::size_t n = p.b.size();
+  for (std::size_t c = 0; c < res.size(); ++c) {
+    res[c].solver = name;
+    res[c].seconds = seconds;
+    res[c].precond_invocations = m_calls;
+    res[c].spmv_count = spmvs;
+    res[c].final_relres =
+        relative_residual(p.a->csr_fp64(), X.subspan(c * n, n), B.subspan(c * n, n));
+    res[c].converged = res[c].converged && res[c].final_relres < rtol * 1.5;
+  }
+}
+
+}  // namespace
+
+std::vector<SolveResult> run_cg_many(const PreparedProblem& p, PrimaryPrecond& m,
+                                     Prec storage, std::span<const double> B,
+                                     std::span<double> X, int k,
+                                     const FlatSolverCaps& caps) {
+  auto handle = m.make_apply<double>(storage);
+  auto op = p.a->make_operator<double>(Prec::FP64);
+  CgSolver<double>::Config cfg;
+  cfg.rtol = caps.rtol;
+  cfg.max_iters = caps.max_iters;
+  cfg.record_history = true;
+  CgSolver<double> solver(*op, *handle, cfg);
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(p.b.size());
+  const std::uint64_t calls0 = m.invocations();
+  WallTimer t;
+  auto res = solver.solve_many(B.data(), n, X.data(), n, k);
+  finalize_many(res, p, B, X, std::string(prec_name(storage)) + "-CG", caps.rtol,
+                t.seconds(), m.invocations() - calls0, op->spmv_count());
+  return res;
+}
+
+std::vector<SolveResult> run_bicgstab_many(const PreparedProblem& p, PrimaryPrecond& m,
+                                           Prec storage, std::span<const double> B,
+                                           std::span<double> X, int k,
+                                           const FlatSolverCaps& caps) {
+  auto handle = m.make_apply<double>(storage);
+  auto op = p.a->make_operator<double>(Prec::FP64);
+  BiCgStabSolver<double>::Config cfg;
+  cfg.rtol = caps.rtol;
+  cfg.max_iters = caps.max_iters / 2;  // 2 preconditioner calls per iteration
+  cfg.record_history = true;
+  BiCgStabSolver<double> solver(*op, *handle, cfg);
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(p.b.size());
+  const std::uint64_t calls0 = m.invocations();
+  WallTimer t;
+  auto res = solver.solve_many(B.data(), n, X.data(), n, k);
+  finalize_many(res, p, B, X, std::string(prec_name(storage)) + "-BiCGStab", caps.rtol,
+                t.seconds(), m.invocations() - calls0, op->spmv_count());
+  return res;
+}
+
+std::vector<SolveResult> run_nested_many(const PreparedProblem& p,
+                                         std::shared_ptr<PrimaryPrecond> m,
+                                         const NestedConfig& cfg, std::span<const double> B,
+                                         std::span<double> X, int k,
+                                         const Termination& term) {
+  SolverWorkspace ws;
+  NestedSolver solver(p.a, m, cfg, &ws);
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(p.b.size());
+  const std::uint64_t calls0 = m->invocations();
+  auto res = solver.solve_many(B.data(), n, X.data(), n, k, term);
+  const std::uint64_t calls = m->invocations() - calls0;
+  for (auto& r : res) r.precond_invocations = calls;
   return res;
 }
 

@@ -81,6 +81,40 @@ SolveResult run_ir_gmres(const PreparedProblem& p, PrimaryPrecond& m, Prec inner
 SolveResult run_nested(const PreparedProblem& p, std::shared_ptr<PrimaryPrecond> m,
                        const NestedConfig& cfg, const Termination& term = f3r_termination());
 
+// ---------------------------------------------------------------------------
+// Batched multi-RHS entry points.  B and X hold k columns of length n, column
+// c contiguous at offset c·n.  Each returned SolveResult carries that
+// column's iteration data and true final residual; `seconds`,
+// `precond_invocations`, and `spmv_count` are BATCH totals (the work is
+// shared across columns, so a per-column split would be fiction).
+// ---------------------------------------------------------------------------
+
+/// k seeded uniform-[0,1) right-hand sides, column c seeded `seed0 + c`
+/// (column 0 reproduces prepare_problem's RHS when seed0 = rhs_seed).
+std::vector<double> batch_rhs(const PreparedProblem& p, int k, std::uint64_t seed0 = 7);
+
+/// Batched fp64 CG: k systems in lockstep sharing every matrix sweep;
+/// per column bit-identical to run_cg's solver on that RHS alone.
+std::vector<SolveResult> run_cg_many(const PreparedProblem& p, PrimaryPrecond& m,
+                                     Prec storage, std::span<const double> B,
+                                     std::span<double> X, int k,
+                                     const FlatSolverCaps& caps = {});
+
+/// Batched fp64 BiCGStab (lockstep, shared matrix sweeps).
+std::vector<SolveResult> run_bicgstab_many(const PreparedProblem& p, PrimaryPrecond& m,
+                                           Prec storage, std::span<const double> B,
+                                           std::span<double> X, int k,
+                                           const FlatSolverCaps& caps = {});
+
+/// Batched nested solve: the tuple's setup (matrix copies, factorization,
+/// level workspaces) is built once and shared; columns run in invocation
+/// order (see NestedSolver::solve_many).
+std::vector<SolveResult> run_nested_many(const PreparedProblem& p,
+                                         std::shared_ptr<PrimaryPrecond> m,
+                                         const NestedConfig& cfg, std::span<const double> B,
+                                         std::span<double> X, int k,
+                                         const Termination& term = f3r_termination());
+
 /// Search the paper's fp16-F3R-best parameter box (m2 ∈ {6..10},
 /// m3 ∈ {2..6}, m4 ∈ {1,2}) and return the fastest converged run plus its
 /// parameters formatted "m2-m3-m4".  `budget` limits the number of

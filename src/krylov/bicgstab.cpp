@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "base/blas_block.hpp"
+
 namespace nk {
 
 template <class VT>
@@ -81,6 +83,203 @@ SolveResult BiCgStabSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
       return res;
     }
     if (omega == S{0}) return res;  // stagnation breakdown
+  }
+  return res;
+}
+
+// Lockstep batched BiCGStab, mirroring solve() per column (see CgSolver's
+// solve_many for the pattern).  Every per-column scalar recurrence and
+// element-local update matches solve() exactly; the four applications per
+// iteration (M·p, A·phat, M·s, A·shat) run batched while all columns are
+// live, so each streams the matrix/factors once for the whole batch.
+template <class VT>
+std::vector<SolveResult> BiCgStabSolver<VT>::solve_many(const VT* b, std::ptrdiff_t ldb,
+                                                        VT* x, std::ptrdiff_t ldx, int k) {
+  using S = acc_t<VT>;
+  std::vector<SolveResult> res(static_cast<std::size_t>(std::max(k, 0)));
+  for (auto& r : res) r.solver = "bicgstab";
+  if (k <= 0) return res;
+  const std::size_t kk = static_cast<std::size_t>(k);
+  SolverWorkspace& w = wsref();
+  auto R = w.get<VT>(key_ + ".bat.r", kk * n_);
+  auto RH = w.get<VT>(key_ + ".bat.rhat", kk * n_);
+  auto P = w.get<VT>(key_ + ".bat.p", kk * n_);
+  auto V = w.get<VT>(key_ + ".bat.v", kk * n_);
+  auto Sv = w.get<VT>(key_ + ".bat.s", kk * n_);
+  auto T = w.get<VT>(key_ + ".bat.t", kk * n_);
+  auto PH = w.get<VT>(key_ + ".bat.phat", kk * n_);
+  auto SH = w.get<VT>(key_ + ".bat.shat", kk * n_);
+  auto rho = w.get<S>(key_ + ".bat.rho", kk);
+  auto alpha = w.get<S>(key_ + ".bat.alpha", kk);
+  auto omega = w.get<S>(key_ + ".bat.omega", kk);
+  auto sc0 = w.get<S>(key_ + ".bat.sc0", kk);  // per-column coefficient scratch
+  auto sc1 = w.get<S>(key_ + ".bat.sc1", kk);
+  auto red = w.get<S>(key_ + ".bat.red", kk);  // dot/nrm2 results per column
+  auto red2 = w.get<S>(key_ + ".bat.red2", kk);
+  auto target = w.get<double>(key_ + ".bat.target", kk);
+  auto bref = w.get<double>(key_ + ".bat.bref", kk);
+  auto act = w.get<unsigned char>(key_ + ".bat.act", kk);
+  const std::ptrdiff_t nld = static_cast<std::ptrdiff_t>(n_);
+
+  auto col = [&](std::span<VT> blk, int c) {
+    return std::span<VT>(blk.data() + static_cast<std::size_t>(c) * n_, n_);
+  };
+  auto ccol = [&](std::span<VT> blk, int c) {
+    return std::span<const VT>(blk.data() + static_cast<std::size_t>(c) * n_, n_);
+  };
+  auto xcol = [&](int c) {
+    return std::span<VT>(x + static_cast<std::ptrdiff_t>(c) * ldx, n_);
+  };
+
+  // nrm2_cols / dot_cols reproduce solve()'s single-threaded blas1
+  // reductions bit-for-bit with the column chains interleaved for ILP.
+  int nactive = 0;
+  a_->residual_many(b, ldb, x, ldx, R.data(), nld, k);
+  blas::nrm2_cols(b, ldb, k, n_, red.data());
+  blas::nrm2_cols(R.data(), nld, k, n_, red2.data());
+  for (int c = 0; c < k; ++c) {
+    const double bnorm = static_cast<double>(red[c]);
+    bref[c] = bnorm > 0.0 ? bnorm : 1.0;
+    target[c] = cfg_.rtol * bref[c];
+    blas::copy(ccol(R, c), col(RH, c));
+    const double rnorm = static_cast<double>(red2[c]);
+    if (cfg_.record_history) res[c].history.push_back(rnorm / bref[c]);
+    if (rnorm <= target[c]) {
+      res[c].converged = true;
+      act[c] = 0;
+      continue;
+    }
+    rho[c] = S{1};
+    alpha[c] = S{1};
+    omega[c] = S{1};
+    blas::set_zero(col(P, c));
+    blas::set_zero(col(V, c));
+    act[c] = 1;
+    ++nactive;
+  }
+
+  auto batched_apply = [&](auto&& one, auto&& many, std::span<VT> in, std::span<VT> out) {
+    if (nactive == k) {
+      many(in.data(), out.data());
+    } else {
+      for (int c = 0; c < k; ++c)
+        if (act[c]) one(ccol(in, c), col(out, c));
+    }
+  };
+  auto m_apply = [&](std::span<VT> in, std::span<VT> out) {
+    batched_apply([&](auto r, auto z) { m_->apply(r, z); },
+                  [&](const VT* r, VT* z) { m_->apply_many(r, nld, z, nld, k); }, in, out);
+  };
+  auto a_apply = [&](std::span<VT> in, std::span<VT> out) {
+    batched_apply([&](auto r, auto z) { a_->apply(r, z); },
+                  [&](const VT* r, VT* z) { a_->apply_many(r, nld, z, nld, k); }, in, out);
+  };
+
+  for (int it = 1; it <= cfg_.max_iters && nactive > 0; ++it) {
+    blas::dot_cols(RH.data(), nld, R.data(), nld, k, n_, red.data(), act.data());
+    for (int c = 0; c < k; ++c) {
+      if (!act[c]) continue;
+      res[c].iterations = it;
+      const S rho_new = red[c];
+      if (!std::isfinite(static_cast<double>(rho_new)) || rho_new == S{0}) {
+        act[c] = 0;
+        --nactive;
+        continue;
+      }
+      if (it == 1) {
+        blas::copy(ccol(R, c), col(P, c));
+        sc0[c] = S{0};  // no direction update on the first iteration
+      } else {
+        sc0[c] = -omega[c];
+        sc1[c] = (rho_new / rho[c]) * (alpha[c] / omega[c]);  // beta
+      }
+      rho[c] = rho_new;
+    }
+    if (it > 1) {
+      // p_c = r_c + beta_c (p_c − omega_c v_c), masked per column.
+      blas::axpy_cols(sc0.data(), V.data(), nld, P.data(), nld, k, n_, act.data());
+      for (int c = 0; c < k; ++c) sc0[c] = S{1};
+      blas::axpby_cols(sc0.data(), R.data(), nld, sc1.data(), P.data(), nld, k, n_,
+                       act.data());
+    }
+
+    m_apply(P, PH);
+    a_apply(PH, V);
+    blas::dot_cols(RH.data(), nld, V.data(), nld, k, n_, red.data(), act.data());
+    for (int c = 0; c < k; ++c) {
+      if (!act[c]) continue;
+      const S rhat_v = red[c];
+      if (!std::isfinite(static_cast<double>(rhat_v)) || rhat_v == S{0}) {
+        act[c] = 0;
+        --nactive;
+        continue;
+      }
+      alpha[c] = rho[c] / rhat_v;
+      sc0[c] = -alpha[c];
+      // s_c = r_c − alpha_c v_c
+      blas::copy(ccol(R, c), col(Sv, c));
+    }
+    blas::axpy_cols(sc0.data(), V.data(), nld, Sv.data(), nld, k, n_, act.data());
+    blas::nrm2_cols(Sv.data(), nld, k, n_, red.data(), act.data());
+    for (int c = 0; c < k; ++c) {
+      if (!act[c]) continue;
+      const double snorm = static_cast<double>(red[c]);
+      if (snorm <= target[c]) {
+        blas::axpy(alpha[c], ccol(PH, c), xcol(c));
+        if (cfg_.record_history) res[c].history.push_back(snorm / bref[c]);
+        res[c].converged = true;
+        act[c] = 0;
+        --nactive;
+      }
+    }
+    if (nactive == 0) break;
+
+    m_apply(Sv, SH);
+    a_apply(SH, T);
+    blas::dot_cols(T.data(), nld, T.data(), nld, k, n_, red.data(), act.data());
+    blas::dot_cols(T.data(), nld, Sv.data(), nld, k, n_, red2.data(), act.data());
+    for (int c = 0; c < k; ++c) {
+      if (!act[c]) continue;
+      const S tt = red[c];
+      if (!std::isfinite(static_cast<double>(tt)) || tt == S{0}) {
+        act[c] = 0;
+        --nactive;
+        sc0[c] = S{0};
+        sc1[c] = S{0};
+        continue;
+      }
+      omega[c] = red2[c] / tt;
+      sc0[c] = -omega[c];
+      sc1[c] = S{1};
+    }
+    // x_c += alpha_c phat_c + omega_c shat_c (two chained updates, as in
+    // solve()); then r_c = s_c − omega_c t_c.
+    blas::axpy_cols(alpha.data(), PH.data(), nld, x, ldx, k, n_, act.data());
+    blas::axpy_cols(omega.data(), SH.data(), nld, x, ldx, k, n_, act.data());
+    for (int c = 0; c < k; ++c)
+      if (act[c]) blas::copy(ccol(Sv, c), col(R, c));
+    blas::axpy_cols(sc0.data(), T.data(), nld, R.data(), nld, k, n_, act.data());
+    blas::nrm2_cols(R.data(), nld, k, n_, red.data(), act.data());
+    for (int c = 0; c < k; ++c) {
+      if (!act[c]) continue;
+      const double rnorm = static_cast<double>(red[c]);
+      if (cfg_.record_history) res[c].history.push_back(rnorm / bref[c]);
+      if (!std::isfinite(rnorm)) {
+        act[c] = 0;
+        --nactive;
+        continue;
+      }
+      if (rnorm <= target[c]) {
+        res[c].converged = true;
+        act[c] = 0;
+        --nactive;
+        continue;
+      }
+      if (omega[c] == S{0}) {  // stagnation breakdown
+        act[c] = 0;
+        --nactive;
+      }
+    }
   }
   return res;
 }

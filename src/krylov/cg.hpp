@@ -4,11 +4,30 @@
 // The paper's fp64-CG / fp32-CG / fp16-CG are all fp64 solvers differing
 // only in the storage precision of the preconditioner, which is handled by
 // the PrimaryPrecond handle the caller passes in.
+//
+// Lifecycle: setup(a, m) binds a system and acquires the four working
+// vectors from a SolverWorkspace (shared or private); solve()/solve_many()
+// then run with zero per-call allocation, and a later setup() against an
+// equally-sized matrix reuses the same memory.
+//
+// solve_many() advances k right-hand sides in lockstep: one batched SpMM
+// and one batched preconditioner sweep per iteration stream the matrix and
+// the factors once for the whole batch, and the per-column reductions run
+// interleaved (dot_cols/nrm2_cols) so their k dependency chains overlap.
+// Per column every operation reproduces solve()'s — batched and
+// sequential solves agree to the last bit whenever the underlying blas1
+// reductions are deterministic (single-threaded or below the parallel
+// threshold; the regime the exactness tests pin), and to rounding level
+// otherwise.  Columns converge (or break down) independently and are
+// frozen the moment they finish.
 #pragma once
 
+#include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "base/workspace.hpp"
 #include "krylov/history.hpp"
 #include "krylov/operator.hpp"
 #include "precond/preconditioner.hpp"
@@ -24,12 +43,32 @@ class CgSolver {
     bool record_history = false;
   };
 
-  CgSolver(Operator<VT>& a, Preconditioner<VT>& m, Config cfg) : a_(&a), m_(&m), cfg_(cfg) {
-    const std::size_t n = static_cast<std::size_t>(a.size());
-    r_.resize(n);
-    z_.resize(n);
-    p_.resize(n);
-    q_.resize(n);
+  /// Deferred-setup construction (no allocation until setup()).
+  explicit CgSolver(Config cfg, SolverWorkspace* ws = nullptr, std::string key = "cg")
+      : cfg_(cfg), ws_(ws), key_(std::move(key)) {}
+
+  /// Construct and set up in one step (the pre-workspace API).
+  CgSolver(Operator<VT>& a, Preconditioner<VT>& m, Config cfg,
+           SolverWorkspace* ws = nullptr, std::string key = "cg")
+      : CgSolver(cfg, ws, std::move(key)) {
+    setup(a, m);
+  }
+
+  // Buffer spans point into own_ (or the shared workspace); a copy would
+  // alias them.  Two live solvers on one workspace need distinct keys.
+  CgSolver(const CgSolver&) = delete;
+  CgSolver& operator=(const CgSolver&) = delete;
+
+  /// Bind a system; acquires (or reuses) the workspace vectors.
+  void setup(Operator<VT>& a, Preconditioner<VT>& m) {
+    a_ = &a;
+    m_ = &m;
+    n_ = static_cast<std::size_t>(a.size());
+    SolverWorkspace& w = wsref();
+    r_ = w.get<VT>(key_ + ".r", n_);
+    z_ = w.get<VT>(key_ + ".z", n_);
+    p_ = w.get<VT>(key_ + ".p", n_);
+    q_ = w.get<VT>(key_ + ".q", n_);
   }
 
   /// Solve A x = b from the given initial guess; returns iteration data.
@@ -37,11 +76,22 @@ class CgSolver {
   /// owns true-residual evaluation and timing.)
   SolveResult solve(std::span<const VT> b, std::span<VT> x);
 
+  /// Batched solve: k systems A x_c = b_c in lockstep (column c of B/X at
+  /// b + c·ldb / x + c·ldx).  Per column bit-identical to solve().
+  std::vector<SolveResult> solve_many(const VT* b, std::ptrdiff_t ldb, VT* x,
+                                      std::ptrdiff_t ldx, int k);
+
  private:
-  Operator<VT>* a_;
-  Preconditioner<VT>* m_;
+  [[nodiscard]] SolverWorkspace& wsref() { return ws_ != nullptr ? *ws_ : own_; }
+
+  Operator<VT>* a_ = nullptr;
+  Preconditioner<VT>* m_ = nullptr;
   Config cfg_;
-  std::vector<VT> r_, z_, p_, q_;
+  std::size_t n_ = 0;
+  SolverWorkspace* ws_ = nullptr;
+  SolverWorkspace own_;
+  std::string key_;
+  std::span<VT> r_, z_, p_, q_;
 };
 
 }  // namespace nk

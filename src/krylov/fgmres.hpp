@@ -19,21 +19,33 @@
 // fused kernels reproduce the blas1 operation sequence bit-for-bit (see
 // blas_block.hpp), so only the schedule changed, not the math.
 //
-// The same class serves two roles:
+// Lifecycle (the setup/solve split): construction binds the configuration;
+// setup(a, m) binds a matrix/preconditioner pair and acquires every buffer
+// from a SolverWorkspace — an external one shared across solvers and
+// matrices, or a private fallback.  After setup, run()/apply()/run_many()
+// perform no allocation, and a later setup() against an equally-sized (or
+// smaller) system reuses the same memory.
+//
+// The same class serves three roles:
 //   * inner solver: apply() — solve A z ≈ v from a zero initial guess for
 //     exactly m iterations, no convergence test (the paper checks
 //     convergence only in the outermost solver);
 //   * outer solver: run() — iterate from a given x with an absolute
-//     residual target, reporting the Givens residual estimate.
+//     residual target, reporting the Givens residual estimate;
+//   * batched outer solver: run_many() — k right-hand sides in lockstep,
+//     sharing every matrix sweep (SpMM) and preconditioner sweep across
+//     the batch while reproducing run()'s per-column iterates exactly.
 #pragma once
 
 #include <cmath>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "base/blas1.hpp"
 #include "base/blas_block.hpp"
+#include "base/workspace.hpp"
 #include "krylov/operator.hpp"
 #include "precond/preconditioner.hpp"
 
@@ -60,18 +72,45 @@ class FgmresSolver final : public Preconditioner<VT> {
     bool reached_target = false;
   };
 
-  FgmresSolver(Operator<VT>& a, Preconditioner<VT>& m, Config cfg)
-      : a_(&a), m_(&m), cfg_(cfg), n_(static_cast<std::size_t>(a.size())) {
+  /// Deferred-setup construction: no matrix bound, no memory acquired.
+  /// `ws` (optional) is the workspace every buffer is drawn from under
+  /// `key`-prefixed names; null → a private workspace.
+  explicit FgmresSolver(Config cfg, SolverWorkspace* ws = nullptr,
+                        std::string key = "fgmres")
+      : cfg_(cfg), ws_(ws), key_(std::move(key)) {}
+
+  /// Construct and set up in one step (the pre-workspace API).
+  FgmresSolver(Operator<VT>& a, Preconditioner<VT>& m, Config cfg,
+               SolverWorkspace* ws = nullptr, std::string key = "fgmres")
+      : FgmresSolver(cfg, ws, std::move(key)) {
+    setup(a, m);
+  }
+
+  // Buffer spans point into own_ (or the shared workspace); a copy would
+  // alias them.  Two live solvers on one workspace need distinct keys.
+  FgmresSolver(const FgmresSolver&) = delete;
+  FgmresSolver& operator=(const FgmresSolver&) = delete;
+
+  /// Bind a system and acquire workspace.  Runs once per matrix; repeated
+  /// setup against a same-sized system performs zero allocation.
+  void setup(Operator<VT>& a, Preconditioner<VT>& m) {
+    a_ = &a;
+    m_ = &m;
+    n_ = static_cast<std::size_t>(a.size());
     const std::size_t mm = static_cast<std::size_t>(cfg_.m);
-    vbuf_.assign((mm + 1) * n_, VT{0});
-    zbuf_.assign(mm * n_, VT{0});
-    w_.resize(n_);
-    h_.assign((mm + 1) * mm, S{0});
-    g_.assign(mm + 1, S{0});
-    cs_.assign(mm, S{0});
-    sn_.assign(mm, S{0});
-    y_.assign(mm, S{0});
-    hcol_.assign(mm + 1, S{0});
+    SolverWorkspace& w = wsref();
+    vbuf_ = w.get<VT>(key_ + ".V", (mm + 1) * n_);
+    zbuf_ = w.get<VT>(key_ + ".Z", mm * n_);
+    w_ = w.get<VT>(key_ + ".w", n_);
+    h_ = w.get<S>(key_ + ".h", (mm + 1) * mm);
+    g_ = w.get<S>(key_ + ".g", mm + 1);
+    cs_ = w.get<S>(key_ + ".cs", mm);
+    sn_ = w.get<S>(key_ + ".sn", mm);
+    y_ = w.get<S>(key_ + ".y", mm);
+    hcol_ = w.get<S>(key_ + ".hcol", mm + 1);
+    blas::set_zero(vbuf_);
+    blas::set_zero(zbuf_);
+    std::fill(h_.begin(), h_.end(), S{0});
   }
 
   /// Inner-solver interface: z ≈ A⁻¹ v, zero initial guess, m iterations
@@ -118,34 +157,14 @@ class FgmresSolver final : public Preconditioner<VT> {
       // fused — one sweep over the contiguous basis block for the j+1
       // dots, one read-modify-write of w for the j+1 corrections.
       blas::dot_many(vbuf_.data(), static_cast<std::ptrdiff_t>(n_), j + 1,
-                     std::span<const VT>(w_), hcol_.data());
+                     std::span<const VT>(w_.data(), n_), hcol_.data());
       blas::axpy_many(vbuf_.data(), static_cast<std::ptrdiff_t>(n_), j + 1, hcol_.data(),
-                      std::span<VT>(w_), /*subtract=*/true);
-      S hj1 = blas::nrm2(std::span<const VT>(w_));
+                      std::span<VT>(w_.data(), n_), /*subtract=*/true);
+      S hj1 = blas::nrm2(std::span<const VT>(w_.data(), n_));
 
-      // Apply the accumulated Givens rotations to the new column.
-      for (int i = 0; i < j; ++i) {
-        const S t = cs_[i] * hcol_[i] + sn_[i] * hcol_[i + 1];
-        hcol_[i + 1] = -sn_[i] * hcol_[i] + cs_[i] * hcol_[i + 1];
-        hcol_[i] = t;
-      }
-      // New rotation eliminating hj1.
-      const S denom = std::sqrt(hcol_[j] * hcol_[j] + hj1 * hj1);
-      if (static_cast<double>(denom) > 0.0 && std::isfinite(static_cast<double>(denom))) {
-        cs_[j] = hcol_[j] / denom;
-        sn_[j] = hj1 / denom;
-      } else {
-        cs_[j] = S{1};
-        sn_[j] = S{0};
-      }
-      hcol_[j] = cs_[j] * hcol_[j] + sn_[j] * hj1;
-      g_[j + 1] = -sn_[j] * g_[j];
-      g_[j] = cs_[j] * g_[j];
-
-      for (int i = 0; i <= j; ++i) h_[col_major(i, j)] = hcol_[i];
+      const double res = givens_update(hcol_.data(), g_.data(), cs_.data(), sn_.data(),
+                                       h_.data(), j, hj1);
       ++total_iterations_;
-
-      const double res = std::abs(static_cast<double>(g_[j + 1]));
       if (iter_log_ != nullptr) iter_log_->push_back(res);
       const bool breakdown =
           !(static_cast<double>(hj1) > breakdown_tol_ * static_cast<double>(beta));
@@ -157,22 +176,153 @@ class FgmresSolver final : public Preconditioner<VT> {
       // Normalize the next basis vector: v_{j+1} = w/h in a single write
       // (w is scratch and is rebuilt by the next A·z, so it need not be
       // scaled in place).
-      blas::scal_copy(S{1} / hj1, std::span<const VT>(w_), vcol(j + 1));
+      blas::scal_copy(S{1} / hj1, std::span<const VT>(w_.data(), n_), vcol(j + 1));
     }
     stats.iters = std::min(j, m);
     stats.residual_est = std::abs(static_cast<double>(g_[std::min(j, m)]));
 
     // Back substitution R y = g and update x += Z y.
-    const int k = stats.iters;
-    for (int i = k - 1; i >= 0; --i) {
-      S s = g_[i];
-      for (int l = i + 1; l < k; ++l) s -= h_[col_major(i, l)] * y_[l];
-      const S hii = h_[col_major(i, i)];
-      y_[i] = (hii != S{0}) ? s / hii : S{0};
-    }
-    if (k > 0)
-      blas::axpy_many(zbuf_.data(), static_cast<std::ptrdiff_t>(n_), k, y_.data(),
+    back_substitute(h_.data(), g_.data(), y_.data(), stats.iters);
+    if (stats.iters > 0)
+      blas::axpy_many(zbuf_.data(), static_cast<std::ptrdiff_t>(n_), stats.iters, y_.data(),
                       std::span<VT>(x.data(), n_));  // bound by n_, x may be oversized
+    return stats;
+  }
+
+  /// Batched outer interface: advance k right-hand sides in lockstep
+  /// through one FGMRES cycle.  Column c of B/X lives at b + c·ldb and
+  /// x + c·ldx.  While every column stays live the preconditioner and
+  /// operator are applied once per step for the whole batch (one matrix
+  /// sweep via SpMM); per column the operation sequence — and therefore
+  /// every iterate and the Givens estimate — is identical to run() on that
+  /// column alone, provided M is stateless across apply() calls (primary
+  /// preconditioners are; nested tuples with adaptive Richardson state are
+  /// batched by NestedSolver::solve_many instead, which preserves the
+  /// state's invocation order).  A column that converges or breaks down is
+  /// frozen and costs nothing further.  No iteration log is recorded.
+  std::vector<RunStats> run_many(const VT* b, std::ptrdiff_t ldb, VT* x,
+                                 std::ptrdiff_t ldx, int k, double abs_target,
+                                 bool x_nonzero = true) {
+    std::vector<RunStats> stats(static_cast<std::size_t>(std::max(k, 0)));
+    if (k <= 0) return stats;
+    const std::size_t kk = static_cast<std::size_t>(k);
+    const std::size_t mm = static_cast<std::size_t>(cfg_.m);
+    const std::size_t vstr = (mm + 1) * n_;  // one column's V block
+    const std::size_t zstr = mm * n_;
+    SolverWorkspace& w = wsref();
+    auto VB = w.get<VT>(key_ + ".bat.V", kk * vstr);
+    auto ZB = w.get<VT>(key_ + ".bat.Z", kk * zstr);
+    auto WB = w.get<VT>(key_ + ".bat.w", kk * n_);
+    auto HB = w.get<S>(key_ + ".bat.h", kk * (mm + 1) * mm);
+    auto GB = w.get<S>(key_ + ".bat.g", kk * (mm + 1));
+    auto CS = w.get<S>(key_ + ".bat.cs", kk * mm);
+    auto SN = w.get<S>(key_ + ".bat.sn", kk * mm);
+    auto YB = w.get<S>(key_ + ".bat.y", kk * mm);
+    auto HC = w.get<S>(key_ + ".bat.hcol", kk * (mm + 1));
+    auto beta = w.get<S>(key_ + ".bat.beta", kk);
+    auto act = w.get<unsigned char>(key_ + ".bat.act", kk);
+
+    auto vc = [&](int c, int j) {
+      return std::span<VT>(VB.data() + static_cast<std::size_t>(c) * vstr +
+                               static_cast<std::size_t>(j) * n_, n_);
+    };
+    auto zc = [&](int c, int j) {
+      return std::span<VT>(ZB.data() + static_cast<std::size_t>(c) * zstr +
+                               static_cast<std::size_t>(j) * n_, n_);
+    };
+    auto wc = [&](int c) {
+      return std::span<VT>(WB.data() + static_cast<std::size_t>(c) * n_, n_);
+    };
+
+    // r0 per column (one shared A sweep when x is nonzero).
+    if (x_nonzero) {
+      a_->residual_many(b, ldb, x, ldx, VB.data(), static_cast<std::ptrdiff_t>(vstr), k);
+    } else {
+      for (int c = 0; c < k; ++c)
+        blas::copy(std::span<const VT>(b + static_cast<std::ptrdiff_t>(c) * ldb, n_),
+                   vc(c, 0));
+    }
+    int nactive = 0;
+    for (int c = 0; c < k; ++c) {
+      beta[c] = blas::nrm2(std::span<const VT>(vc(c, 0)));
+      const double bd = static_cast<double>(beta[c]);
+      if (!(bd > 0.0) || !std::isfinite(bd)) {
+        stats[c].residual_est = bd;
+        stats[c].reached_target = bd <= abs_target;
+        act[c] = 0;
+        continue;
+      }
+      blas::scal(S{1} / beta[c], vc(c, 0));
+      S* g = GB.data() + static_cast<std::size_t>(c) * (mm + 1);
+      std::fill(g, g + mm + 1, S{0});
+      g[0] = beta[c];
+      act[c] = 1;
+      ++nactive;
+    }
+
+    const int m = cfg_.m;
+    for (int j = 0; j < m && nactive > 0; ++j) {
+      // Preconditioner + operator, shared across the batch while every
+      // column is live (the common case); per-column otherwise so frozen
+      // columns cost nothing and invocation counts match sequential runs.
+      if (nactive == k) {
+        m_->apply_many(VB.data() + static_cast<std::size_t>(j) * n_,
+                       static_cast<std::ptrdiff_t>(vstr),
+                       ZB.data() + static_cast<std::size_t>(j) * n_,
+                       static_cast<std::ptrdiff_t>(zstr), k);
+        a_->apply_many(ZB.data() + static_cast<std::size_t>(j) * n_,
+                       static_cast<std::ptrdiff_t>(zstr), WB.data(),
+                       static_cast<std::ptrdiff_t>(n_), k);
+      } else {
+        for (int c = 0; c < k; ++c) {
+          if (!act[c]) continue;
+          m_->apply(std::span<const VT>(vc(c, j)), zc(c, j));
+          a_->apply(std::span<const VT>(zc(c, j)), wc(c));
+        }
+      }
+      for (int c = 0; c < k; ++c) {
+        if (!act[c]) continue;
+        S* hcol = HC.data() + static_cast<std::size_t>(c) * (mm + 1);
+        S* g = GB.data() + static_cast<std::size_t>(c) * (mm + 1);
+        S* cs = CS.data() + static_cast<std::size_t>(c) * mm;
+        S* sn = SN.data() + static_cast<std::size_t>(c) * mm;
+        S* h = HB.data() + static_cast<std::size_t>(c) * (mm + 1) * mm;
+        const VT* vbase = VB.data() + static_cast<std::size_t>(c) * vstr;
+        blas::dot_many(vbase, static_cast<std::ptrdiff_t>(n_), j + 1,
+                       std::span<const VT>(wc(c)), hcol);
+        blas::axpy_many(vbase, static_cast<std::ptrdiff_t>(n_), j + 1, hcol, wc(c),
+                        /*subtract=*/true);
+        const S hj1 = blas::nrm2(std::span<const VT>(wc(c)));
+        const double res = givens_update(hcol, g, cs, sn, h, j, hj1);
+        ++total_iterations_;
+        const bool breakdown =
+            !(static_cast<double>(hj1) > breakdown_tol_ * static_cast<double>(beta[c]));
+        if (breakdown || (abs_target > 0.0 && res <= abs_target)) {
+          stats[c].reached_target = res <= abs_target || breakdown;
+          stats[c].iters = j + 1;
+          stats[c].residual_est = std::abs(static_cast<double>(g[j + 1]));
+          act[c] = 0;
+          --nactive;
+          continue;
+        }
+        blas::scal_copy(S{1} / hj1, std::span<const VT>(wc(c)), vc(c, j + 1));
+        stats[c].iters = j + 1;
+        stats[c].residual_est = std::abs(static_cast<double>(g[j + 1]));
+      }
+    }
+
+    // Per-column back substitution and solution update x_c += Z_c y_c.
+    for (int c = 0; c < k; ++c) {
+      const int kc = stats[c].iters;
+      if (kc == 0) continue;
+      S* g = GB.data() + static_cast<std::size_t>(c) * (mm + 1);
+      S* h = HB.data() + static_cast<std::size_t>(c) * (mm + 1) * mm;
+      S* y = YB.data() + static_cast<std::size_t>(c) * mm;
+      back_substitute(h, g, y, kc);
+      blas::axpy_many(ZB.data() + static_cast<std::size_t>(c) * zstr,
+                      static_cast<std::ptrdiff_t>(n_), kc, y,
+                      std::span<VT>(x + static_cast<std::ptrdiff_t>(c) * ldx, n_));
+    }
     return stats;
   }
 
@@ -187,9 +337,46 @@ class FgmresSolver final : public Preconditioner<VT> {
   void set_iteration_log(std::vector<double>* log) { iter_log_ = log; }
 
  private:
+  [[nodiscard]] SolverWorkspace& wsref() { return ws_ != nullptr ? *ws_ : own_; }
+
   [[nodiscard]] std::size_t col_major(int i, int j) const {
     return static_cast<std::size_t>(j) * (static_cast<std::size_t>(cfg_.m) + 1) +
            static_cast<std::size_t>(i);
+  }
+
+  /// Apply the accumulated Givens rotations to the new column `hcol`, form
+  /// the rotation eliminating hj1, update g, and store the column into h.
+  /// Returns the updated residual estimate |g[j+1]|.  Shared verbatim by
+  /// the sequential and batched paths so they cannot drift.
+  double givens_update(S* hcol, S* g, S* cs, S* sn, S* h, int j, S hj1) {
+    for (int i = 0; i < j; ++i) {
+      const S t = cs[i] * hcol[i] + sn[i] * hcol[i + 1];
+      hcol[i + 1] = -sn[i] * hcol[i] + cs[i] * hcol[i + 1];
+      hcol[i] = t;
+    }
+    const S denom = std::sqrt(hcol[j] * hcol[j] + hj1 * hj1);
+    if (static_cast<double>(denom) > 0.0 && std::isfinite(static_cast<double>(denom))) {
+      cs[j] = hcol[j] / denom;
+      sn[j] = hj1 / denom;
+    } else {
+      cs[j] = S{1};
+      sn[j] = S{0};
+    }
+    hcol[j] = cs[j] * hcol[j] + sn[j] * hj1;
+    g[j + 1] = -sn[j] * g[j];
+    g[j] = cs[j] * g[j];
+    for (int i = 0; i <= j; ++i) h[col_major(i, j)] = hcol[i];
+    return std::abs(static_cast<double>(g[j + 1]));
+  }
+
+  /// Solve the k×k upper-triangular system R y = g (in-place arrays).
+  void back_substitute(const S* h, const S* g, S* y, int k) const {
+    for (int i = k - 1; i >= 0; --i) {
+      S s = g[i];
+      for (int l = i + 1; l < k; ++l) s -= h[col_major(i, l)] * y[l];
+      const S hii = h[col_major(i, i)];
+      y[i] = (hii != S{0}) ? s / hii : S{0};
+    }
   }
 
   /// Column j of the contiguous Arnoldi basis (row-major, stride n).
@@ -201,15 +388,19 @@ class FgmresSolver final : public Preconditioner<VT> {
     return {zbuf_.data() + static_cast<std::size_t>(j) * n_, n_};
   }
 
-  Operator<VT>* a_;
-  Preconditioner<VT>* m_;
+  Operator<VT>* a_ = nullptr;
+  Preconditioner<VT>* m_ = nullptr;
   Config cfg_;
   std::size_t n_ = 0;
 
-  std::vector<VT> vbuf_;  ///< Arnoldi basis V, (m+1)·n contiguous row-major
-  std::vector<VT> zbuf_;  ///< preconditioned basis Z, m·n contiguous
-  std::vector<VT> w_;
-  std::vector<S> h_, g_, cs_, sn_, y_, hcol_;
+  SolverWorkspace* ws_ = nullptr;  ///< shared workspace (null → own_)
+  SolverWorkspace own_;
+  std::string key_;
+
+  std::span<VT> vbuf_;  ///< Arnoldi basis V, (m+1)·n contiguous row-major
+  std::span<VT> zbuf_;  ///< preconditioned basis Z, m·n contiguous
+  std::span<VT> w_;
+  std::span<S> h_, g_, cs_, sn_, y_, hcol_;
   std::vector<double>* iter_log_ = nullptr;
   std::uint64_t total_iterations_ = 0;
   static constexpr double breakdown_tol_ = 1e-14;

@@ -21,13 +21,24 @@
 // fp16-F3R) except the ω' computation, which is carried out in fp32: the
 // SpMV A·(Mr) reads the fp16 matrix but accumulates in fp32 via a separate
 // fp32-vector operator, and both reductions accumulate fp32.
+//
+// Lifecycle: setup(a, m, a32) binds a system and acquires the working
+// vectors from a SolverWorkspace (shared or private); the adaptive state
+// (ω_k, counters) is solver-owned and survives setup — call reset_state()
+// when moving to an unrelated system.  Batched application goes through
+// the inherited Preconditioner::apply_many, which processes columns in
+// invocation order: Algorithm 1's shared adaptive state makes the column
+// sequence part of the math, so a batch must see exactly the invocation
+// order k sequential apply() calls would produce.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "base/blas1.hpp"
+#include "base/workspace.hpp"
 #include "krylov/operator.hpp"
 #include "precond/preconditioner.hpp"
 
@@ -43,20 +54,44 @@ class RichardsonSolver final : public Preconditioner<VT> {
     float fixed_weight = 1.0f;
   };
 
-  /// `a32` is the fp32-accumulation operator for the ω' computation; when
-  /// null the native operator is used (fp64/fp32 configurations, where the
-  /// native precision is already ≥ fp32).
-  RichardsonSolver(Operator<VT>& a, Preconditioner<VT>& m, Config cfg,
-                   Operator<float>* a32 = nullptr)
-      : a_(&a), m_(&m), a32_(a32), cfg_(cfg) {
-    const std::size_t n = static_cast<std::size_t>(a.size());
-    r_.resize(n);
-    mr_.resize(n);
+  /// Deferred-setup construction (no allocation until setup()).
+  explicit RichardsonSolver(Config cfg, SolverWorkspace* ws = nullptr,
+                            std::string key = "richardson")
+      : cfg_(cfg), ws_(ws), key_(std::move(key)) {
     weights_.assign(static_cast<std::size_t>(cfg_.m), 1.0f);
+  }
+
+  /// Construct and set up in one step (the pre-workspace API).  `a32` is
+  /// the fp32-accumulation operator for the ω' computation; when null the
+  /// native operator is used (fp64/fp32 configurations, where the native
+  /// precision is already ≥ fp32).
+  RichardsonSolver(Operator<VT>& a, Preconditioner<VT>& m, Config cfg,
+                   Operator<float>* a32 = nullptr, SolverWorkspace* ws = nullptr,
+                   std::string key = "richardson")
+      : RichardsonSolver(cfg, ws, std::move(key)) {
+    setup(a, m, a32);
+  }
+
+  // Buffer spans point into own_ (or the shared workspace); a copy would
+  // alias them.
+  RichardsonSolver(const RichardsonSolver&) = delete;
+  RichardsonSolver& operator=(const RichardsonSolver&) = delete;
+
+  /// Bind a system; acquires (or reuses) workspace vectors.  Adaptive
+  /// state is preserved — reset_state() starts a new system family.
+  void setup(Operator<VT>& a, Preconditioner<VT>& m, Operator<float>* a32 = nullptr) {
+    a_ = &a;
+    m_ = &m;
+    a32_ = a32;
+    const std::size_t n = static_cast<std::size_t>(a.size());
+    SolverWorkspace& w = wsref();
+    r_ = w.get<VT>(key_ + ".r", n);
+    mr_ = w.get<VT>(key_ + ".mr", n);
+    amr_ = {};
     if (a32_ != nullptr) {
-      rf_.resize(n);
-      mrf_.resize(n);
-      amrf_.resize(n);
+      rf_ = w.get<float>(key_ + ".rf", n);
+      mrf_ = w.get<float>(key_ + ".mrf", n);
+      amrf_ = w.get<float>(key_ + ".amrf", n);
     }
   }
 
@@ -71,10 +106,11 @@ class RichardsonSolver final : public Preconditioner<VT> {
       if (k == 0) {
         r = v;
       } else {
-        a_->residual(v, std::span<const VT>(z.data(), z.size()), std::span<VT>(r_));
-        r = std::span<const VT>(r_);
+        a_->residual(v, std::span<const VT>(z.data(), z.size()),
+                     std::span<VT>(r_.data(), r_.size()));
+        r = std::span<const VT>(r_.data(), r_.size());
       }
-      m_->apply(r, std::span<VT>(mr_));  // Mr in the native precision
+      m_->apply(r, std::span<VT>(mr_.data(), mr_.size()));  // Mr in the native precision
 
       float w;
       if (update) {
@@ -88,7 +124,7 @@ class RichardsonSolver final : public Preconditioner<VT> {
       } else {
         w = cfg_.adaptive ? weights_[k] : cfg_.fixed_weight;
       }
-      blas::axpy(w, std::span<const VT>(mr_), z);  // z += w · Mr
+      blas::axpy(w, std::span<const VT>(mr_.data(), mr_.size()), z);  // z += w · Mr
     }
   }
 
@@ -107,39 +143,50 @@ class RichardsonSolver final : public Preconditioner<VT> {
   }
 
  private:
+  [[nodiscard]] SolverWorkspace& wsref() { return ws_ != nullptr ? *ws_ : own_; }
+
   /// ω' = (r, AMr)/(AMr, AMr) computed in fp32.
   float local_optimal_weight(std::span<const VT> r) {
     if (a32_ != nullptr) {
       // fp32 path: convert r and Mr, run the fp32-vector SpMV (fp16 matrix,
       // fp32 accumulate), reduce in fp32.
-      blas::convert(r, std::span<float>(rf_));
-      blas::convert(std::span<const VT>(mr_), std::span<float>(mrf_));
-      a32_->apply(std::span<const float>(mrf_), std::span<float>(amrf_));
-      const float num = blas::dot(std::span<const float>(rf_), std::span<const float>(amrf_));
-      const float den =
-          blas::dot(std::span<const float>(amrf_), std::span<const float>(amrf_));
+      blas::convert(r, std::span<float>(rf_.data(), rf_.size()));
+      blas::convert(std::span<const VT>(mr_.data(), mr_.size()),
+                    std::span<float>(mrf_.data(), mrf_.size()));
+      a32_->apply(std::span<const float>(mrf_.data(), mrf_.size()),
+                  std::span<float>(amrf_.data(), amrf_.size()));
+      const float num = blas::dot(std::span<const float>(rf_.data(), rf_.size()),
+                                  std::span<const float>(amrf_.data(), amrf_.size()));
+      const float den = blas::dot(std::span<const float>(amrf_.data(), amrf_.size()),
+                                  std::span<const float>(amrf_.data(), amrf_.size()));
       return den > 0.0f ? num / den : 1.0f;
     }
-    // Native path (VT is fp32 or fp64): amr reuses the residual buffer.
-    a_->apply(std::span<const VT>(mr_), std::span<VT>(amr_native_workspace()));
-    const auto num = blas::dot(r, std::span<const VT>(amr_native_workspace()));
-    const auto den = blas::dot(std::span<const VT>(amr_native_workspace()),
-                               std::span<const VT>(amr_native_workspace()));
+    // Native path (VT is fp32 or fp64): amr uses a lazily-acquired buffer.
+    a_->apply(std::span<const VT>(mr_.data(), mr_.size()), amr_native_workspace());
+    const auto num = blas::dot(r, std::span<const VT>(amr_.data(), amr_.size()));
+    const auto den = blas::dot(std::span<const VT>(amr_.data(), amr_.size()),
+                               std::span<const VT>(amr_.data(), amr_.size()));
     return den > 0 ? static_cast<float>(num / den) : 1.0f;
   }
 
   std::span<VT> amr_native_workspace() {
-    if (amr_.empty()) amr_.resize(r_.size());
-    return std::span<VT>(amr_);
+    if (amr_.empty()) {
+      SolverWorkspace& w = wsref();
+      amr_ = w.get<VT>(key_ + ".amr", r_.size());
+    }
+    return amr_;
   }
 
-  Operator<VT>* a_;
-  Preconditioner<VT>* m_;
-  Operator<float>* a32_;
+  Operator<VT>* a_ = nullptr;
+  Preconditioner<VT>* m_ = nullptr;
+  Operator<float>* a32_ = nullptr;
   Config cfg_;
+  SolverWorkspace* ws_ = nullptr;
+  SolverWorkspace own_;
+  std::string key_;
 
-  std::vector<VT> r_, mr_, amr_;
-  std::vector<float> rf_, mrf_, amrf_;  // fp32 ω' workspaces
+  std::span<VT> r_, mr_, amr_;
+  std::span<float> rf_, mrf_, amrf_;    // fp32 ω' workspaces
   std::vector<float> weights_;          // ω_k, persistent across invocations
   std::uint64_t cntr_ = 0;              // invocation counter (Algorithm 1)
   std::uint64_t updates_ = 0;

@@ -9,12 +9,14 @@
 
 // base: precision substrate and utilities
 #include "base/blas1.hpp"
+#include "base/blas_block.hpp"
 #include "base/env.hpp"
 #include "base/half.hpp"
 #include "base/options.hpp"
 #include "base/rng.hpp"
 #include "base/table.hpp"
 #include "base/timer.hpp"
+#include "base/workspace.hpp"
 
 // sparse: formats, kernels, IO, workload generators
 #include "sparse/coo_builder.hpp"
@@ -27,6 +29,7 @@
 #include "sparse/io_matrix_market.hpp"
 #include "sparse/scaling.hpp"
 #include "sparse/sell.hpp"
+#include "sparse/spmm.hpp"
 #include "sparse/spmv.hpp"
 #include "sparse/stats.hpp"
 

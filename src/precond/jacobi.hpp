@@ -60,6 +60,22 @@ class JacobiApplyHandle final : public Preconditioner<VT> {
     for (std::ptrdiff_t i = 0; i < n; ++i)
       z[i] = static_cast<VT>(static_cast<W>(r[i]) * static_cast<W>(f_->inv_diag[i]));
   }
+  /// Batched apply: one sweep over the diagonal serves all k columns; each
+  /// element computes exactly the per-column apply() op.
+  void apply_many(const VT* r, std::ptrdiff_t ldr, VT* z, std::ptrdiff_t ldz,
+                  int k) override {
+    cnt_->count += static_cast<std::uint64_t>(k);
+    using W = promote_t<SP, VT>;
+    const std::ptrdiff_t n = f_->n;
+    const SP* __restrict d = f_->inv_diag.data();
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      const W di = static_cast<W>(d[i]);
+      for (int c = 0; c < k; ++c)
+        z[static_cast<std::ptrdiff_t>(c) * ldz + i] =
+            static_cast<VT>(static_cast<W>(r[static_cast<std::ptrdiff_t>(c) * ldr + i]) * di);
+    }
+  }
   [[nodiscard]] index_t size() const override { return f_->n; }
 
  private:

@@ -36,6 +36,20 @@ class Preconditioner {
   /// z = M⁻¹ r.  `r` and `z` must not alias and must both have size().
   virtual void apply(std::span<const VT> r, std::span<VT> z) = 0;
 
+  /// Z_c = M⁻¹ R_c for k batch columns (column c at r + c·ldr / z + c·ldz).
+  /// Column results are bit-identical to k apply() calls in column order —
+  /// the contract batched solvers rely on.  The default loops (which also
+  /// preserves any solver-internal state sequencing, e.g. Algorithm 1's
+  /// adaptive Richardson weights); stateless preconditioners override with
+  /// fused kernels that read their factors once per batch.
+  virtual void apply_many(const VT* r, std::ptrdiff_t ldr, VT* z, std::ptrdiff_t ldz,
+                          int k) {
+    const std::size_t n = static_cast<std::size_t>(size());
+    for (int c = 0; c < k; ++c)
+      apply(std::span<const VT>(r + static_cast<std::ptrdiff_t>(c) * ldr, n),
+            std::span<VT>(z + static_cast<std::ptrdiff_t>(c) * ldz, n));
+  }
+
   [[nodiscard]] virtual index_t size() const = 0;
 };
 

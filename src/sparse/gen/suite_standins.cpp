@@ -17,8 +17,18 @@ namespace {
 constexpr index_t kBase2d = 192;  // 2-D problems: 192² ≈ 37k rows
 constexpr index_t kBase3d = 32;   // 3-D problems: 32³ ≈ 33k rows
 
-index_t dim2(int scale) { return kBase2d * std::max(1, scale); }
-index_t dim3(int scale) { return kBase3d * std::max(1, scale); }
+// Negative scale shrinks: scale = -d divides the base dimension by d
+// (floored to keep the generators well-posed).  The conformance sweep uses
+// this to run the FULL catalog × solver × precision grid in seconds while
+// preserving each stand-in's structure class.
+index_t dim2(int scale) {
+  if (scale < 0) return std::max<index_t>(12, kBase2d / -scale);
+  return kBase2d * std::max(1, scale);
+}
+index_t dim3(int scale) {
+  if (scale < 0) return std::max<index_t>(6, kBase3d / -scale);
+  return kBase3d * std::max(1, scale);
+}
 
 // A fixed well-conditioned SPD 3×3 block (eigenvalues ~ {0.5, 1, 2}).
 const std::vector<double> kSpdBlock3 = {

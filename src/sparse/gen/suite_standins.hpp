@@ -51,7 +51,10 @@ const ProblemSpec& find_spec(const std::string& paper_name);
 /// `scale` multiplies the linear grid dimensions (scale=1 gives problems in
 /// the 3·10^4 – 3·10^5 row range suitable for a laptop-class node; scale=2
 /// is ~8x larger for 3-D problems).  HPCG/HPGMP names honour their encoded
-/// log2 sizes when `scale == 0` (paper-exact sizes; large!).
+/// log2 sizes when `scale == 0` (paper-exact sizes; large!).  Negative
+/// scale shrinks: scale = -d divides the base grid dimension by d — the
+/// conformance sweep's "mini" catalog, same structure classes at test
+/// sizes.
 Problem make_problem(const std::string& paper_name, int scale = 1);
 
 /// Kronecker-product block expansion  A ⊗ M  used for elasticity-like

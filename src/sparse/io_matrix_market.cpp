@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -18,11 +19,22 @@ std::string lower(std::string s) {
   return s;
 }
 
+/// Drop a trailing '\r' so CRLF (Windows-written) files parse identically
+/// to LF files — SuiteSparse archives contain both flavors.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+bool blank(const std::string& line) {
+  return line.find_first_not_of(" \t") == std::string::npos;
+}
+
 }  // namespace
 
 CsrMatrix<double> read_matrix_market(std::istream& in) {
   std::string line;
   if (!std::getline(in, line)) throw std::runtime_error("mtx: empty stream");
+  strip_cr(line);
   std::istringstream head(line);
   std::string banner, object, format, field, symmetry;
   head >> banner >> object >> format >> field >> symmetry;
@@ -40,25 +52,43 @@ CsrMatrix<double> read_matrix_market(std::istream& in) {
   if (!symmetric && !skew && symmetry != "general")
     throw std::runtime_error("mtx: unsupported symmetry '" + symmetry + "'");
 
-  // Skip comments.
+  // Skip comments (and blank lines) up to the size line.
+  bool have_dims = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    strip_cr(line);
+    if (!line.empty() && line[0] != '%' && !blank(line)) {
+      have_dims = true;
+      break;
+    }
   }
+  if (!have_dims) throw std::runtime_error("mtx: missing size line");
   std::istringstream dims(line);
   long long rows = 0, cols = 0, entries = 0;
   dims >> rows >> cols >> entries;
-  if (rows <= 0 || cols <= 0 || entries < 0) throw std::runtime_error("mtx: bad size line");
+  if (!dims || rows <= 0 || cols <= 0 || entries < 0)
+    throw std::runtime_error("mtx: bad size line");
+  if (rows > std::numeric_limits<index_t>::max() || cols > std::numeric_limits<index_t>::max())
+    throw std::runtime_error("mtx: matrix dimensions exceed 32-bit index range");
 
   CooBuilder builder(static_cast<index_t>(rows), static_cast<index_t>(cols));
   long long seen = 0;
   while (seen < entries && std::getline(in, line)) {
-    if (line.empty() || line[0] == '%') continue;
+    strip_cr(line);
+    if (line.empty() || line[0] == '%' || blank(line)) continue;
     std::istringstream ls(line);
     long long i = 0, j = 0;
     double v = 1.0;
     ls >> i >> j;
-    if (field != "pattern") ls >> v;
-    if (!ls && field != "pattern") throw std::runtime_error("mtx: bad entry line: " + line);
+    if (!ls) throw std::runtime_error("mtx: bad entry line: " + line);
+    if (field != "pattern") {
+      ls >> v;
+      if (!ls) throw std::runtime_error("mtx: bad entry line: " + line);
+    }
+    // Range-check the 1-based indices BEFORE the narrowing cast: a huge
+    // index would otherwise wrap into range and silently corrupt the
+    // matrix instead of failing.
+    if (i < 1 || i > rows || j < 1 || j > cols)
+      throw std::runtime_error("mtx: entry index out of range: " + line);
     const index_t ii = static_cast<index_t>(i - 1), jj = static_cast<index_t>(j - 1);
     builder.add(ii, jj, v);
     if ((symmetric || skew) && ii != jj) builder.add(jj, ii, skew ? -v : v);

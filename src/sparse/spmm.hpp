@@ -1,0 +1,241 @@
+// Sparse matrix × multiple-vector products (SpMM) over CSR and SELL-C —
+// the kernel behind batched multi-RHS solving.
+//
+// A batch of k right-hand sides advances in lockstep through a solver, so
+// every operator application becomes Y_c = A·X_c for c in [0, k).  Running
+// k separate SpMVs streams the matrix from memory k times; these kernels
+// stream it ONCE: the row (CSR) or slice (SELL) being processed stays hot
+// in L1/L2 while the k column dots read it, so the dominant traffic — the
+// matrix values and indices — is shared across the whole batch.  For a
+// memory-bound solve this is the single biggest lever batching has.
+//
+// Numerical contract: column c of spmm()/residual_many() performs exactly
+// the accumulation sequence spmv()/residual() performs on that column
+// (detail::row_dot's per-row order for CSR — including its four-way fp16
+// partial-sum grouping — and the SIMD slice sweep for SELL), so batched
+// and sequential solves produce bit-identical iterates per right-hand
+// side on the fp64/fp32 CSR paths and on every SELL path.  The one
+// exception is fp16 STORAGE over CSR: both sides compute the same fp32
+// operation sequence, but the compiler's FMA-contraction freedom
+// (-ffp-contract) may fuse it differently in the two loop structures, so
+// agreement there is at fp32 rounding level, not bitwise — which is why
+// the fp16 inner levels are tolerance-checked rather than exact in the
+// batched-solve tests.  What changes is the SCHEDULE: the CSR kernel
+// walks the row's nonzeros once and updates all k per-column accumulators
+// per nonzero.
+// That reads A once per batch instead of k times AND — the bigger effect
+// on a single core — replaces k serial FMA dependency chains with k
+// independent accumulators advancing in lockstep, so the row dot becomes
+// throughput-bound instead of latency-bound.
+//
+// Layout: column c of X starts at x + c·ldx (each column contiguous,
+// length n); same for Y/B.  k = 0 is a no-op, k = 1 degenerates to spmv.
+#pragma once
+
+#include <span>
+
+#include "base/blas1.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/spmv.hpp"
+
+namespace nk {
+
+/// Largest batch the CSR kernels hold in per-row stack accumulators; wider
+/// batches are processed in column groups of this size (still exact).
+inline constexpr int kSpmmMaxCols = 16;
+
+namespace spmm_detail {
+
+/// One CSR row × up to kSpmmMaxCols columns: per column the accumulation
+/// sequence of row_dot on that column (plain `s += v·x` on the general
+/// path, the four-way partial-sum grouping on the fp16-storage path),
+/// interleaved across columns for ILP.  KC > 0 pins the column count at
+/// compile time (k == KC) so the per-nonzero column loops fully unroll —
+/// the difference between a modest and a large win on short stencil rows.
+/// `out(c, s)` stores column c's row value.
+template <class MT, class XT, class Acc, int KC, class Out>
+inline void row_dots(const MT* __restrict v, const index_t* __restrict ci,
+                     const XT* __restrict x, std::ptrdiff_t ldx, int k_dyn, index_t b,
+                     index_t e, Out&& out) {
+  const int k = KC > 0 ? KC : k_dyn;
+  if constexpr (sizeof(MT) == 2 && !std::is_same_v<Acc, MT>) {
+    // fp16 matrix path: reproduce row_dot's four-way partial sums — lane
+    // (t − b) mod 4 over the 4-aligned prefix, remainder into lane 0 —
+    // with the converted value shared across all k columns.
+    Acc acc[4][kSpmmMaxCols] = {};
+    Acc vf[16];
+    index_t t = b;
+    for (; t + 16 <= e; t += 16) {
+      if constexpr (std::is_same_v<Acc, float>) {
+        half_to_float_n(v + t, vf, 16);  // conversion-exact (see row_dot)
+      } else {
+        for (int j = 0; j < 16; ++j) vf[j] = static_cast<Acc>(v[t + j]);
+      }
+      for (int j = 0; j < 16; ++j) {
+        const Acc av = vf[j];
+        const XT* __restrict xc = x + ci[t + j];
+        Acc* __restrict lane = acc[j % 4];
+        for (int c = 0; c < k; ++c) lane[c] += av * static_cast<Acc>(xc[c * ldx]);
+      }
+    }
+    for (; t + 4 <= e; t += 4) {
+      for (int j = 0; j < 4; ++j) {
+        const Acc av = static_cast<Acc>(v[t + j]);
+        const XT* __restrict xc = x + ci[t + j];
+        Acc* __restrict lane = acc[j];
+        for (int c = 0; c < k; ++c) lane[c] += av * static_cast<Acc>(xc[c * ldx]);
+      }
+    }
+    for (; t < e; ++t) {
+      const Acc av = static_cast<Acc>(v[t]);
+      const XT* __restrict xc = x + ci[t];
+      for (int c = 0; c < k; ++c) acc[0][c] += av * static_cast<Acc>(xc[c * ldx]);
+    }
+    for (int c = 0; c < k; ++c)
+      out(c, (acc[0][c] + acc[1][c]) + (acc[2][c] + acc[3][c]));
+  } else {
+    Acc acc[kSpmmMaxCols] = {};
+    for (index_t t = b; t < e; ++t) {
+      const Acc av = static_cast<Acc>(v[t]);
+      const XT* __restrict xc = x + ci[t];
+      for (int c = 0; c < k; ++c) acc[c] += av * static_cast<Acc>(xc[c * ldx]);
+    }
+    for (int c = 0; c < k; ++c) out(c, acc[c]);
+  }
+}
+
+/// Dispatch a column group to the compile-time-specialized row kernel for
+/// the common batch widths (8 = the bench/service default, 4, 16): the
+/// pinned column count lets the per-nonzero column loops fully unroll —
+/// the difference between a modest and a large win on short stencil rows.
+template <class Body>
+inline void dispatch_cols(int kc, Body&& body) {
+  switch (kc) {
+    case 4: body.template operator()<4>(); break;
+    case 8: body.template operator()<8>(); break;
+    case kSpmmMaxCols: body.template operator()<kSpmmMaxCols>(); break;
+    default: body.template operator()<0>(); break;
+  }
+}
+
+}  // namespace spmm_detail
+
+/// Y_c = A X_c over CSR for c in [0, k).
+template <class MT, class XT, class YT, class Acc = promote_t<MT, XT>>
+void spmm(const CsrMatrix<MT>& a, const XT* x, std::ptrdiff_t ldx, YT* y,
+          std::ptrdiff_t ldy, int k) {
+  const std::ptrdiff_t n = a.nrows;
+  const std::ptrdiff_t work = static_cast<std::ptrdiff_t>(a.nnz()) * std::max(k, 1);
+  const index_t* __restrict rp = a.row_ptr.data();
+  const index_t* __restrict ci = a.col_idx.data();
+  const MT* __restrict v = a.vals.data();
+  for (int c0 = 0; c0 < k; c0 += kSpmmMaxCols) {
+    const int kc = std::min(k - c0, kSpmmMaxCols);
+    const XT* xg = x + static_cast<std::ptrdiff_t>(c0) * ldx;
+    YT* yg = y + static_cast<std::ptrdiff_t>(c0) * ldy;
+    spmm_detail::dispatch_cols(kc, [&]<int KC>() {
+#pragma omp parallel for schedule(static) if (work > blas::parallel_threshold())
+      for (std::ptrdiff_t i = 0; i < n; ++i)
+        spmm_detail::row_dots<MT, XT, Acc, KC>(
+            v, ci, xg, ldx, kc, rp[i], rp[i + 1], [&](int c, Acc s) {
+              yg[static_cast<std::ptrdiff_t>(c) * ldy + i] = static_cast<YT>(s);
+            });
+    });
+  }
+}
+
+/// Y_c = B_c − A X_c over CSR (fused batched residual).
+template <class MT, class XT, class BT, class YT,
+          class Acc = promote_t<promote_t<MT, XT>, BT>>
+void residual_many(const CsrMatrix<MT>& a, const XT* x, std::ptrdiff_t ldx, const BT* b,
+                   std::ptrdiff_t ldb, YT* y, std::ptrdiff_t ldy, int k) {
+  const std::ptrdiff_t n = a.nrows;
+  const std::ptrdiff_t work = static_cast<std::ptrdiff_t>(a.nnz()) * std::max(k, 1);
+  const index_t* __restrict rp = a.row_ptr.data();
+  const index_t* __restrict ci = a.col_idx.data();
+  const MT* __restrict v = a.vals.data();
+  for (int c0 = 0; c0 < k; c0 += kSpmmMaxCols) {
+    const int kc = std::min(k - c0, kSpmmMaxCols);
+    const XT* xg = x + static_cast<std::ptrdiff_t>(c0) * ldx;
+    const BT* bg = b + static_cast<std::ptrdiff_t>(c0) * ldb;
+    YT* yg = y + static_cast<std::ptrdiff_t>(c0) * ldy;
+    spmm_detail::dispatch_cols(kc, [&]<int KC>() {
+#pragma omp parallel for schedule(static) if (work > blas::parallel_threshold())
+      for (std::ptrdiff_t i = 0; i < n; ++i)
+        spmm_detail::row_dots<MT, XT, Acc, KC>(
+            v, ci, xg, ldx, kc, rp[i], rp[i + 1], [&](int c, Acc s) {
+              yg[static_cast<std::ptrdiff_t>(c) * ldy + i] = static_cast<YT>(
+                  static_cast<Acc>(bg[static_cast<std::ptrdiff_t>(c) * ldb + i]) - s);
+            });
+    });
+  }
+}
+
+/// Y_c = A X_c over SELL-C: per slice, the SIMD column-major sweep runs
+/// once per batch column while the slice's values/indices stay in cache.
+template <class MT, class XT, class YT, class Acc = promote_t<MT, XT>>
+void spmm(const SellMatrix<MT>& a, const XT* x, std::ptrdiff_t ldx, YT* y,
+          std::ptrdiff_t ldy, int k) {
+  const index_t ns = a.nslices();
+  const int C = a.chunk;
+  const std::ptrdiff_t work =
+      static_cast<std::ptrdiff_t>(a.padded_nnz()) * std::max(k, 1);
+#pragma omp parallel for schedule(static) if (work > blas::parallel_threshold())
+  for (std::ptrdiff_t sl = 0; sl < static_cast<std::ptrdiff_t>(ns); ++sl) {
+    const index_t r0 = static_cast<index_t>(sl) * C;
+    const index_t r1 = std::min<index_t>(r0 + C, a.nrows);
+    const index_t base = a.slice_ptr[sl];
+    const index_t w = a.slice_width[sl];
+    for (int c = 0; c < k; ++c) {
+      const XT* xc = x + static_cast<std::ptrdiff_t>(c) * ldx;
+      YT* yc = y + static_cast<std::ptrdiff_t>(c) * ldy;
+      if (C <= kSellSimdMaxChunk) {
+        sell_detail::slice_sweep_simd<MT, XT, Acc>(
+            a.vals.data(), a.cols.data(), xc, base, w, C, r0, r1,
+            [&](index_t i, Acc s) { yc[i] = static_cast<YT>(s); });
+      } else {
+        for (index_t i = r0; i < r1; ++i)
+          yc[i] = static_cast<YT>(sell_detail::lane_dot<MT, XT, Acc>(
+              a.vals.data(), a.cols.data(), xc, base, i - r0, w, C));
+      }
+    }
+  }
+}
+
+/// Y_c = B_c − A X_c over SELL-C (fused batched residual).
+template <class MT, class XT, class BT, class YT,
+          class Acc = promote_t<promote_t<MT, XT>, BT>>
+void residual_many(const SellMatrix<MT>& a, const XT* x, std::ptrdiff_t ldx, const BT* b,
+                   std::ptrdiff_t ldb, YT* y, std::ptrdiff_t ldy, int k) {
+  const index_t ns = a.nslices();
+  const int C = a.chunk;
+  const std::ptrdiff_t work =
+      static_cast<std::ptrdiff_t>(a.padded_nnz()) * std::max(k, 1);
+#pragma omp parallel for schedule(static) if (work > blas::parallel_threshold())
+  for (std::ptrdiff_t sl = 0; sl < static_cast<std::ptrdiff_t>(ns); ++sl) {
+    const index_t r0 = static_cast<index_t>(sl) * C;
+    const index_t r1 = std::min<index_t>(r0 + C, a.nrows);
+    const index_t base = a.slice_ptr[sl];
+    const index_t w = a.slice_width[sl];
+    for (int c = 0; c < k; ++c) {
+      const XT* xc = x + static_cast<std::ptrdiff_t>(c) * ldx;
+      const BT* bc = b + static_cast<std::ptrdiff_t>(c) * ldb;
+      YT* yc = y + static_cast<std::ptrdiff_t>(c) * ldy;
+      if (C <= kSellSimdMaxChunk) {
+        sell_detail::slice_sweep_simd<MT, XT, Acc>(
+            a.vals.data(), a.cols.data(), xc, base, w, C, r0, r1, [&](index_t i, Acc s) {
+              yc[i] = static_cast<YT>(static_cast<Acc>(bc[i]) - s);
+            });
+      } else {
+        for (index_t i = r0; i < r1; ++i) {
+          const Acc s = sell_detail::lane_dot<MT, XT, Acc>(a.vals.data(), a.cols.data(), xc,
+                                                           base, i - r0, w, C);
+          yc[i] = static_cast<YT>(static_cast<Acc>(bc[i]) - s);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace nk

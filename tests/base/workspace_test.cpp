@@ -1,0 +1,79 @@
+// Tests for SolverWorkspace (base/workspace.hpp): grow-only slab reuse,
+// allocation accounting, and typed aliasing across setup rounds.
+#include <gtest/gtest.h>
+
+#include "base/half.hpp"
+#include "base/workspace.hpp"
+
+namespace nk {
+namespace {
+
+TEST(SolverWorkspace, GrowOnlyReuse) {
+  SolverWorkspace ws;
+  auto a = ws.get<double>("v", 100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(ws.allocations(), 1u);
+  EXPECT_EQ(ws.buffers(), 1u);
+  EXPECT_EQ(ws.bytes(), 100 * sizeof(double));
+
+  // Same size: no growth, same backing memory.
+  auto b = ws.get<double>("v", 100);
+  EXPECT_EQ(ws.allocations(), 1u);
+  EXPECT_EQ(b.data(), a.data());
+
+  // Smaller: no growth.
+  auto c = ws.get<double>("v", 10);
+  EXPECT_EQ(ws.allocations(), 1u);
+  EXPECT_EQ(c.size(), 10u);
+
+  // Larger: grows once.
+  auto d = ws.get<double>("v", 200);
+  EXPECT_EQ(ws.allocations(), 2u);
+  EXPECT_EQ(d.size(), 200u);
+  EXPECT_EQ(ws.bytes(), 200 * sizeof(double));
+}
+
+TEST(SolverWorkspace, DistinctKeysDistinctSlabs) {
+  SolverWorkspace ws;
+  auto a = ws.get<float>("lvl0.V", 64);
+  auto b = ws.get<float>("lvl1.V", 64);
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(ws.buffers(), 2u);
+}
+
+TEST(SolverWorkspace, NewBytesAreZeroed) {
+  SolverWorkspace ws;
+  auto a = ws.get<double>("z", 32);
+  for (double v : a) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SolverWorkspace, TypeReuseOnSameKey) {
+  // A key reused at a different element type (e.g. a bridge rebuilt at a
+  // different inner precision) aliases the same slab when it fits.
+  SolverWorkspace ws;
+  auto f = ws.get<float>("bridge.rin", 16);
+  f[0] = 1.0f;
+  auto h = ws.get<half>("bridge.rin", 16);  // half the bytes: reuses
+  EXPECT_EQ(ws.allocations(), 1u);
+  EXPECT_EQ(static_cast<void*>(h.data()), static_cast<void*>(f.data()));
+}
+
+TEST(SolverWorkspace, ReleaseDropsEverything) {
+  SolverWorkspace ws;
+  ws.get<double>("a", 8);
+  ws.get<double>("b", 8);
+  ws.release();
+  EXPECT_EQ(ws.buffers(), 0u);
+  EXPECT_EQ(ws.bytes(), 0u);
+  EXPECT_EQ(ws.allocations(), 0u);
+}
+
+TEST(SolverWorkspace, ZeroLengthGet) {
+  SolverWorkspace ws;
+  auto a = ws.get<double>("empty", 0);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(ws.bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace nk

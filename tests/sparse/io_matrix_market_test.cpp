@@ -99,6 +99,110 @@ TEST(MatrixMarket, RejectsMalformedInputs) {
   }
 }
 
+TEST(MatrixMarket, CrlfLineEndingsParseIdentically) {
+  // Windows-written files: every line terminated \r\n, including the
+  // banner, comments, size line, and entries.  Must parse exactly like the
+  // LF version, not error and not corrupt values.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\r\n"
+      "% written on windows\r\n"
+      "\r\n"
+      "3 3 3\r\n"
+      "1 1 2.5\r\n"
+      "2 1 -1.0\r\n"
+      "3 3 4.0\r\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_EQ(a.nrows, 3);
+  EXPECT_EQ(a.nnz(), 4);  // (2,1) mirrored
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 4.0);
+}
+
+TEST(MatrixMarket, TruncatedHeaderRejected) {
+  {
+    // Banner line cut off mid-token list (no field/symmetry).
+    std::istringstream in("%%MatrixMarket matrix coordinate\n2 2 1\n1 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    // Header only, no size line at all.
+    std::istringstream in("%%MatrixMarket matrix coordinate real general\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    // Comments but still no size line.
+    std::istringstream in("%%MatrixMarket matrix coordinate real general\n% a\n% b\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    // Size line with a missing count.
+    std::istringstream in("%%MatrixMarket matrix coordinate real general\n4 4\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+}
+
+TEST(MatrixMarket, OutOfRangeIndicesRejected) {
+  {
+    // 1-based index above the declared dimension.
+    std::istringstream in("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    // Zero index (below the 1-based range).
+    std::istringstream in("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    // Negative index.
+    std::istringstream in("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 -1 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    // Index so large the old narrowing cast would have wrapped back into
+    // range and silently corrupted the matrix.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n4294967297 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    // Dimensions beyond the 32-bit index range.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n9999999999 2 0\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+}
+
+TEST(MatrixMarket, PatternAndComplexFieldEdgeCases) {
+  {
+    // Pattern entry carrying a malformed index: clean error, not UB.
+    std::istringstream in("%%MatrixMarket matrix coordinate pattern general\n2 2 1\nx y\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    // Real field with a garbage value token.
+    std::istringstream in("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+  {
+    // Complex field: unsupported, must say so cleanly.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 1 1.0 0.0\n");
+    try {
+      read_matrix_market(in);
+      FAIL() << "complex field accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("complex"), std::string::npos);
+    }
+  }
+  {
+    // Hermitian symmetry: unsupported, clean error.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real hermitian\n2 2 1\n1 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+  }
+}
+
 TEST(MatrixMarket, FileRoundTrip) {
   const auto a = gen::random_sparse({.n = 10, .seed = 8});
   const std::string path = ::testing::TempDir() + "/nk_io_test.mtx";
