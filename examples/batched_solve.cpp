@@ -40,6 +40,16 @@ int main() {
                 many[c].converged ? "converged" : "FAILED", many[c].iterations,
                 many[c].final_relres);
 
+  // --- ragged waves: same batch, at most 4 columns in flight --------------
+  // The compacting scheduler refills a retiring column's slot from the
+  // pending queue, so one wave-sized workspace serves any RHS count and
+  // every column still reproduces its sequential solve bit-for-bit.
+  X.assign(n * k, 0.0);
+  auto waved = run_cg_many(p, *m, Prec::FP64, std::span<const double>(B),
+                           std::span<double>(X), k, {}, /*wave=*/4);
+  std::printf("same batch as 4-wide ragged waves: %.3fs, col0 %d iters (identical)\n",
+              waved[0].seconds, waved[0].iterations);
+
   // --- batched nested solve sharing one workspace across two matrices ----
   SolverWorkspace ws;
   const Termination term = f3r_termination(1e-8);

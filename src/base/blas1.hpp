@@ -42,6 +42,19 @@ inline std::ptrdiff_t parallel_threshold() {
   return t;
 }
 
+/// Greedy column-group decomposition shared by the batched kernels
+/// (spmm, ilu_solve_many, dot_cols): the largest pinned compile-time tier
+/// (`max_tier`, then 8, then 4) that fits the remaining columns, dynamic
+/// only for a < 4 tail.  An arbitrary width — e.g. a compacted active set —
+/// therefore runs almost entirely in the fully-unrolled kernels.  Grouping
+/// never changes per-column results (columns are independent).
+constexpr int greedy_group(int remaining, int max_tier) {
+  if (remaining >= max_tier) return max_tier;
+  if (remaining >= 8) return 8;
+  if (remaining >= 4) return 4;
+  return remaining;
+}
+
 /// Chunk length for the tiled fp16 kernels below (fits L1 alongside the
 /// streamed operand).
 inline constexpr std::ptrdiff_t kHalfChunk = 1024;

@@ -309,8 +309,11 @@ void dot_cols(const TX* x, std::ptrdiff_t ldx, const TY* y, std::ptrdiff_t ldy, 
   using W = acc_t<promote_t<TX, TY>>;
   const std::ptrdiff_t nn = static_cast<std::ptrdiff_t>(n);
   W grp[kColsMax];
-  for (int c0 = 0; c0 < k; c0 += kColsMax) {
-    const int kc = std::min(k - c0, kColsMax);
+  // Greedy 16/8/4 group decomposition (dynamic only for a <4 tail), so an
+  // arbitrary width — e.g. a compacted active set — runs almost entirely
+  // in the pinned fully-unrolled kernels.
+  for (int c0 = 0; c0 < k;) {
+    const int kc = greedy_group(k - c0, kColsMax);
     const TX* xg = x + static_cast<std::ptrdiff_t>(c0) * ldx;
     const TY* yg = y + static_cast<std::ptrdiff_t>(c0) * ldy;
     // Masked columns still participate in the sweep (their chains cost a
@@ -326,6 +329,7 @@ void dot_cols(const TX* x, std::ptrdiff_t ldx, const TY* y, std::ptrdiff_t ldy, 
     }
     for (int c = 0; c < kc; ++c)
       if (active == nullptr || active[c0 + c]) out[c0 + c] = grp[c];
+    c0 += kc;
   }
 }
 
@@ -350,10 +354,14 @@ void nrm2_cols(const T* x, std::ptrdiff_t ldx, int k, std::size_t n, acc_t<T>* o
 
 /// y_c += alpha[c]·x_c for every unmasked column — k axpys in one parallel
 /// region, each element rounded exactly as blas::axpy's store rounds it.
+/// `ymap` (optional) is the compaction layer's active→original index map:
+/// column c of X updates y column ymap[c] instead of c, so a compacted
+/// panel can scatter into caller-side storage laid out at original column
+/// positions without staging copies.
 template <class TX, class TY, class S>
 void axpy_cols(const S* alpha, const TX* x, std::ptrdiff_t ldx, TY* yp,
                std::ptrdiff_t ldy, int k, std::size_t n,
-               const unsigned char* active = nullptr) {
+               const unsigned char* active = nullptr, const int* ymap = nullptr) {
   using W = promote_t<promote_t<TX, TY>, S>;
   const std::ptrdiff_t len = static_cast<std::ptrdiff_t>(n);
 #pragma omp parallel for schedule(static) if (static_cast<std::ptrdiff_t>(k) * len > parallel_threshold())
@@ -362,8 +370,9 @@ void axpy_cols(const S* alpha, const TX* x, std::ptrdiff_t ldx, TY* yp,
     for (int c = 0; c < k; ++c) {
       if (active != nullptr && !active[c]) continue;
       const W a = static_cast<W>(alpha[c]);
+      const std::ptrdiff_t yc_idx = ymap != nullptr ? ymap[c] : c;
       const TX* __restrict xc = x + static_cast<std::ptrdiff_t>(c) * ldx + t0;
-      TY* __restrict yc = yp + static_cast<std::ptrdiff_t>(c) * ldy + t0;
+      TY* __restrict yc = yp + yc_idx * ldy + t0;
       if constexpr ((std::is_same_v<TX, half> || std::is_same_v<TY, half>) &&
                     std::is_same_v<W, float>) {
         float xb[block_detail::kTile], yb[block_detail::kTile], ob[block_detail::kTile];

@@ -40,30 +40,44 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <map>
+#include <memory>
+#include <new>
 #include <span>
 #include <string>
 #include <string_view>
-#include <vector>
 
 namespace nk {
 
 class SolverWorkspace {
  public:
+  /// Slab alignment: one cache line.  The SELL/SpMM SIMD kernels and the
+  /// F16C bulk converters read solver buffers with 32-byte vector loads;
+  /// default operator-new only guarantees 16, so slabs carry their own
+  /// (over-)alignment — which also keeps hot per-column panels from
+  /// straddling cache lines at their starts.
+  static constexpr std::size_t kSlabAlign = 64;
+
   /// Typed view of the slab registered under `key`, grown to hold at least
   /// `n` elements.  Newly grown bytes are zero; reused bytes keep whatever
   /// the previous user left (solvers initialize their buffers in setup()).
   template <class T>
   std::span<T> get(std::string_view key, std::size_t n) {
-    static_assert(alignof(T) <= 16, "slab alignment covers new-aligned types only");
+    static_assert(alignof(T) <= kSlabAlign, "slab alignment covers cache-line-aligned types");
     auto [it, inserted] = slabs_.try_emplace(std::string(key));
-    std::vector<std::byte>& mem = it->second;
+    Slab& slab = it->second;
     const std::size_t need = n * sizeof(T);
-    if (mem.size() < need) {
-      mem.resize(need);  // operator-new alignment (>= 16) suits all scalar types
+    if (slab.size < need) {
+      SlabPtr grown(static_cast<std::byte*>(
+          ::operator new(need, std::align_val_t{kSlabAlign})));
+      if (slab.size > 0) std::memcpy(grown.get(), slab.mem.get(), slab.size);
+      std::memset(grown.get() + slab.size, 0, need - slab.size);
+      slab.mem = std::move(grown);
+      slab.size = need;
       ++allocations_;
     }
-    return {reinterpret_cast<T*>(mem.data()), n};
+    return {reinterpret_cast<T*>(slab.mem.get()), n};
   }
 
   /// Number of slab growths since construction/release; flat across two
@@ -76,7 +90,7 @@ class SolverWorkspace {
   /// Total bytes of slab capacity (the memory the setup phase committed).
   [[nodiscard]] std::size_t bytes() const {
     std::size_t b = 0;
-    for (const auto& [k, mem] : slabs_) b += mem.size();
+    for (const auto& [k, slab] : slabs_) b += slab.size;
     return b;
   }
 
@@ -87,9 +101,20 @@ class SolverWorkspace {
   }
 
  private:
+  struct AlignedDelete {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete(p, std::align_val_t{kSlabAlign});
+    }
+  };
+  using SlabPtr = std::unique_ptr<std::byte, AlignedDelete>;
+  struct Slab {
+    SlabPtr mem;
+    std::size_t size = 0;
+  };
+
   // std::map: stable iteration for bytes(), no rehash cost on lookup-heavy
   // use, and key count is small (a handful of buffers per solver level).
-  std::map<std::string, std::vector<std::byte>, std::less<>> slabs_;
+  std::map<std::string, Slab, std::less<>> slabs_;
   std::uint64_t allocations_ = 0;
 };
 

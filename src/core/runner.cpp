@@ -274,7 +274,7 @@ void finalize_many(std::vector<SolveResult>& res, const PreparedProblem& p,
 std::vector<SolveResult> run_cg_many(const PreparedProblem& p, PrimaryPrecond& m,
                                      Prec storage, std::span<const double> B,
                                      std::span<double> X, int k,
-                                     const FlatSolverCaps& caps) {
+                                     const FlatSolverCaps& caps, int wave) {
   auto handle = m.make_apply<double>(storage);
   auto op = p.a->make_operator<double>(Prec::FP64);
   CgSolver<double>::Config cfg;
@@ -285,7 +285,7 @@ std::vector<SolveResult> run_cg_many(const PreparedProblem& p, PrimaryPrecond& m
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(p.b.size());
   const std::uint64_t calls0 = m.invocations();
   WallTimer t;
-  auto res = solver.solve_many(B.data(), n, X.data(), n, k);
+  auto res = solver.solve_many(B.data(), n, X.data(), n, k, wave);
   finalize_many(res, p, B, X, std::string(prec_name(storage)) + "-CG", caps.rtol,
                 t.seconds(), m.invocations() - calls0, op->spmv_count());
   return res;
@@ -294,7 +294,7 @@ std::vector<SolveResult> run_cg_many(const PreparedProblem& p, PrimaryPrecond& m
 std::vector<SolveResult> run_bicgstab_many(const PreparedProblem& p, PrimaryPrecond& m,
                                            Prec storage, std::span<const double> B,
                                            std::span<double> X, int k,
-                                           const FlatSolverCaps& caps) {
+                                           const FlatSolverCaps& caps, int wave) {
   auto handle = m.make_apply<double>(storage);
   auto op = p.a->make_operator<double>(Prec::FP64);
   BiCgStabSolver<double>::Config cfg;
@@ -305,7 +305,7 @@ std::vector<SolveResult> run_bicgstab_many(const PreparedProblem& p, PrimaryPrec
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(p.b.size());
   const std::uint64_t calls0 = m.invocations();
   WallTimer t;
-  auto res = solver.solve_many(B.data(), n, X.data(), n, k);
+  auto res = solver.solve_many(B.data(), n, X.data(), n, k, wave);
   finalize_many(res, p, B, X, std::string(prec_name(storage)) + "-BiCGStab", caps.rtol,
                 t.seconds(), m.invocations() - calls0, op->spmv_count());
   return res;

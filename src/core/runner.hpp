@@ -87,6 +87,16 @@ SolveResult run_nested(const PreparedProblem& p, std::shared_ptr<PrimaryPrecond>
 // column's iteration data and true final residual; `seconds`,
 // `precond_invocations`, and `spmv_count` are BATCH totals (the work is
 // shared across columns, so a per-column split would be fiction).
+//
+// The flat runners schedule the batch as ragged waves: `wave` > 0 caps the
+// dispatch width, so an arbitrary RHS count runs as waves of at most that
+// many columns in flight, with slots freed by retiring (converged / broken
+// down / budget-exhausted) columns refilled from the pending queue at
+// iteration boundaries.  One workspace sized for the wave serves the whole
+// batch; `wave` = 0 dispatches all k at once.  (Waves are a feature of the
+// default compacting scheduler — the masked A/B reference path ignores
+// `wave`.)  Per column the iterates are bit-identical to a sequential
+// solve either way (see CgSolver).
 // ---------------------------------------------------------------------------
 
 /// k seeded uniform-[0,1) right-hand sides, column c seeded `seed0 + c`
@@ -98,13 +108,13 @@ std::vector<double> batch_rhs(const PreparedProblem& p, int k, std::uint64_t see
 std::vector<SolveResult> run_cg_many(const PreparedProblem& p, PrimaryPrecond& m,
                                      Prec storage, std::span<const double> B,
                                      std::span<double> X, int k,
-                                     const FlatSolverCaps& caps = {});
+                                     const FlatSolverCaps& caps = {}, int wave = 0);
 
 /// Batched fp64 BiCGStab (lockstep, shared matrix sweeps).
 std::vector<SolveResult> run_bicgstab_many(const PreparedProblem& p, PrimaryPrecond& m,
                                            Prec storage, std::span<const double> B,
                                            std::span<double> X, int k,
-                                           const FlatSolverCaps& caps = {});
+                                           const FlatSolverCaps& caps = {}, int wave = 0);
 
 /// Batched nested solve: the tuple's setup (matrix copies, factorization,
 /// level workspaces) is built once and shared; columns run in invocation

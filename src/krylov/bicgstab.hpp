@@ -12,6 +12,13 @@
 // per-column operations bit-for-bit whenever the blas1 reductions are
 // deterministic (single-threaded / below the parallel threshold), and to
 // rounding level otherwise.
+//
+// Like CgSolver, the batched path defaults to active-set compaction with a
+// ragged-wave scheduler (see cg.hpp for the scheme): survivors are
+// compacted into the leading panel columns so every kernel runs at the
+// current width, retiring columns hand their slots to pending right-hand
+// sides, and an active→original map scatters x updates to caller columns.
+// Compaction moves data verbatim — iterates remain bit-identical.
 #pragma once
 
 #include <cstddef>
@@ -33,6 +40,9 @@ class BiCgStabSolver {
     double rtol = 1e-8;
     int max_iters = 19200;  ///< iteration cap (each = 2 preconditioner calls)
     bool record_history = false;
+    /// true (default) = active-set compaction; false = the PR 3 masked
+    /// lockstep reference path (kept for A/B benching).  Bit-identical.
+    bool compact = true;
   };
 
   /// Deferred-setup construction (no allocation until setup()).
@@ -71,11 +81,18 @@ class BiCgStabSolver {
   SolveResult solve(std::span<const VT> b, std::span<VT> x);
 
   /// Batched solve: k systems in lockstep (column c of B/X at b + c·ldb /
-  /// x + c·ldx).  Per column bit-identical to solve().
+  /// x + c·ldx).  Per column bit-identical to solve().  `wave` > 0 caps
+  /// the dispatch width (ragged waves refilled as columns retire); the
+  /// masked reference path (Config::compact = false) ignores it.
   std::vector<SolveResult> solve_many(const VT* b, std::ptrdiff_t ldb, VT* x,
-                                      std::ptrdiff_t ldx, int k);
+                                      std::ptrdiff_t ldx, int k, int wave = 0);
 
  private:
+  void solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* x, std::ptrdiff_t ldx,
+                         int k, std::vector<SolveResult>& res);
+  void solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x, std::ptrdiff_t ldx,
+                          int k, int wave, std::vector<SolveResult>& res);
+
   [[nodiscard]] SolverWorkspace& wsref() { return ws_ != nullptr ? *ws_ : own_; }
 
   Operator<VT>* a_ = nullptr;

@@ -59,20 +59,194 @@ SolveResult CgSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
   return res;
 }
 
-// Lockstep batched CG.  Each step performs the sequential solve()'s
-// operations per column — the same blas1 reductions, the same element-local
-// updates via the masked column kernels, and the matrix/preconditioner
-// sweeps shared across the batch (bit-identical per column to k separate
-// apply() calls by the operators' apply_many contract).  A column leaves
-// the active set exactly where solve() would have returned, and is never
-// touched again.
 template <class VT>
 std::vector<SolveResult> CgSolver<VT>::solve_many(const VT* b, std::ptrdiff_t ldb, VT* x,
-                                                  std::ptrdiff_t ldx, int k) {
-  using S = acc_t<VT>;
+                                                  std::ptrdiff_t ldx, int k, int wave) {
   std::vector<SolveResult> res(static_cast<std::size_t>(std::max(k, 0)));
   for (auto& r : res) r.solver = "cg";
   if (k <= 0) return res;
+  if (cfg_.compact) {
+    solve_many_compact(b, ldb, x, ldx, k, wave, res);
+  } else {
+    solve_many_masked(b, ldb, x, ldx, k, res);
+  }
+  return res;
+}
+
+// Compacting batched CG — the default scheduler.  Survivor columns live in
+// the leading `na` columns of the R/Z/P/Q panels; `map[j]` names the
+// original column slot j is solving, and retirement swap-removes the slot
+// (column data moves verbatim, so per-column arithmetic — and therefore
+// every iterate — is solve()'s to the bit).  Every kernel runs at width
+// `na`, falling through the compile-time k = 4/8/16 dispatch tiers as the
+// set shrinks.  With 0 < wave < k the same loop becomes the ragged-batch
+// scheduler: at most `wave` columns are in flight, and pending columns
+// are initialized into freed slots at iteration boundaries.
+template <class VT>
+void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
+                                      std::ptrdiff_t ldx, int k, int wave,
+                                      std::vector<SolveResult>& res) {
+  using S = acc_t<VT>;
+  const int W = (wave > 0 && wave < k) ? wave : k;  // dispatch width
+  const std::size_t ww = static_cast<std::size_t>(W);
+  SolverWorkspace& w = wsref();
+  auto R = w.get<VT>(key_ + ".bat.r", ww * n_);
+  auto Z = w.get<VT>(key_ + ".bat.z", ww * n_);
+  auto P = w.get<VT>(key_ + ".bat.p", ww * n_);
+  auto Q = w.get<VT>(key_ + ".bat.q", ww * n_);
+  auto rz = w.get<S>(key_ + ".bat.rz", ww);
+  auto alpha = w.get<S>(key_ + ".bat.alpha", ww);
+  auto nalpha = w.get<S>(key_ + ".bat.nalpha", ww);
+  auto beta = w.get<S>(key_ + ".bat.beta", ww);
+  auto ones = w.get<S>(key_ + ".bat.ones", ww);
+  auto red = w.get<S>(key_ + ".bat.red", ww);  // dot/nrm2 results per slot
+  auto target = w.get<double>(key_ + ".bat.target", ww);
+  auto bref = w.get<double>(key_ + ".bat.bref", ww);
+  auto itc = w.get<int>(key_ + ".bat.itc", ww);  // per-column iteration count
+  auto map = w.get<int>(key_ + ".bat.map", ww);  // slot → original column
+  const std::ptrdiff_t nld = static_cast<std::ptrdiff_t>(n_);
+
+  auto col = [&](std::span<VT> blk, int j) {
+    return std::span<VT>(blk.data() + static_cast<std::size_t>(j) * n_, n_);
+  };
+  auto ccol = [&](std::span<VT> blk, int j) {
+    return std::span<const VT>(blk.data() + static_cast<std::size_t>(j) * n_, n_);
+  };
+  auto cptr = [&](std::span<VT> blk, int j) {
+    return blk.data() + static_cast<std::ptrdiff_t>(j) * nld;
+  };
+  for (int j = 0; j < W; ++j) ones[j] = S{1};
+
+  int na = 0;    // live width
+  int next = 0;  // head of the pending column queue
+
+  // Initialize original column c into slot j — the exact operation sequence
+  // of solve()'s preamble (nrm2_cols/dot_cols at width 1 are bit-identical
+  // to the single-threaded blas1 reductions solve() runs).  Returns false
+  // when the column finishes at iteration 0 and never occupies the slot.
+  auto init_slot = [&](int j, int c) -> bool {
+    map[j] = c;
+    itc[j] = 0;
+    blas::nrm2_cols(b + static_cast<std::ptrdiff_t>(c) * ldb, ldb, 1, n_, &red[j]);
+    const double bnorm = static_cast<double>(red[j]);
+    bref[j] = bnorm > 0.0 ? bnorm : 1.0;
+    target[j] = cfg_.rtol * bref[j];
+    a_->residual(std::span<const VT>(b + static_cast<std::ptrdiff_t>(c) * ldb, n_),
+                 std::span<const VT>(x + static_cast<std::ptrdiff_t>(c) * ldx, n_),
+                 col(R, j));
+    blas::nrm2_cols(cptr(R, j), nld, 1, n_, &red[j]);
+    const double rnorm = static_cast<double>(red[j]);
+    if (cfg_.record_history) res[c].history.push_back(rnorm / bref[j]);
+    if (rnorm <= target[j]) {
+      res[c].converged = true;
+      return false;
+    }
+    m_->apply(ccol(R, j), col(Z, j));
+    blas::copy(ccol(Z, j), col(P, j));
+    blas::dot_cols(cptr(R, j), nld, cptr(Z, j), nld, 1, n_, &rz[j]);
+    return true;
+  };
+  auto refill = [&]() {
+    while (na < W && next < k)
+      if (init_slot(na, next++)) ++na;
+  };
+  // Swap-remove: move slot src's live state into dst.  Z is pass-local
+  // (rewritten by the trailing preconditioner apply before any read) and
+  // never moves; Q is live only between A·P and the r update, which spans
+  // the one mid-pass retirement site (the pq breakdown check), so it moves.
+  auto move_slot = [&](int dst, int src) {
+    if (dst == src) return;
+    blas::copy(ccol(R, src), col(R, dst));
+    blas::copy(ccol(P, src), col(P, dst));
+    blas::copy(ccol(Q, src), col(Q, dst));
+    rz[dst] = rz[src];
+    red[dst] = red[src];
+    target[dst] = target[src];
+    bref[dst] = bref[src];
+    itc[dst] = itc[src];
+    map[dst] = map[src];
+  };
+
+  refill();
+  while (na > 0 || next < k) {
+    // Iteration boundary: drop columns whose budget is exhausted (exactly
+    // where solve()'s loop falls through) and top the wave back up.
+    for (int j = 0; j < na;) {
+      if (itc[j] >= cfg_.max_iters) {
+        move_slot(j, --na);
+      } else {
+        ++j;
+      }
+    }
+    refill();
+    if (na == 0) break;
+
+    a_->apply_many(P.data(), nld, Q.data(), nld, na);
+    blas::dot_cols(P.data(), nld, Q.data(), nld, na, n_, red.data());
+    for (int j = 0; j < na;) {
+      const int it = ++itc[j];
+      const S pq = red[j];
+      if (!(std::abs(static_cast<double>(pq)) > 0.0) ||
+          !std::isfinite(static_cast<double>(pq))) {
+        res[map[j]].iterations = it;  // breakdown: retire where solve() returns
+        move_slot(j, --na);
+        continue;
+      }
+      alpha[j] = rz[j] / pq;
+      nalpha[j] = -alpha[j];
+      ++j;
+    }
+    if (na == 0) continue;
+
+    // x_{map[j]} += α_j p_j (scattered through the index map into caller
+    // columns); r_j −= α_j q_j.
+    blas::axpy_cols(alpha.data(), P.data(), nld, x, ldx, na, n_, nullptr, map.data());
+    blas::axpy_cols(nalpha.data(), Q.data(), nld, R.data(), nld, na, n_);
+    blas::nrm2_cols(R.data(), nld, na, n_, red.data());
+    for (int j = 0; j < na;) {
+      const int c = map[j];
+      const double rnorm = static_cast<double>(red[j]);
+      if (cfg_.record_history) res[c].history.push_back(rnorm / bref[j]);
+      res[c].iterations = itc[j];
+      if (!std::isfinite(rnorm)) {
+        move_slot(j, --na);
+        continue;
+      }
+      if (rnorm <= target[j]) {
+        res[c].converged = true;
+        move_slot(j, --na);
+        continue;
+      }
+      ++j;
+    }
+    if (na == 0) continue;
+
+    // The trailing preconditioner apply and direction update run even on a
+    // column's final iteration, exactly as solve()'s loop body does.
+    m_->apply_many(R.data(), nld, Z.data(), nld, na);
+    blas::dot_cols(R.data(), nld, Z.data(), nld, na, n_, red.data());
+    for (int j = 0; j < na; ++j) {
+      beta[j] = red[j] / rz[j];
+      rz[j] = red[j];
+    }
+    // p_j = z_j + β_j p_j.
+    blas::axpby_cols(ones.data(), Z.data(), nld, beta.data(), P.data(), nld, na, n_);
+  }
+}
+
+// Masked lockstep batched CG — the PR 3 reference path (cfg.compact =
+// false).  Each step performs the sequential solve()'s operations per
+// column — the same blas1 reductions, the same element-local updates via
+// the masked column kernels, and the matrix/preconditioner sweeps shared
+// across the batch (bit-identical per column to k separate apply() calls
+// by the operators' apply_many contract).  A column leaves the active set
+// exactly where solve() would have returned, and is never touched again;
+// the panels keep full width k throughout.
+template <class VT>
+void CgSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* x,
+                                     std::ptrdiff_t ldx, int k,
+                                     std::vector<SolveResult>& res) {
+  using S = acc_t<VT>;
   const std::size_t kk = static_cast<std::size_t>(k);
   SolverWorkspace& w = wsref();
   auto R = w.get<VT>(key_ + ".bat.r", kk * n_);
@@ -119,7 +293,7 @@ std::vector<SolveResult> CgSolver<VT>::solve_many(const VT* b, std::ptrdiff_t ld
     act[c] = 1;
     ++nactive;
   }
-  if (nactive == 0) return res;
+  if (nactive == 0) return;
 
   auto precondition = [&]() {  // Z_c = M⁻¹ R_c for the active columns
     if (nactive == k) {
@@ -193,7 +367,6 @@ std::vector<SolveResult> CgSolver<VT>::solve_many(const VT* b, std::ptrdiff_t ld
     blas::axpby_cols(ones.data(), Z.data(), nld, beta.data(), P.data(), nld, k, n_,
                      act.data());
   }
-  return res;
 }
 
 template class CgSolver<double>;

@@ -20,6 +20,20 @@
 // threshold; the regime the exactness tests pin), and to rounding level
 // otherwise.  Columns converge (or break down) independently and are
 // frozen the moment they finish.
+//
+// Active-set compaction (default): when a column retires, the survivors
+// are compacted into the leading columns of the interleaved R/Z/P/Q
+// panels (an active→original index map scatters the x updates back to
+// caller positions), so every SpMM, preconditioner sweep, and column
+// reduction runs at the CURRENT width — re-dispatching through the
+// compile-time k = 4/8/16 kernel tiers as the set shrinks — instead of
+// paying full width k until the last straggler finishes.  Compaction
+// moves column data verbatim and never reorders any per-column operation,
+// so iterates stay bit-identical to solve().  The `wave` argument turns
+// the same loop into a ragged-batch scheduler: k right-hand sides are
+// dispatched at most `wave` at a time, and a slot freed by a retiring
+// column is refilled from the pending queue at the next iteration
+// boundary — one workspace, sized for the wave, serves the whole batch.
 #pragma once
 
 #include <cstddef>
@@ -41,6 +55,11 @@ class CgSolver {
     double rtol = 1e-8;     ///< on ‖r‖ / ‖b‖ (recurrence residual)
     int max_iters = 19200;  ///< the paper's iteration cap
     bool record_history = false;
+    /// Batched scheduling: true (default) = active-set compaction (kernels
+    /// run at the current active width); false = the PR 3 masked-lockstep
+    /// reference path (full-width kernels, per-column apply fallback),
+    /// kept for A/B benching.  Iterates are bit-identical either way.
+    bool compact = true;
   };
 
   /// Deferred-setup construction (no allocation until setup()).
@@ -78,10 +97,20 @@ class CgSolver {
 
   /// Batched solve: k systems A x_c = b_c in lockstep (column c of B/X at
   /// b + c·ldb / x + c·ldx).  Per column bit-identical to solve().
+  /// `wave` > 0 caps the dispatch width: the batch runs as waves of at most
+  /// `wave` columns, refilled from the pending queue as columns retire
+  /// (0 = whole batch at once).  Waves require the compacting scheduler;
+  /// the masked reference path (Config::compact = false) is always full
+  /// lockstep and ignores `wave`.
   std::vector<SolveResult> solve_many(const VT* b, std::ptrdiff_t ldb, VT* x,
-                                      std::ptrdiff_t ldx, int k);
+                                      std::ptrdiff_t ldx, int k, int wave = 0);
 
  private:
+  void solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* x, std::ptrdiff_t ldx,
+                         int k, std::vector<SolveResult>& res);
+  void solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x, std::ptrdiff_t ldx,
+                          int k, int wave, std::vector<SolveResult>& res);
+
   [[nodiscard]] SolverWorkspace& wsref() { return ws_ != nullptr ? *ws_ : own_; }
 
   Operator<VT>* a_ = nullptr;

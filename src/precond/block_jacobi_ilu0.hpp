@@ -140,12 +140,12 @@ void solve_group(const IluFactors<P>& f, const VT* rg, std::ptrdiff_t ldr, VT* z
 template <class P, class VT, class W = promote_t<P, VT>>
 void ilu_solve_many(const IluFactors<P>& f, const VT* r, std::ptrdiff_t ldr, VT* z,
                     std::ptrdiff_t ldz, int k) {
-  for (int c0 = 0; c0 < k; c0 += kIluMaxCols) {
-    const int kc = std::min(k - c0, kIluMaxCols);
+  // Greedy 16/8/4 groups (blas::greedy_group) so an arbitrary — e.g.
+  // compacted — width runs in the pinned kernels; mirrors spmm's dispatch.
+  for (int c0 = 0; c0 < k;) {
+    const int kc = blas::greedy_group(k - c0, kIluMaxCols);
     const VT* rg = r + static_cast<std::ptrdiff_t>(c0) * ldr;
     VT* zg = z + static_cast<std::ptrdiff_t>(c0) * ldz;
-    // Pin the common batch widths at compile time so the per-entry column
-    // loops fully unroll (mirrors spmm's dispatch).
     switch (kc) {
       case 4: ilu_detail::solve_group<P, VT, W, 4>(f, rg, ldr, zg, ldz, kc); break;
       case 8: ilu_detail::solve_group<P, VT, W, 8>(f, rg, ldr, zg, ldz, kc); break;
@@ -154,6 +154,7 @@ void ilu_solve_many(const IluFactors<P>& f, const VT* r, std::ptrdiff_t ldr, VT*
         break;
       default: ilu_detail::solve_group<P, VT, W, 0>(f, rg, ldr, zg, ldz, kc); break;
     }
+    c0 += kc;
   }
 }
 

@@ -119,6 +119,11 @@ inline void dispatch_cols(int kc, Body&& body) {
   }
 }
 
+/// Greedy group decomposition (blas::greedy_group): keeps a compacted
+/// active set (say 11 survivors of 16) in the fully-unrolled pinned
+/// kernels instead of falling into the unpinned path as one ragged group.
+inline int next_group(int remaining) { return blas::greedy_group(remaining, kSpmmMaxCols); }
+
 }  // namespace spmm_detail
 
 /// Y_c = A X_c over CSR for c in [0, k).
@@ -130,8 +135,8 @@ void spmm(const CsrMatrix<MT>& a, const XT* x, std::ptrdiff_t ldx, YT* y,
   const index_t* __restrict rp = a.row_ptr.data();
   const index_t* __restrict ci = a.col_idx.data();
   const MT* __restrict v = a.vals.data();
-  for (int c0 = 0; c0 < k; c0 += kSpmmMaxCols) {
-    const int kc = std::min(k - c0, kSpmmMaxCols);
+  for (int c0 = 0; c0 < k;) {
+    const int kc = spmm_detail::next_group(k - c0);
     const XT* xg = x + static_cast<std::ptrdiff_t>(c0) * ldx;
     YT* yg = y + static_cast<std::ptrdiff_t>(c0) * ldy;
     spmm_detail::dispatch_cols(kc, [&]<int KC>() {
@@ -142,6 +147,7 @@ void spmm(const CsrMatrix<MT>& a, const XT* x, std::ptrdiff_t ldx, YT* y,
               yg[static_cast<std::ptrdiff_t>(c) * ldy + i] = static_cast<YT>(s);
             });
     });
+    c0 += kc;
   }
 }
 
@@ -155,8 +161,8 @@ void residual_many(const CsrMatrix<MT>& a, const XT* x, std::ptrdiff_t ldx, cons
   const index_t* __restrict rp = a.row_ptr.data();
   const index_t* __restrict ci = a.col_idx.data();
   const MT* __restrict v = a.vals.data();
-  for (int c0 = 0; c0 < k; c0 += kSpmmMaxCols) {
-    const int kc = std::min(k - c0, kSpmmMaxCols);
+  for (int c0 = 0; c0 < k;) {
+    const int kc = spmm_detail::next_group(k - c0);
     const XT* xg = x + static_cast<std::ptrdiff_t>(c0) * ldx;
     const BT* bg = b + static_cast<std::ptrdiff_t>(c0) * ldb;
     YT* yg = y + static_cast<std::ptrdiff_t>(c0) * ldy;
@@ -169,6 +175,7 @@ void residual_many(const CsrMatrix<MT>& a, const XT* x, std::ptrdiff_t ldx, cons
                   static_cast<Acc>(bg[static_cast<std::ptrdiff_t>(c) * ldb + i]) - s);
             });
     });
+    c0 += kc;
   }
 }
 

@@ -82,6 +82,96 @@ TEST(Options, NegativeNumberIsPositional) {
   EXPECT_EQ(o.positional()[0], "-3");
 }
 
+TEST(Options, NegativeDoubleIsPositional) {
+  auto o = parse({"-2.5", "file.mtx"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "-2.5");
+}
+
+TEST(Options, HighBitCharPositionalIsNotUb) {
+  // A single-dash token whose second byte is a non-ASCII (negative char)
+  // value — e.g. a UTF-8 filename — must not feed a negative value to
+  // isdigit (UB); it parses as a flag, not a crash.
+  auto o = parse({"-\xc3\xa9tude"});  // "-étude"
+  EXPECT_TRUE(o.get_bool("\xc3\xa9tude", false));
+  EXPECT_TRUE(o.positional().empty());
+}
+
+// ------------------------------------------------------------ malformed
+// numerics: every parse failure must exit(2) with a one-line message
+// naming the flag and the offending value — not an uncaught exception.
+
+TEST(OptionsDeathTest, MalformedIntExitsWithMessage) {
+  EXPECT_EXIT(parse({"--n=abc"}).get_int("n", 0), ::testing::ExitedWithCode(2),
+              "invalid integer value 'abc' for --n");
+}
+
+TEST(OptionsDeathTest, TrailingGarbageIntRejected) {
+  EXPECT_EXIT(parse({"--n=8x"}).get_int("n", 0), ::testing::ExitedWithCode(2),
+              "trailing garbage in integer value '8x' for --n");
+}
+
+TEST(OptionsDeathTest, OverflowIntRejected) {
+  EXPECT_EXIT(parse({"--n=99999999999"}).get_int("n", 0), ::testing::ExitedWithCode(2),
+              "out-of-range integer value '99999999999' for --n");
+}
+
+TEST(OptionsDeathTest, OverflowInt64Rejected) {
+  EXPECT_EXIT(parse({"--n=99999999999999999999"}).get_int64("n", 0),
+              ::testing::ExitedWithCode(2), "out-of-range integer");
+}
+
+TEST(OptionsDeathTest, EmptyIntValueRejected) {
+  EXPECT_EXIT(parse({"--n="}).get_int("n", 0), ::testing::ExitedWithCode(2),
+              "invalid integer value '' for --n");
+}
+
+TEST(OptionsDeathTest, MalformedDoubleExitsWithMessage) {
+  EXPECT_EXIT(parse({"--rtol=fast"}).get_double("rtol", 0.0),
+              ::testing::ExitedWithCode(2), "invalid number value 'fast' for --rtol");
+}
+
+TEST(OptionsDeathTest, TrailingGarbageDoubleRejected) {
+  EXPECT_EXIT(parse({"--rtol=1e-8z"}).get_double("rtol", 0.0),
+              ::testing::ExitedWithCode(2), "trailing garbage in number value '1e-8z'");
+}
+
+TEST(OptionsDeathTest, OverflowDoubleRejected) {
+  EXPECT_EXIT(parse({"--rtol=1e999"}).get_double("rtol", 0.0),
+              ::testing::ExitedWithCode(2), "out-of-range number value '1e999'");
+}
+
+TEST(OptionsDeathTest, MalformedIntListTokenRejected) {
+  EXPECT_EXIT(parse({"--sizes=4,8q,16"}).get_int_list("sizes", {}),
+              ::testing::ExitedWithCode(2), "trailing garbage in integer value '8q'");
+}
+
+TEST(OptionsDeathTest, MalformedDoubleListTokenRejected) {
+  EXPECT_EXIT(parse({"--w=0.7,oops"}).get_double_list("w", {}),
+              ::testing::ExitedWithCode(2), "invalid number value 'oops' for --w");
+}
+
+TEST(Options, WellFormedNumericsStillParse) {
+  auto o = parse({"--a=-42", "--b=+7", "--c=-1.25e-3"});
+  EXPECT_EQ(o.get_int("a", 0), -42);
+  EXPECT_EQ(o.get_int("b", 0), 7);
+  EXPECT_DOUBLE_EQ(o.get_double("c", 0.0), -1.25e-3);
+}
+
+TEST(Options, BoolExtraSpellings) {
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=off"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=no"}).get_bool("x", true));
+  EXPECT_TRUE(parse({"--x"}).get_bool("x", false));  // bare flag
+}
+
+TEST(Options, CsvListEdgeCases) {
+  EXPECT_EQ(parse({"--s=4,,8"}).get_int_list("s", {}), (std::vector<int>{4, 8}));
+  EXPECT_EQ(parse({"--s=,"}).get_int_list("s", {-1}), (std::vector<int>{}));
+  EXPECT_EQ(parse({"--w=1.5,"}).get_double_list("w", {}), (std::vector<double>{1.5}));
+  EXPECT_EQ(parse({"--m=a,,b"}).get_list("m", {}), (std::vector<std::string>{"a", "b"}));
+}
+
 TEST(Options, HelpRendering) {
   auto o = parse({"--help"});
   EXPECT_TRUE(o.wants_help());

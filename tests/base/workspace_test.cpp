@@ -2,6 +2,8 @@
 // allocation accounting, and typed aliasing across setup rounds.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "base/half.hpp"
 #include "base/workspace.hpp"
 
@@ -73,6 +75,32 @@ TEST(SolverWorkspace, ZeroLengthGet) {
   auto a = ws.get<double>("empty", 0);
   EXPECT_EQ(a.size(), 0u);
   EXPECT_EQ(ws.bytes(), 0u);
+}
+
+TEST(SolverWorkspace, SlabsAreCacheLineAligned) {
+  // The SELL/SpMM SIMD kernels and the F16C bulk converters read solver
+  // buffers with 32-byte vector ops; slabs guarantee 64 (one cache line),
+  // including across growth reallocations.
+  SolverWorkspace ws;
+  auto check = [](const void* p) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % SolverWorkspace::kSlabAlign, 0u);
+  };
+  check(ws.get<double>("a", 1).data());    // odd sizes must not break alignment
+  check(ws.get<float>("b", 3).data());
+  check(ws.get<half>("c", 7).data());
+  check(ws.get<unsigned char>("d", 13).data());
+  for (int round = 1; round <= 4; ++round)
+    check(ws.get<double>("grow", static_cast<std::size_t>(round) * 37).data());
+}
+
+TEST(SolverWorkspace, GrowthPreservesContentAndZeroesTail) {
+  SolverWorkspace ws;
+  auto a = ws.get<double>("v", 8);
+  for (std::size_t i = 0; i < 8; ++i) a[i] = static_cast<double>(i + 1);
+  auto b = ws.get<double>("v", 32);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(b[i], static_cast<double>(i + 1));
+  for (std::size_t i = 8; i < 32; ++i) EXPECT_EQ(b[i], 0.0);
+  EXPECT_EQ(ws.allocations(), 2u);
 }
 
 }  // namespace

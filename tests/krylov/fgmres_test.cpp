@@ -175,5 +175,39 @@ TEST(Fgmres, Fp32SolverOnFp16Matrix) {
   EXPECT_TRUE(st.reached_target);  // fp16 storage still allows 1e-3 progress
 }
 
+TEST(Fgmres, Fp32BreakdownDetectedOnRankDeficientKrylov) {
+  // A with exactly two distinct eigenvalues: every Krylov space is spanned
+  // after 2 steps, so the third Arnoldi vector is numerically dependent.
+  // In fp32 the CGS leftover is hj1 ≈ ε_fp32·β ≈ 1e-7·β — far above the
+  // old precision-blind 1e-14·β threshold, which let the cycle keep
+  // orthogonalizing rounding noise for all m steps.  With the tolerance
+  // scaled by the working epsilon the breakdown is detected and the cycle
+  // stops at the Krylov degree.
+  const index_t n = 32;
+  CsrMatrix<float> a(n, n);
+  a.row_ptr.resize(n + 1);
+  a.col_idx.resize(n);
+  a.vals.resize(n);
+  for (index_t i = 0; i < n; ++i) {
+    a.row_ptr[i] = i;
+    a.col_idx[i] = i;
+    a.vals[i] = i < n / 2 ? 1.0f : 2.0f;
+  }
+  a.row_ptr[n] = n;
+  CsrOperator<float, float> op(a);
+  IdentityPrecond<float> m(n);
+  FgmresSolver<float> s(op, m, {.m = 8});
+  const auto b = converted<float>(random_vector<double>(n, 17, 0.5, 1.5));
+  std::vector<float> x(n, 0.0f);
+  const auto st = s.run(std::span<const float>(b), std::span<float>(x), 0.0, false);
+  EXPECT_EQ(st.iters, 2);  // stops at the Krylov degree, not at m
+  EXPECT_TRUE(st.reached_target);
+  // The 2-step solution is still the exact one (to fp32 accuracy).
+  std::vector<float> r(n);
+  op.residual(std::span<const float>(b), std::span<const float>(x), std::span<float>(r));
+  EXPECT_LT(blas::nrm2(std::span<const float>(r)),
+            1e-5f * blas::nrm2(std::span<const float>(b)));
+}
+
 }  // namespace
 }  // namespace nk

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_kernels.json against the committed baseline.
+
+CI runners are heterogeneous, so absolute seconds are meaningless across
+machines.  What IS stable is each fused/batched kernel's advantage over its
+unfused/sequential counterpart measured in the same process: the fused and
+reference variants run back-to-back on the same box, so their RATIO cancels
+the machine.  This script therefore gates on ratio regressions:
+
+    ratio = fused_seconds / reference_seconds       (lower is better)
+
+and fails when a fresh ratio exceeds the committed ratio by more than the
+pair's tolerance.  Microsecond-scale BLAS-1/Arnoldi micro-kernel pairs get
+2x the base tolerance (their timings carry real run-to-run variance even
+min-of-N on one machine); the millisecond-to-second SpMM and batched-solve
+pairs use the base tolerance (default 25%).  (The *_speedup rows in the
+JSON are purely informational — the gate reads only the seconds of each
+fused/reference record pair, which covers the same regressions.)
+
+Usage:  tools/bench_diff.py <fresh.json> <baseline.json> [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+# (fused/batched record, unfused/sequential reference) pairs, per precision.
+RATIO_PAIRS = [
+    ("dot_many_{p}_k8", "dot_x8_{p}"),
+    ("axpy_many_{p}_k8", "axpy_x8_{p}"),
+    ("scal_copy_{p}", "scal_plus_copy_{p}"),
+    ("arnoldi_step_fused_{p}_k8", "arnoldi_step_unfused_{p}_k8"),
+]
+PRECISIONS = ["fp64", "fp32", "fp16"]
+
+# Matrix-kernel pairs (suffix carries precision + matrix name).
+SPMM_PAIRS = [
+    ("spmm_csr_fp64_k8/hpcg", "spmv_x8_csr_fp64_k8/hpcg"),
+    ("spmm_csr_fp32_k8/hpcg", "spmv_x8_csr_fp32_k8/hpcg"),
+    ("spmm_csr_fp16_fp32_k8/hpcg", "spmv_x8_csr_fp16_fp32_k8/hpcg"),
+    ("spmv_sell_fp64/hpcg", "spmv_sell_rowwise_fp64/hpcg"),
+]
+
+# Batched-solve pairs: one lockstep/compacted solve vs its reference.
+SOLVE_PAIRS = [
+    ("solve_cg_batched_8rhs_laplace", "solve_cg_seq_8rhs_laplace"),
+    ("solve_cg_staggered16_compact_hpcg", "solve_cg_staggered16_masked_hpcg"),
+    ("fgmres_staggered16_compact_hpcg", "fgmres_staggered16_masked_hpcg"),
+]
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {r["name"]: r for r in data["records"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative ratio regression (default 0.25)")
+    args = ap.parse_args()
+
+    fresh, base = load(args.fresh), load(args.baseline)
+
+    micro = [(f.format(p=p), r.format(p=p)) for f, r in RATIO_PAIRS for p in PRECISIONS]
+    pairs = [(f, r, 2.0 * args.tolerance) for f, r in micro]
+    pairs += [(f, r, args.tolerance) for f, r in SPMM_PAIRS + SOLVE_PAIRS]
+
+    failures, checked = [], 0
+    for fused, ref, tol in pairs:
+        missing = [n for n in (fused, ref) if n not in fresh or n not in base]
+        if missing:
+            print(f"SKIP  {fused} vs {ref}: missing {missing}")
+            continue
+        fresh_ratio = fresh[fused]["seconds"] / fresh[ref]["seconds"]
+        base_ratio = base[fused]["seconds"] / base[ref]["seconds"]
+        rel = fresh_ratio / base_ratio - 1.0
+        checked += 1
+        status = "FAIL" if rel > tol else "ok"
+        print(f"{status:4}  {fused:42} ratio {fresh_ratio:6.3f} vs baseline "
+              f"{base_ratio:6.3f}  ({rel:+.1%}, tol {tol:.0%})")
+        if rel > tol:
+            failures.append(fused)
+
+    if checked == 0:
+        print("bench_diff: no comparable records found", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nbench_diff: {len(failures)} fused/batched kernel metric(s) regressed "
+              f"beyond tolerance vs the committed baseline:", file=sys.stderr)
+        for name in failures:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"\nbench_diff: {checked} fused/batched kernel ratios within "
+          f"tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
