@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -69,8 +70,12 @@ inline BenchConfig parse_bench_options(const Options& opt,
   c.best = opt.get_bool("best", false);
   c.gpu_sim = opt.get_bool("gpu-sim", false);
   c.format = opt.get("format", "csr");
-  if (c.format != "csr" && c.format != "sell")
-    throw std::invalid_argument("--format must be csr or sell, got: " + c.format);
+  if (c.format != "csr" && c.format != "sell") {
+    // Same discipline as the Options numeric parsers: one line naming the
+    // flag, then exit(2) — not an uncaught throw that hides the flag.
+    std::cerr << "error: invalid value '" << c.format << "' for --format (csr|sell)\n";
+    std::exit(2);
+  }
   return c;
 }
 

@@ -28,11 +28,11 @@ int main() {
               static_cast<int>(p.a->size()), static_cast<int>(p.a->csr_fp64().nnz()),
               m->name().c_str());
 
-  // --- batched flat solve -------------------------------------------------
+  // --- batched flat solve through the spec-driven facade ------------------
   std::vector<double> B = batch_rhs(p, k);
   std::vector<double> X(n * k, 0.0);
-  auto many = run_cg_many(p, *m, Prec::FP64, std::span<const double>(B),
-                          std::span<double>(X), k);
+  Session cg(p, SolverSpec::parse("cg"), m);
+  auto many = cg.solve_many(std::span<const double>(B), std::span<double>(X), k);
   std::printf("batched %s, %d RHS: %.3fs total (batch)\n", many[0].solver.c_str(), k,
               many[0].seconds);
   for (int c = 0; c < k; ++c)
@@ -45,8 +45,8 @@ int main() {
   // pending queue, so one wave-sized workspace serves any RHS count and
   // every column still reproduces its sequential solve bit-for-bit.
   X.assign(n * k, 0.0);
-  auto waved = run_cg_many(p, *m, Prec::FP64, std::span<const double>(B),
-                           std::span<double>(X), k, {}, /*wave=*/4);
+  Session cg_waved(p, SolverSpec::parse("cg;wave=4"), m);
+  auto waved = cg_waved.solve_many(std::span<const double>(B), std::span<double>(X), k);
   std::printf("same batch as 4-wide ragged waves: %.3fs, col0 %d iters (identical)\n",
               waved[0].seconds, waved[0].iterations);
 

@@ -3,24 +3,34 @@
 // Demonstrates the complete public API path:
 //   1. generate (or load) a matrix,
 //   2. prepare the problem (diagonal scaling + RHS),
-//   3. build the primary preconditioner (block-Jacobi IC(0) here),
-//   4. build the nested solver from a config, and solve.
+//   3. name the solver configuration as a spec string,
+//   4. build a Session (preconditioner + solver from the spec) and solve.
 //
-// Run:  ./quickstart [--l=5] [--prec=fp16] [--rtol=1e-8]
+// Run:  ./quickstart [--l=5] [--spec=f3r@fp16] [--rtol=1e-8]
 #include <cstdio>
 #include <iostream>
 
 #include "base/env.hpp"
 #include "base/options.hpp"
-#include "core/runner.hpp"
+#include "core/session.hpp"
 #include "sparse/gen/stencil.hpp"
 #include "sparse/stats.hpp"
 
 int main(int argc, char** argv) {
   nk::Options opt(argc, argv);
   const int l = opt.get_int("l", 5);             // grid is 2^l per axis
-  const nk::Prec prec = nk::parse_prec(opt.get("prec", "fp16"));
-  const double rtol = opt.get_double("rtol", 1e-8);
+  // --prec is folded into the default spec; validate it under its own name
+  // so a bad value is not reported against a --spec the user never typed.
+  const std::string prec = opt.get("prec", "fp16");
+  if (opt.has("prec")) {
+    try {
+      nk::parse_prec(prec);
+    } catch (const std::invalid_argument&) {
+      std::cerr << "error: invalid value '" << prec << "' for --prec (fp64|fp32|fp16)\n";
+      return 2;
+    }
+  }
+  const std::string spec_text = opt.get("spec", "f3r@" + prec);
 
   std::cout << "nkrylov quickstart (" << nk::env_summary() << ")\n";
 
@@ -34,14 +44,16 @@ int main(int argc, char** argv) {
                                               /*alpha_ilu=*/1.0, /*alpha_ainv=*/1.0,
                                               /*rhs_seed=*/7);
 
-  // 3. Primary preconditioner M: block-Jacobi IC(0) (CPU-node setting).
-  auto m = nk::make_primary(p, nk::PrecondKind::BlockJacobiIluIc);
+  // 3.+4. One spec string names the whole stack — F3R at the requested
+  // lowest precision over the default block-Jacobi IC(0); Session builds
+  // the preconditioner and solver from it.
+  nk::SolverSpec spec = nk::parse_solver_spec_cli("spec", spec_text);
+  spec.rtol = opt.get_double("rtol", spec.rtol);
+  nk::Session session(std::move(p), spec);
+  std::cout << "spec " << spec.to_string() << " -> solver " << session.solver_name()
+            << ", M = " << session.precond().name() << "\n";
 
-  // 4. F3R at the requested lowest precision: (F^100, F^8, F^4, R^2, M).
-  const nk::NestedConfig cfg = nk::f3r_config(prec);
-  std::cout << "solver " << cfg.name << " = " << nk::tuple_notation(cfg) << "\n";
-
-  nk::SolveResult res = nk::run_nested(p, m, cfg, nk::f3r_termination(rtol));
+  nk::SolveResult res = session.solve();
   std::cout << summarize(res) << "\n";
   if (!res.history.empty()) {
     std::cout << "residual history (outer iterations):";

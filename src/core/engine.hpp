@@ -1,0 +1,41 @@
+// The type-erased solver interface behind nk::Session.
+//
+// A SolverEngine is one fully described solver bound to a prepared problem
+// and a primary preconditioner: the registry's factories build one from a
+// SolverSpec, and Session drives it through the uniform solve() /
+// solve_many() surface.  Engines defer all heavy per-solve construction
+// (operator handles, typed apply handles, Krylov buffers) into the solve
+// calls themselves, drawing buffers from the owning Session's workspace, so
+// constructing an engine is cheap and repeated solves reuse memory.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "krylov/history.hpp"
+
+namespace nk {
+
+class SolverEngine {
+ public:
+  virtual ~SolverEngine() = default;
+
+  /// Reporting name, e.g. "fp16-CG", "fp64-FGMRES(64)", "fp16-F3R".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Solve A x = b (x holds the initial guess, normally zero).  Fills the
+  /// complete SolveResult: name, timing, invocation counters, true final
+  /// relative residual.
+  virtual SolveResult solve(std::span<const double> b, std::span<double> x) = 0;
+
+  /// Batched solve: k right-hand sides, column c of B/X contiguous at
+  /// offset c·n.  Kinds with a batched kernel path (cg, bicgstab, the
+  /// nested tuples) share every matrix/factor sweep across the batch and
+  /// stay per-column bit-identical to solve(); the remaining kinds run the
+  /// columns sequentially through solve() with shared setup.
+  virtual std::vector<SolveResult> solve_many(std::span<const double> B,
+                                              std::span<double> X, int k) = 0;
+};
+
+}  // namespace nk

@@ -1,0 +1,44 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+
+#include "base/rng.hpp"
+#include "sparse/gen/suite_standins.hpp"
+#include "sparse/scaling.hpp"
+
+namespace nk {
+
+PreparedProblem prepare_problem(std::string name, CsrMatrix<double> a, bool symmetric,
+                                double alpha_ilu, double alpha_ainv, std::uint64_t rhs_seed,
+                                bool use_sell) {
+  PreparedProblem p;
+  p.name = std::move(name);
+  p.symmetric = symmetric;
+  p.alpha_ilu = alpha_ilu;
+  p.alpha_ainv = alpha_ainv;
+  a.sort_rows();
+  diagonal_scale_symmetric(a);  // the paper scales every matrix
+  const index_t n = a.nrows;
+  p.a = std::make_shared<MultiPrecMatrix>(std::move(a), use_sell);
+  p.b = random_vector<double>(static_cast<std::size_t>(n), rhs_seed, 0.0, 1.0);
+  return p;
+}
+
+PreparedProblem prepare_standin(const std::string& paper_name, int scale,
+                                std::uint64_t rhs_seed, bool use_sell) {
+  gen::Problem prob = gen::make_problem(paper_name, scale);
+  return prepare_problem(prob.spec.paper_name, std::move(prob.a), prob.spec.symmetric,
+                         prob.spec.alpha_ilu, prob.spec.alpha_ainv, rhs_seed, use_sell);
+}
+
+std::vector<double> batch_rhs(const PreparedProblem& p, int k, std::uint64_t seed0) {
+  const std::size_t n = p.b.size();
+  std::vector<double> B(n * static_cast<std::size_t>(std::max(k, 0)));
+  for (int c = 0; c < k; ++c) {
+    const auto col = random_vector<double>(n, seed0 + static_cast<std::uint64_t>(c), 0.0, 1.0);
+    std::copy(col.begin(), col.end(), B.begin() + static_cast<std::size_t>(c) * n);
+  }
+  return B;
+}
+
+}  // namespace nk

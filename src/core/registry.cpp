@@ -1,0 +1,99 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nk {
+
+namespace {
+
+std::string join(const std::vector<std::string>& xs) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < xs.size(); ++i) os << (i ? " " : "") << xs[i];
+  return os.str();
+}
+
+}  // namespace
+
+void Registry::add_solver(SolverKindInfo info, SolverFactory factory) {
+  const std::string kind = info.kind;
+  if (solvers_.find(kind) == solvers_.end()) solver_order_.push_back(kind);
+  solvers_[kind] = {std::move(info), std::move(factory)};
+}
+
+void Registry::add_precond(PrecondKindInfo info, PrecondFactory factory) {
+  const std::string kind = info.kind;
+  if (preconds_.find(kind) == preconds_.end()) precond_order_.push_back(kind);
+  preconds_[kind] = {std::move(info), std::move(factory)};
+}
+
+const SolverKindInfo* Registry::solver_info(const std::string& kind) const {
+  const auto it = solvers_.find(kind);
+  return it == solvers_.end() ? nullptr : &it->second.info;
+}
+
+const PrecondKindInfo* Registry::precond_info(const std::string& kind) const {
+  const auto it = preconds_.find(kind);
+  return it == preconds_.end() ? nullptr : &it->second.info;
+}
+
+std::vector<std::string> Registry::solver_kinds() const { return solver_order_; }
+
+std::vector<std::string> Registry::precond_kinds() const { return precond_order_; }
+
+std::vector<std::string> Registry::conformance_solver_kinds() const {
+  std::vector<std::string> out;
+  for (const auto& k : solver_order_)
+    if (solvers_.at(k).info.conformance) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> Registry::conformance_precond_kinds() const {
+  std::vector<std::string> out;
+  for (const auto& k : precond_order_)
+    if (preconds_.at(k).info.conformance) out.push_back(k);
+  return out;
+}
+
+std::unique_ptr<SolverEngine> Registry::make_solver(const SolverSpec& spec,
+                                                    const PreparedProblem& p,
+                                                    std::shared_ptr<PrimaryPrecond> m,
+                                                    SolverWorkspace* ws) const {
+  const auto it = solvers_.find(spec.kind);
+  if (it == solvers_.end())
+    throw SpecError("unknown solver kind '" + spec.kind +
+                    "' (registered: " + join(solver_kinds()) + ")");
+  const SolverKindInfo& info = it->second.info;
+  if (!info.takes_m && spec.m != 0)
+    throw SpecError("solver kind '" + spec.kind + "' does not take an iteration count");
+  if (!info.takes_prec && spec.prec != Prec::FP64)
+    throw SpecError("solver kind '" + spec.kind + "' has fixed precisions (no @prec)");
+  if (info.takes_m && spec.m == 0) {
+    // Resolve the kind's default m centrally so no factory can silently
+    // build with a zero Krylov dimension.
+    SolverSpec resolved = spec;
+    resolved.m = info.default_m;
+    return it->second.factory(resolved, p, std::move(m), ws);
+  }
+  return it->second.factory(spec, p, std::move(m), ws);
+}
+
+std::shared_ptr<PrimaryPrecond> Registry::make_precond(const PrecondSpec& spec,
+                                                       const PreparedProblem& p) const {
+  const auto it = preconds_.find(spec.kind);
+  if (it == preconds_.end())
+    throw SpecError("unknown preconditioner kind '" + spec.kind +
+                    "' (registered: " + join(precond_kinds()) + ")");
+  return it->second.factory(spec, p);
+}
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry;  // leaked intentionally: immune to static
+    detail::register_builtin_kinds(*reg);  // destruction order at exit
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace nk

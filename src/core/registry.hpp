@@ -1,0 +1,124 @@
+// The string-keyed solver/preconditioner factory registry.
+//
+// Every solver family and primary preconditioner registers itself under a
+// short kind name ("cg", "fgmres", "f3r", the Table 4 variants; "jacobi",
+// "bj-ilu0", "sd-ainv", ...) together with metadata the spec parser and
+// the conformance catalog consume.  Downstream code never switches on an
+// enum: it parses a SolverSpec / PrecondSpec (core/spec.hpp) and asks the
+// registry to build the matching SolverEngine / PrimaryPrecond —
+//
+//   auto m  = registry().make_precond(PrecondSpec::parse("bj-ilu0@fp16"), p);
+//   auto s  = registry().make_solver(SolverSpec::parse("fgmres64"), p, m, &ws);
+//
+// — the way PETSc's -ksp_type/-pc_type string options let one binary cover
+// the whole method matrix.  nk::Session (core/session.hpp) wraps this pair
+// into the one-object facade most callers want.
+//
+// Kinds tagged `conformance` form the conformance catalog: the sweep in
+// tests/conformance/ enumerates them (in registration order) instead of
+// hand-rolling nested loops.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/problem.hpp"
+#include "core/spec.hpp"
+#include "precond/preconditioner.hpp"
+
+namespace nk {
+
+struct SolverSpec;  // core/spec.hpp (included above; forward for clarity)
+
+/// Registration metadata for a solver kind.
+struct SolverKindInfo {
+  std::string kind;      ///< registry key, lower case ("fgmres")
+  std::string summary;   ///< one-line help shown in CLI error messages
+  bool takes_m = false;  ///< accepts a trailing iteration count ("fgmres64")
+  int default_m = 0;     ///< m used when the spec leaves it 0
+  bool takes_prec = true;  ///< accepts '@prec' (false: Table 4 variants)
+  bool conformance = false;  ///< enumerated by the conformance catalog
+};
+
+/// Registration metadata for a preconditioner kind.
+struct PrecondKindInfo {
+  std::string kind;
+  std::string summary;
+  bool conformance = false;
+};
+
+class Registry {
+ public:
+  using SolverFactory = std::function<std::unique_ptr<SolverEngine>(
+      const SolverSpec&, const PreparedProblem&, std::shared_ptr<PrimaryPrecond>,
+      SolverWorkspace*)>;
+  using PrecondFactory = std::function<std::shared_ptr<PrimaryPrecond>(
+      const PrecondSpec&, const PreparedProblem&)>;
+
+  /// Register a kind (last registration wins on duplicate names).
+  void add_solver(SolverKindInfo info, SolverFactory factory);
+  void add_precond(PrecondKindInfo info, PrecondFactory factory);
+
+  /// Metadata lookup; nullptr when the kind is unknown.
+  [[nodiscard]] const SolverKindInfo* solver_info(const std::string& kind) const;
+  [[nodiscard]] const PrecondKindInfo* precond_info(const std::string& kind) const;
+
+  /// All registered kind names in registration order.
+  [[nodiscard]] std::vector<std::string> solver_kinds() const;
+  [[nodiscard]] std::vector<std::string> precond_kinds() const;
+
+  /// The conformance catalog's axes (kinds tagged conformance, in
+  /// registration order — the sweep's cell ordering contract).
+  [[nodiscard]] std::vector<std::string> conformance_solver_kinds() const;
+  [[nodiscard]] std::vector<std::string> conformance_precond_kinds() const;
+
+  /// Build a solver engine for `spec` over (p, m).  `p` and `ws` must
+  /// outlive the engine; `m` is shared.  Throws SpecError on an unknown
+  /// kind (naming the registered ones) or a spec the kind rejects.
+  [[nodiscard]] std::unique_ptr<SolverEngine> make_solver(
+      const SolverSpec& spec, const PreparedProblem& p,
+      std::shared_ptr<PrimaryPrecond> m, SolverWorkspace* ws) const;
+
+  /// Build the primary preconditioner `spec` describes for `p`.
+  /// Throws SpecError on an unknown kind.
+  [[nodiscard]] std::shared_ptr<PrimaryPrecond> make_precond(
+      const PrecondSpec& spec, const PreparedProblem& p) const;
+
+ private:
+  struct SolverEntry {
+    SolverKindInfo info;
+    SolverFactory factory;
+  };
+  struct PrecondEntry {
+    PrecondKindInfo info;
+    PrecondFactory factory;
+  };
+  std::vector<std::string> solver_order_, precond_order_;
+  std::map<std::string, SolverEntry> solvers_;
+  std::map<std::string, PrecondEntry> preconds_;
+};
+
+/// The process-wide registry, with every built-in kind registered on first
+/// use.  (Registration runs lazily from here rather than from static
+/// initializers so static-library builds cannot drop the registrars.)
+Registry& registry();
+
+namespace detail {
+
+/// Registers the built-in solver/preconditioner kinds (core/engines.cpp).
+void register_builtin_kinds(Registry& r);
+
+/// Engine over an explicit NestedConfig — the escape hatch for tuples the
+/// spec grammar cannot express (custom levels, dynamic inner termination).
+std::unique_ptr<SolverEngine> make_nested_engine(const PreparedProblem& p,
+                                                 std::shared_ptr<PrimaryPrecond> m,
+                                                 NestedConfig cfg, Termination term,
+                                                 SolverWorkspace* ws);
+
+}  // namespace detail
+
+}  // namespace nk

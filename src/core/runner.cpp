@@ -1,314 +1,86 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 
-#include "base/rng.hpp"
-#include "base/timer.hpp"
 #include "core/cost_model.hpp"
-#include "krylov/fgmres.hpp"
-#include "precond/ainv.hpp"
-#include "precond/block_jacobi_ic0.hpp"
-#include "precond/block_jacobi_ilu0.hpp"
-#include "precond/jacobi.hpp"
-#include "sparse/gen/suite_standins.hpp"
-#include "sparse/scaling.hpp"
-#include "sparse/spmv.hpp"
 
 namespace nk {
 
-PreparedProblem prepare_problem(std::string name, CsrMatrix<double> a, bool symmetric,
-                                double alpha_ilu, double alpha_ainv, std::uint64_t rhs_seed,
-                                bool use_sell) {
-  PreparedProblem p;
-  p.name = std::move(name);
-  p.symmetric = symmetric;
-  p.alpha_ilu = alpha_ilu;
-  p.alpha_ainv = alpha_ainv;
-  a.sort_rows();
-  diagonal_scale_symmetric(a);  // the paper scales every matrix
-  const index_t n = a.nrows;
-  p.a = std::make_shared<MultiPrecMatrix>(std::move(a), use_sell);
-  p.b = random_vector<double>(static_cast<std::size_t>(n), rhs_seed, 0.0, 1.0);
-  return p;
-}
-
-PreparedProblem prepare_standin(const std::string& paper_name, int scale,
-                                std::uint64_t rhs_seed, bool use_sell) {
-  gen::Problem prob = gen::make_problem(paper_name, scale);
-  return prepare_problem(prob.spec.paper_name, std::move(prob.a), prob.spec.symmetric,
-                         prob.spec.alpha_ilu, prob.spec.alpha_ainv, rhs_seed, use_sell);
-}
-
-std::shared_ptr<PrimaryPrecond> make_primary(const PreparedProblem& p, PrecondKind kind,
-                                             int nblocks) {
-  const CsrMatrix<double>& a = p.a->csr_fp64();
-  switch (kind) {
-    case PrecondKind::BlockJacobiIluIc:
-      if (p.symmetric) {
-        BlockJacobiIc0::Config c;
-        c.nblocks = nblocks;
-        c.alpha = p.alpha_ilu;
-        return std::make_shared<BlockJacobiIc0>(a, c);
-      } else {
-        BlockJacobiIlu0::Config c;
-        c.nblocks = nblocks;
-        c.alpha = p.alpha_ilu;
-        return std::make_shared<BlockJacobiIlu0>(a, c);
-      }
-    case PrecondKind::SdAinv: {
-      SdAinv::Config c;
-      c.alpha = p.alpha_ainv;
-      c.symmetric = p.symmetric;
-      return std::make_shared<SdAinv>(a, c);
-    }
-    case PrecondKind::Jacobi:
-      return std::make_shared<JacobiPrecond>(a);
-  }
-  throw std::logic_error("make_primary: bad kind");
-}
-
 namespace {
 
-/// Finalize a SolveResult with timing + invocation-counter deltas.
-template <class SolveFn>
-SolveResult timed_solve(PrimaryPrecond& m, const std::string& name, SolveFn&& fn) {
-  SolveResult res;
-  const std::uint64_t calls0 = m.invocations();
-  WallTimer t;
-  res = fn();
-  res.seconds = t.seconds();
-  res.solver = name;
-  res.precond_invocations = m.invocations() - calls0;
-  return res;
+/// The SolverSpec equivalent of a flat run_* call.
+SolverSpec flat_spec(const char* kind, Prec storage, const FlatSolverCaps& caps, int m = 0,
+                     int wave = 0) {
+  SolverSpec s;
+  s.kind = kind;
+  s.prec = storage;
+  s.m = m;
+  s.rtol = caps.rtol;
+  s.max_iters = caps.max_iters;
+  s.wave = wave;
+  return s;
 }
 
 }  // namespace
 
+std::shared_ptr<PrimaryPrecond> make_primary(const PreparedProblem& p, PrecondKind kind,
+                                             int nblocks) {
+  PrecondSpec s;
+  s.kind = kind == PrecondKind::BlockJacobiIluIc ? "bj"
+           : kind == PrecondKind::SdAinv         ? "sd-ainv"
+                                                 : "jacobi";
+  s.nblocks = nblocks;
+  return registry().make_precond(s, p);
+}
+
 SolveResult run_cg(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
                    const FlatSolverCaps& caps) {
-  auto handle = m.make_apply<double>(storage);
-  // Honor the prepared problem's storage format (CSR or SELL), like the
-  // nested solvers always did.
-  auto op = p.a->make_operator<double>(Prec::FP64);
-  CgSolver<double>::Config cfg;
-  cfg.rtol = caps.rtol;
-  cfg.max_iters = caps.max_iters;
-  cfg.record_history = true;
-  CgSolver<double> solver(*op, *handle, cfg);
-  std::vector<double> x(p.b.size(), 0.0);
-  auto res = timed_solve(m, std::string(prec_name(storage)) + "-CG", [&] {
-    return solver.solve(std::span<const double>(p.b), std::span<double>(x));
-  });
-  res.final_relres = relative_residual(p.a->csr_fp64(), std::span<const double>(x),
-                                       std::span<const double>(p.b));
-  res.converged = res.converged && res.final_relres < caps.rtol * 1.5;
-  res.spmv_count = op->spmv_count();
-  return res;
+  return Session(borrow_problem(p), flat_spec("cg", storage, caps), borrow_precond(m))
+      .solve();
 }
 
 SolveResult run_bicgstab(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
                          const FlatSolverCaps& caps) {
-  auto handle = m.make_apply<double>(storage);
-  auto op = p.a->make_operator<double>(Prec::FP64);
-  BiCgStabSolver<double>::Config cfg;
-  cfg.rtol = caps.rtol;
-  cfg.max_iters = caps.max_iters / 2;  // 2 preconditioner calls per iteration
-  cfg.record_history = true;
-  BiCgStabSolver<double> solver(*op, *handle, cfg);
-  std::vector<double> x(p.b.size(), 0.0);
-  auto res = timed_solve(m, std::string(prec_name(storage)) + "-BiCGStab", [&] {
-    return solver.solve(std::span<const double>(p.b), std::span<double>(x));
-  });
-  res.final_relres = relative_residual(p.a->csr_fp64(), std::span<const double>(x),
-                                       std::span<const double>(p.b));
-  res.converged = res.converged && res.final_relres < caps.rtol * 1.5;
-  res.spmv_count = op->spmv_count();
-  return res;
+  return Session(borrow_problem(p), flat_spec("bicgstab", storage, caps), borrow_precond(m))
+      .solve();
 }
 
 SolveResult run_fgmres_restarted(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
                                  int restart, const FlatSolverCaps& caps) {
-  auto handle = m.make_apply<double>(storage);
-  auto op_owned = p.a->make_operator<double>(Prec::FP64);
-  Operator<double>& op = *op_owned;
-  FgmresSolver<double> solver(op, *handle, FgmresSolver<double>::Config{restart});
-  std::vector<double> x(p.b.size(), 0.0);
-
-  const std::string name =
-      std::string(prec_name(storage)) + "-FGMRES(" + std::to_string(restart) + ")";
-  auto res = timed_solve(m, name, [&] {
-    SolveResult r;
-    const double bnorm = static_cast<double>(blas::nrm2(std::span<const double>(p.b)));
-    const double bref = bnorm > 0.0 ? bnorm : 1.0;
-    const double target = caps.rtol * bref;
-    std::vector<double> estimates;
-    solver.set_iteration_log(&estimates);
-    bool x_nonzero = false;
-    while (r.iterations < caps.max_iters) {
-      const auto stats = solver.run(std::span<const double>(p.b), std::span<double>(x), target,
-                                    x_nonzero);
-      r.iterations += stats.iters;
-      x_nonzero = true;
-      const double relres = relative_residual(p.a->csr_fp64(), std::span<const double>(x),
-                                              std::span<const double>(p.b));
-      r.final_relres = relres;
-      if (relres < caps.rtol) {
-        r.converged = true;
-        break;
-      }
-      if (!std::isfinite(relres) || stats.iters == 0) break;
-      ++r.restarts;
-    }
-    solver.set_iteration_log(nullptr);
-    for (double e : estimates) r.history.push_back(e / bref);
-    return r;
-  });
-  res.spmv_count = op.spmv_count();
-  return res;
+  return Session(borrow_problem(p), flat_spec("fgmres", storage, caps, restart),
+                 borrow_precond(m))
+      .solve();
 }
 
-namespace {
-
-template <class VT>
-SolveResult ir_gmres_impl(const PreparedProblem& p, PrimaryPrecond& m, Prec prec, int inner_m,
-                          const FlatSolverCaps& caps) {
-  const std::size_t n = p.b.size();
-  auto op = p.a->make_operator<VT>(prec);
-  auto handle = m.make_apply<VT>(prec);
-  FgmresSolver<VT> inner(*op, *handle, typename FgmresSolver<VT>::Config{inner_m});
-  CsrOperator<double, double> op64(p.a->csr_fp64());
-
-  SolveResult r;
-  std::vector<double> x(n, 0.0), rd(n);
-  std::vector<VT> rl(n), cl(n);
-  const double bnorm = static_cast<double>(blas::nrm2(std::span<const double>(p.b)));
-  const double bref = bnorm > 0.0 ? bnorm : 1.0;
-  const int max_outer = std::max(1, caps.max_iters / inner_m);
-  for (int outer = 0; outer < max_outer; ++outer) {
-    op64.residual(std::span<const double>(p.b), std::span<const double>(x),
-                  std::span<double>(rd));
-    const double relres = static_cast<double>(blas::nrm2(std::span<const double>(rd))) / bref;
-    r.final_relres = relres;
-    r.history.push_back(relres);
-    if (relres < caps.rtol) {
-      r.converged = true;
-      break;
-    }
-    if (!std::isfinite(relres)) break;
-    // Low-precision correction solve A c ≈ r.  The residual is normalized
-    // before the downcast — late-stage residuals (~1e-8·‖b‖) would land in
-    // fp16's subnormal range and stall the refinement otherwise.
-    const double rnorm = static_cast<double>(blas::nrm2(std::span<const double>(rd)));
-    if (rnorm > 0.0) blas::scal(1.0 / rnorm, std::span<double>(rd));
-    blas::convert(std::span<const double>(rd), std::span<VT>(rl));
-    inner.apply(std::span<const VT>(rl), std::span<VT>(cl));
-    blas::axpy(rnorm, std::span<const VT>(cl), std::span<double>(x));
-    r.iterations = outer + 1;
-  }
-  r.spmv_count = op->spmv_count() + op64.spmv_count();
-  return r;
-}
-
-}  // namespace
-
-SolveResult run_ir_gmres(const PreparedProblem& p, PrimaryPrecond& m, Prec inner, int inner_m,
-                         const FlatSolverCaps& caps) {
-  const std::string name = std::string(prec_name(inner)) + "-IR-GMRES(" +
-                           std::to_string(inner_m) + ")";
-  return timed_solve(m, name, [&] {
-    switch (inner) {
-      case Prec::FP64: return ir_gmres_impl<double>(p, m, inner, inner_m, caps);
-      case Prec::FP32: return ir_gmres_impl<float>(p, m, inner, inner_m, caps);
-      case Prec::FP16: return ir_gmres_impl<half>(p, m, inner, inner_m, caps);
-    }
-    throw std::logic_error("run_ir_gmres: bad precision");
-  });
+SolveResult run_ir_gmres(const PreparedProblem& p, PrimaryPrecond& m, Prec inner,
+                         int inner_m, const FlatSolverCaps& caps) {
+  return Session(borrow_problem(p), flat_spec("ir-gmres", inner, caps, inner_m),
+                 borrow_precond(m))
+      .solve();
 }
 
 SolveResult run_nested(const PreparedProblem& p, std::shared_ptr<PrimaryPrecond> m,
                        const NestedConfig& cfg, const Termination& term) {
-  NestedSolver solver(p.a, m, cfg);
-  std::vector<double> x(p.b.size(), 0.0);
-  const std::uint64_t calls0 = m->invocations();
-  SolveResult res = solver.solve(std::span<const double>(p.b), std::span<double>(x), term);
-  res.precond_invocations = m->invocations() - calls0;
-  return res;
+  return Session(borrow_problem(p), cfg, term, std::move(m)).solve();
 }
-
-// ------------------------------------------------------------------ batched
-
-std::vector<double> batch_rhs(const PreparedProblem& p, int k, std::uint64_t seed0) {
-  const std::size_t n = p.b.size();
-  std::vector<double> B(n * static_cast<std::size_t>(std::max(k, 0)));
-  for (int c = 0; c < k; ++c) {
-    const auto col = random_vector<double>(n, seed0 + static_cast<std::uint64_t>(c), 0.0, 1.0);
-    std::copy(col.begin(), col.end(), B.begin() + static_cast<std::size_t>(c) * n);
-  }
-  return B;
-}
-
-namespace {
-
-/// Shared tail of the batched flat-solver runners: per-column true
-/// residuals, batch-total counters, and naming.
-void finalize_many(std::vector<SolveResult>& res, const PreparedProblem& p,
-                   std::span<const double> B, std::span<const double> X,
-                   const std::string& name, double rtol, double seconds,
-                   std::uint64_t m_calls, std::uint64_t spmvs) {
-  const std::size_t n = p.b.size();
-  for (std::size_t c = 0; c < res.size(); ++c) {
-    res[c].solver = name;
-    res[c].seconds = seconds;
-    res[c].precond_invocations = m_calls;
-    res[c].spmv_count = spmvs;
-    res[c].final_relres =
-        relative_residual(p.a->csr_fp64(), X.subspan(c * n, n), B.subspan(c * n, n));
-    res[c].converged = res[c].converged && res[c].final_relres < rtol * 1.5;
-  }
-}
-
-}  // namespace
 
 std::vector<SolveResult> run_cg_many(const PreparedProblem& p, PrimaryPrecond& m,
                                      Prec storage, std::span<const double> B,
                                      std::span<double> X, int k,
                                      const FlatSolverCaps& caps, int wave) {
-  auto handle = m.make_apply<double>(storage);
-  auto op = p.a->make_operator<double>(Prec::FP64);
-  CgSolver<double>::Config cfg;
-  cfg.rtol = caps.rtol;
-  cfg.max_iters = caps.max_iters;
-  cfg.record_history = true;
-  CgSolver<double> solver(*op, *handle, cfg);
-  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(p.b.size());
-  const std::uint64_t calls0 = m.invocations();
-  WallTimer t;
-  auto res = solver.solve_many(B.data(), n, X.data(), n, k, wave);
-  finalize_many(res, p, B, X, std::string(prec_name(storage)) + "-CG", caps.rtol,
-                t.seconds(), m.invocations() - calls0, op->spmv_count());
-  return res;
+  return Session(borrow_problem(p), flat_spec("cg", storage, caps, 0, wave),
+                 borrow_precond(m))
+      .solve_many(B, X, k);
 }
 
 std::vector<SolveResult> run_bicgstab_many(const PreparedProblem& p, PrimaryPrecond& m,
                                            Prec storage, std::span<const double> B,
                                            std::span<double> X, int k,
                                            const FlatSolverCaps& caps, int wave) {
-  auto handle = m.make_apply<double>(storage);
-  auto op = p.a->make_operator<double>(Prec::FP64);
-  BiCgStabSolver<double>::Config cfg;
-  cfg.rtol = caps.rtol;
-  cfg.max_iters = caps.max_iters / 2;  // 2 preconditioner calls per iteration
-  cfg.record_history = true;
-  BiCgStabSolver<double> solver(*op, *handle, cfg);
-  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(p.b.size());
-  const std::uint64_t calls0 = m.invocations();
-  WallTimer t;
-  auto res = solver.solve_many(B.data(), n, X.data(), n, k, wave);
-  finalize_many(res, p, B, X, std::string(prec_name(storage)) + "-BiCGStab", caps.rtol,
-                t.seconds(), m.invocations() - calls0, op->spmv_count());
-  return res;
+  return Session(borrow_problem(p), flat_spec("bicgstab", storage, caps, 0, wave),
+                 borrow_precond(m))
+      .solve_many(B, X, k);
 }
 
 std::vector<SolveResult> run_nested_many(const PreparedProblem& p,
@@ -316,14 +88,7 @@ std::vector<SolveResult> run_nested_many(const PreparedProblem& p,
                                          const NestedConfig& cfg, std::span<const double> B,
                                          std::span<double> X, int k,
                                          const Termination& term) {
-  SolverWorkspace ws;
-  NestedSolver solver(p.a, m, cfg, &ws);
-  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(p.b.size());
-  const std::uint64_t calls0 = m->invocations();
-  auto res = solver.solve_many(B.data(), n, X.data(), n, k, term);
-  const std::uint64_t calls = m->invocations() - calls0;
-  for (auto& r : res) r.precond_invocations = calls;
-  return res;
+  return Session(borrow_problem(p), cfg, term, std::move(m)).solve_many(B, X, k);
 }
 
 BestSearchResult run_f3r_best(const PreparedProblem& p, std::shared_ptr<PrimaryPrecond> m,

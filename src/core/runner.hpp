@@ -1,7 +1,21 @@
-// Experiment runner — the shared orchestration behind the bench harness
-// and the examples: prepare a problem (generate → diagonal scale → random
-// RHS), build primary preconditioners, and run every solver family of the
-// paper with consistent termination, timing, and invocation accounting.
+// Legacy experiment-runner entry points — thin shims over the descriptor
+// layer (core/spec.hpp + core/registry.hpp + core/session.hpp).
+//
+// Every run_* function below now builds a SolverSpec and drives it through
+// nk::Session; they are kept this PR for API stability and produce
+// bit-identical results to their pre-descriptor implementations (the
+// conformance baseline pins this).  New code should construct solvers from
+// specs instead:
+//
+//   old                                         new
+//   ----------------------------------------    -----------------------------
+//   run_cg(p, m, Prec::FP16, caps)              Session(p, parse("cg@fp16"), borrow_precond(m)).solve()
+//   run_bicgstab(p, m, Prec::FP32)              Session(p, parse("bicgstab@fp32"), ...)
+//   run_fgmres_restarted(p, m, st, 64)          Session(p, parse("fgmres64"), ...)
+//   run_ir_gmres(p, m, Prec::FP16, 8)           Session(p, parse("ir-gmres8@fp16"), ...)
+//   run_nested(p, m, f3r_config(Prec::FP16))    Session(p, parse("f3r@fp16"), m).solve()
+//   run_cg_many(..., wave)                      Session(p, parse("cg;wave=N"), ...).solve_many(B, X, k)
+//   make_primary(p, PrecondKind::Jacobi)        registry().make_precond(parse_precond_spec("jacobi"), p)
 #pragma once
 
 #include <memory>
@@ -10,40 +24,21 @@
 
 #include "core/f3r.hpp"
 #include "core/nested_builder.hpp"
-#include "krylov/bicgstab.hpp"
-#include "krylov/cg.hpp"
+#include "core/problem.hpp"
+#include "core/session.hpp"
 #include "krylov/history.hpp"
 #include "precond/preconditioner.hpp"
-#include "sparse/csr.hpp"
 
 namespace nk {
 
-/// A prepared linear system: diagonally scaled matrix (the paper scales all
-/// matrices), uniform-[0,1) right-hand side, zero initial guess.
-struct PreparedProblem {
-  std::string name;
-  bool symmetric = false;
-  double alpha_ilu = 1.0;
-  double alpha_ainv = 1.0;
-  std::shared_ptr<MultiPrecMatrix> a;
-  std::vector<double> b;
-};
-
-/// Scale `a` symmetrically, build the RHS, wrap in MultiPrecMatrix.
-/// `use_sell` selects the sliced-ELLPACK kernels (GPU-node configuration).
-PreparedProblem prepare_problem(std::string name, CsrMatrix<double> a, bool symmetric,
-                                double alpha_ilu, double alpha_ainv, std::uint64_t rhs_seed,
-                                bool use_sell = false);
-
-/// Generate + prepare a Table 2 stand-in by paper name.
-PreparedProblem prepare_standin(const std::string& paper_name, int scale,
-                                std::uint64_t rhs_seed = 7, bool use_sell = false);
-
+/// \deprecated Use PrecondSpec kinds ("bj", "sd-ainv", "jacobi") with
+/// registry().make_precond instead.
 enum class PrecondKind { BlockJacobiIluIc, SdAinv, Jacobi };
 
 /// Build the paper's primary preconditioner for a prepared problem:
 /// block-Jacobi ILU(0)/IC(0) with α_ILU on the CPU node, SD-AINV with
 /// α_AINV on the GPU node.
+/// \deprecated Shim over registry().make_precond.
 std::shared_ptr<PrimaryPrecond> make_primary(const PreparedProblem& p, PrecondKind kind,
                                              int nblocks = 0);
 
@@ -56,15 +51,18 @@ struct FlatSolverCaps {
 
 /// fp64 CG with the preconditioner stored at `storage` ("fp16-CG" = fp64 CG
 /// with an fp16-stored preconditioner).
+/// \deprecated Shim over Session("cg@<storage>").
 SolveResult run_cg(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
                    const FlatSolverCaps& caps = {});
 
 /// fp64 BiCGStab with `storage`-precision preconditioner.
+/// \deprecated Shim over Session("bicgstab@<storage>").
 SolveResult run_bicgstab(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
                          const FlatSolverCaps& caps = {});
 
 /// fp64 restarted FGMRES(restart) with `storage`-precision preconditioner —
 /// the paper's FGMRES(64) baseline.
+/// \deprecated Shim over Session("fgmres<restart>@<storage>").
 SolveResult run_fgmres_restarted(const PreparedProblem& p, PrimaryPrecond& m, Prec storage,
                                  int restart = 64, const FlatSolverCaps& caps = {});
 
@@ -74,10 +72,13 @@ SolveResult run_fgmres_restarted(const PreparedProblem& p, PrimaryPrecond& m, Pr
 /// (Anzt et al. 2011; Lindquist et al. 2021).  `inner` selects the inner
 /// solver's working precision (fp32 or fp16; matrix, vectors, and M all
 /// stored at that precision).
+/// \deprecated Shim over Session("ir-gmres<inner_m>@<inner>").
 SolveResult run_ir_gmres(const PreparedProblem& p, PrimaryPrecond& m, Prec inner,
                          int inner_m = 8, const FlatSolverCaps& caps = {});
 
 /// Any nested configuration (F3R and the Table 4 variants).
+/// \deprecated Shim over Session's custom-NestedConfig constructor
+/// (spec-expressible tuples: Session("f3r@fp16") etc.).
 SolveResult run_nested(const PreparedProblem& p, std::shared_ptr<PrimaryPrecond> m,
                        const NestedConfig& cfg, const Termination& term = f3r_termination());
 
@@ -99,18 +100,16 @@ SolveResult run_nested(const PreparedProblem& p, std::shared_ptr<PrimaryPrecond>
 // solve either way (see CgSolver).
 // ---------------------------------------------------------------------------
 
-/// k seeded uniform-[0,1) right-hand sides, column c seeded `seed0 + c`
-/// (column 0 reproduces prepare_problem's RHS when seed0 = rhs_seed).
-std::vector<double> batch_rhs(const PreparedProblem& p, int k, std::uint64_t seed0 = 7);
-
 /// Batched fp64 CG: k systems in lockstep sharing every matrix sweep;
 /// per column bit-identical to run_cg's solver on that RHS alone.
+/// \deprecated Shim over Session("cg;wave=N").solve_many.
 std::vector<SolveResult> run_cg_many(const PreparedProblem& p, PrimaryPrecond& m,
                                      Prec storage, std::span<const double> B,
                                      std::span<double> X, int k,
                                      const FlatSolverCaps& caps = {}, int wave = 0);
 
 /// Batched fp64 BiCGStab (lockstep, shared matrix sweeps).
+/// \deprecated Shim over Session("bicgstab;wave=N").solve_many.
 std::vector<SolveResult> run_bicgstab_many(const PreparedProblem& p, PrimaryPrecond& m,
                                            Prec storage, std::span<const double> B,
                                            std::span<double> X, int k,
@@ -119,6 +118,7 @@ std::vector<SolveResult> run_bicgstab_many(const PreparedProblem& p, PrimaryPrec
 /// Batched nested solve: the tuple's setup (matrix copies, factorization,
 /// level workspaces) is built once and shared; columns run in invocation
 /// order (see NestedSolver::solve_many).
+/// \deprecated Shim over Session(cfg, term, m).solve_many.
 std::vector<SolveResult> run_nested_many(const PreparedProblem& p,
                                          std::shared_ptr<PrimaryPrecond> m,
                                          const NestedConfig& cfg, std::span<const double> B,

@@ -1,0 +1,59 @@
+#include "core/session.hpp"
+
+namespace nk {
+
+Session::Session(std::shared_ptr<const PreparedProblem> p, const SolverSpec& spec)
+    : p_(std::move(p)),
+      spec_(spec),
+      m_(registry().make_precond(spec.precond, *p_)),
+      ws_(std::make_unique<SolverWorkspace>()),
+      engine_(registry().make_solver(spec_, *p_, m_, ws_.get())) {}
+
+Session::Session(std::shared_ptr<const PreparedProblem> p, const SolverSpec& spec,
+                 std::shared_ptr<PrimaryPrecond> m)
+    : p_(std::move(p)),
+      spec_(spec),
+      m_(std::move(m)),
+      ws_(std::make_unique<SolverWorkspace>()),
+      engine_(registry().make_solver(spec_, *p_, m_, ws_.get())) {}
+
+Session::Session(std::shared_ptr<const PreparedProblem> p, NestedConfig cfg,
+                 const Termination& term, std::shared_ptr<PrimaryPrecond> m)
+    : p_(std::move(p)), m_(std::move(m)), ws_(std::make_unique<SolverWorkspace>()) {
+  spec_.kind = cfg.name;  // reporting only; not a registered kind
+  engine_ = detail::make_nested_engine(*p_, m_, std::move(cfg), term, ws_.get());
+}
+
+Session::Session(PreparedProblem p, const SolverSpec& spec)
+    : Session(std::make_shared<const PreparedProblem>(std::move(p)), spec) {}
+
+Session::Session(PreparedProblem p, const SolverSpec& spec,
+                 std::shared_ptr<PrimaryPrecond> m)
+    : Session(std::make_shared<const PreparedProblem>(std::move(p)), spec, std::move(m)) {}
+
+Session::Session(PreparedProblem p, NestedConfig cfg, const Termination& term,
+                 std::shared_ptr<PrimaryPrecond> m)
+    : Session(std::make_shared<const PreparedProblem>(std::move(p)), std::move(cfg), term,
+              std::move(m)) {}
+
+SolveResult Session::solve() {
+  std::vector<double> x(p_->b.size(), 0.0);
+  return engine_->solve(std::span<const double>(p_->b), std::span<double>(x));
+}
+
+SolveResult Session::solve(std::span<const double> b, std::span<double> x) {
+  return engine_->solve(b, x);
+}
+
+std::vector<SolveResult> Session::solve_many(std::span<const double> B,
+                                             std::span<double> X, int k) {
+  return engine_->solve_many(B, X, k);
+}
+
+std::vector<double> Session::make_rhs_batch(int k, std::uint64_t seed0) const {
+  return batch_rhs(*p_, k, seed0);
+}
+
+std::string Session::solver_name() const { return engine_->name(); }
+
+}  // namespace nk

@@ -1,0 +1,104 @@
+// nk::Session — the one-object facade over the descriptor layer.
+//
+// A Session owns everything a solve needs: the prepared problem, the
+// primary preconditioner (built from the spec, or borrowed from the
+// caller), a grow-only SolverWorkspace, and the type-erased solver engine
+// the registry minted for the spec.  Single- and multi-RHS solves (ragged
+// waves, compact/masked scheduling — all named by the spec) then run
+// through one uniform surface:
+//
+//   nk::PreparedProblem p = nk::prepare_standin("ecology2", 1);
+//   nk::Session s(p, nk::SolverSpec::parse("f3r@fp16"));
+//   nk::SolveResult r = s.solve();
+//
+// Repeated solves on one Session reuse the workspace (the setup/solve
+// split of PR 3): buffers are acquired once and every later solve runs
+// allocation-free.  Per column, solve_many() reproduces solve() on that
+// column alone bit-for-bit for the kinds with a batched kernel path (cg,
+// bicgstab, the nested tuples) — the guarantee the conformance and
+// BatchedCompaction tests pin.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace nk {
+
+/// Non-owning shared_ptr view of a caller-owned preconditioner (the
+/// aliasing-constructor idiom) — the bridge from the legacy run_* surface,
+/// whose callers keep ownership of M.  `m` must outlive every user.
+inline std::shared_ptr<PrimaryPrecond> borrow_precond(PrimaryPrecond& m) {
+  return std::shared_ptr<PrimaryPrecond>(std::shared_ptr<void>(), &m);
+}
+
+/// Non-owning view of a caller-owned prepared problem: a Session built
+/// over it performs no copy of the RHS (the run_* shims and per-cell
+/// sweeps use this).  `p` must outlive the Session.
+inline std::shared_ptr<const PreparedProblem> borrow_problem(const PreparedProblem& p) {
+  return std::shared_ptr<const PreparedProblem>(std::shared_ptr<void>(), &p);
+}
+
+class Session {
+ public:
+  /// Build the full stack from a spec: M from spec.precond via the
+  /// registry, then the solver engine.  Throws SpecError on unknown kinds.
+  /// The by-value overloads take (a copy of) the problem into the Session;
+  /// the shared_ptr overloads share it — pass borrow_problem(p) to build
+  /// over a caller-owned problem with zero copies.
+  Session(PreparedProblem p, const SolverSpec& spec);
+  Session(std::shared_ptr<const PreparedProblem> p, const SolverSpec& spec);
+
+  /// Same, but solve through a caller-supplied M (the spec's precond part
+  /// is ignored except for its storage-precision override).
+  Session(PreparedProblem p, const SolverSpec& spec, std::shared_ptr<PrimaryPrecond> m);
+  Session(std::shared_ptr<const PreparedProblem> p, const SolverSpec& spec,
+          std::shared_ptr<PrimaryPrecond> m);
+
+  /// Custom nested tuples the spec grammar cannot express (hand-built
+  /// NestedConfig levels, dynamic inner termination, Chebyshev levels).
+  Session(PreparedProblem p, NestedConfig cfg, const Termination& term,
+          std::shared_ptr<PrimaryPrecond> m);
+  Session(std::shared_ptr<const PreparedProblem> p, NestedConfig cfg,
+          const Termination& term, std::shared_ptr<PrimaryPrecond> m);
+
+  Session(Session&&) noexcept = default;
+  Session& operator=(Session&&) noexcept = default;
+
+  /// Solve against the problem's own right-hand side from a zero guess
+  /// (the experiment-runner path; the solution vector is internal).
+  SolveResult solve();
+
+  /// Solve A x = b (x holds the initial guess).
+  SolveResult solve(std::span<const double> b, std::span<double> x);
+
+  /// Batched solve: k right-hand sides, column c of B/X contiguous at
+  /// offset c·n.  Wave width and compact/masked scheduling come from the
+  /// spec ("...;wave=8", "...;masked").
+  std::vector<SolveResult> solve_many(std::span<const double> B, std::span<double> X,
+                                      int k);
+
+  /// k seeded right-hand sides for this problem (see nk::batch_rhs).
+  [[nodiscard]] std::vector<double> make_rhs_batch(int k, std::uint64_t seed0 = 7) const;
+
+  [[nodiscard]] const SolverSpec& spec() const { return spec_; }
+  [[nodiscard]] const PreparedProblem& problem() const { return *p_; }
+  [[nodiscard]] PrimaryPrecond& precond() { return *m_; }
+  [[nodiscard]] SolverWorkspace& workspace() { return *ws_; }
+  /// The engine's reporting name ("fp16-CG", "fp64-FGMRES(64)", ...).
+  [[nodiscard]] std::string solver_name() const;
+
+ private:
+  // The problem and workspace live behind pointers so the engine's
+  // internal references survive moves of the Session itself.
+  std::shared_ptr<const PreparedProblem> p_;
+  SolverSpec spec_;
+  std::shared_ptr<PrimaryPrecond> m_;
+  std::unique_ptr<SolverWorkspace> ws_;
+  std::unique_ptr<SolverEngine> engine_;
+};
+
+}  // namespace nk

@@ -18,7 +18,10 @@
 namespace nk {
 
 /// Table 4 variant by name: "F2", "fp16-F2", "F3", "fp16-F3", "F4".
-/// Throws std::invalid_argument on unknown names.
+/// Throws std::invalid_argument on unknown names.  Every variant is also a
+/// registered solver kind (core/registry.hpp), so "F2" parses as a
+/// SolverSpec and builds through nk::Session; CLI surfaces should prefer
+/// that path (it reports unknown names with the registered-kind list).
 NestedConfig variant_config(const std::string& name);
 
 /// All Table 4 variant names in paper order.

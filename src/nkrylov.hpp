@@ -51,9 +51,14 @@
 #include "krylov/operator.hpp"
 #include "krylov/richardson.hpp"
 
-// core: the nested-Krylov framework and F3R
+// core: the nested-Krylov framework, F3R, and the descriptor-driven API
 #include "core/cost_model.hpp"
+#include "core/engine.hpp"
 #include "core/f3r.hpp"
 #include "core/nested_builder.hpp"
+#include "core/problem.hpp"
+#include "core/registry.hpp"
 #include "core/runner.hpp"
+#include "core/session.hpp"
+#include "core/spec.hpp"
 #include "core/variants.hpp"

@@ -1,0 +1,207 @@
+// nk::Session facade tests: shim/facade consistency (the run_* entry
+// points are one-line shims over Session since PR 5, so the MatchesLegacy*
+// tests pin that the two spellings cannot drift apart — equivalence with
+// the PRE-descriptor implementations is pinned separately by the committed
+// conformance baseline, whose rows were verified byte-identical across the
+// rewrite), per-column batched/sequential agreement through the facade,
+// workspace reuse across repeated solves, and the custom-NestedConfig
+// escape hatch.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "core/runner.hpp"
+#include "core/session.hpp"
+#include "support/problems.hpp"
+
+namespace nk {
+namespace {
+
+#ifdef _OPENMP
+struct SingleThreadGuard {
+  int saved = omp_get_max_threads();
+  SingleThreadGuard() { omp_set_num_threads(1); }
+  ~SingleThreadGuard() { omp_set_num_threads(saved); }
+};
+#else
+struct SingleThreadGuard {};
+#endif
+
+PreparedProblem sym_problem() {
+  return prepare_problem("s", test::laplace2d(12, 12), true, 1.0, 1.0, 2);
+}
+
+PreparedProblem nonsym_problem() {
+  return prepare_problem("n", test::scaled_convdiff2d(12, 4.0), false, 1.0, 1.0, 2);
+}
+
+TEST(Session, MatchesLegacyRunCgExactly) {
+  const auto p = sym_problem();
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 2);
+  const auto legacy = run_cg(p, *m, Prec::FP16);
+  const auto via_session =
+      Session(p, SolverSpec::parse("cg@fp16"), borrow_precond(*m)).solve();
+  EXPECT_EQ(via_session.solver, "fp16-CG");
+  EXPECT_EQ(via_session.solver, legacy.solver);
+  EXPECT_EQ(via_session.iterations, legacy.iterations);
+  EXPECT_EQ(via_session.converged, legacy.converged);
+  EXPECT_DOUBLE_EQ(via_session.final_relres, legacy.final_relres);
+  EXPECT_EQ(via_session.history.size(), legacy.history.size());
+}
+
+TEST(Session, MatchesLegacyFgmresAndIrGmres) {
+  const auto p = nonsym_problem();
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 2);
+  const auto fg_legacy = run_fgmres_restarted(p, *m, Prec::FP32, 16);
+  const auto fg = Session(p, SolverSpec::parse("fgmres16@fp32"), borrow_precond(*m)).solve();
+  EXPECT_EQ(fg.solver, "fp32-FGMRES(16)");
+  EXPECT_EQ(fg.iterations, fg_legacy.iterations);
+  EXPECT_DOUBLE_EQ(fg.final_relres, fg_legacy.final_relres);
+
+  const auto ir_legacy = run_ir_gmres(p, *m, Prec::FP32, 8);
+  const auto ir = Session(p, SolverSpec::parse("ir-gmres8@fp32"), borrow_precond(*m)).solve();
+  EXPECT_EQ(ir.solver, "fp32-IR-GMRES(8)");
+  EXPECT_EQ(ir.iterations, ir_legacy.iterations);
+  EXPECT_DOUBLE_EQ(ir.final_relres, ir_legacy.final_relres);
+}
+
+TEST(Session, MatchesLegacyNested) {
+  const auto p = sym_problem();
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 2);
+  const auto legacy = run_nested(p, m, f3r_config(Prec::FP16));
+  const auto via_spec = Session(p, SolverSpec::parse("f3r@fp16"), m).solve();
+  EXPECT_EQ(via_spec.solver, "fp16-F3R");
+  EXPECT_EQ(via_spec.iterations, legacy.iterations);
+  EXPECT_EQ(via_spec.converged, legacy.converged);
+}
+
+TEST(Session, BuildsPrecondFromSpecAlone) {
+  const auto p = sym_problem();
+  Session s(p, SolverSpec::parse("krylov@fp16/bj;nblocks=4"));
+  EXPECT_EQ(s.precond().name(), "bj-ic0");  // bj auto-selects IC(0) on SPD
+  EXPECT_EQ(s.solver_name(), "fp16-CG");
+  const auto r = s.solve();
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.final_relres, 1.5e-8);
+  EXPECT_EQ(r.precond_invocations, static_cast<std::uint64_t>(r.iterations));
+}
+
+/// The facade preserves the batched/sequential bit-identity contract:
+/// solve_many columns reproduce per-column solve() exactly (single-thread
+/// reductions), across plain, waved, and masked scheduling specs.
+TEST(Session, SolveManyColumnsMatchSequentialSolves) {
+  SingleThreadGuard guard;
+  const auto p = sym_problem();
+  const std::size_t n = p.b.size();
+  const int k = 5;
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 2);
+  const std::vector<double> B = batch_rhs(p, k, 11);
+
+  for (const char* spec : {"cg", "cg;wave=2", "cg;masked"}) {
+    SCOPED_TRACE(spec);
+    Session batched(p, SolverSpec::parse(spec), m);
+    std::vector<double> X(n * k, 0.0);
+    const auto many = batched.solve_many(std::span<const double>(B), std::span<double>(X), k);
+    ASSERT_EQ(many.size(), static_cast<std::size_t>(k));
+
+    Session seq(p, SolverSpec::parse("cg"), m);
+    for (int c = 0; c < k; ++c) {
+      std::vector<double> x(n, 0.0);
+      const auto one = seq.solve(std::span<const double>(B.data() + c * n, n),
+                                 std::span<double>(x));
+      EXPECT_EQ(many[c].iterations, one.iterations) << "column " << c;
+      EXPECT_EQ(many[c].converged, one.converged) << "column " << c;
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(X[c * n + i], x[i]) << "column " << c << " row " << i;
+    }
+  }
+}
+
+TEST(Session, SolveManyNestedAndSequentialKindsWork) {
+  const auto p = sym_problem();
+  const std::size_t n = p.b.size();
+  const int k = 3;
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 2);
+  const std::vector<double> B = batch_rhs(p, k, 11);
+  for (const char* spec : {"f3r@fp16", "fgmres16"}) {
+    SCOPED_TRACE(spec);
+    Session s(p, SolverSpec::parse(spec), m);
+    std::vector<double> X(n * k, 0.0);
+    const auto many = s.solve_many(std::span<const double>(B), std::span<double>(X), k);
+    ASSERT_EQ(many.size(), static_cast<std::size_t>(k));
+    for (const auto& r : many) EXPECT_TRUE(r.converged) << r.solver;
+  }
+}
+
+TEST(Session, RepeatedSolvesReuseTheWorkspace) {
+  const auto p = sym_problem();
+  Session s(p, SolverSpec::parse("f3r@fp32/bj;nblocks=2"));
+  const auto r1 = s.solve();
+  const auto allocs = s.workspace().allocations();
+  EXPECT_GT(allocs, 0u);  // first solve acquired the level buffers
+  const auto r2 = s.solve();
+  EXPECT_EQ(s.workspace().allocations(), allocs);  // second solve: zero new slabs
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(r1.converged, r2.converged);
+}
+
+TEST(Session, CustomNestedConfigEscapeHatch) {
+  const auto p = sym_problem();
+  auto m = make_primary(p, PrecondKind::BlockJacobiIluIc, 2);
+  NestedConfig cfg = f3r_config(Prec::FP32);
+  cfg.name = "custom-f3r";
+  cfg.levels[1].inner_rtol = 0.1;  // not expressible in the spec grammar
+  const auto legacy = run_nested(p, m, cfg);
+  Session s(p, cfg, f3r_termination(), m);
+  const auto r = s.solve();
+  EXPECT_EQ(r.solver, "custom-f3r");
+  EXPECT_EQ(r.iterations, legacy.iterations);
+  EXPECT_EQ(r.converged, legacy.converged);
+}
+
+TEST(Session, BorrowedProblemAvoidsCopyAndMatchesOwned) {
+  const auto p = sym_problem();
+  Session owned(p, SolverSpec::parse("cg/jacobi"));
+  Session borrowed(borrow_problem(p), SolverSpec::parse("cg/jacobi"));
+  EXPECT_EQ(&borrowed.problem(), &p);   // shares the caller's object
+  EXPECT_NE(&owned.problem(), &p);      // owns a copy
+  const auto r1 = owned.solve();
+  const auto r2 = borrowed.solve();
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_DOUBLE_EQ(r1.final_relres, r2.final_relres);
+}
+
+TEST(Session, BorrowedPrecondSharesInvocationCounter) {
+  const auto p = sym_problem();
+  auto m = make_primary(p, PrecondKind::Jacobi);
+  const auto before = m->invocations();
+  Session s(p, SolverSpec::parse("cg"), borrow_precond(*m));
+  const auto r = s.solve();
+  EXPECT_EQ(m->invocations() - before, r.precond_invocations);
+  EXPECT_GT(r.precond_invocations, 0u);
+}
+
+TEST(Session, MakeRhsBatchMatchesBatchRhs) {
+  const auto p = sym_problem();
+  Session s(p, SolverSpec::parse("cg/jacobi"));
+  EXPECT_EQ(s.make_rhs_batch(3, 7), batch_rhs(p, 3, 7));
+  // Column 0 with the problem's own seed reproduces p.b.
+  EXPECT_EQ(s.make_rhs_batch(1, 2), p.b);
+}
+
+TEST(Session, ThrowsSpecErrorOnUnknownKinds) {
+  const auto p = sym_problem();
+  SolverSpec bad;
+  bad.kind = "petsc-ksp";  // programmatic spec skipping parse() validation
+  EXPECT_THROW(Session(p, bad), SpecError);
+  SolverSpec badpc = SolverSpec::parse("cg");
+  badpc.precond.kind = "ilut";
+  EXPECT_THROW(Session(p, badpc), SpecError);
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,160 @@
+// SolverSpec / PrecondSpec text-form round-trip and rejection tests.
+//
+// The round-trip contract is parse(to_string(s)) == s for every valid
+// spec; the table test below sweeps every registered kind × precision ×
+// batching combination (plus non-default termination and preconditioner
+// fields) so the grammar cannot silently drop a field.  The rejection
+// tests pin the malformed-input behavior: SpecError (a subclass of
+// std::invalid_argument) with a message naming the problem.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/spec.hpp"
+
+namespace nk {
+namespace {
+
+TEST(Spec, DefaultsAndCanonicalForms) {
+  const SolverSpec def;
+  EXPECT_EQ(def.to_string(), "f3r");
+  EXPECT_EQ(SolverSpec::parse("f3r"), def);
+
+  // The issue-form examples all parse and re-render canonically.
+  EXPECT_EQ(SolverSpec::parse("fgmres64/bj-ilu0@fp16").to_string(),
+            "fgmres64/bj-ilu0@fp16");
+  EXPECT_EQ(SolverSpec::parse("ir-gmres8@fp32").to_string(), "ir-gmres8@fp32");
+  EXPECT_EQ(SolverSpec::parse("f3r@fp16").to_string(), "f3r@fp16");
+  EXPECT_EQ(SolverSpec::parse("cg/jacobi;wave=8;rtol=1e-06").to_string(),
+            "cg/jacobi;rtol=1e-06;wave=8");
+}
+
+TEST(Spec, ParsePopulatesEveryField) {
+  const SolverSpec s = SolverSpec::parse(
+      "fgmres32@fp32/ssor@fp16;rtol=2.5e-05;max-iters=123;restarts=5;nohist;wave=7;"
+      "masked;nblocks=9;omega=1.5;degree=4");
+  EXPECT_EQ(s.kind, "fgmres");
+  EXPECT_EQ(s.m, 32);
+  EXPECT_EQ(s.prec, Prec::FP32);
+  EXPECT_DOUBLE_EQ(s.rtol, 2.5e-5);
+  EXPECT_EQ(s.max_iters, 123);
+  EXPECT_EQ(s.max_restarts, 5);
+  EXPECT_FALSE(s.record_history);
+  EXPECT_EQ(s.wave, 7);
+  EXPECT_FALSE(s.compact);
+  EXPECT_EQ(s.precond.kind, "ssor");
+  ASSERT_TRUE(s.precond.storage.has_value());
+  EXPECT_EQ(*s.precond.storage, Prec::FP16);
+  EXPECT_EQ(s.precond.nblocks, 9);
+  EXPECT_DOUBLE_EQ(s.precond.omega, 1.5);
+  EXPECT_EQ(s.precond.degree, 4);
+  EXPECT_EQ(SolverSpec::parse(s.to_string()), s);
+}
+
+TEST(Spec, LegacyPaperNamesAreAliases) {
+  EXPECT_EQ(SolverSpec::parse("fp16-F3R"), SolverSpec::parse("f3r@fp16"));
+  EXPECT_EQ(SolverSpec::parse("fp32-CG"), SolverSpec::parse("cg@fp32"));
+  EXPECT_EQ(SolverSpec::parse("fp64-BiCGStab"), SolverSpec::parse("bicgstab"));
+  EXPECT_EQ(SolverSpec::parse("fp32-FGMRES64"), SolverSpec::parse("fgmres64@fp32"));
+  // Table 4 variants are registered kinds of their own — "fp16-F2" is the
+  // variant, NOT "f2" at fp16 (which the grammar rejects below).
+  EXPECT_EQ(SolverSpec::parse("fp16-F2").kind, "fp16-f2");
+  EXPECT_EQ(SolverSpec::parse("F2").kind, "f2");
+  EXPECT_EQ(SolverSpec::parse("fp16-F3").kind, "fp16-f3");
+}
+
+/// Round-trip sweep: every registered solver kind × precision × batching
+/// combination, with non-default termination and precond fields mixed in.
+TEST(Spec, RoundTripAllRegisteredKinds) {
+  const auto precond_kinds = registry().precond_kinds();
+  std::size_t cells = 0, pidx = 0;
+  for (const std::string& kind : registry().solver_kinds()) {
+    const SolverKindInfo* info = registry().solver_info(kind);
+    ASSERT_NE(info, nullptr) << kind;
+    for (const Prec prec : {Prec::FP64, Prec::FP32, Prec::FP16}) {
+      if (!info->takes_prec && prec != Prec::FP64) continue;
+      for (const int wave : {0, 4}) {
+        for (const bool compact : {true, false}) {
+          SolverSpec s;
+          s.kind = kind;
+          s.prec = prec;
+          s.m = info->takes_m ? info->default_m + 3 : 0;
+          s.rtol = 3e-7;
+          s.max_iters = 321;
+          s.max_restarts = 1;
+          s.record_history = (wave == 0);
+          s.wave = wave;
+          s.compact = compact;
+          s.precond.kind = precond_kinds[pidx++ % precond_kinds.size()];
+          s.precond.storage = (cells % 2 == 0) ? std::optional<Prec>(Prec::FP16)
+                                               : std::nullopt;
+          s.precond.nblocks = static_cast<int>(cells % 3) * 8;
+          const std::string text = s.to_string();
+          EXPECT_EQ(SolverSpec::parse(text), s) << text;
+          ++cells;
+        }
+      }
+    }
+  }
+  EXPECT_GT(cells, 80u);  // the grid actually swept something
+}
+
+TEST(Spec, PrecondRoundTripAllRegisteredKinds) {
+  for (const std::string& kind : registry().precond_kinds()) {
+    for (const auto storage :
+         {std::optional<Prec>{}, std::optional<Prec>{Prec::FP32}}) {
+      PrecondSpec s;
+      s.kind = kind;
+      s.storage = storage;
+      s.nblocks = 16;
+      s.omega = 1.25;
+      s.degree = 3;
+      EXPECT_EQ(PrecondSpec::parse(s.to_string()), s) << s.to_string();
+    }
+  }
+  EXPECT_EQ(PrecondSpec::parse("bj").to_string(), "bj");
+}
+
+TEST(Spec, RejectsMalformedStrings) {
+  // Empty / structurally broken.
+  EXPECT_THROW(SolverSpec::parse(""), SpecError);
+  EXPECT_THROW(SolverSpec::parse("@fp32"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg/"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg/bj/jacobi"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;;wave=1"), SpecError);
+  // Bad precision tokens.
+  EXPECT_THROW(SolverSpec::parse("cg@fp99"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg@"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg@fp32@fp16"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("fp16-cg@fp32"), SpecError);  // precision twice
+  // Unknown kinds (message names the registered ones).
+  try {
+    SolverSpec::parse("hypre-boomeramg");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("f3r"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(SolverSpec::parse("cg/ilut"), SpecError);
+  EXPECT_THROW(PrecondSpec::parse("ilut"), SpecError);
+  // Trailing garbage / bad option values.
+  EXPECT_THROW(SolverSpec::parse("cg;wave=4x"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;rtol=1e-8zzz"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;max-iters=-5"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;bogus=1"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;masked=1"), SpecError);  // flag, not kv
+  EXPECT_THROW(SolverSpec::parse("cg;wave"), SpecError);      // kv, not flag
+  EXPECT_THROW(PrecondSpec::parse("bj;rtol=1e-8"), SpecError);  // solver-only key
+  EXPECT_THROW(PrecondSpec::parse("bj/jacobi"), SpecError);
+  // Kind-specific shape violations.
+  EXPECT_THROW(SolverSpec::parse("cg64"), SpecError);    // cg takes no m
+  EXPECT_THROW(SolverSpec::parse("f2@fp32"), SpecError); // variants: fixed precisions
+  EXPECT_THROW(SolverSpec::parse("fgmres0"), SpecError); // m must be >= 1
+}
+
+TEST(Spec, SpecErrorIsInvalidArgument) {
+  // Legacy catch sites (variant_config callers) catch invalid_argument.
+  EXPECT_THROW(SolverSpec::parse("nonsense"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Header self-sufficiency check: compile every public header under src/ as
+# a standalone translation unit, so the umbrella nkrylov.hpp cannot mask a
+# missing include in any individual header.
+#
+#   CXX=g++-13 ./tools/check_headers.sh
+#
+# Exits non-zero listing every header that fails to compile on its own.
+set -u
+cxx="${CXX:-c++}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+flags=(-std=c++20 -fsyntax-only -x c++ -Wall -Wextra -I "$root/src")
+
+fails=0
+checked=0
+errlog="$(mktemp)"
+trap 'rm -f "$errlog"' EXIT
+
+while IFS= read -r h; do
+  checked=$((checked + 1))
+  if echo "#include \"$h\"" | "$cxx" "${flags[@]}" - 2> "$errlog"; then
+    echo "ok   $h"
+  else
+    fails=$((fails + 1))
+    echo "FAIL $h"
+    sed 's/^/     /' "$errlog"
+  fi
+done < <(cd "$root/src" && find . -name '*.hpp' | sed 's|^\./||' | sort)
+
+echo "checked $checked headers, $fails failed"
+[ "$fails" -eq 0 ]
