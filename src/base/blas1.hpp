@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "base/half.hpp"
+#include "base/simd_fp16.hpp"
 
 namespace nk {
 
@@ -123,9 +124,18 @@ void scal(S alpha, std::span<T> x) {
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
   const auto a = static_cast<W>(alpha);
   if constexpr (std::is_same_v<T, half> && std::is_same_v<W, float>) {
+    T* __restrict xp = x.data();
+    if (simd_fp16::enabled()) {
+      // Native binary16 multiply, 32 lanes per instruction (tolerance tier
+      // vs the F16C reference documented in simd_fp16.hpp).
+      const half ah = static_cast<half>(a);
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
+      for (std::ptrdiff_t t0 = 0; t0 < n; t0 += kHalfChunk)
+        simd_fp16::scal_n(ah, xp + t0, std::min(kHalfChunk, n - t0));
+      return;
+    }
     // Same per-element op — x[i] = half(a·float(x[i])) — via the
     // vectorized F16C conversions (GCC scalarizes _Float16 loops).
-    T* __restrict xp = x.data();
 #pragma omp parallel for schedule(static) if (n > parallel_threshold())
     for (std::ptrdiff_t t0 = 0; t0 < n; t0 += kHalfChunk) {
       const std::ptrdiff_t len = std::min(t0 + kHalfChunk, n) - t0;
@@ -149,10 +159,21 @@ void axpy(S alpha, std::span<const TX> x, std::span<TY> y) {
   const W a = static_cast<W>(alpha);
   if constexpr ((std::is_same_v<TX, half> || std::is_same_v<TY, half>) &&
                 std::is_same_v<W, float>) {
-    // Same per-element op via chunked F16C conversion (the innermost
-    // Richardson update x += ω·r runs entirely on fp16 vectors).
     const TX* __restrict xp = x.data();
     TY* __restrict yp = y.data();
+    if constexpr (std::is_same_v<TX, half> && std::is_same_v<TY, half>) {
+      if (simd_fp16::enabled()) {
+        // Native fused binary16 multiply-add, 32 lanes per instruction
+        // (tolerance tier vs the F16C reference: see simd_fp16.hpp).
+        const half ah = static_cast<half>(a);
+#pragma omp parallel for schedule(static) if (n > parallel_threshold())
+        for (std::ptrdiff_t t0 = 0; t0 < n; t0 += kHalfChunk)
+          simd_fp16::axpy_n(ah, xp + t0, yp + t0, std::min(kHalfChunk, n - t0));
+        return;
+      }
+    }
+    // Same per-element op via chunked F16C conversion (the innermost
+    // Richardson update x += ω·r runs entirely on fp16 vectors).
 #pragma omp parallel for schedule(static) if (n > parallel_threshold())
     for (std::ptrdiff_t t0 = 0; t0 < n; t0 += kHalfChunk) {
       const std::ptrdiff_t len = std::min(t0 + kHalfChunk, n) - t0;
@@ -204,6 +225,19 @@ auto dot(std::span<const TX> x, std::span<const TY> y) {
   using W = acc_t<promote_t<TX, TY>>;
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
   if constexpr (sizeof(TX) == 2 || sizeof(TY) == 2) {
+    if constexpr (std::is_same_v<TX, half> && std::is_same_v<TY, half>) {
+      if (simd_fp16::enabled()) {
+        // ZMM-width conversion + fp32 FMA; the lane-reassociated sum is a
+        // documented tolerance tier (see simd_fp16.hpp), like any change
+        // of thread count on the reference reduction below.
+        W s{0};
+#pragma omp parallel for schedule(static) reduction(+ : s) if (n > parallel_threshold())
+        for (std::ptrdiff_t t0 = 0; t0 < n; t0 += kHalfChunk)
+          s += simd_fp16::dot_n(x.data() + t0, y.data() + t0,
+                                std::min(kHalfChunk, n - t0));
+        return s;
+      }
+    }
     W s0{0}, s1{0}, s2{0}, s3{0};
 #pragma omp parallel for schedule(static) reduction(+ : s0, s1, s2, s3) if (n > parallel_threshold())
     for (std::ptrdiff_t i = 0; i < n - 3; i += 4) {
@@ -231,6 +265,15 @@ auto nrm2(std::span<const T> x) {
   using W = acc_t<T>;
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
   if constexpr (sizeof(T) == 2) {
+    if (simd_fp16::enabled()) {
+      // Sum of squares through the native-width dot (same tier as dot()).
+      W s{0};
+#pragma omp parallel for schedule(static) reduction(+ : s) if (n > parallel_threshold())
+      for (std::ptrdiff_t t0 = 0; t0 < n; t0 += kHalfChunk)
+        s += simd_fp16::dot_n(x.data() + t0, x.data() + t0,
+                              std::min(kHalfChunk, n - t0));
+      return static_cast<W>(std::sqrt(static_cast<double>(s)));
+    }
     W s0{0}, s1{0}, s2{0}, s3{0};
 #pragma omp parallel for schedule(static) reduction(+ : s0, s1, s2, s3) if (n > parallel_threshold())
     for (std::ptrdiff_t i = 0; i < n - 3; i += 4) {

@@ -30,6 +30,7 @@
 
 #include "base/blas1.hpp"
 #include "base/half.hpp"
+#include "base/panel.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -48,6 +49,28 @@ inline constexpr std::ptrdiff_t kTile = 1024;
 /// configuration in the repo (outermost m = 100 → k ≤ 101) without heap
 /// allocation; larger k falls back to a heap buffer.
 inline constexpr int kMaxStackK = 128;
+
+/// Register-blocked group core of dot_many's fp64/fp32 path: KG columns'
+/// accumulator chains advance together through one sweep over [i0, i1).
+/// Per column the i-order (and therefore the rounding sequence) is exactly
+/// the single-chain loop's — grouping columns adds INSTRUCTION-level
+/// parallelism without touching any column's math.  KG is a compile-time
+/// constant so the inner loop fully unrolls into KG independent FMA chains
+/// held in registers; the serial per-column chain this replaces was
+/// latency-bound at one element per FMA latency (~7 GB/s where a single
+/// dot streams 13 GB/s — the committed BENCH_kernels.json gap).
+template <class TV, class TW, class W, int KG>
+inline void dot_many_group(const TV* __restrict v, std::ptrdiff_t ld,
+                           const TW* __restrict w, std::ptrdiff_t i0, std::ptrdiff_t i1,
+                           W* __restrict acc) {
+  W a[KG];
+  for (int j = 0; j < KG; ++j) a[j] = acc[j];
+  for (std::ptrdiff_t i = i0; i < i1; ++i) {
+    const W wi = static_cast<W>(w[i]);
+    for (int j = 0; j < KG; ++j) a[j] += static_cast<W>(v[j * ld + i]) * wi;
+  }
+  for (int j = 0; j < KG; ++j) acc[j] = a[j];
+}
 
 /// Sequential dot_many over the index range [i0, i1): accumulates into
 /// acc[j] (general path) or acc4[4j..4j+3] (half path), preserving
@@ -82,13 +105,26 @@ inline void dot_many_range(const TV* __restrict v, std::ptrdiff_t ld, int k,
         acc[4 * j + 3] = s3;
       }
     } else {
-      for (int j = 0; j < k; ++j) {
-        const TV* __restrict vj = v + static_cast<std::ptrdiff_t>(j) * ld;
-        W s = acc[j];
-        for (std::ptrdiff_t i = t0; i < t1; ++i)
-          s += static_cast<W>(vj[i]) * static_cast<W>(w[i]);
-        acc[j] = s;
+      // Greedy 8/4/2/1 register-blocked groups.  Grouping is numerically
+      // free (each column keeps its own chain in its own i-order), so every
+      // width runs fully unrolled — no dynamic-width tail kernel.
+      int j0 = 0;
+      for (; j0 + 8 <= k; j0 += 8)
+        dot_many_group<TV, TW, W, 8>(v + static_cast<std::ptrdiff_t>(j0) * ld, ld, w,
+                                     t0, t1, acc + j0);
+      if (k - j0 >= 4) {
+        dot_many_group<TV, TW, W, 4>(v + static_cast<std::ptrdiff_t>(j0) * ld, ld, w,
+                                     t0, t1, acc + j0);
+        j0 += 4;
       }
+      if (k - j0 >= 2) {
+        dot_many_group<TV, TW, W, 2>(v + static_cast<std::ptrdiff_t>(j0) * ld, ld, w,
+                                     t0, t1, acc + j0);
+        j0 += 2;
+      }
+      if (k - j0 == 1)
+        dot_many_group<TV, TW, W, 1>(v + static_cast<std::ptrdiff_t>(j0) * ld, ld, w,
+                                     t0, t1, acc + j0);
     }
   }
 }
@@ -236,8 +272,10 @@ void axpy_many(const TV* v, std::ptrdiff_t ld, int k, const S* h, std::span<TW> 
 // ---------------------------------------------------------------------------
 // Multi-RHS column kernels — the batched-solve hot path.
 //
-// A batched solver advances k independent right-hand sides in lockstep:
-// column c lives at x + c·ld (each column contiguous, length n).  The
+// A batched solver advances k independent right-hand sides in lockstep
+// through k-column panels; the default kRowMajor layout keeps column c
+// contiguous at x + c·ld, while kColMajor interleaves the columns so the
+// live set of a compacted panel streams unit-stride (see panel.hpp).  The
 // kernels below fuse the k per-column BLAS-1 calls of one solver step into
 // a single parallel region.  Element-local kernels (axpy_cols / axpby_cols)
 // are bit-identical to the per-column blas1 calls they replace at any
@@ -265,72 +303,172 @@ namespace block_detail {
 /// becomes throughput-bound instead of latency-bound.  Deliberately
 /// serial: determinism of the batched path must not depend on the OpenMP
 /// team, and the reduction is a small slice of a batched solver step.
-template <class TX, class TY, class W, int KC>
+///
+/// LX / LY select each panel's layout (see panel.hpp); only the addressing
+/// changes with layout, never the per-column accumulation order, so both
+/// layouts produce bit-identical results.  Under kColMajor with a pinned
+/// KC the inner column loop reads unit-stride — the layout compacted
+/// survivor panels use to stream exactly the live columns.
+template <PanelLayout LX, PanelLayout LY, class TX, class TY, class W, int KC>
 inline void dot_cols_group(const TX* __restrict x, std::ptrdiff_t ldx,
                            const TY* __restrict y, std::ptrdiff_t ldy, int k_dyn,
                            std::ptrdiff_t nn, W* __restrict out) {
   const int k = KC > 0 ? KC : k_dyn;
   if constexpr (sizeof(TX) == 2 || sizeof(TY) == 2) {
+    // fp16 operands: converting inside the arithmetic loop scalarizes into
+    // a serial vcvtsh2ss chain under GCC 12 (~1 GB/s), so the two common
+    // panel shapes tile-convert through the vectorized F16C helpers first
+    // and accumulate on the converted chunks.  half→float conversion is
+    // value-exact and kTile is a multiple of 4, so the four-lane chain
+    // each column's elements land in (lane = global i mod 4, tail to lane
+    // 0) — and hence the result bits — are exactly the in-loop path's.
     W acc[4][kColsMax] = {};
-    std::ptrdiff_t i = 0;
-    for (; i + 4 <= nn; i += 4) {
-      for (int j = 0; j < 4; ++j) {
-        W* __restrict lane = acc[j];
-        const TX* __restrict xi = x + i + j;
-        const TY* __restrict yi = y + i + j;
-        for (int c = 0; c < k; ++c)
-          lane[c] += static_cast<W>(xi[c * ldx]) * static_cast<W>(yi[c * ldy]);
+    bool tiled = false;
+    if constexpr (LX == PanelLayout::kRowMajor && LY == PanelLayout::kRowMajor) {
+      // Contiguous columns: convert each column in kTile chunks.
+      W xb[kTile], yb[kTile];
+      for (int c = 0; c < k; ++c) {
+        const TX* __restrict xc = x + static_cast<std::ptrdiff_t>(c) * ldx;
+        const TY* __restrict yc = y + static_cast<std::ptrdiff_t>(c) * ldy;
+        W a0{}, a1{}, a2{}, a3{};
+        for (std::ptrdiff_t t0 = 0; t0 < nn; t0 += kTile) {
+          const std::ptrdiff_t len = std::min(t0 + kTile, nn) - t0;
+          const W* __restrict xv = to_acc_chunk(xc + t0, xb, len);
+          const W* __restrict yv = to_acc_chunk(yc + t0, yb, len);
+          std::ptrdiff_t i = 0;
+          for (; i + 4 <= len; i += 4) {
+            a0 += xv[i] * yv[i];
+            a1 += xv[i + 1] * yv[i + 1];
+            a2 += xv[i + 2] * yv[i + 2];
+            a3 += xv[i + 3] * yv[i + 3];
+          }
+          for (; i < len; ++i) a0 += xv[i] * yv[i];  // only the final tile is ragged
+        }
+        acc[0][c] = a0;
+        acc[1][c] = a1;
+        acc[2][c] = a2;
+        acc[3][c] = a3;
+      }
+      tiled = true;
+    } else if constexpr (LX == PanelLayout::kColMajor && LY == PanelLayout::kColMajor) {
+      if (ldx == k && ldy == k) {
+        // Fully-interleaved panels covering the whole group: a block of
+        // rows is one contiguous run of rows·k elements — convert it
+        // whole.  Row tiles stay multiples of 4 so lane assignment is
+        // unchanged across chunk boundaries.
+        const std::ptrdiff_t rows = std::max<std::ptrdiff_t>(kTile / k & ~std::ptrdiff_t{3}, 4);
+        W xb[kTile], yb[kTile];
+        for (std::ptrdiff_t t0 = 0; t0 < nn; t0 += rows) {
+          const std::ptrdiff_t len = std::min(t0 + rows, nn) - t0;
+          const W* __restrict xv = to_acc_chunk(x + t0 * k, xb, len * k);
+          const W* __restrict yv = to_acc_chunk(y + t0 * k, yb, len * k);
+          std::ptrdiff_t i = 0;
+          for (; i + 4 <= len; i += 4) {
+            for (int j = 0; j < 4; ++j) {
+              W* __restrict lane = acc[j];
+              const W* __restrict xr = xv + (i + j) * k;
+              const W* __restrict yr = yv + (i + j) * k;
+              for (int c = 0; c < k; ++c) lane[c] += xr[c] * yr[c];
+            }
+          }
+          for (; i < len; ++i)
+            for (int c = 0; c < k; ++c) acc[0][c] += xv[i * k + c] * yv[i * k + c];
+        }
+        tiled = true;
       }
     }
-    for (; i < nn; ++i)
-      for (int c = 0; c < k; ++c)
-        acc[0][c] += static_cast<W>(x[c * ldx + i]) * static_cast<W>(y[c * ldy + i]);
+    if (!tiled) {
+      // Mixed layouts / strided interleave (group narrower than the panel):
+      // the generic addressed sweep — same chains, scalar conversions.
+      std::ptrdiff_t i = 0;
+      for (; i + 4 <= nn; i += 4) {
+        for (int j = 0; j < 4; ++j) {
+          W* __restrict lane = acc[j];
+          for (int c = 0; c < k; ++c)
+            lane[c] += static_cast<W>(*panel_at<LX>(x, ldx, c, i + j)) *
+                       static_cast<W>(*panel_at<LY>(y, ldy, c, i + j));
+        }
+      }
+      for (; i < nn; ++i)
+        for (int c = 0; c < k; ++c)
+          acc[0][c] += static_cast<W>(*panel_at<LX>(x, ldx, c, i)) *
+                       static_cast<W>(*panel_at<LY>(y, ldy, c, i));
+    }
     for (int c = 0; c < k; ++c)
       out[c] = (acc[0][c] + acc[1][c]) + (acc[2][c] + acc[3][c]);
   } else {
     W acc[kColsMax] = {};
     for (std::ptrdiff_t i = 0; i < nn; ++i)
       for (int c = 0; c < k; ++c)
-        acc[c] += static_cast<W>(x[c * ldx + i]) * static_cast<W>(y[c * ldy + i]);
+        acc[c] += static_cast<W>(*panel_at<LX>(x, ldx, c, i)) *
+                  static_cast<W>(*panel_at<LY>(y, ldy, c, i));
     for (int c = 0; c < k; ++c) out[c] = acc[c];
   }
 }
 
-}  // namespace block_detail
-
-/// out[c] = Σ_i x_c[i]·y_c[i] for c in [0, k), columns at stride ldx/ldy.
-/// Per column bit-identical to SINGLE-THREADED blas::dot (including the
-/// four-way fp16 unroll) at any k: only the schedule across columns
-/// differs.  `active` masks columns out entirely (their out[] untouched).
-template <class TX, class TY>
-void dot_cols(const TX* x, std::ptrdiff_t ldx, const TY* y, std::ptrdiff_t ldy, int k,
-              std::size_t n, acc_t<promote_t<TX, TY>>* out,
-              const unsigned char* active = nullptr) {
-  using W = acc_t<promote_t<TX, TY>>;
-  const std::ptrdiff_t nn = static_cast<std::ptrdiff_t>(n);
+/// Layout-pinned dispatcher behind dot_cols: greedy 16/8/4 groups with the
+/// sub-4 tails ALSO pinned (1/2/3) — previously any <4 tail fell into the
+/// dynamic <...,0> kernel, silently losing the unrolled path for odd
+/// widths like k=5,7,9,17 (the post-compaction widths a staggered batch
+/// actually produces).  Group decomposition never changes per-column
+/// results, so every width is now fully unrolled.
+template <PanelLayout LX, PanelLayout LY, class TX, class TY, class W>
+void dot_cols_dispatch(const TX* x, std::ptrdiff_t ldx, const TY* y, std::ptrdiff_t ldy,
+                       int k, std::ptrdiff_t nn, W* out, const unsigned char* active) {
   W grp[kColsMax];
-  // Greedy 16/8/4 group decomposition (dynamic only for a <4 tail), so an
-  // arbitrary width — e.g. a compacted active set — runs almost entirely
-  // in the pinned fully-unrolled kernels.
   for (int c0 = 0; c0 < k;) {
     const int kc = greedy_group(k - c0, kColsMax);
-    const TX* xg = x + static_cast<std::ptrdiff_t>(c0) * ldx;
-    const TY* yg = y + static_cast<std::ptrdiff_t>(c0) * ldy;
+    const TX* xg = LX == PanelLayout::kColMajor ? x + c0 : x + static_cast<std::ptrdiff_t>(c0) * ldx;
+    const TY* yg = LY == PanelLayout::kColMajor ? y + c0 : y + static_cast<std::ptrdiff_t>(c0) * ldy;
     // Masked columns still participate in the sweep (their chains cost a
     // few registers, and compacting would change nothing numerically);
     // only the result store honors the mask.
     switch (kc) {
-      case 4: block_detail::dot_cols_group<TX, TY, W, 4>(xg, ldx, yg, ldy, kc, nn, grp); break;
-      case 8: block_detail::dot_cols_group<TX, TY, W, 8>(xg, ldx, yg, ldy, kc, nn, grp); break;
+      case 1: dot_cols_group<LX, LY, TX, TY, W, 1>(xg, ldx, yg, ldy, kc, nn, grp); break;
+      case 2: dot_cols_group<LX, LY, TX, TY, W, 2>(xg, ldx, yg, ldy, kc, nn, grp); break;
+      case 3: dot_cols_group<LX, LY, TX, TY, W, 3>(xg, ldx, yg, ldy, kc, nn, grp); break;
+      case 4: dot_cols_group<LX, LY, TX, TY, W, 4>(xg, ldx, yg, ldy, kc, nn, grp); break;
+      case 8: dot_cols_group<LX, LY, TX, TY, W, 8>(xg, ldx, yg, ldy, kc, nn, grp); break;
       case kColsMax:
-        block_detail::dot_cols_group<TX, TY, W, kColsMax>(xg, ldx, yg, ldy, kc, nn, grp);
+        dot_cols_group<LX, LY, TX, TY, W, kColsMax>(xg, ldx, yg, ldy, kc, nn, grp);
         break;
-      default: block_detail::dot_cols_group<TX, TY, W, 0>(xg, ldx, yg, ldy, kc, nn, grp); break;
+      default: dot_cols_group<LX, LY, TX, TY, W, 0>(xg, ldx, yg, ldy, kc, nn, grp); break;
     }
     for (int c = 0; c < kc; ++c)
       if (active == nullptr || active[c0 + c]) out[c0 + c] = grp[c];
     c0 += kc;
   }
+}
+
+}  // namespace block_detail
+
+/// out[c] = Σ_i x_c[i]·y_c[i] for c in [0, k), panels addressed per
+/// lx/ly (see panel.hpp; ldx/ldy are the layout's leading dimension).
+/// Per column bit-identical to SINGLE-THREADED blas::dot (including the
+/// four-way fp16 unroll) at any k and either layout: only the schedule
+/// across columns and the addressing differ.  `active` masks columns out
+/// entirely (their out[] untouched).
+template <class TX, class TY>
+void dot_cols(const TX* x, std::ptrdiff_t ldx, const TY* y, std::ptrdiff_t ldy, int k,
+              std::size_t n, acc_t<promote_t<TX, TY>>* out,
+              const unsigned char* active = nullptr,
+              PanelLayout lx = PanelLayout::kRowMajor,
+              PanelLayout ly = PanelLayout::kRowMajor) {
+  using W = acc_t<promote_t<TX, TY>>;
+  using PL = PanelLayout;
+  const std::ptrdiff_t nn = static_cast<std::ptrdiff_t>(n);
+  if (lx == PL::kRowMajor && ly == PL::kRowMajor)
+    block_detail::dot_cols_dispatch<PL::kRowMajor, PL::kRowMajor, TX, TY, W>(
+        x, ldx, y, ldy, k, nn, out, active);
+  else if (lx == PL::kColMajor && ly == PL::kColMajor)
+    block_detail::dot_cols_dispatch<PL::kColMajor, PL::kColMajor, TX, TY, W>(
+        x, ldx, y, ldy, k, nn, out, active);
+  else if (lx == PL::kColMajor)
+    block_detail::dot_cols_dispatch<PL::kColMajor, PL::kRowMajor, TX, TY, W>(
+        x, ldx, y, ldy, k, nn, out, active);
+  else
+    block_detail::dot_cols_dispatch<PL::kRowMajor, PL::kColMajor, TX, TY, W>(
+        x, ldx, y, ldy, k, nn, out, active);
 }
 
 /// out[c] = ‖x_c‖₂ for c in [0, k): per column bit-identical to
@@ -339,13 +477,15 @@ void dot_cols(const TX* x, std::ptrdiff_t ldx, const TY* y, std::ptrdiff_t ldy, 
 /// included), followed by the same double-rounded sqrt store.
 template <class T>
 void nrm2_cols(const T* x, std::ptrdiff_t ldx, int k, std::size_t n, acc_t<T>* out,
-               const unsigned char* active = nullptr) {
+               const unsigned char* active = nullptr,
+               PanelLayout lx = PanelLayout::kRowMajor) {
   using W = acc_t<T>;
   W sq[kColsMax];
   for (int c0 = 0; c0 < k; c0 += kColsMax) {
     const int kc = std::min(k - c0, kColsMax);
-    const T* xg = x + static_cast<std::ptrdiff_t>(c0) * ldx;
-    dot_cols(xg, ldx, xg, ldx, kc, n, sq);
+    const T* xg = lx == PanelLayout::kColMajor ? x + c0
+                                               : x + static_cast<std::ptrdiff_t>(c0) * ldx;
+    dot_cols(xg, ldx, xg, ldx, kc, n, sq, nullptr, lx, lx);
     for (int c = 0; c < kc; ++c)
       if (active == nullptr || active[c0 + c])
         out[c0 + c] = static_cast<W>(std::sqrt(static_cast<double>(sq[c])));
@@ -361,9 +501,33 @@ void nrm2_cols(const T* x, std::ptrdiff_t ldx, int k, std::size_t n, acc_t<T>* o
 template <class TX, class TY, class S>
 void axpy_cols(const S* alpha, const TX* x, std::ptrdiff_t ldx, TY* yp,
                std::ptrdiff_t ldy, int k, std::size_t n,
-               const unsigned char* active = nullptr, const int* ymap = nullptr) {
+               const unsigned char* active = nullptr, const int* ymap = nullptr,
+               PanelLayout lx = PanelLayout::kRowMajor,
+               PanelLayout ly = PanelLayout::kRowMajor) {
   using W = promote_t<promote_t<TX, TY>, S>;
   const std::ptrdiff_t len = static_cast<std::ptrdiff_t>(n);
+  if (lx == PanelLayout::kColMajor || ly == PanelLayout::kColMajor) {
+    // Interleaved panels: i-outer / column-inner, unit-stride across the
+    // live columns when both sides are interleaved.  Element-local math is
+    // the row-major path's exactly (fp16 conversions are value-exact and
+    // the float→half store rounds identically to float_to_half_n), so the
+    // layouts agree bit-for-bit at any thread count.
+#pragma omp parallel for schedule(static) if (static_cast<std::ptrdiff_t>(k) * len > parallel_threshold())
+    for (std::ptrdiff_t t0 = 0; t0 < len; t0 += block_detail::kTile) {
+      const std::ptrdiff_t t1 = std::min(t0 + block_detail::kTile, len);
+      for (std::ptrdiff_t i = t0; i < t1; ++i) {
+        for (int c = 0; c < k; ++c) {
+          if (active != nullptr && !active[c]) continue;
+          const std::ptrdiff_t yc = ymap != nullptr ? ymap[c] : c;
+          const TX xv = *panel_at(x, ldx, lx, c, i);
+          TY* y = panel_at(yp, ldy, ly, yc, i);
+          *y = static_cast<TY>(static_cast<W>(*y) +
+                               static_cast<W>(alpha[c]) * static_cast<W>(xv));
+        }
+      }
+    }
+    return;
+  }
 #pragma omp parallel for schedule(static) if (static_cast<std::ptrdiff_t>(k) * len > parallel_threshold())
   for (std::ptrdiff_t t0 = 0; t0 < len; t0 += block_detail::kTile) {
     const std::ptrdiff_t tl = std::min(t0 + block_detail::kTile, len) - t0;
@@ -397,9 +561,28 @@ void axpy_cols(const S* alpha, const TX* x, std::ptrdiff_t ldx, TY* yp,
 template <class TX, class TY, class S>
 void axpby_cols(const S* alpha, const TX* x, std::ptrdiff_t ldx, const S* beta, TY* yp,
                 std::ptrdiff_t ldy, int k, std::size_t n,
-                const unsigned char* active = nullptr) {
+                const unsigned char* active = nullptr,
+                PanelLayout lx = PanelLayout::kRowMajor,
+                PanelLayout ly = PanelLayout::kRowMajor) {
   using W = promote_t<promote_t<TX, TY>, S>;
   const std::ptrdiff_t len = static_cast<std::ptrdiff_t>(n);
+  if (lx == PanelLayout::kColMajor || ly == PanelLayout::kColMajor) {
+    // Interleaved variant — see axpy_cols.
+#pragma omp parallel for schedule(static) if (static_cast<std::ptrdiff_t>(k) * len > parallel_threshold())
+    for (std::ptrdiff_t t0 = 0; t0 < len; t0 += block_detail::kTile) {
+      const std::ptrdiff_t t1 = std::min(t0 + block_detail::kTile, len);
+      for (std::ptrdiff_t i = t0; i < t1; ++i) {
+        for (int c = 0; c < k; ++c) {
+          if (active != nullptr && !active[c]) continue;
+          TY* y = panel_at(yp, ldy, ly, c, i);
+          *y = static_cast<TY>(static_cast<W>(alpha[c]) *
+                                   static_cast<W>(*panel_at(x, ldx, lx, c, i)) +
+                               static_cast<W>(beta[c]) * static_cast<W>(*y));
+        }
+      }
+    }
+    return;
+  }
 #pragma omp parallel for schedule(static) if (static_cast<std::ptrdiff_t>(k) * len > parallel_threshold())
   for (std::ptrdiff_t t0 = 0; t0 < len; t0 += block_detail::kTile) {
     const std::ptrdiff_t tl = std::min(t0 + block_detail::kTile, len) - t0;

@@ -18,7 +18,7 @@
 #include <string>
 #include <type_traits>
 
-#if defined(__F16C__)
+#if defined(__F16C__) || defined(__AVX512F__)
 #include <immintrin.h>
 #endif
 
@@ -117,14 +117,22 @@ double unit_roundoff(Prec p) noexcept;
 // GCC 12's vectorizer has no vector type for _Float16 → float statements
 // ("missed: no vectype"), so a plain conversion loop compiles to scalar
 // vcvtsh2ss whose destination-register merge serializes the whole loop.
-// These helpers issue the 8-wide F16C forms (vcvtph2ps / vcvtps2ph) by
-// hand; without F16C they degrade to the scalar loop.  Round-to-nearest-
-// even on both directions — identical results to the scalar casts.
+// These helpers issue the 16-wide AVX-512F forms when compiled for such a
+// target, else the 8-wide F16C forms (vcvtph2ps / vcvtps2ph); without
+// either they degrade to the scalar loop.  Round-to-nearest-even on both
+// directions at every width — identical results to the scalar casts, so
+// width selection is purely a speed choice and needs no dispatch gate.
 // ---------------------------------------------------------------------------
 
 /// dst[i] = float(src[i]) for i < n.
 inline void half_to_float_n(const half* src, float* dst, std::ptrdiff_t n) {
   std::ptrdiff_t i = 0;
+#if defined(__AVX512F__)
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm512_storeu_ps(dst + i, _mm512_cvtph_ps(h));
+  }
+#endif
 #if defined(__F16C__)
   for (; i + 8 <= n; i += 8) {
     const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
@@ -137,6 +145,12 @@ inline void half_to_float_n(const half* src, float* dst, std::ptrdiff_t n) {
 /// dst[i] = half(src[i]) for i < n (round to nearest even).
 inline void float_to_half_n(const float* src, half* dst, std::ptrdiff_t n) {
   std::ptrdiff_t i = 0;
+#if defined(__AVX512F__)
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h = _mm512_cvtps_ph(_mm512_loadu_ps(src + i), _MM_FROUND_TO_NEAREST_INT);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), h);
+  }
+#endif
 #if defined(__F16C__)
   for (; i + 8 <= n; i += 8) {
     const __m128i h = _mm256_cvtps_ph(_mm256_loadu_ps(src + i), _MM_FROUND_TO_NEAREST_INT);
@@ -150,6 +164,12 @@ inline void float_to_half_n(const float* src, half* dst, std::ptrdiff_t n) {
 /// kernels apply between fused updates.
 inline void round_half_n(float* x, std::ptrdiff_t n) {
   std::ptrdiff_t i = 0;
+#if defined(__AVX512F__)
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h = _mm512_cvtps_ph(_mm512_loadu_ps(x + i), _MM_FROUND_TO_NEAREST_INT);
+    _mm512_storeu_ps(x + i, _mm512_cvtph_ps(h));
+  }
+#endif
 #if defined(__F16C__)
   for (; i + 8 <= n; i += 8) {
     const __m128i h = _mm256_cvtps_ph(_mm256_loadu_ps(x + i), _MM_FROUND_TO_NEAREST_INT);

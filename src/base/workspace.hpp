@@ -36,10 +36,20 @@
 // matrix is exactly the intended pattern.  The workspace is not
 // thread-safe; share one per solver pipeline, not across
 // concurrently-solving pipelines.
+// NUMA: freshly grown slab bytes are first-touch initialized by a static
+// OpenMP sweep whose contiguous per-thread slices match the static
+// scheduling of every kernel that later reads the buffer, so on a
+// first-touch NUMA system each page lands on the node of the thread that
+// will stream it.  (Serial memset placed every page on the calling
+// thread's node — the classic remote-traffic trap for the batched panels.)
+// Zero-filling is observationally identical either way, so this is purely
+// a placement change; NKRYLOV_FIRST_TOUCH=0 restores the serial memset.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -48,7 +58,35 @@
 #include <string>
 #include <string_view>
 
+#include "base/panel.hpp"
+
 namespace nk {
+
+namespace workspace_detail {
+
+/// Parallel first-touch zero of [p, p+bytes): contiguous per-thread slices
+/// under schedule(static), exactly the slice shape the BLAS/SpMM kernels'
+/// `parallel for schedule(static)` sweeps assign.  Tiny or env-disabled
+/// fills fall back to one memset.
+inline void first_touch_zero(std::byte* p, std::size_t bytes) {
+  static const bool enabled = [] {
+    const char* e = std::getenv("NKRYLOV_FIRST_TOUCH");
+    return e == nullptr || (std::string_view(e) != "0" && std::string_view(e) != "off");
+  }();
+  constexpr std::size_t kChunk = 1 << 16;  // per-slice granule: page-multiple
+  if (!enabled || bytes < 2 * kChunk) {
+    std::memset(p, 0, bytes);
+    return;
+  }
+  const std::ptrdiff_t nchunks = static_cast<std::ptrdiff_t>((bytes + kChunk - 1) / kChunk);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t c = 0; c < nchunks; ++c) {
+    const std::size_t off = static_cast<std::size_t>(c) * kChunk;
+    std::memset(p + off, 0, std::min(kChunk, bytes - off));
+  }
+}
+
+}  // namespace workspace_detail
 
 class SolverWorkspace {
  public:
@@ -72,7 +110,7 @@ class SolverWorkspace {
       SlabPtr grown(static_cast<std::byte*>(
           ::operator new(need, std::align_val_t{kSlabAlign})));
       if (slab.size > 0) std::memcpy(grown.get(), slab.mem.get(), slab.size);
-      std::memset(grown.get() + slab.size, 0, need - slab.size);
+      workspace_detail::first_touch_zero(grown.get() + slab.size, need - slab.size);
       slab.mem = std::move(grown);
       slab.size = need;
       ++allocations_;
@@ -100,6 +138,12 @@ class SolverWorkspace {
     allocations_ = 0;
   }
 
+  /// Default layout for the batched panels solvers carve out of this
+  /// workspace.  Solvers whose spec leaves the layout unset inherit this;
+  /// an explicit `;layout=` spec option overrides per solver.
+  [[nodiscard]] PanelLayout panel_layout() const { return panel_layout_; }
+  void set_panel_layout(PanelLayout l) { panel_layout_ = l; }
+
  private:
   struct AlignedDelete {
     void operator()(std::byte* p) const noexcept {
@@ -116,6 +160,7 @@ class SolverWorkspace {
   // use, and key count is small (a handful of buffers per solver level).
   std::map<std::string, Slab, std::less<>> slabs_;
   std::uint64_t allocations_ = 0;
+  PanelLayout panel_layout_ = PanelLayout::kRowMajor;
 };
 
 }  // namespace nk

@@ -2,11 +2,24 @@
 
 namespace nk {
 
+namespace {
+
+/// The spec's `;layout=` option doubles as the session workspace default,
+/// so solvers that resolve their layout from the workspace (nested tuples,
+/// FGMRES gather panels) honor it too.
+std::unique_ptr<SolverWorkspace> make_session_workspace(const SolverSpec& spec) {
+  auto ws = std::make_unique<SolverWorkspace>();
+  if (spec.layout.has_value()) ws->set_panel_layout(*spec.layout);
+  return ws;
+}
+
+}  // namespace
+
 Session::Session(std::shared_ptr<const PreparedProblem> p, const SolverSpec& spec)
     : p_(std::move(p)),
       spec_(spec),
       m_(registry().make_precond(spec.precond, *p_)),
-      ws_(std::make_unique<SolverWorkspace>()),
+      ws_(make_session_workspace(spec)),
       engine_(registry().make_solver(spec_, *p_, m_, ws_.get())) {}
 
 Session::Session(std::shared_ptr<const PreparedProblem> p, const SolverSpec& spec,
@@ -14,7 +27,7 @@ Session::Session(std::shared_ptr<const PreparedProblem> p, const SolverSpec& spe
     : p_(std::move(p)),
       spec_(spec),
       m_(std::move(m)),
-      ws_(std::make_unique<SolverWorkspace>()),
+      ws_(make_session_workspace(spec)),
       engine_(registry().make_solver(spec_, *p_, m_, ws_.get())) {}
 
 Session::Session(std::shared_ptr<const PreparedProblem> p, NestedConfig cfg,

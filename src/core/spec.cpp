@@ -148,6 +148,15 @@ void apply_option(const Option& o, SolverSpec* s, PrecondSpec* pc) {
       s->record_history = false;
       return;
     }
+    if (o.key == "layout") {
+      const std::string v = require_value(o);
+      const auto l = parse_panel_layout(v);
+      if (!l.has_value())
+        throw SpecError("bad value '" + v +
+                        "' for spec option layout (expected rowmajor|colmajor)");
+      s->layout = *l;
+      return;
+    }
   }
   if (o.key == "nblocks") {
     pc->nblocks = parse_int_opt(o.key, require_value(o), 0);
@@ -163,7 +172,7 @@ void apply_option(const Option& o, SolverSpec* s, PrecondSpec* pc) {
   }
   throw SpecError("unknown spec option '" + o.key +
                   (s != nullptr
-                       ? "' (solver: rtol max-iters restarts wave masked nohist; "
+                       ? "' (solver: rtol max-iters restarts wave masked nohist layout; "
                          "preconditioner: nblocks omega degree)"
                        : "' (preconditioner options: nblocks omega degree)"));
 }
@@ -293,6 +302,7 @@ std::string SolverSpec::to_string() const {
   if (!record_history) s += ";nohist";
   if (wave != def.wave) s += ";wave=" + std::to_string(wave);
   if (!compact) s += ";masked";
+  if (layout.has_value()) s += std::string(";layout=") + panel_layout_name(*layout);
   if (precond.nblocks != pdef.nblocks) s += ";nblocks=" + std::to_string(precond.nblocks);
   if (precond.omega != pdef.omega) s += ";omega=" + fmt_double(precond.omega);
   if (precond.degree != pdef.degree) s += ";degree=" + std::to_string(precond.degree);

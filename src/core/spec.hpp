@@ -21,7 +21,8 @@
 //   option       := key '=' value | flag
 //   prec         := fp64 | fp32 | fp16
 //
-// Solver options: rtol=, max-iters=, restarts=, wave=, masked, nohist.
+// Solver options: rtol=, max-iters=, restarts=, wave=, masked, nohist,
+// layout= (rowmajor|colmajor survivor-panel storage; base/panel.hpp).
 // Preconditioner options: nblocks=, omega=, degree=.  max-iters= caps the
 // flat solvers; the nested kinds bound their outer work by restarts=
 // instead (the outer FGMRES runs at most (restarts+1)·m1 iterations) and
@@ -49,6 +50,7 @@
 #include <string>
 
 #include "base/half.hpp"
+#include "base/panel.hpp"
 
 namespace nk {
 
@@ -92,6 +94,10 @@ struct SolverSpec {
   // Batching (solve_many scheduling; see CgSolver).
   int wave = 0;              ///< ragged-wave width (0 = whole batch at once)
   bool compact = true;       ///< false = masked-lockstep A/B reference path
+  /// Survivor-panel layout for the batched solvers ("layout=rowmajor" /
+  /// "layout=colmajor"; see base/panel.hpp).  Unset = the workspace default
+  /// (row-major).  Iterates are bit-identical across layouts.
+  std::optional<PanelLayout> layout;
 
   PrecondSpec precond;       ///< the primary preconditioner M
 

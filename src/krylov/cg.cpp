@@ -106,6 +106,19 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
   auto map = w.get<int>(key_ + ".bat.map", ww);  // slot → original column
   const std::ptrdiff_t nld = static_cast<std::ptrdiff_t>(n_);
 
+  // Survivor-panel layout (base/panel.hpp): row-major columns (the seed
+  // layout, single-column spans free) or interleaved columns (unit-stride
+  // across the live set for every width-na kernel).  Addressing only —
+  // per-column operation order is identical, so iterates match solve() to
+  // the bit under either layout.
+  const PanelLayout lay = cfg_.layout.value_or(w.panel_layout());
+  const bool ilv = lay == PanelLayout::kColMajor;
+  const std::ptrdiff_t pld = ilv ? static_cast<std::ptrdiff_t>(W) : nld;
+  // Interleaved panels have no contiguous columns, so single-column work
+  // (residual/preconditioner applies in init_slot) stages through scratch.
+  std::span<VT> scr;
+  if (ilv) scr = w.get<VT>(key_ + ".bat.scr", 2 * n_);
+
   auto col = [&](std::span<VT> blk, int j) {
     return std::span<VT>(blk.data() + static_cast<std::size_t>(j) * n_, n_);
   };
@@ -131,19 +144,36 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
     const double bnorm = static_cast<double>(red[j]);
     bref[j] = bnorm > 0.0 ? bnorm : 1.0;
     target[j] = cfg_.rtol * bref[j];
+    // Interleaved panels: build r/z in contiguous scratch (the same values
+    // the row-major path writes into the panel columns — exact copies on
+    // the scatter), so the single-column residual/apply/reductions below
+    // are the row-major path's operations verbatim.
+    VT* r0 = ilv ? scr.data() : cptr(R, j);
     a_->residual(std::span<const VT>(b + static_cast<std::ptrdiff_t>(c) * ldb, n_),
                  std::span<const VT>(x + static_cast<std::ptrdiff_t>(c) * ldx, n_),
-                 col(R, j));
-    blas::nrm2_cols(cptr(R, j), nld, 1, n_, &red[j]);
+                 std::span<VT>(r0, n_));
+    blas::nrm2_cols(r0, nld, 1, n_, &red[j]);
     const double rnorm = static_cast<double>(red[j]);
     if (cfg_.record_history) res[c].history.push_back(rnorm / bref[j]);
     if (rnorm <= target[j]) {
       res[c].converged = true;
       return false;
     }
-    m_->apply(ccol(R, j), col(Z, j));
-    blas::copy(ccol(Z, j), col(P, j));
-    blas::dot_cols(cptr(R, j), nld, cptr(Z, j), nld, 1, n_, &rz[j]);
+    const std::ptrdiff_t nn = nld;
+    if (ilv) {
+      VT* z0 = scr.data() + n_;
+      m_->apply(std::span<const VT>(r0, n_), std::span<VT>(z0, n_));
+      blas::dot_cols(r0, nld, z0, nld, 1, n_, &rz[j]);
+      // Scatter r into R_j and z into P_j (Z is pass-local: rewritten by
+      // the trailing preconditioner sweep before any read, so it needs no
+      // initialization here).
+      panel_copy_col(r0, nld, PanelLayout::kRowMajor, 0, R.data(), pld, lay, j, nn);
+      panel_copy_col(z0, nld, PanelLayout::kRowMajor, 0, P.data(), pld, lay, j, nn);
+    } else {
+      m_->apply(ccol(R, j), col(Z, j));
+      blas::copy(ccol(Z, j), col(P, j));
+      blas::dot_cols(cptr(R, j), nld, cptr(Z, j), nld, 1, n_, &rz[j]);
+    }
     return true;
   };
   auto refill = [&]() {
@@ -156,9 +186,15 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
   // the one mid-pass retirement site (the pq breakdown check), so it moves.
   auto move_slot = [&](int dst, int src) {
     if (dst == src) return;
-    blas::copy(ccol(R, src), col(R, dst));
-    blas::copy(ccol(P, src), col(P, dst));
-    blas::copy(ccol(Q, src), col(Q, dst));
+    if (ilv) {
+      panel_copy_col(R.data(), pld, lay, src, R.data(), pld, lay, dst, nld);
+      panel_copy_col(P.data(), pld, lay, src, P.data(), pld, lay, dst, nld);
+      panel_copy_col(Q.data(), pld, lay, src, Q.data(), pld, lay, dst, nld);
+    } else {
+      blas::copy(ccol(R, src), col(R, dst));
+      blas::copy(ccol(P, src), col(P, dst));
+      blas::copy(ccol(Q, src), col(Q, dst));
+    }
     rz[dst] = rz[src];
     red[dst] = red[src];
     target[dst] = target[src];
@@ -181,8 +217,8 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
     refill();
     if (na == 0) break;
 
-    a_->apply_many(P.data(), nld, Q.data(), nld, na);
-    blas::dot_cols(P.data(), nld, Q.data(), nld, na, n_, red.data());
+    a_->apply_many_layout(P.data(), pld, Q.data(), pld, na, lay, lay);
+    blas::dot_cols(P.data(), pld, Q.data(), pld, na, n_, red.data(), nullptr, lay, lay);
     for (int j = 0; j < na;) {
       const int it = ++itc[j];
       const S pq = red[j];
@@ -200,9 +236,11 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
 
     // x_{map[j]} += α_j p_j (scattered through the index map into caller
     // columns); r_j −= α_j q_j.
-    blas::axpy_cols(alpha.data(), P.data(), nld, x, ldx, na, n_, nullptr, map.data());
-    blas::axpy_cols(nalpha.data(), Q.data(), nld, R.data(), nld, na, n_);
-    blas::nrm2_cols(R.data(), nld, na, n_, red.data());
+    blas::axpy_cols(alpha.data(), P.data(), pld, x, ldx, na, n_, nullptr, map.data(), lay,
+                    PanelLayout::kRowMajor);
+    blas::axpy_cols(nalpha.data(), Q.data(), pld, R.data(), pld, na, n_, nullptr, nullptr,
+                    lay, lay);
+    blas::nrm2_cols(R.data(), pld, na, n_, red.data(), nullptr, lay);
     for (int j = 0; j < na;) {
       const int c = map[j];
       const double rnorm = static_cast<double>(red[j]);
@@ -223,14 +261,15 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
 
     // The trailing preconditioner apply and direction update run even on a
     // column's final iteration, exactly as solve()'s loop body does.
-    m_->apply_many(R.data(), nld, Z.data(), nld, na);
-    blas::dot_cols(R.data(), nld, Z.data(), nld, na, n_, red.data());
+    m_->apply_many_layout(R.data(), pld, Z.data(), pld, na, lay);
+    blas::dot_cols(R.data(), pld, Z.data(), pld, na, n_, red.data(), nullptr, lay, lay);
     for (int j = 0; j < na; ++j) {
       beta[j] = red[j] / rz[j];
       rz[j] = red[j];
     }
     // p_j = z_j + β_j p_j.
-    blas::axpby_cols(ones.data(), Z.data(), nld, beta.data(), P.data(), nld, na, n_);
+    blas::axpby_cols(ones.data(), Z.data(), pld, beta.data(), P.data(), pld, na, n_,
+                     nullptr, lay, lay);
   }
 }
 

@@ -37,10 +37,12 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "base/panel.hpp"
 #include "base/workspace.hpp"
 #include "krylov/history.hpp"
 #include "krylov/operator.hpp"
@@ -60,6 +62,12 @@ class CgSolver {
     /// reference path (full-width kernels, per-column apply fallback),
     /// kept for A/B benching.  Iterates are bit-identical either way.
     bool compact = true;
+    /// Storage layout of the compact scheduler's survivor panels (see
+    /// base/panel.hpp): kColMajor interleaves the live columns so every
+    /// width-na kernel streams unit-stride over exactly the active set.
+    /// Unset = the workspace's panel_layout() default.  Per-column
+    /// operation order is preserved — iterates are bit-identical.
+    std::optional<PanelLayout> layout;
   };
 
   /// Deferred-setup construction (no allocation until setup()).

@@ -1,0 +1,106 @@
+// Tests for the panel-layout helpers (base/panel.hpp): addressing under
+// both layouts, exact column copies across every layout combination, the
+// whole-panel transposing copy, and the spec-grammar name round-trip.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "base/panel.hpp"
+#include "base/rng.hpp"
+
+namespace nk {
+namespace {
+
+TEST(PanelLayout, NameAndParseRoundTrip) {
+  for (PanelLayout l : {PanelLayout::kRowMajor, PanelLayout::kColMajor}) {
+    const auto parsed = parse_panel_layout(panel_layout_name(l));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, l);
+  }
+  EXPECT_FALSE(parse_panel_layout("columnmajor").has_value());
+  EXPECT_FALSE(parse_panel_layout("").has_value());
+  EXPECT_FALSE(parse_panel_layout("RowMajor").has_value());
+}
+
+TEST(PanelAt, AddressesMatchLayoutDefinition) {
+  // 3 columns of length 4; row-major ld = 4 (column stride), colmajor
+  // ld = 3 (row stride).
+  std::vector<int> rm(12), cm(12);
+  for (int c = 0; c < 3; ++c)
+    for (int i = 0; i < 4; ++i) {
+      rm[static_cast<std::size_t>(c) * 4 + static_cast<std::size_t>(i)] = 10 * c + i;
+      cm[static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(c)] = 10 * c + i;
+    }
+  for (int c = 0; c < 3; ++c)
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(*panel_at<PanelLayout::kRowMajor>(rm.data(), 4, c, i), 10 * c + i);
+      EXPECT_EQ(*panel_at<PanelLayout::kColMajor>(cm.data(), 3, c, i), 10 * c + i);
+      EXPECT_EQ(*panel_at(rm.data(), 4, PanelLayout::kRowMajor, c, i), 10 * c + i);
+      EXPECT_EQ(*panel_at(cm.data(), 3, PanelLayout::kColMajor, c, i), 10 * c + i);
+    }
+}
+
+TEST(PanelCopyCol, ExactAcrossAllLayoutCombinations) {
+  const std::ptrdiff_t n = 257;  // odd: exercises strided tails
+  const int k = 5;
+  const auto src_d = random_vector<double>(static_cast<std::size_t>(n) * k, 7, -1.0, 1.0);
+  for (PanelLayout ls : {PanelLayout::kRowMajor, PanelLayout::kColMajor}) {
+    for (PanelLayout ld : {PanelLayout::kRowMajor, PanelLayout::kColMajor}) {
+      const std::ptrdiff_t lds = ls == PanelLayout::kColMajor ? k : n;
+      const std::ptrdiff_t ldd = ld == PanelLayout::kColMajor ? k : n;
+      std::vector<double> src(static_cast<std::size_t>(n) * k);
+      for (int c = 0; c < k; ++c)
+        for (std::ptrdiff_t i = 0; i < n; ++i)
+          *panel_at(src.data(), lds, ls, c, i) =
+              src_d[static_cast<std::size_t>(c) * static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(i)];
+      std::vector<double> dst(static_cast<std::size_t>(n) * k, -99.0);
+      // Copy column 3 of src into column 1 of dst; every other dst element
+      // must stay untouched.
+      panel_copy_col(src.data(), lds, ls, 3, dst.data(), ldd, ld, 1, n);
+      for (int c = 0; c < k; ++c)
+        for (std::ptrdiff_t i = 0; i < n; ++i) {
+          const double got = *panel_at(dst.data(), ldd, ld, c, i);
+          if (c == 1)
+            EXPECT_EQ(got, src_d[3 * static_cast<std::size_t>(n) +
+                                 static_cast<std::size_t>(i)])
+                << "ls=" << panel_layout_name(ls) << " ld=" << panel_layout_name(ld)
+                << " i=" << i;
+          else
+            EXPECT_EQ(got, -99.0) << "c=" << c << " i=" << i;
+        }
+    }
+  }
+}
+
+TEST(PanelCopy, TransposeRoundTripIsIdentity) {
+  // Large enough to cross panel_copy's OpenMP threshold (k·n > 2^16).
+  const std::ptrdiff_t n = 20000;
+  const int k = 7;
+  const auto src = random_vector<double>(static_cast<std::size_t>(n) * k, 8, -1.0, 1.0);
+  std::vector<double> cm(src.size()), back(src.size(), 0.0);
+  panel_copy(src.data(), n, PanelLayout::kRowMajor, cm.data(), k, PanelLayout::kColMajor,
+             k, n);
+  panel_copy(cm.data(), k, PanelLayout::kColMajor, back.data(), n, PanelLayout::kRowMajor,
+             k, n);
+  for (std::size_t i = 0; i < src.size(); ++i) ASSERT_EQ(back[i], src[i]) << "i=" << i;
+  // Spot-check the interleaving itself.
+  for (int c = 0; c < k; ++c)
+    for (std::ptrdiff_t i : {std::ptrdiff_t{0}, std::ptrdiff_t{1}, n - 1})
+      EXPECT_EQ(cm[static_cast<std::size_t>(i) * k + static_cast<std::size_t>(c)],
+                src[static_cast<std::size_t>(c) * static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(i)]);
+}
+
+TEST(PanelCopy, ZeroLengthAndZeroColumnsAreNoops) {
+  std::vector<double> src(8, 1.0), dst(8, 2.0);
+  panel_copy(src.data(), 4, PanelLayout::kRowMajor, dst.data(), 2, PanelLayout::kColMajor,
+             2, 0);
+  panel_copy(src.data(), 4, PanelLayout::kRowMajor, dst.data(), 2, PanelLayout::kColMajor,
+             0, 4);
+  for (double v : dst) EXPECT_EQ(v, 2.0);
+}
+
+}  // namespace
+}  // namespace nk

@@ -1,0 +1,139 @@
+// Tests for the native AVX-512 FP16 kernels (base/simd_fp16.hpp): the
+// documented numerical tiers against F16C-style references computed in
+// fp32, the issue's edge sizes (plus the 32-lane boundary), and the
+// dispatch gate's invariants.  Skipped wholesale on builds/CPUs without
+// the feature — the stubs are unreachable there by construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "base/blas1.hpp"
+#include "base/rng.hpp"
+#include "base/simd_fp16.hpp"
+
+namespace nk {
+namespace {
+
+// Edge sizes: empty, single, sub-vector, the 32-lane boundary and its
+// neighbors, and 4k+3 (vector body + scalar tail).
+const std::vector<std::size_t> kSizes = {0, 1, 3, 31, 32, 33, 4099};
+
+// 1 ulp_h at magnitude <= 2, the documented scal/axpy tier (the alphas
+// below are exactly representable in binary16, so no alpha-rounding term).
+constexpr double kUlpH = 2e-3;
+
+std::vector<half> half_vector(std::size_t n, std::uint64_t seed) {
+  const auto d = random_vector<double>(n + 1, seed, -1.0, 1.0);
+  std::vector<half> h(n);
+  for (std::size_t i = 0; i < n; ++i) h[i] = static_cast<half>(d[i]);
+  return h;
+}
+
+bool native_available() {
+  return simd_fp16::compiled() && simd_fp16::cpu_supported();
+}
+
+TEST(SimdFp16, DispatchGateImpliesCompiledAndCpu) {
+  // enabled() may additionally require the env opt-in, but must never claim
+  // the native kernels on a build/CPU that cannot run them.
+  if (simd_fp16::enabled()) {
+    EXPECT_TRUE(simd_fp16::compiled());
+    EXPECT_TRUE(simd_fp16::cpu_supported());
+  }
+  EXPECT_EQ(simd_fp16::enabled(), simd_fp16::enabled());  // cached: stable
+}
+
+TEST(SimdFp16, ScalWithinOneUlpOfFp32Reference) {
+  if (!native_available()) GTEST_SKIP() << "avx512fp16 not available";
+  const float a = 0.75f;  // exact in binary16
+  for (std::size_t n : kSizes) {
+    std::vector<half> x = half_vector(n, 101), ref = x;
+    // F16C-path reference: compute in fp32, round once at the store.
+    for (std::size_t i = 0; i < n; ++i)
+      ref[i] = static_cast<half>(a * static_cast<float>(ref[i]));
+    simd_fp16::scal_n(static_cast<half>(a), x.data(), static_cast<std::ptrdiff_t>(n));
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(static_cast<double>(x[i]), static_cast<double>(ref[i]), kUlpH)
+          << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(SimdFp16, AxpyWithinOneUlpOfFp32Reference) {
+  if (!native_available()) GTEST_SKIP() << "avx512fp16 not available";
+  const float a = 0.125f;  // exact in binary16
+  for (std::size_t n : kSizes) {
+    const std::vector<half> x = half_vector(n, 102);
+    std::vector<half> y = half_vector(n, 103), ref = y;
+    for (std::size_t i = 0; i < n; ++i)
+      ref[i] = static_cast<half>(a * static_cast<float>(x[i]) +
+                                 static_cast<float>(ref[i]));
+    simd_fp16::axpy_n(static_cast<half>(a), x.data(), y.data(),
+                      static_cast<std::ptrdiff_t>(n));
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(static_cast<double>(y[i]), static_cast<double>(ref[i]), kUlpH)
+          << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(SimdFp16, DotWithinFp32AccumulationBound) {
+  if (!native_available()) GTEST_SKIP() << "avx512fp16 not available";
+  for (std::size_t n : kSizes) {
+    const std::vector<half> x = half_vector(n, 104), y = half_vector(n, 105);
+    double ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      ref += static_cast<double>(static_cast<float>(x[i])) *
+             static_cast<double>(static_cast<float>(y[i]));
+    const float got =
+        simd_fp16::dot_n(x.data(), y.data(), static_cast<std::ptrdiff_t>(n));
+    // Products are exact in fp32; only the 32-lane reassociated fp32 sum
+    // differs from the serial double reference.
+    EXPECT_NEAR(static_cast<double>(got), ref,
+                1e-6 * static_cast<double>(n + 1) * std::max(1.0, std::abs(ref)))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdFp16, ZeroLengthIsNoop) {
+  if (!native_available()) GTEST_SKIP() << "avx512fp16 not available";
+  half sentinel = static_cast<half>(7.0f);
+  simd_fp16::scal_n(static_cast<half>(2.0f), &sentinel, 0);
+  EXPECT_EQ(static_cast<float>(sentinel), 7.0f);
+  half y = sentinel;
+  simd_fp16::axpy_n(static_cast<half>(2.0f), &sentinel, &y, 0);
+  EXPECT_EQ(static_cast<float>(y), 7.0f);
+  EXPECT_EQ(simd_fp16::dot_n(&sentinel, &y, 0), 0.0f);
+}
+
+// The blas:: fp16 entry points must agree with their own dispatch choice:
+// whatever enabled() selects, results stay within the native-vs-F16C tier
+// of a pure-fp32 reference.  (Catches a dispatch that mixes kernels
+// mid-vector or chunks with the wrong boundary.)
+TEST(SimdFp16, BlasEntryPointsConsistentUnderDispatch) {
+  for (std::size_t n : kSizes) {
+    const std::vector<half> x = half_vector(n, 106);
+    std::vector<half> y = half_vector(n, 107);
+    std::vector<half> yref = y;
+    const float a = 0.25f;
+    for (std::size_t i = 0; i < n; ++i)
+      yref[i] = static_cast<half>(a * static_cast<float>(x[i]) +
+                                  static_cast<float>(yref[i]));
+    blas::axpy(a, std::span<const half>(x), std::span<half>(y));
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(static_cast<double>(y[i]), static_cast<double>(yref[i]), kUlpH)
+          << "n=" << n << " i=" << i;
+
+    double dref = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      dref += static_cast<double>(static_cast<float>(x[i])) *
+              static_cast<double>(static_cast<float>(y[i]));
+    const float dot = blas::dot(std::span<const half>(x), std::span<const half>(y));
+    EXPECT_NEAR(static_cast<double>(dot), dref,
+                1e-6 * static_cast<double>(n + 1) * std::max(1.0, std::abs(dref)))
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace nk

@@ -93,6 +93,32 @@ TEST(SolverWorkspace, SlabsAreCacheLineAligned) {
     check(ws.get<double>("grow", static_cast<std::size_t>(round) * 37).data());
 }
 
+TEST(SolverWorkspace, PanelLayoutDefaultAndSet) {
+  // The workspace default is what solvers use when SolverSpec.layout is
+  // unset; it must start row-major (the seed behavior) and stick once set.
+  SolverWorkspace ws;
+  EXPECT_EQ(ws.panel_layout(), PanelLayout::kRowMajor);
+  ws.set_panel_layout(PanelLayout::kColMajor);
+  EXPECT_EQ(ws.panel_layout(), PanelLayout::kColMajor);
+  ws.release();  // releasing slabs does not reset the layout preference
+  EXPECT_EQ(ws.panel_layout(), PanelLayout::kColMajor);
+}
+
+TEST(SolverWorkspace, LargeSlabsAreZeroedThroughFirstTouch) {
+  // Big enough to span many 64 KiB first-touch chunks and engage the
+  // parallel path on multi-thread runs; every byte must still be zero.
+  SolverWorkspace ws;
+  auto a = ws.get<double>("big", 1 << 18);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], 0.0) << i;
+  // Growth first-touches only the new tail; content survives, tail is zero.
+  for (std::size_t i = 0; i < 64; ++i) a[i] = 1.0;
+  auto b = ws.get<double>("big", 1 << 19);
+  for (std::size_t i = 0; i < 64; ++i) ASSERT_EQ(b[i], 1.0) << i;
+  for (std::size_t i = 64; i < (std::size_t{1} << 18); ++i) ASSERT_EQ(b[i], 0.0) << i;
+  for (std::size_t i = std::size_t{1} << 18; i < b.size(); ++i)
+    ASSERT_EQ(b[i], 0.0) << i;
+}
+
 TEST(SolverWorkspace, GrowthPreservesContentAndZeroesTail) {
   SolverWorkspace ws;
   auto a = ws.get<double>("v", 8);

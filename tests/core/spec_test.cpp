@@ -50,6 +50,28 @@ TEST(Spec, ParsePopulatesEveryField) {
   EXPECT_EQ(SolverSpec::parse(s.to_string()), s);
 }
 
+TEST(Spec, LayoutOptionRoundTripsAndDefaultsUnset) {
+  // layout= selects the survivor-panel storage; unset (the default) defers
+  // to the workspace, and to_string omits it so old spec strings re-render
+  // unchanged.
+  EXPECT_FALSE(SolverSpec::parse("cg").layout.has_value());
+
+  const SolverSpec cm = SolverSpec::parse("cg;layout=colmajor");
+  ASSERT_TRUE(cm.layout.has_value());
+  EXPECT_EQ(*cm.layout, PanelLayout::kColMajor);
+  EXPECT_EQ(cm.to_string(), "cg;layout=colmajor");
+  EXPECT_EQ(SolverSpec::parse(cm.to_string()), cm);
+
+  const SolverSpec rm = SolverSpec::parse("bicgstab;layout=rowmajor;wave=8");
+  ASSERT_TRUE(rm.layout.has_value());
+  EXPECT_EQ(*rm.layout, PanelLayout::kRowMajor);
+  EXPECT_EQ(SolverSpec::parse(rm.to_string()), rm);
+
+  EXPECT_THROW(SolverSpec::parse("cg;layout=diagonal"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;layout="), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;layout"), SpecError);
+}
+
 TEST(Spec, LegacyPaperNamesAreAliases) {
   EXPECT_EQ(SolverSpec::parse("fp16-F3R"), SolverSpec::parse("f3r@fp16"));
   EXPECT_EQ(SolverSpec::parse("fp32-CG"), SolverSpec::parse("cg@fp32"));

@@ -13,11 +13,22 @@ and fails when a fresh ratio exceeds the committed ratio by more than the
 pair's tolerance.  Microsecond-scale BLAS-1/Arnoldi micro-kernel pairs get
 2x the base tolerance (their timings carry real run-to-run variance even
 min-of-N on one machine); the millisecond-to-second SpMM and batched-solve
-pairs use the base tolerance (default 25%).  (The *_speedup rows in the
-JSON are purely informational — the gate reads only the seconds of each
-fused/reference record pair, which covers the same regressions.)
+pairs use the base tolerance (default 25%).  The batched-reduction records
+additionally gate on the BANDWIDTH ratio (higher is better) of the fused
+kernel over the single-column dot — the metric the register-blocked
+multi-column kernels exist to improve.  (The *_speedup rows in the JSON
+are purely informational.)
+
+Record discipline: every gated record must be present.  A record missing
+from the fresh run but present in the baseline (or vice versa) means a
+kernel was renamed or dropped without updating this gate or the committed
+JSON — that is reported as one line naming the record, and the script
+exits 2.  A record absent from BOTH files is a feature-conditional kernel
+(e.g. the AVX-512 FP16 natives on a machine without the ISA) and its pair
+is skipped.
 
 Usage:  tools/bench_diff.py <fresh.json> <baseline.json> [--tolerance 0.25]
+        tools/bench_diff.py --self-test
 """
 
 import argparse
@@ -27,11 +38,22 @@ import sys
 # (fused/batched record, unfused/sequential reference) pairs, per precision.
 RATIO_PAIRS = [
     ("dot_many_{p}_k8", "dot_x8_{p}"),
+    ("dot_cols_{p}_k8", "dot_x8_{p}"),
+    ("dot_cols_cm_{p}_k8", "dot_x8_{p}"),
     ("axpy_many_{p}_k8", "axpy_x8_{p}"),
     ("scal_copy_{p}", "scal_plus_copy_{p}"),
     ("arnoldi_step_fused_{p}_k8", "arnoldi_step_unfused_{p}_k8"),
 ]
 PRECISIONS = ["fp64", "fp32", "fp16"]
+
+# Native AVX-512 FP16 kernels vs the blas:: dispatch path (F16C unless the
+# env opts the natives in).  Absent from both files on machines without the
+# ISA, hence skipped there rather than required.
+FP16_PAIRS = [
+    ("scal_fp16_avx512fp16", "scal_fp16"),
+    ("axpy_fp16_avx512fp16", "axpy_fp16"),
+    ("dot_fp16_avx512fp16", "dot_fp16"),
+]
 
 # Matrix-kernel pairs (suffix carries precision + matrix name).
 SPMM_PAIRS = [
@@ -48,6 +70,16 @@ SOLVE_PAIRS = [
     ("fgmres_staggered16_compact_hpcg", "fgmres_staggered16_masked_hpcg"),
 ]
 
+# Bandwidth-ratio gates (HIGHER is better): the batched reduction's GB/s
+# over the single-column dot's, fresh vs committed.  Catches the
+# latency-bound regression class directly — a change that serializes the
+# FMA chains again would keep the seconds-ratios plausible on a fast box
+# but halve these.
+BANDWIDTH_PAIRS = [
+    ("dot_many_{p}_k8", "dot_{p}"),
+    ("dot_cols_{p}_k8", "dot_{p}"),
+]
+
 
 def load(path):
     with open(path) as f:
@@ -55,36 +87,59 @@ def load(path):
     return {r["name"]: r for r in data["records"]}
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("fresh")
-    ap.add_argument("baseline")
-    ap.add_argument("--tolerance", type=float, default=0.25,
-                    help="allowed relative ratio regression (default 0.25)")
-    args = ap.parse_args()
-
-    fresh, base = load(args.fresh), load(args.baseline)
-
+def gated_pairs(tolerance):
+    """(fused, reference, tolerance, metric) for every gate."""
     micro = [(f.format(p=p), r.format(p=p)) for f, r in RATIO_PAIRS for p in PRECISIONS]
-    pairs = [(f, r, 2.0 * args.tolerance) for f, r in micro]
-    pairs += [(f, r, args.tolerance) for f, r in SPMM_PAIRS + SOLVE_PAIRS]
+    pairs = [(f, r, 2.0 * tolerance, "seconds") for f, r in micro + FP16_PAIRS]
+    pairs += [(f, r, tolerance, "seconds") for f, r in SPMM_PAIRS + SOLVE_PAIRS]
+    pairs += [(f.format(p=p), r.format(p=p), 2.0 * tolerance, "gbps")
+              for f, r in BANDWIDTH_PAIRS for p in PRECISIONS]
+    return pairs
 
-    failures, checked = [], 0
-    for fused, ref, tol in pairs:
-        missing = [n for n in (fused, ref) if n not in fresh or n not in base]
-        if missing:
-            print(f"SKIP  {fused} vs {ref}: missing {missing}")
+
+def diff(fresh, base, tolerance, fresh_name="fresh", base_name="baseline"):
+    """Core comparison on already-loaded record dicts; returns the exit code."""
+    failures, missing, checked = [], [], 0
+    for fused, ref, tol, metric in gated_pairs(tolerance):
+        names = (fused, ref)
+        # A record present in exactly one file is a rename/drop (or a new
+        # kernel whose baseline was not refreshed): hard error.  A record
+        # absent from BOTH files is a feature-conditional kernel on a
+        # machine without the feature: skip its pair.
+        ok = True
+        for n in names:
+            if n in fresh and n not in base:
+                print(f"MISSING  record '{n}' absent from {base_name} — new kernel; "
+                      f"refresh the committed baseline")
+                ok = False
+            elif n not in fresh and n in base:
+                print(f"MISSING  record '{n}' absent from {fresh_name} but present in "
+                      f"{base_name} — renamed or dropped without updating the gate?")
+                ok = False
+        if not ok:
+            missing.extend(n for n in names if (n in fresh) != (n in base))
             continue
-        fresh_ratio = fresh[fused]["seconds"] / fresh[ref]["seconds"]
-        base_ratio = base[fused]["seconds"] / base[ref]["seconds"]
+        if any(n not in fresh for n in names):
+            print(f"SKIP  {fused} vs {ref}: feature-conditional record absent "
+                  f"from both files")
+            continue
+        # seconds: lower is better, gate on the fused/ref ratio RISING.
+        # gbps: higher is better, gate on the fused/ref ratio FALLING.
+        fresh_ratio = fresh[fused][metric] / fresh[ref][metric]
+        base_ratio = base[fused][metric] / base[ref][metric]
         rel = fresh_ratio / base_ratio - 1.0
+        regressed = rel > tol if metric == "seconds" else rel < -tol
         checked += 1
-        status = "FAIL" if rel > tol else "ok"
-        print(f"{status:4}  {fused:42} ratio {fresh_ratio:6.3f} vs baseline "
-              f"{base_ratio:6.3f}  ({rel:+.1%}, tol {tol:.0%})")
-        if rel > tol:
-            failures.append(fused)
+        status = "FAIL" if regressed else "ok"
+        print(f"{status:4}  {fused:42} {metric} ratio {fresh_ratio:7.3f} vs baseline "
+              f"{base_ratio:7.3f}  ({rel:+.1%}, tol {tol:.0%})")
+        if regressed:
+            failures.append(f"{fused} [{metric}]")
 
+    if missing:
+        print(f"\nbench_diff: {len(missing)} gated record(s) missing — see MISSING "
+              f"lines above", file=sys.stderr)
+        return 2
     if checked == 0:
         print("bench_diff: no comparable records found", file=sys.stderr)
         return 2
@@ -97,6 +152,75 @@ def main():
     print(f"\nbench_diff: {checked} fused/batched kernel ratios within "
           f"tolerance of the committed baseline")
     return 0
+
+
+def self_test():
+    """Exercise the pass / regression / missing-record paths on synthetic
+    reports (no files, no timing).  Exit 0 iff every path behaves."""
+    def synthetic():
+        recs = {}
+        for fused, ref, _tol, _metric in gated_pairs(0.25):
+            # Fused kernels nominally 4x the reference bandwidth / 1/4 the
+            # seconds; exact values are irrelevant, only the ratios matter.
+            recs.setdefault(fused, {"name": fused, "seconds": 0.25, "gbps": 4.0})
+            recs.setdefault(ref, {"name": ref, "seconds": 1.0, "gbps": 1.0})
+        return recs
+
+    ok = True
+
+    def expect(what, got, want):
+        nonlocal ok
+        if got != want:
+            print(f"self-test FAIL: {what}: exit {got}, expected {want}", file=sys.stderr)
+            ok = False
+        else:
+            print(f"self-test ok: {what} -> exit {got}")
+
+    expect("identical reports pass", diff(synthetic(), synthetic(), 0.25), 0)
+
+    slow = synthetic()
+    slow["dot_many_fp64_k8"] = dict(slow["dot_many_fp64_k8"], seconds=1.0)
+    expect("seconds-ratio regression fails", diff(slow, synthetic(), 0.25), 1)
+
+    narrow = synthetic()
+    narrow["dot_cols_fp32_k8"] = dict(narrow["dot_cols_fp32_k8"], gbps=1.0)
+    expect("bandwidth-ratio regression fails", diff(narrow, synthetic(), 0.25), 1)
+
+    renamed = synthetic()
+    del renamed["dot_cols_fp16_k8"]
+    expect("record missing from fresh run exits 2", diff(renamed, synthetic(), 0.25), 2)
+
+    stale = synthetic()
+    del stale["axpy_many_fp32_k8"]
+    expect("record missing from baseline exits 2", diff(synthetic(), stale, 0.25), 2)
+
+    both = synthetic()
+    conditional = [f for f, _r in FP16_PAIRS]
+    for name in conditional:
+        del both[name]
+    expect("feature-conditional records absent from both sides skip",
+           diff(both, dict(both), 0.25), 0)
+
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh", nargs="?")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative ratio regression (default 0.25)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in gate self-test and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.fresh is None or args.baseline is None:
+        ap.error("fresh and baseline JSON paths are required (or --self-test)")
+
+    return diff(load(args.fresh), load(args.baseline), args.tolerance,
+                fresh_name=args.fresh, base_name=args.baseline)
 
 
 if __name__ == "__main__":
