@@ -616,6 +616,31 @@ void bench_batched_solve(bench::JsonReport& rep, std::int64_t n_target) {
   std::cout << "batched CG 8 RHS (n=" << n << ", bj-ilu0): sequential " << t_seq
             << " s vs batched " << t_bat << " s  (" << t_seq / t_bat << "x, "
             << iters_seq << "/" << iters_bat << " iters)\n";
+
+  // Guarded batched run: the per-iteration non-finite panel scan switched
+  // on.  The ISSUE 7 acceptance gate pins its overhead against the
+  // unguarded record above (bench_diff.py GUARD_PAIRS, <= 2%).
+  std::vector<double> Xg(n * k, 0.0);
+  CsrOperator<double, double> op_g(a);
+  auto h_g = ilu.make_apply<double>(Prec::FP64);
+  CgSolver<double>::Config cfg_g = cfg;
+  cfg_g.guard_panels = true;
+  CgSolver<double> gua(op_g, *h_g, cfg_g);
+  WallTimer tg;
+  auto many_g = gua.solve_many(B.data(), static_cast<std::ptrdiff_t>(n), Xg.data(),
+                               static_cast<std::ptrdiff_t>(n), k);
+  const double t_gua = tg.seconds();
+  rep.add("solve_cg_batched_8rhs_guard_laplace", static_cast<std::int64_t>(n), nnz, t_gua,
+          0.0);
+  rep.add("solve_cg_guard_overhead", static_cast<std::int64_t>(n), nnz, t_gua,
+          t_gua / t_bat);  // gbps column doubles as the overhead ratio
+  int guard_failures = 0;
+  for (int c = 0; c < k; ++c)
+    if (many_g[c].status != SolveStatus::kConverged) ++guard_failures;
+  check("batched_cg_guard_converged", static_cast<double>(guard_failures), 0.0);
+
+  std::cout << "guarded batched CG 8 RHS: " << t_gua << " s  (" << t_gua / t_bat
+            << "x of unguarded)\n";
 }
 
 // ---------------------------------------------------------------------------

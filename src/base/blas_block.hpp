@@ -628,4 +628,72 @@ void scal_copy(S alpha, std::span<const TX> x, std::span<TY> y) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Non-finite guards — the resilience layer's cheap detection primitives.
+//
+// A NaN/Inf anywhere in a Krylov panel poisons every later iterate of its
+// column, so the batched solvers scan (a) residual NORMS every iteration —
+// free, the norm is already computed and a NaN input makes it NaN — and
+// (b) incoming panels at wave boundaries via the scans below.  The scans
+// are branch-light single passes (x − x == 0 is false exactly for NaN and
+// ±Inf, and vectorizes; fp16 tests the exponent bits directly), orders of
+// magnitude cheaper than one SpMV, and make no arithmetic change to any
+// solver path: they only READ.
+// ---------------------------------------------------------------------------
+
+namespace block_detail {
+
+inline bool finite_one(double v) { return v - v == 0.0; }
+inline bool finite_one(float v) { return v - v == 0.0f; }
+inline bool finite_one(half v) {
+  // binary16: exponent all-ones ⇔ Inf/NaN.  Bit test avoids promoting
+  // through arithmetic that could itself trap on signaling payloads.
+  std::uint16_t bits;
+  static_assert(sizeof(half) == sizeof(bits));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return (bits & 0x7C00u) != 0x7C00u;
+}
+
+}  // namespace block_detail
+
+/// True iff any element of x is NaN or ±Inf.  One streaming pass; the
+/// per-tile early-out keeps the poisoned-input case cheap without putting a
+/// branch in the inner loop.
+template <class T>
+[[nodiscard]] bool has_nonfinite(std::span<const T> x) {
+  const T* __restrict p = x.data();
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  for (std::ptrdiff_t t0 = 0; t0 < n; t0 += block_detail::kTile) {
+    const std::ptrdiff_t t1 = std::min(t0 + block_detail::kTile, n);
+    int bad = 0;
+    for (std::ptrdiff_t i = t0; i < t1; ++i) bad |= !block_detail::finite_one(p[i]);
+    if (bad != 0) return true;
+  }
+  return false;
+}
+
+/// Panel variant: scan columns [0, k) of a panel addressed per `lay` (see
+/// panel.hpp).  Returns the index of the first column containing a
+/// non-finite value, or -1 when the whole panel is finite.
+template <class T>
+[[nodiscard]] int first_nonfinite_col(const T* p, std::ptrdiff_t ld, int k, std::size_t n,
+                                      PanelLayout lay = PanelLayout::kRowMajor) {
+  const std::ptrdiff_t len = static_cast<std::ptrdiff_t>(n);
+  if (lay == PanelLayout::kRowMajor) {
+    for (int c = 0; c < k; ++c)
+      if (has_nonfinite(std::span<const T>(p + static_cast<std::ptrdiff_t>(c) * ld,
+                                           static_cast<std::size_t>(len))))
+        return c;
+    return -1;
+  }
+  // Interleaved: one pass over the storage, per-column verdicts.
+  for (int c = 0; c < k; ++c) {
+    int bad = 0;
+    for (std::ptrdiff_t i = 0; i < len; ++i)
+      bad |= !block_detail::finite_one(p[i * ld + c]);
+    if (bad != 0) return c;
+  }
+  return -1;
+}
+
 }  // namespace nk::blas

@@ -9,6 +9,7 @@
 // entry points did — the conformance baseline pins that behavior.
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "base/timer.hpp"
 #include "core/f3r.hpp"
@@ -61,7 +62,11 @@ void finalize_many(std::vector<SolveResult>& res, const PreparedProblem& p,
     res[c].spmv_count = spmvs;
     res[c].final_relres =
         relative_residual(p.a->csr_fp64(), X.subspan(c * n, n), B.subspan(c * n, n));
-    res[c].converged = res[c].converged && res[c].final_relres < rtol * 1.5;
+    // Demote a recurrence-claimed convergence the true fp64 residual
+    // disagrees with: the taxonomy's kDiverged ("garbage labeled
+    // converged" is exactly what a service must never hand back).
+    if (res[c].converged && !(res[c].final_relres < rtol * 1.5))
+      res[c].fail(SolveStatus::kDiverged, "true-residual");
   }
 }
 
@@ -90,7 +95,8 @@ class FlatKrylovEngine final : public SolverEngine {
     auto res = timed_solve(*m_, name(), [&] { return solver.solve(b, x); });
     res.final_relres = relative_residual(p_->a->csr_fp64(),
                                          std::span<const double>(x.data(), x.size()), b);
-    res.converged = res.converged && res.final_relres < spec_.rtol * 1.5;
+    if (res.converged && !(res.final_relres < spec_.rtol * 1.5))
+      res.fail(SolveStatus::kDiverged, "true-residual");
     res.spmv_count = op->spmv_count();
     return res;
   }
@@ -118,6 +124,7 @@ class FlatKrylovEngine final : public SolverEngine {
     cfg.record_history = spec_.record_history;
     cfg.compact = spec_.compact;
     cfg.layout = spec_.layout;  // unset → the workspace's panel_layout()
+    cfg.stagnate_window = spec_.stagnate_window;
     return cfg;
   }
 
@@ -160,6 +167,8 @@ class FgmresEngine final : public SolverEngine {
       const double target = spec_.rtol * bref;
       std::vector<double> estimates;
       solver.set_iteration_log(&estimates);
+      double stag_best = std::numeric_limits<double>::infinity();
+      int stall = 0;
       bool x_nonzero = false;
       while (r.iterations < spec_.max_iters) {
         const auto stats = solver.run(b, x, target, x_nonzero);
@@ -169,10 +178,37 @@ class FgmresEngine final : public SolverEngine {
             p_->a->csr_fp64(), std::span<const double>(x.data(), x.size()), b);
         r.final_relres = relres;
         if (relres < spec_.rtol) {
-          r.converged = true;
+          r.mark_converged();
           break;
         }
-        if (!std::isfinite(relres) || stats.iters == 0) break;
+        if (!std::isfinite(relres)) {
+          r.fail(SolveStatus::kNonFinite, stats.non_finite ? "hj1" : "relres");
+          break;
+        }
+        if (stats.iters == 0) {
+          // The cycle could not even start (beta zero/non-finite at r0).
+          r.fail(stats.non_finite ? SolveStatus::kNonFinite : SolveStatus::kBreakdown,
+                 "beta");
+          break;
+        }
+        // Attribute restart-budget exhaustion without altering the restart
+        // control flow (breakdown cycles restart — conformance-pinned).
+        if (stats.non_finite) {
+          r.fail(SolveStatus::kNonFinite, "hj1");
+        } else if (stats.breakdown) {
+          r.fail(SolveStatus::kBreakdown, "hj1");
+        } else {
+          r.fail(SolveStatus::kMaxIters);
+        }
+        if (spec_.stagnate_window > 0) {
+          if (relres < 0.99 * stag_best) {
+            stag_best = relres;
+            stall = 0;
+          } else if (++stall >= spec_.stagnate_window) {
+            r.fail(SolveStatus::kStagnated, "relres");
+            break;
+          }
+        }
         ++r.restarts;
       }
       solver.set_iteration_log(nullptr);
@@ -261,6 +297,8 @@ class IrGmresEngine final : public SolverEngine {
     const double bnorm = static_cast<double>(blas::nrm2(b));
     const double bref = bnorm > 0.0 ? bnorm : 1.0;
     const int max_outer = std::max(1, spec_.max_iters / spec_.m);
+    double stag_best = std::numeric_limits<double>::infinity();
+    int stall = 0;
     for (int outer = 0; outer < max_outer; ++outer) {
       op64.residual(b, std::span<const double>(x.data(), n), std::span<double>(rd));
       const double relres =
@@ -268,10 +306,22 @@ class IrGmresEngine final : public SolverEngine {
       r.final_relres = relres;
       if (spec_.record_history) r.history.push_back(relres);
       if (relres < spec_.rtol) {
-        r.converged = true;
+        r.mark_converged();
         break;
       }
-      if (!std::isfinite(relres)) break;
+      if (!std::isfinite(relres)) {
+        r.fail(SolveStatus::kNonFinite, "relres");
+        break;
+      }
+      if (spec_.stagnate_window > 0) {
+        if (relres < 0.99 * stag_best) {
+          stag_best = relres;
+          stall = 0;
+        } else if (++stall >= spec_.stagnate_window) {
+          r.fail(SolveStatus::kStagnated, "relres");
+          break;
+        }
+      }
       // Low-precision correction solve A c ≈ r.  The residual is normalized
       // before the downcast — late-stage residuals (~1e-8·‖b‖) would land in
       // fp16's subnormal range and stall the refinement otherwise.
@@ -335,6 +385,7 @@ Termination termination_of(const SolverSpec& spec) {
   t.rtol = spec.rtol;
   t.max_restarts = spec.max_restarts;
   t.record_history = spec.record_history;
+  t.stagnate_window = spec.stagnate_window;
   return t;
 }
 

@@ -1,0 +1,83 @@
+#include "core/fault.hpp"
+
+#include "core/registry.hpp"
+#include "core/spec.hpp"
+
+namespace nk {
+
+namespace {
+
+FaultSpec::Kind parse_kind(const std::string& tok) {
+  if (tok == "nan") return FaultSpec::Kind::kNan;
+  if (tok == "inf") return FaultSpec::Kind::kInf;
+  if (tok == "huge") return FaultSpec::Kind::kHuge;
+  if (tok == "bitflip") return FaultSpec::Kind::kBitFlip;
+  throw SpecError("unknown fault kind: '" + tok + "' (expected nan|inf|huge|bitflip)");
+}
+
+const char* kind_name(FaultSpec::Kind k) {
+  switch (k) {
+    case FaultSpec::Kind::kNan: return "nan";
+    case FaultSpec::Kind::kInf: return "inf";
+    case FaultSpec::Kind::kHuge: return "huge";
+    case FaultSpec::Kind::kBitFlip: return "bitflip";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  const auto bad = [&](const std::string& why) {
+    return SpecError("bad fault schedule '" + text + "': " + why +
+                     " (expected kind@index[@prec], e.g. nan@3 or inf@0@fp16)");
+  };
+  const std::size_t a1 = text.find('@');
+  if (a1 == std::string::npos) throw bad("missing '@index'");
+  FaultSpec f;
+  f.kind = parse_kind(text.substr(0, a1));
+  const std::size_t a2 = text.find('@', a1 + 1);
+  const std::string idx =
+      text.substr(a1 + 1, a2 == std::string::npos ? std::string::npos : a2 - a1 - 1);
+  if (idx.empty() || idx.find_first_not_of("0123456789") != std::string::npos)
+    throw bad("apply index must be a non-negative integer, got '" + idx + "'");
+  try {
+    f.at = std::stoi(idx);
+  } catch (const std::exception&) {
+    throw bad("apply index out of range: '" + idx + "'");
+  }
+  if (a2 != std::string::npos) {
+    try {
+      f.only = parse_prec(text.substr(a2 + 1));
+    } catch (const std::invalid_argument& e) {
+      throw bad(e.what());
+    }
+  }
+  return f;
+}
+
+std::string FaultSpec::to_string() const {
+  std::string s = std::string(kind_name(kind)) + "@" + std::to_string(at);
+  if (only.has_value()) s += std::string("@") + prec_name(*only);
+  return s;
+}
+
+void register_fault_injection() {
+  PrecondKindInfo info;
+  info.kind = "fault";
+  info.summary = "fault-injection wrapper (test-only): ;inner= names the wrapped kind, "
+                 ";inject= the schedule";
+  info.conformance = false;
+  registry().add_precond(info, [](const PrecondSpec& spec, const PreparedProblem& p) {
+    if (spec.inject.empty())
+      throw SpecError("precond kind 'fault' requires ;inject=kind@index[@prec]");
+    const FaultSpec f = FaultSpec::parse(spec.inject);
+    PrecondSpec in = spec;
+    in.kind = spec.inner.empty() ? "bj" : spec.inner;
+    in.inject.clear();
+    in.inner.clear();
+    return std::make_shared<FaultyPrimary>(registry().make_precond(in, p), f);
+  });
+}
+
+}  // namespace nk

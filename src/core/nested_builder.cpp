@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/spec.hpp"
 #include "krylov/chebyshev.hpp"
 #include "sparse/spmv.hpp"
 
@@ -12,8 +13,10 @@ namespace nk {
 
 MultiPrecMatrix::MultiPrecMatrix(CsrMatrix<double> a, bool use_sell, int sell_chunk)
     : a64_(std::move(a)), use_sell_(use_sell), chunk_(sell_chunk) {
+  // SpecError subclasses std::invalid_argument, so legacy catch sites keep
+  // working while the library path (Session) reports kInvalidInput.
   if (a64_.nrows != a64_.ncols)
-    throw std::invalid_argument("MultiPrecMatrix: matrix must be square");
+    throw SpecError("MultiPrecMatrix: matrix must be square");
   if (use_sell_) s64_ = csr_to_sell(a64_, chunk_);
 }
 
@@ -68,15 +71,15 @@ std::size_t MultiPrecMatrix::value_bytes() const {
 // -------------------------------------------------------------- validation
 
 void validate(const NestedConfig& cfg) {
-  if (cfg.levels.empty()) throw std::invalid_argument("NestedConfig: no levels");
+  if (cfg.levels.empty()) throw SpecError("NestedConfig: no levels");
   const LevelSpec& outer = cfg.levels.front();
   if (outer.kind != SolverKind::FGMRES || outer.vec != Prec::FP64 || outer.mat != Prec::FP64)
-    throw std::invalid_argument(
+    throw SpecError(
         "NestedConfig: the outermost level must be fp64 FGMRES (the paper's setting)");
   for (const LevelSpec& lv : cfg.levels) {
-    if (lv.m <= 0) throw std::invalid_argument("NestedConfig: level iteration count must be > 0");
+    if (lv.m <= 0) throw SpecError("NestedConfig: level iteration count must be > 0");
     if (lv.kind == SolverKind::Richardson && lv.cycle <= 0)
-      throw std::invalid_argument("NestedConfig: Richardson cycle must be > 0");
+      throw SpecError("NestedConfig: Richardson cycle must be > 0");
   }
 }
 
@@ -102,7 +105,7 @@ NestedSolver::NestedSolver(std::shared_ptr<MultiPrecMatrix> a,
       ws_prefix_(std::move(ws_prefix)) {
   validate(cfg_);
   if (m_->size() != a_->size())
-    throw std::invalid_argument("NestedSolver: matrix/preconditioner size mismatch");
+    throw SpecError("NestedSolver: matrix/preconditioner size mismatch");
 
   // Build the preconditioning pipeline below the outermost level, then the
   // outermost fp64 FGMRES itself.
@@ -241,6 +244,11 @@ SolveResult NestedSolver::solve(std::span<const double> b, std::span<double> x,
   std::vector<double> estimates;
   outer_->set_iteration_log(term.record_history ? &estimates : nullptr);
 
+  // Restart loop with status attribution: convergence is judged on the
+  // true fp64 residual only; the outer cycle's terminal markers (Arnoldi
+  // breakdown / non-finite norm) name WHY a failed attempt stopped.
+  double stag_best = std::numeric_limits<double>::infinity();
+  int stall = 0;
   bool x_nonzero = blas::nrm2(std::span<const double>(x.data(), x.size())) > 0.0;
   for (int cycle = 0; cycle <= term.max_restarts; ++cycle) {
     const auto stats = outer_->run(b, x, target, x_nonzero);
@@ -251,10 +259,33 @@ SolveResult NestedSolver::solve(std::span<const double> b, std::span<double> x,
         a_->csr_fp64(), std::span<const double>(x.data(), x.size()), b);
     res.final_relres = relres;
     if (relres < term.rtol) {
-      res.converged = true;
+      res.mark_converged();
       break;
     }
-    if (!std::isfinite(relres)) break;
+    if (!std::isfinite(relres)) {
+      res.fail(SolveStatus::kNonFinite, stats.non_finite ? "hj1" : "relres");
+      break;
+    }
+    // Attribute the terminal cause WITHOUT altering the restart control
+    // flow (restart-on-breakdown is the conformance-pinned behavior: the
+    // cycle's x update may still make progress).  If the budget runs out,
+    // the last cycle's markers say why.
+    if (stats.non_finite) {
+      res.fail(SolveStatus::kNonFinite, "hj1");
+    } else if (stats.breakdown) {
+      res.fail(SolveStatus::kBreakdown, "hj1");
+    } else {
+      res.fail(SolveStatus::kMaxIters);
+    }
+    if (term.stagnate_window > 0) {
+      if (relres < 0.99 * stag_best) {
+        stag_best = relres;
+        stall = 0;
+      } else if (++stall >= term.stagnate_window) {
+        res.fail(SolveStatus::kStagnated, "relres");
+        break;
+      }
+    }
   }
   outer_->set_iteration_log(nullptr);
 

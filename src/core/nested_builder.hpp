@@ -141,6 +141,10 @@ struct Termination {
   double rtol = 1e-8;    ///< on true fp64 ‖b−Ax‖/‖b‖
   int max_restarts = 3;  ///< the paper restarts F3R at most 3×  (300 outer its)
   bool record_history = true;
+  /// Stagnation guard at restart-cycle granularity: stop with kStagnated
+  /// after this many consecutive cycles without true-residual progress
+  /// (relres failing to improve on 0.99× the best seen).  0 = off.
+  int stagnate_window = 0;
 };
 
 /// A fully built nested solver, ready to solve repeatedly.
@@ -210,7 +214,8 @@ class NestedSolver {
   std::vector<std::function<void()>> state_resets_;
 };
 
-/// Validates a NestedConfig (throws std::invalid_argument with a message).
+/// Validates a NestedConfig (throws nk::SpecError, a std::invalid_argument
+/// subclass, with a message).
 void validate(const NestedConfig& cfg);
 
 /// "(F^100, F^8, F^4, R^2, M)"-style rendering of a configuration.

@@ -1,5 +1,10 @@
 #include "core/session.hpp"
 
+#include <algorithm>
+#include <iterator>
+
+#include "base/blas_block.hpp"
+
 namespace nk {
 
 namespace {
@@ -11,6 +16,19 @@ std::unique_ptr<SolverWorkspace> make_session_workspace(const SolverSpec& spec) 
   auto ws = std::make_unique<SolverWorkspace>();
   if (spec.layout.has_value()) ws->set_panel_layout(*spec.layout);
   return ws;
+}
+
+/// The `;fallback=` ladder retries the causes a precision escalation can
+/// plausibly cure.  kInvalidInput / kStagnated / kMaxIters are not among
+/// them: bad inputs stay bad and budget exhaustion is policy, not damage.
+bool retryable(const SolveResult& r) {
+  return r.status == SolveStatus::kNonFinite || r.status == SolveStatus::kBreakdown;
+}
+
+std::string attempt_label(const SolveResult& r) {
+  std::string s = r.solver + ": " + status_name(r.status);
+  if (!r.failure.empty()) s += " (" + r.failure + ")";
+  return s;
 }
 
 }  // namespace
@@ -49,18 +67,79 @@ Session::Session(PreparedProblem p, NestedConfig cfg, const Termination& term,
     : Session(std::make_shared<const PreparedProblem>(std::move(p)), std::move(cfg), term,
               std::move(m)) {}
 
+SolveResult Session::invalid_input(std::string why) const {
+  SolveResult r;
+  r.solver = engine_->name();
+  r.fail(SolveStatus::kInvalidInput, std::move(why));
+  return r;
+}
+
 SolveResult Session::solve() {
   std::vector<double> x(p_->b.size(), 0.0);
-  return engine_->solve(std::span<const double>(p_->b), std::span<double>(x));
+  return solve(std::span<const double>(p_->b), std::span<double>(x));
 }
 
 SolveResult Session::solve(std::span<const double> b, std::span<double> x) {
-  return engine_->solve(b, x);
+  const std::size_t n = p_->a ? static_cast<std::size_t>(p_->a->size()) : 0;
+  if (n == 0) return invalid_input("empty-system");
+  if (b.size() != n || x.size() != n) return invalid_input("size-mismatch");
+  if (blas::has_nonfinite(std::span<const double>(b))) return invalid_input("non-finite-b");
+
+  SolveResult res = engine_->solve(b, x);
+  if (spec_.fallback.empty() || !retryable(res)) return res;
+
+  // Precision-escalation ladder: retry the same prepared problem with the
+  // precision axis raised to each listed level in turn.  M is re-minted at
+  // the escalated precision (storage override cleared), and each attempt's
+  // engine is built SEQUENTIALLY on the shared workspace — the previous
+  // engine is destroyed first, so the grow-only slabs are simply reused
+  // under the same keys (workspace.hpp's sequential-rebuild pattern).
+  std::vector<std::string> attempts;
+  for (Prec pr : spec_.fallback) {
+    attempts.push_back(attempt_label(res));
+    SolverSpec s = spec_;
+    s.prec = pr;
+    s.precond.storage.reset();
+    s.fallback.clear();
+    engine_.reset();
+    engine_ = registry().make_solver(s, *p_, m_, ws_.get());
+    // A poisoned iterate is not a usable initial guess.
+    std::fill(x.begin(), x.end(), 0.0);
+    res = engine_->solve(b, x);
+    if (!retryable(res)) break;
+  }
+  // Restore the spec's own engine so later solves on this Session behave
+  // as if no fallback had fired (same sequential slab reuse).
+  engine_.reset();
+  engine_ = registry().make_solver(spec_, *p_, m_, ws_.get());
+  res.attempts = std::move(attempts);
+  return res;
 }
 
 std::vector<SolveResult> Session::solve_many(std::span<const double> B,
                                              std::span<double> X, int k) {
-  return engine_->solve_many(B, X, k);
+  if (k <= 0) return {};
+  const std::size_t n = p_->a ? static_cast<std::size_t>(p_->a->size()) : 0;
+  const std::size_t need = static_cast<std::size_t>(k) * n;
+  if (n == 0) return std::vector<SolveResult>(static_cast<std::size_t>(k),
+                                              invalid_input("empty-system"));
+  if (B.size() < need || X.size() < need)
+    return std::vector<SolveResult>(static_cast<std::size_t>(k),
+                                    invalid_input("size-mismatch"));
+
+  std::vector<SolveResult> res = engine_->solve_many(B, X, k);
+  if (!spec_.fallback.empty()) {
+    // Per-column recovery: a poisoned column was retired by the batched
+    // scheduler without freezing its wave; re-solve just that column
+    // through the scalar ladder (validation + escalation included).
+    for (int c = 0; c < k; ++c) {
+      if (!retryable(res[c])) continue;
+      std::span<double> xc = X.subspan(static_cast<std::size_t>(c) * n, n);
+      std::fill(xc.begin(), xc.end(), 0.0);
+      res[c] = solve(B.subspan(static_cast<std::size_t>(c) * n, n), xc);
+    }
+  }
+  return res;
 }
 
 std::vector<double> Session::make_rhs_batch(int k, std::uint64_t seed0) const {

@@ -73,11 +73,23 @@ class Session {
   SolveResult solve();
 
   /// Solve A x = b (x holds the initial guess).
+  ///
+  /// This is the resilience-policy entry point: inputs are validated first
+  /// (empty system, size mismatch, non-finite b → SolveStatus::kInvalidInput
+  /// without touching the engine), and when the spec carries a
+  /// ";fallback=fp32,fp64" ladder, a non_finite/breakdown outcome is
+  /// retried at each escalated precision in turn — M re-minted at the new
+  /// storage precision, x reset to zero, the failed attempts recorded in
+  /// SolveResult::attempts.  The prepared problem, preconditioner
+  /// factorization, and workspace slabs are all reused across attempts.
   SolveResult solve(std::span<const double> b, std::span<double> x);
 
   /// Batched solve: k right-hand sides, column c of B/X contiguous at
   /// offset c·n.  Wave width and compact/masked scheduling come from the
-  /// spec ("...;wave=8", "...;masked").
+  /// spec ("...;wave=8", "...;masked").  k ≤ 0 returns an empty vector;
+  /// size mismatches return k kInvalidInput results.  Under ";fallback="
+  /// every retired non_finite/breakdown column is re-solved individually
+  /// through the scalar escalation ladder.
   std::vector<SolveResult> solve_many(std::span<const double> B, std::span<double> X,
                                       int k);
 
@@ -92,6 +104,8 @@ class Session {
   [[nodiscard]] std::string solver_name() const;
 
  private:
+  [[nodiscard]] SolveResult invalid_input(std::string why) const;
+
   // The problem and workspace live behind pointers so the engine's
   // internal references survive moves of the Session itself.
   std::shared_ptr<const PreparedProblem> p_;

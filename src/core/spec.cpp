@@ -157,6 +157,27 @@ void apply_option(const Option& o, SolverSpec* s, PrecondSpec* pc) {
       s->layout = *l;
       return;
     }
+    if (o.key == "stagnate-window") {
+      s->stagnate_window = parse_int_opt(o.key, require_value(o), 0);
+      return;
+    }
+    if (o.key == "fallback") {
+      // Comma-separated precision ladder, e.g. "fallback=fp32,fp64".
+      const std::string v = require_value(o);
+      s->fallback.clear();
+      std::size_t pos = 0;
+      while (pos <= v.size()) {
+        const auto comma = v.find(',', pos);
+        const std::string piece =
+            v.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (piece.empty())
+          throw SpecError("empty precision in spec option fallback ('" + v + "')");
+        s->fallback.push_back(parse_prec_token(piece));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      return;
+    }
   }
   if (o.key == "nblocks") {
     pc->nblocks = parse_int_opt(o.key, require_value(o), 0);
@@ -170,11 +191,21 @@ void apply_option(const Option& o, SolverSpec* s, PrecondSpec* pc) {
     pc->degree = parse_int_opt(o.key, require_value(o), 0);
     return;
   }
-  throw SpecError("unknown spec option '" + o.key +
-                  (s != nullptr
-                       ? "' (solver: rtol max-iters restarts wave masked nohist layout; "
-                         "preconditioner: nblocks omega degree)"
-                       : "' (preconditioner options: nblocks omega degree)"));
+  if (o.key == "inject") {
+    pc->inject = require_value(o);
+    return;
+  }
+  if (o.key == "inner") {
+    pc->inner = require_value(o);
+    return;
+  }
+  throw SpecError(
+      "unknown spec option '" + o.key +
+      (s != nullptr
+           ? "' (solver: rtol max-iters restarts wave masked nohist layout "
+             "stagnate-window fallback; "
+             "preconditioner: nblocks omega degree inject inner)"
+           : "' (preconditioner options: nblocks omega degree inject inner)"));
 }
 
 void resolve_precond_kind(const Token& tok, PrecondSpec* out) {
@@ -260,6 +291,8 @@ std::string PrecondSpec::to_string() const {
   if (nblocks != def.nblocks) s += ";nblocks=" + std::to_string(nblocks);
   if (omega != def.omega) s += ";omega=" + fmt_double(omega);
   if (degree != def.degree) s += ";degree=" + std::to_string(degree);
+  if (!inject.empty()) s += ";inject=" + inject;
+  if (!inner.empty()) s += ";inner=" + inner;
   return s;
 }
 
@@ -303,9 +336,18 @@ std::string SolverSpec::to_string() const {
   if (wave != def.wave) s += ";wave=" + std::to_string(wave);
   if (!compact) s += ";masked";
   if (layout.has_value()) s += std::string(";layout=") + panel_layout_name(*layout);
+  if (stagnate_window != def.stagnate_window)
+    s += ";stagnate-window=" + std::to_string(stagnate_window);
+  if (!fallback.empty()) {
+    s += ";fallback=";
+    for (std::size_t i = 0; i < fallback.size(); ++i)
+      s += std::string(i > 0 ? "," : "") + prec_name(fallback[i]);
+  }
   if (precond.nblocks != pdef.nblocks) s += ";nblocks=" + std::to_string(precond.nblocks);
   if (precond.omega != pdef.omega) s += ";omega=" + fmt_double(precond.omega);
   if (precond.degree != pdef.degree) s += ";degree=" + std::to_string(precond.degree);
+  if (!precond.inject.empty()) s += ";inject=" + precond.inject;
+  if (!precond.inner.empty()) s += ";inner=" + precond.inner;
   return s;
 }
 

@@ -48,6 +48,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "base/half.hpp"
 #include "base/panel.hpp"
@@ -70,6 +71,13 @@ struct PrecondSpec {
   int nblocks = 0;    ///< block count for block-Jacobi/SSOR (0 = kind default)
   double omega = 1.0; ///< SSOR relaxation factor
   int degree = 2;     ///< Neumann-series degree
+
+  // Fault-injection harness hooks (core/fault.hpp; only honored by the
+  // test-only "fault" kind, which register_builtin_kinds never installs).
+  /// Fault schedule, e.g. "nan@3" or "inf@0@fp16" (kind@apply-index[@prec]).
+  std::string inject;
+  /// Kind of the wrapped inner preconditioner ("" = "bj").
+  std::string inner;
 
   /// Parse "kind[@prec][;option...]".  Throws SpecError.
   static PrecondSpec parse(const std::string& text);
@@ -98,6 +106,18 @@ struct SolverSpec {
   /// "layout=colmajor"; see base/panel.hpp).  Unset = the workspace default
   /// (row-major).  Iterates are bit-identical across layouts.
   std::optional<PanelLayout> layout;
+
+  // Resilience policy (the Session-level recovery ladder; see README
+  // "Failure modes & recovery").
+  /// Stagnation guard: stop with SolveStatus::kStagnated after this many
+  /// consecutive progress checks without relative-residual improvement
+  /// (";stagnate-window=50").  0 = off — the conformance-pinned default.
+  int stagnate_window = 0;
+  /// Precision-escalation fallback (";fallback=fp32,fp64"): when a solve
+  /// ends in non_finite or breakdown, Session retries the same problem at
+  /// each listed precision axis in order, recording the failed attempts in
+  /// SolveResult::attempts.  Empty = no retries (default).
+  std::vector<Prec> fallback;
 
   PrecondSpec precond;       ///< the primary preconditioner M
 

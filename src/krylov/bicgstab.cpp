@@ -22,10 +22,17 @@ SolveResult BiCgStabSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
   blas::copy(std::span<const VT>(r_), rhat);
   double rnorm = static_cast<double>(blas::nrm2(std::span<const VT>(r_)));
   if (cfg_.record_history) res.history.push_back(rnorm / bref);
-  if (rnorm <= target) {
-    res.converged = true;
+  if (!std::isfinite(bnorm) || !std::isfinite(rnorm)) {
+    res.fail(SolveStatus::kNonFinite, !std::isfinite(bnorm) ? "b" : "rnorm");
     return res;
   }
+  if (rnorm <= target) {
+    res.mark_converged();
+    return res;
+  }
+  // Stagnation guard state: comparisons only, never touches the iterates.
+  double stag_best = rnorm;
+  int stall = 0;
 
   S rho{1}, alpha{1}, omega{1};
   blas::set_zero(p);
@@ -34,7 +41,12 @@ SolveResult BiCgStabSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
   for (int it = 1; it <= cfg_.max_iters; ++it) {
     res.iterations = it;
     const S rho_new = blas::dot(std::span<const VT>(rhat_), std::span<const VT>(r_));
-    if (!std::isfinite(static_cast<double>(rho_new)) || rho_new == S{0}) return res;
+    if (!std::isfinite(static_cast<double>(rho_new)) || rho_new == S{0}) {
+      res.fail(std::isfinite(static_cast<double>(rho_new)) ? SolveStatus::kBreakdown
+                                                           : SolveStatus::kNonFinite,
+               "rho");
+      return res;
+    }
     if (it == 1) {
       blas::copy(std::span<const VT>(r_), p);
     } else {
@@ -48,7 +60,12 @@ SolveResult BiCgStabSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
     m_->apply(std::span<const VT>(p_), phat);
     a_->apply(std::span<const VT>(phat_), v);
     const S rhat_v = blas::dot(std::span<const VT>(rhat_), std::span<const VT>(v_));
-    if (!std::isfinite(static_cast<double>(rhat_v)) || rhat_v == S{0}) return res;
+    if (!std::isfinite(static_cast<double>(rhat_v)) || rhat_v == S{0}) {
+      res.fail(std::isfinite(static_cast<double>(rhat_v)) ? SolveStatus::kBreakdown
+                                                          : SolveStatus::kNonFinite,
+               "rhat_v");
+      return res;
+    }
     alpha = rho / rhat_v;
 
     // s = r - alpha v
@@ -58,14 +75,19 @@ SolveResult BiCgStabSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
     if (snorm <= target) {
       blas::axpy(alpha, std::span<const VT>(phat_), x);
       if (cfg_.record_history) res.history.push_back(snorm / bref);
-      res.converged = true;
+      res.mark_converged();
       return res;
     }
 
     m_->apply(std::span<const VT>(s_), shat);
     a_->apply(std::span<const VT>(shat_), t);
     const S tt = blas::dot(std::span<const VT>(t_), std::span<const VT>(t_));
-    if (!std::isfinite(static_cast<double>(tt)) || tt == S{0}) return res;
+    if (!std::isfinite(static_cast<double>(tt)) || tt == S{0}) {
+      res.fail(std::isfinite(static_cast<double>(tt)) ? SolveStatus::kBreakdown
+                                                      : SolveStatus::kNonFinite,
+               "tt");
+      return res;
+    }
     omega = blas::dot(std::span<const VT>(t_), std::span<const VT>(s_)) / tt;
 
     blas::axpy(alpha, std::span<const VT>(phat_), x);
@@ -77,12 +99,27 @@ SolveResult BiCgStabSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
 
     rnorm = static_cast<double>(blas::nrm2(std::span<const VT>(r_)));
     if (cfg_.record_history) res.history.push_back(rnorm / bref);
-    if (!std::isfinite(rnorm)) return res;
-    if (rnorm <= target) {
-      res.converged = true;
+    if (!std::isfinite(rnorm)) {
+      res.fail(SolveStatus::kNonFinite, "rnorm");
       return res;
     }
-    if (omega == S{0}) return res;  // stagnation breakdown
+    if (rnorm <= target) {
+      res.mark_converged();
+      return res;
+    }
+    if (omega == S{0}) {  // stagnation breakdown
+      res.fail(SolveStatus::kBreakdown, "omega");
+      return res;
+    }
+    if (cfg_.stagnate_window > 0) {
+      if (rnorm < 0.99 * stag_best) {
+        stag_best = rnorm;
+        stall = 0;
+      } else if (++stall >= cfg_.stagnate_window) {
+        res.fail(SolveStatus::kStagnated, "rnorm");
+        return res;
+      }
+    }
   }
   return res;
 }
@@ -137,6 +174,8 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
   auto itc = w.get<int>(key_ + ".bat.itc", ww);  // per-column iteration count
   auto map = w.get<int>(key_ + ".bat.map", ww);  // slot → original column
   auto upd = w.get<unsigned char>(key_ + ".bat.upd", ww);  // direction-update mask
+  auto best = w.get<double>(key_ + ".bat.best", ww);  // stagnation guard state
+  auto stall = w.get<int>(key_ + ".bat.stall", ww);
   const std::ptrdiff_t nld = static_cast<std::ptrdiff_t>(n_);
 
   // Survivor-panel layout (base/panel.hpp; see CgSolver::solve_many_compact
@@ -185,6 +224,11 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
     itc[j] = 0;
     blas::nrm2_cols(b + static_cast<std::ptrdiff_t>(c) * ldb, ldb, 1, n_, &red[j]);
     const double bnorm = static_cast<double>(red[j]);
+    if (!std::isfinite(bnorm)) {
+      // Poisoned RHS: retire the column before it ever occupies a slot.
+      res[c].fail(SolveStatus::kNonFinite, "b");
+      return false;
+    }
     bref[j] = bnorm > 0.0 ? bnorm : 1.0;
     target[j] = cfg_.rtol * bref[j];
     // Interleaved: build r in contiguous scratch so the residual and its
@@ -197,10 +241,16 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
     blas::nrm2_cols(r0, nld, 1, n_, &red[j]);
     const double rnorm = static_cast<double>(red[j]);
     if (cfg_.record_history) res[c].history.push_back(rnorm / bref[j]);
-    if (rnorm <= target[j]) {
-      res[c].converged = true;
+    if (!std::isfinite(rnorm)) {
+      res[c].fail(SolveStatus::kNonFinite, "rnorm");
       return false;
     }
+    if (rnorm <= target[j]) {
+      res[c].mark_converged();
+      return false;
+    }
+    best[j] = rnorm;
+    stall[j] = 0;
     if (ilv) {
       panel_copy_col(r0, nld, PanelLayout::kRowMajor, 0, R.data(), pld, lay, j, nld);
       panel_copy_col(r0, nld, PanelLayout::kRowMajor, 0, RH.data(), pld, lay, j, nld);
@@ -241,6 +291,8 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
     itc[dst] = itc[src];
     map[dst] = map[src];
     upd[dst] = upd[src];
+    best[dst] = best[src];
+    stall[dst] = stall[src];
   };
 
   refill();
@@ -262,6 +314,10 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
       res[map[j]].iterations = it;
       const S rho_new = red[j];
       if (!std::isfinite(static_cast<double>(rho_new)) || rho_new == S{0}) {
+        res[map[j]].fail(std::isfinite(static_cast<double>(rho_new))
+                             ? SolveStatus::kBreakdown
+                             : SolveStatus::kNonFinite,
+                         "rho");
         move_slot(j, --na);
         continue;
       }
@@ -295,6 +351,10 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
     for (int j = 0; j < na;) {
       const S rhat_v = red[j];
       if (!std::isfinite(static_cast<double>(rhat_v)) || rhat_v == S{0}) {
+        res[map[j]].fail(std::isfinite(static_cast<double>(rhat_v))
+                             ? SolveStatus::kBreakdown
+                             : SolveStatus::kNonFinite,
+                         "rhat_v");
         move_slot(j, --na);
         continue;
       }
@@ -320,7 +380,7 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
         else
           blas::axpy(alpha[j], ccol(PH, j), xcol(c));
         if (cfg_.record_history) res[c].history.push_back(snorm / bref[j]);
-        res[c].converged = true;
+        res[c].mark_converged();
         move_slot(j, --na);
         continue;
       }
@@ -335,6 +395,10 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
     for (int j = 0; j < na;) {
       const S tt = red[j];
       if (!std::isfinite(static_cast<double>(tt)) || tt == S{0}) {
+        res[map[j]].fail(std::isfinite(static_cast<double>(tt))
+                             ? SolveStatus::kBreakdown
+                             : SolveStatus::kNonFinite,
+                         "tt");
         move_slot(j, --na);
         continue;
       }
@@ -358,17 +422,29 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
       const double rnorm = static_cast<double>(red[j]);
       if (cfg_.record_history) res[c].history.push_back(rnorm / bref[j]);
       if (!std::isfinite(rnorm)) {
+        res[c].fail(SolveStatus::kNonFinite, "rnorm");
         move_slot(j, --na);
         continue;
       }
       if (rnorm <= target[j]) {
-        res[c].converged = true;
+        res[c].mark_converged();
         move_slot(j, --na);
         continue;
       }
       if (omega[j] == S{0}) {  // stagnation breakdown
+        res[c].fail(SolveStatus::kBreakdown, "omega");
         move_slot(j, --na);
         continue;
+      }
+      if (cfg_.stagnate_window > 0) {
+        if (rnorm < 0.99 * best[j]) {
+          best[j] = rnorm;
+          stall[j] = 0;
+        } else if (++stall[j] >= cfg_.stagnate_window) {
+          res[c].fail(SolveStatus::kStagnated, "rnorm");
+          move_slot(j, --na);
+          continue;
+        }
       }
       ++j;
     }
@@ -406,6 +482,8 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
   auto target = w.get<double>(key_ + ".bat.target", kk);
   auto bref = w.get<double>(key_ + ".bat.bref", kk);
   auto act = w.get<unsigned char>(key_ + ".bat.act", kk);
+  auto best = w.get<double>(key_ + ".bat.best", kk);  // stagnation guard state
+  auto stall = w.get<int>(key_ + ".bat.stall", kk);
   const std::ptrdiff_t nld = static_cast<std::ptrdiff_t>(n_);
 
   auto col = [&](std::span<VT> blk, int c) {
@@ -431,11 +509,18 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
     blas::copy(ccol(R, c), col(RH, c));
     const double rnorm = static_cast<double>(red2[c]);
     if (cfg_.record_history) res[c].history.push_back(rnorm / bref[c]);
-    if (rnorm <= target[c]) {
-      res[c].converged = true;
+    if (!std::isfinite(bnorm) || !std::isfinite(rnorm)) {
+      res[c].fail(SolveStatus::kNonFinite, !std::isfinite(bnorm) ? "b" : "rnorm");
       act[c] = 0;
       continue;
     }
+    if (rnorm <= target[c]) {
+      res[c].mark_converged();
+      act[c] = 0;
+      continue;
+    }
+    best[c] = rnorm;
+    stall[c] = 0;
     rho[c] = S{1};
     alpha[c] = S{1};
     omega[c] = S{1};
@@ -469,6 +554,10 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
       res[c].iterations = it;
       const S rho_new = red[c];
       if (!std::isfinite(static_cast<double>(rho_new)) || rho_new == S{0}) {
+        res[c].fail(std::isfinite(static_cast<double>(rho_new))
+                        ? SolveStatus::kBreakdown
+                        : SolveStatus::kNonFinite,
+                    "rho");
         act[c] = 0;
         --nactive;
         continue;
@@ -497,6 +586,10 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
       if (!act[c]) continue;
       const S rhat_v = red[c];
       if (!std::isfinite(static_cast<double>(rhat_v)) || rhat_v == S{0}) {
+        res[c].fail(std::isfinite(static_cast<double>(rhat_v))
+                        ? SolveStatus::kBreakdown
+                        : SolveStatus::kNonFinite,
+                    "rhat_v");
         act[c] = 0;
         --nactive;
         continue;
@@ -514,7 +607,7 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
       if (snorm <= target[c]) {
         blas::axpy(alpha[c], ccol(PH, c), xcol(c));
         if (cfg_.record_history) res[c].history.push_back(snorm / bref[c]);
-        res[c].converged = true;
+        res[c].mark_converged();
         act[c] = 0;
         --nactive;
       }
@@ -529,6 +622,9 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
       if (!act[c]) continue;
       const S tt = red[c];
       if (!std::isfinite(static_cast<double>(tt)) || tt == S{0}) {
+        res[c].fail(std::isfinite(static_cast<double>(tt)) ? SolveStatus::kBreakdown
+                                                           : SolveStatus::kNonFinite,
+                    "tt");
         act[c] = 0;
         --nactive;
         sc0[c] = S{0};
@@ -552,19 +648,32 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
       const double rnorm = static_cast<double>(red[c]);
       if (cfg_.record_history) res[c].history.push_back(rnorm / bref[c]);
       if (!std::isfinite(rnorm)) {
+        res[c].fail(SolveStatus::kNonFinite, "rnorm");
         act[c] = 0;
         --nactive;
         continue;
       }
       if (rnorm <= target[c]) {
-        res[c].converged = true;
+        res[c].mark_converged();
         act[c] = 0;
         --nactive;
         continue;
       }
       if (omega[c] == S{0}) {  // stagnation breakdown
+        res[c].fail(SolveStatus::kBreakdown, "omega");
         act[c] = 0;
         --nactive;
+        continue;
+      }
+      if (cfg_.stagnate_window > 0) {
+        if (rnorm < 0.99 * best[c]) {
+          best[c] = rnorm;
+          stall[c] = 0;
+        } else if (++stall[c] >= cfg_.stagnate_window) {
+          res[c].fail(SolveStatus::kStagnated, "rnorm");
+          act[c] = 0;
+          --nactive;
+        }
       }
     }
   }

@@ -42,6 +42,10 @@ class BiCgStabSolver {
     double rtol = 1e-8;
     int max_iters = 19200;  ///< iteration cap (each = 2 preconditioner calls)
     bool record_history = false;
+    /// Stagnation guard (see CgSolver::Config::stagnate_window): stop with
+    /// kStagnated after this many consecutive iterations without relative-
+    /// residual progress.  0 = off (default).
+    int stagnate_window = 0;
     /// true (default) = active-set compaction; false = the PR 3 masked
     /// lockstep reference path (kept for A/B benching).  Bit-identical.
     bool compact = true;

@@ -19,10 +19,17 @@ SolveResult CgSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
   a_->residual(b, std::span<const VT>(x.data(), n), r);
   double rnorm = static_cast<double>(blas::nrm2(std::span<const VT>(r_)));
   if (cfg_.record_history) res.history.push_back(rnorm / (bnorm > 0.0 ? bnorm : 1.0));
-  if (rnorm <= target) {
-    res.converged = true;
+  if (!std::isfinite(bnorm) || !std::isfinite(rnorm)) {
+    res.fail(SolveStatus::kNonFinite, "rnorm");
     return res;
   }
+  if (rnorm <= target) {
+    res.mark_converged();
+    return res;
+  }
+  // Stagnation guard state: comparisons only, never touches the iterates.
+  double best = rnorm;
+  int stall = 0;
 
   m_->apply(std::span<const VT>(r_), z);
   blas::copy(std::span<const VT>(z_), p);
@@ -34,6 +41,9 @@ SolveResult CgSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
     if (!(std::abs(static_cast<double>(pq)) > 0.0) ||
         !std::isfinite(static_cast<double>(pq))) {
       res.iterations = it;
+      res.fail(std::isfinite(static_cast<double>(pq)) ? SolveStatus::kBreakdown
+                                                      : SolveStatus::kNonFinite,
+               "pivot");
       return res;  // breakdown (matrix not SPD w.r.t. p)
     }
     const auto alpha = rz / pq;
@@ -43,10 +53,22 @@ SolveResult CgSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
     rnorm = static_cast<double>(blas::nrm2(std::span<const VT>(r_)));
     if (cfg_.record_history) res.history.push_back(rnorm / (bnorm > 0.0 ? bnorm : 1.0));
     res.iterations = it;
-    if (!std::isfinite(rnorm)) return res;
-    if (rnorm <= target) {
-      res.converged = true;
+    if (!std::isfinite(rnorm)) {
+      res.fail(SolveStatus::kNonFinite, "rnorm");
       return res;
+    }
+    if (rnorm <= target) {
+      res.mark_converged();
+      return res;
+    }
+    if (cfg_.stagnate_window > 0) {
+      if (rnorm < 0.99 * best) {
+        best = rnorm;
+        stall = 0;
+      } else if (++stall >= cfg_.stagnate_window) {
+        res.fail(SolveStatus::kStagnated, "rnorm");
+        return res;
+      }
     }
 
     m_->apply(std::span<const VT>(r_), z);
@@ -104,6 +126,8 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
   auto bref = w.get<double>(key_ + ".bat.bref", ww);
   auto itc = w.get<int>(key_ + ".bat.itc", ww);  // per-column iteration count
   auto map = w.get<int>(key_ + ".bat.map", ww);  // slot → original column
+  auto best = w.get<double>(key_ + ".bat.best", ww);  // stagnation guard state
+  auto stall = w.get<int>(key_ + ".bat.stall", ww);
   const std::ptrdiff_t nld = static_cast<std::ptrdiff_t>(n_);
 
   // Survivor-panel layout (base/panel.hpp): row-major columns (the seed
@@ -142,6 +166,12 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
     itc[j] = 0;
     blas::nrm2_cols(b + static_cast<std::ptrdiff_t>(c) * ldb, ldb, 1, n_, &red[j]);
     const double bnorm = static_cast<double>(red[j]);
+    if (!std::isfinite(bnorm)) {
+      // Poisoned RHS: retire the column before it ever occupies a slot —
+      // the rest of the wave keeps running at full width.
+      res[c].fail(SolveStatus::kNonFinite, "b");
+      return false;
+    }
     bref[j] = bnorm > 0.0 ? bnorm : 1.0;
     target[j] = cfg_.rtol * bref[j];
     // Interleaved panels: build r/z in contiguous scratch (the same values
@@ -155,10 +185,16 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
     blas::nrm2_cols(r0, nld, 1, n_, &red[j]);
     const double rnorm = static_cast<double>(red[j]);
     if (cfg_.record_history) res[c].history.push_back(rnorm / bref[j]);
-    if (rnorm <= target[j]) {
-      res[c].converged = true;
+    if (!std::isfinite(rnorm)) {
+      res[c].fail(SolveStatus::kNonFinite, "rnorm");
       return false;
     }
+    if (rnorm <= target[j]) {
+      res[c].mark_converged();
+      return false;
+    }
+    best[j] = rnorm;
+    stall[j] = 0;
     const std::ptrdiff_t nn = nld;
     if (ilv) {
       VT* z0 = scr.data() + n_;
@@ -201,6 +237,8 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
     bref[dst] = bref[src];
     itc[dst] = itc[src];
     map[dst] = map[src];
+    best[dst] = best[src];
+    stall[dst] = stall[src];
   };
 
   refill();
@@ -225,6 +263,10 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
       if (!(std::abs(static_cast<double>(pq)) > 0.0) ||
           !std::isfinite(static_cast<double>(pq))) {
         res[map[j]].iterations = it;  // breakdown: retire where solve() returns
+        res[map[j]].fail(std::isfinite(static_cast<double>(pq))
+                             ? SolveStatus::kBreakdown
+                             : SolveStatus::kNonFinite,
+                         "pivot");
         move_slot(j, --na);
         continue;
       }
@@ -241,19 +283,37 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
     blas::axpy_cols(nalpha.data(), Q.data(), pld, R.data(), pld, na, n_, nullptr, nullptr,
                     lay, lay);
     blas::nrm2_cols(R.data(), pld, na, n_, red.data(), nullptr, lay);
+    // Belt-and-braces panel guard (benched; see Config::guard_panels).  The
+    // rnorm check below already retires every poisoned column — a NaN/Inf
+    // anywhere in r makes its norm non-finite — so the scan only sharpens
+    // the failure site attribution; its cost is what the bench gate pins.
+    const int badc = cfg_.guard_panels
+                         ? blas::first_nonfinite_col(R.data(), pld, na, n_, lay)
+                         : -1;
     for (int j = 0; j < na;) {
       const int c = map[j];
       const double rnorm = static_cast<double>(red[j]);
       if (cfg_.record_history) res[c].history.push_back(rnorm / bref[j]);
       res[c].iterations = itc[j];
       if (!std::isfinite(rnorm)) {
+        res[c].fail(SolveStatus::kNonFinite, j == badc ? "panel" : "rnorm");
         move_slot(j, --na);
         continue;
       }
       if (rnorm <= target[j]) {
-        res[c].converged = true;
+        res[c].mark_converged();
         move_slot(j, --na);
         continue;
+      }
+      if (cfg_.stagnate_window > 0) {
+        if (rnorm < 0.99 * best[j]) {
+          best[j] = rnorm;
+          stall[j] = 0;
+        } else if (++stall[j] >= cfg_.stagnate_window) {
+          res[c].fail(SolveStatus::kStagnated, "rnorm");
+          move_slot(j, --na);
+          continue;
+        }
       }
       ++j;
     }
@@ -301,6 +361,8 @@ void CgSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* x,
   auto target = w.get<double>(key_ + ".bat.target", kk);
   auto bref = w.get<double>(key_ + ".bat.bref", kk);
   auto act = w.get<unsigned char>(key_ + ".bat.act", kk);
+  auto best = w.get<double>(key_ + ".bat.best", kk);  // stagnation guard state
+  auto stall = w.get<int>(key_ + ".bat.stall", kk);
   const std::ptrdiff_t nld = static_cast<std::ptrdiff_t>(n_);
 
   auto col = [&](std::span<VT> blk, int c) {
@@ -324,11 +386,18 @@ void CgSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* x,
     target[c] = cfg_.rtol * bref[c];
     const double rnorm = static_cast<double>(red[c]);
     if (cfg_.record_history) res[c].history.push_back(rnorm / bref[c]);
-    if (rnorm <= target[c]) {
-      res[c].converged = true;
+    if (!std::isfinite(bnorm) || !std::isfinite(rnorm)) {
+      res[c].fail(SolveStatus::kNonFinite, !std::isfinite(bnorm) ? "b" : "rnorm");
       act[c] = 0;
       continue;
     }
+    if (rnorm <= target[c]) {
+      res[c].mark_converged();
+      act[c] = 0;
+      continue;
+    }
+    best[c] = rnorm;
+    stall[c] = 0;
     act[c] = 1;
     ++nactive;
   }
@@ -362,6 +431,9 @@ void CgSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* x,
       if (!(std::abs(static_cast<double>(pq)) > 0.0) ||
           !std::isfinite(static_cast<double>(pq))) {
         res[c].iterations = it;
+        res[c].fail(std::isfinite(static_cast<double>(pq)) ? SolveStatus::kBreakdown
+                                                           : SolveStatus::kNonFinite,
+                    "pivot");
         act[c] = 0;  // breakdown: freeze exactly as solve() returns
         --nactive;
         continue;
@@ -379,14 +451,26 @@ void CgSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* x,
       if (cfg_.record_history) res[c].history.push_back(rnorm / bref[c]);
       res[c].iterations = it;
       if (!std::isfinite(rnorm)) {
+        res[c].fail(SolveStatus::kNonFinite, "rnorm");
         act[c] = 0;
         --nactive;
         continue;
       }
       if (rnorm <= target[c]) {
-        res[c].converged = true;
+        res[c].mark_converged();
         act[c] = 0;
         --nactive;
+        continue;
+      }
+      if (cfg_.stagnate_window > 0) {
+        if (rnorm < 0.99 * best[c]) {
+          best[c] = rnorm;
+          stall[c] = 0;
+        } else if (++stall[c] >= cfg_.stagnate_window) {
+          res[c].fail(SolveStatus::kStagnated, "rnorm");
+          act[c] = 0;
+          --nactive;
+        }
       }
     }
     if (nactive == 0) break;

@@ -57,6 +57,18 @@ class CgSolver {
     double rtol = 1e-8;     ///< on ‖r‖ / ‖b‖ (recurrence residual)
     int max_iters = 19200;  ///< the paper's iteration cap
     bool record_history = false;
+    /// Stagnation guard: stop with SolveStatus::kStagnated after this many
+    /// consecutive iterations without relative-residual progress (rnorm
+    /// failing to improve on 0.99× the best seen).  0 = off (default; the
+    /// conformance-pinned behavior).  Pure comparisons on the already-
+    /// computed norms — iterate streams are untouched.
+    int stagnate_window = 0;
+    /// Per-iteration non-finite panel scan (batched paths): after the
+    /// residual update, scan the R panel with blas::has_nonfinite and
+    /// retire any poisoned column with kNonFinite("panel").  Off by
+    /// default — the residual-NORM check already catches NaN for free;
+    /// this is the belt-and-braces mode the guard-overhead bench pins.
+    bool guard_panels = false;
     /// Batched scheduling: true (default) = active-set compaction (kernels
     /// run at the current active width); false = the PR 3 masked-lockstep
     /// reference path (full-width kernels, per-column apply fallback),

@@ -86,6 +86,12 @@ class FgmresSolver final : public Preconditioner<VT> {
     int iters = 0;                 ///< Arnoldi steps performed
     double residual_est = 0.0;     ///< Givens estimate of ‖b − Ax‖₂
     bool reached_target = false;
+    /// Terminal-cause markers for the engines' SolveStatus attribution:
+    /// `breakdown` = the eps-scaled hj1 test ended the cycle with finite
+    /// arithmetic (possibly a lucky breakdown — the caller still checks the
+    /// true residual); `non_finite` = a NaN/Inf norm (beta or hj1) ended it.
+    bool breakdown = false;
+    bool non_finite = false;
   };
 
   /// Deferred-setup construction: no matrix bound, no memory acquired.
@@ -155,6 +161,7 @@ class FgmresSolver final : public Preconditioner<VT> {
     const S beta = blas::nrm2(std::span<const VT>(vcol(0)));
     if (!(static_cast<double>(beta) > 0.0) || !std::isfinite(static_cast<double>(beta))) {
       stats.residual_est = static_cast<double>(beta);
+      stats.non_finite = !std::isfinite(static_cast<double>(beta));
       stats.reached_target = static_cast<double>(beta) <= abs_target;
       return stats;
     }
@@ -186,6 +193,8 @@ class FgmresSolver final : public Preconditioner<VT> {
           !(static_cast<double>(hj1) > breakdown_tol_ * static_cast<double>(beta));
       if (breakdown || (abs_target > 0.0 && res <= abs_target)) {
         stats.reached_target = res <= abs_target || breakdown;
+        stats.breakdown = breakdown && std::isfinite(static_cast<double>(hj1));
+        stats.non_finite = breakdown && !std::isfinite(static_cast<double>(hj1));
         ++j;
         break;
       }
@@ -286,6 +295,7 @@ class FgmresSolver final : public Preconditioner<VT> {
       const double bd = static_cast<double>(beta[c]);
       if (!(bd > 0.0) || !std::isfinite(bd)) {
         stats[c].residual_est = bd;
+        stats[c].non_finite = !std::isfinite(bd);
         stats[c].reached_target = bd <= abs_target;
         act[c] = 0;
         continue;
@@ -398,6 +408,8 @@ class FgmresSolver final : public Preconditioner<VT> {
         stats[c].residual_est = std::abs(static_cast<double>(g[j + 1]));
         if (breakdown || (abs_target > 0.0 && res <= abs_target)) {
           stats[c].reached_target = res <= abs_target || breakdown;
+          stats[c].breakdown = breakdown && std::isfinite(static_cast<double>(hj1));
+          stats[c].non_finite = breakdown && !std::isfinite(static_cast<double>(hj1));
           act[c] = 0;
           if (!cfg_.compact) --nactive;
           continue;

@@ -5,14 +5,34 @@
 
 namespace nk {
 
+const char* status_name(SolveStatus s) noexcept {
+  switch (s) {
+    case SolveStatus::kConverged: return "converged";
+    case SolveStatus::kMaxIters: return "max_iters";
+    case SolveStatus::kBreakdown: return "breakdown";
+    case SolveStatus::kDiverged: return "diverged";
+    case SolveStatus::kNonFinite: return "non_finite";
+    case SolveStatus::kStagnated: return "stagnated";
+    case SolveStatus::kInvalidInput: return "invalid_input";
+  }
+  return "unknown";
+}
+
 std::string summarize(const SolveResult& r) {
   std::ostringstream os;
-  os << r.solver << ": " << (r.converged ? "converged" : "FAILED") << " in " << r.iterations
-     << " outer its / " << r.precond_invocations << " M-applies, ";
+  os << r.solver << ": " << status_name(r.status);
+  if (!r.failure.empty()) os << " (" << r.failure << ")";
+  os << " in " << r.iterations << " outer its / " << r.precond_invocations
+     << " M-applies, ";
   os.precision(3);
   os << r.seconds << " s, relres ";
   os.precision(2);
   os << std::scientific << r.final_relres;
+  if (!r.attempts.empty()) {
+    os << " [after";
+    for (const std::string& a : r.attempts) os << " {" << a << "}";
+    os << "]";
+  }
   return os.str();
 }
 

@@ -8,6 +8,7 @@
 // std::invalid_argument) with a message naming the problem.
 #include <gtest/gtest.h>
 
+#include "core/fault.hpp"
 #include "core/registry.hpp"
 #include "core/spec.hpp"
 
@@ -176,6 +177,48 @@ TEST(Spec, RejectsMalformedStrings) {
 TEST(Spec, SpecErrorIsInvalidArgument) {
   // Legacy catch sites (variant_config callers) catch invalid_argument.
   EXPECT_THROW(SolverSpec::parse("nonsense"), std::invalid_argument);
+}
+
+TEST(Spec, ResilienceOptionsRoundTrip) {
+  const SolverSpec s =
+      SolverSpec::parse("cg@fp16;stagnate-window=25;fallback=fp32,fp64");
+  EXPECT_EQ(s.stagnate_window, 25);
+  ASSERT_EQ(s.fallback.size(), 2u);
+  EXPECT_EQ(s.fallback[0], Prec::FP32);
+  EXPECT_EQ(s.fallback[1], Prec::FP64);
+  EXPECT_EQ(SolverSpec::parse(s.to_string()), s);
+
+  // Both default to off, and the defaults are omitted from the canonical
+  // form — pre-resilience spec strings re-render unchanged.
+  const SolverSpec plain = SolverSpec::parse("cg@fp16");
+  EXPECT_EQ(plain.stagnate_window, 0);
+  EXPECT_TRUE(plain.fallback.empty());
+  EXPECT_EQ(plain.to_string(), "cg@fp16");
+}
+
+TEST(Spec, FaultHarnessOptionsRoundTrip) {
+  // The "fault" kind is test-only: the grammar accepts it only once a test
+  // has installed it (kind validation stays registry-driven).
+  register_fault_injection();
+  const PrecondSpec p = PrecondSpec::parse("fault;inject=nan@3@fp16;inner=jacobi");
+  EXPECT_EQ(p.kind, "fault");
+  EXPECT_EQ(p.inject, "nan@3@fp16");
+  EXPECT_EQ(p.inner, "jacobi");
+  EXPECT_EQ(PrecondSpec::parse(p.to_string()), p);
+
+  // The hooks ride through a full solver spec too.
+  const SolverSpec s = SolverSpec::parse("cg/fault;inject=inf@0;inner=bj");
+  EXPECT_EQ(s.precond.inject, "inf@0");
+  EXPECT_EQ(s.precond.inner, "bj");
+  EXPECT_EQ(SolverSpec::parse(s.to_string()), s);
+}
+
+TEST(Spec, RejectsMalformedResilienceOptions) {
+  EXPECT_THROW(SolverSpec::parse("cg;stagnate-window=-1"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;stagnate-window"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;fallback="), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;fallback=fp32,,fp64"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;fallback=fp99"), SpecError);
 }
 
 }  // namespace

@@ -11,7 +11,7 @@ namespace {
 TEST(Summarize, ConvergedRunMentionsEveryHeadlineMetric) {
   SolveResult r;
   r.solver = "fp16-F3R";
-  r.converged = true;
+  r.mark_converged();
   r.iterations = 12;
   r.precond_invocations = 768;
   r.seconds = 0.42;
@@ -25,14 +25,49 @@ TEST(Summarize, ConvergedRunMentionsEveryHeadlineMetric) {
   EXPECT_NE(s.find("6.30e-09"), std::string::npos);
 }
 
-TEST(Summarize, FailedRunSaysFailed) {
+TEST(Summarize, FailedRunNamesTheTerminalCause) {
   SolveResult r;
   r.solver = "fp64-CG";
-  r.converged = false;
-  r.iterations = 19200;
+  r.iterations = 19200;  // default status: budget exhausted
   const std::string s = summarize(r);
-  EXPECT_NE(s.find("FAILED"), std::string::npos);
+  EXPECT_NE(s.find("max_iters"), std::string::npos);
   EXPECT_EQ(s.find("converged"), std::string::npos);
+}
+
+TEST(Summarize, FailureSiteAndAttemptChainAreRendered) {
+  SolveResult r;
+  r.solver = "fp64-CG";
+  r.fail(SolveStatus::kNonFinite, "pivot");
+  r.attempts = {"fp16-CG: non_finite (rnorm)", "fp32-CG: breakdown (pivot)"};
+  const std::string s = summarize(r);
+  EXPECT_NE(s.find("non_finite (pivot)"), std::string::npos);
+  EXPECT_NE(s.find("[after {fp16-CG: non_finite (rnorm)} {fp32-CG: breakdown (pivot)}]"),
+            std::string::npos);
+}
+
+TEST(Status, NamesAreStableAndExhaustive) {
+  EXPECT_STREQ(status_name(SolveStatus::kConverged), "converged");
+  EXPECT_STREQ(status_name(SolveStatus::kMaxIters), "max_iters");
+  EXPECT_STREQ(status_name(SolveStatus::kBreakdown), "breakdown");
+  EXPECT_STREQ(status_name(SolveStatus::kDiverged), "diverged");
+  EXPECT_STREQ(status_name(SolveStatus::kNonFinite), "non_finite");
+  EXPECT_STREQ(status_name(SolveStatus::kStagnated), "stagnated");
+  EXPECT_STREQ(status_name(SolveStatus::kInvalidInput), "invalid_input");
+}
+
+TEST(Status, FailAndMarkConvergedKeepTheLegacyFlagInSync) {
+  SolveResult r;
+  EXPECT_EQ(r.status, SolveStatus::kMaxIters);  // the pre-taxonomy default
+  r.mark_converged();
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.status, SolveStatus::kConverged);
+  EXPECT_TRUE(r.failure.empty());
+  r.fail(SolveStatus::kBreakdown, "rho");
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.status, SolveStatus::kBreakdown);
+  EXPECT_EQ(r.failure, "rho");
+  r.mark_converged();  // recovery clears the site
+  EXPECT_TRUE(r.failure.empty());
 }
 
 TEST(Geomean, EmptyInputIsZero) { EXPECT_DOUBLE_EQ(geomean({}), 0.0); }

@@ -70,6 +70,15 @@ SOLVE_PAIRS = [
     ("fgmres_staggered16_compact_hpcg", "fgmres_staggered16_masked_hpcg"),
 ]
 
+# Guard-overhead gates: ABSOLUTE ceilings on the fresh guarded/unguarded
+# seconds ratio, not baseline-relative drift.  The resilience layer's
+# per-iteration non-finite panel scan must stay under 2% of the batched CG
+# solve regardless of what the committed baseline happened to measure — a
+# slow baseline must not grandfather in a slow guard.
+GUARD_PAIRS = [
+    ("solve_cg_batched_8rhs_guard_laplace", "solve_cg_batched_8rhs_laplace", 1.02),
+]
+
 # Bandwidth-ratio gates (HIGHER is better): the batched reduction's GB/s
 # over the single-column dot's, fresh vs committed.  Catches the
 # latency-bound regression class directly — a change that serializes the
@@ -94,6 +103,8 @@ def gated_pairs(tolerance):
     pairs += [(f, r, tolerance, "seconds") for f, r in SPMM_PAIRS + SOLVE_PAIRS]
     pairs += [(f.format(p=p), r.format(p=p), 2.0 * tolerance, "gbps")
               for f, r in BANDWIDTH_PAIRS for p in PRECISIONS]
+    # Ceiling gates carry their own absolute limit in place of a tolerance.
+    pairs += [(f, r, ceiling, "ceiling") for f, r, ceiling in GUARD_PAIRS]
     return pairs
 
 
@@ -125,14 +136,23 @@ def diff(fresh, base, tolerance, fresh_name="fresh", base_name="baseline"):
             continue
         # seconds: lower is better, gate on the fused/ref ratio RISING.
         # gbps: higher is better, gate on the fused/ref ratio FALLING.
-        fresh_ratio = fresh[fused][metric] / fresh[ref][metric]
-        base_ratio = base[fused][metric] / base[ref][metric]
-        rel = fresh_ratio / base_ratio - 1.0
-        regressed = rel > tol if metric == "seconds" else rel < -tol
+        # ceiling: the fresh seconds ratio must stay under `tol` ABSOLUTELY
+        # (the baseline ratio is printed for context only).
+        real_metric = "seconds" if metric == "ceiling" else metric
+        fresh_ratio = fresh[fused][real_metric] / fresh[ref][real_metric]
+        base_ratio = base[fused][real_metric] / base[ref][real_metric]
         checked += 1
-        status = "FAIL" if regressed else "ok"
-        print(f"{status:4}  {fused:42} {metric} ratio {fresh_ratio:7.3f} vs baseline "
-              f"{base_ratio:7.3f}  ({rel:+.1%}, tol {tol:.0%})")
+        if metric == "ceiling":
+            regressed = fresh_ratio > tol
+            status = "FAIL" if regressed else "ok"
+            print(f"{status:4}  {fused:42} seconds ratio {fresh_ratio:7.3f} vs ceiling "
+                  f"{tol:.3f}  (baseline {base_ratio:.3f})")
+        else:
+            rel = fresh_ratio / base_ratio - 1.0
+            regressed = rel > tol if metric == "seconds" else rel < -tol
+            status = "FAIL" if regressed else "ok"
+            print(f"{status:4}  {fused:42} {metric} ratio {fresh_ratio:7.3f} vs baseline "
+                  f"{base_ratio:7.3f}  ({rel:+.1%}, tol {tol:.0%})")
         if regressed:
             failures.append(f"{fused} [{metric}]")
 
@@ -185,6 +205,15 @@ def self_test():
     narrow = synthetic()
     narrow["dot_cols_fp32_k8"] = dict(narrow["dot_cols_fp32_k8"], gbps=1.0)
     expect("bandwidth-ratio regression fails", diff(narrow, synthetic(), 0.25), 1)
+
+    # The guard ceiling is absolute: a 5% overhead fails even when the
+    # committed baseline carries the same 5% (no grandfathering).
+    heavy = synthetic()
+    heavy["solve_cg_batched_8rhs_guard_laplace"] = dict(
+        heavy["solve_cg_batched_8rhs_guard_laplace"],
+        seconds=1.05 * heavy["solve_cg_batched_8rhs_laplace"]["seconds"])
+    expect("guard overhead above the absolute ceiling fails",
+           diff(heavy, dict(heavy), 0.25), 1)
 
     renamed = synthetic()
     del renamed["dot_cols_fp16_k8"]
