@@ -28,8 +28,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <future>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,9 @@
 #include "base/simd_fp16.hpp"
 #include "base/timer.hpp"
 #include "bench_common.hpp"
+#include "core/problem.hpp"
+#include "core/service/executor.hpp"
+#include "core/service/fingerprint.hpp"
 #include "krylov/cg.hpp"
 #include "krylov/fgmres.hpp"
 #include "krylov/operator.hpp"
@@ -887,6 +892,86 @@ void bench_spmv(bench::JsonReport& rep, const std::string& mat_name, CsrMatrix<d
   bench_spmv_combo<half, half>(rep, mat_name, a16, s16, std::span<const half>(xh), a64);
 }
 
+// ---------------------------------------------------------------------------
+// nkrylovd daemon throughput: N logical clients, one solve each, through the
+// service SolveExecutor (the daemon's engine minus the socket layer — what
+// the socket adds is per-request I/O, not solver scheduling).  All clients
+// hit ONE (matrix, spec) key, so the executor's cross-request batching is
+// the whole story: c1 measures the un-amortized per-solve cost, c64/c1024
+// measure how far merged waves push the per-solve cost down.  One executor
+// serves every client count, so the session-cache counters double as the
+// zero-re-setup acceptance check: exactly ONE session build (the warm-up),
+// everything after is a cache hit.
+// ---------------------------------------------------------------------------
+
+void bench_daemon(bench::JsonReport& rep) {
+  // 8x8x8 HPCG-style stencil: solves stay sub-millisecond so the daemon's
+  // dispatch/batching overhead is what c1 vs c64/c1024 actually contrasts
+  // (1024 clients on a big matrix would just measure the solver again).
+  CsrMatrix<double> a = gen::stencil27({.nx = 8, .ny = 8, .nz = 8});
+  a.sort_rows();
+  // Fingerprint the RAW matrix exactly as the server does on a client PUT.
+  const std::uint64_t h = service::matrix_fingerprint(a, /*symmetric=*/true);
+  auto p = std::make_shared<const PreparedProblem>(prepare_problem(
+      "daemon-bench", std::move(a), /*symmetric=*/true, 1.0, 1.0, /*rhs_seed=*/7));
+  const SolverSpec spec = SolverSpec::parse("cg/bj;nblocks=8");
+  const auto n = static_cast<std::int64_t>(p->b.size());
+  const auto nnz = static_cast<std::int64_t>(p->a->csr_fp64().nnz());
+
+  service::ExecutorConfig cfg;
+  cfg.threads = 4;
+  cfg.max_batch = 32;
+  service::SolveExecutor ex(cfg);
+
+  // Warm-up client: pays the one and only Session build.
+  {
+    auto futs = ex.submit(h, p, spec, {batch_rhs(*p, 1, 7)}, 0);
+    if (!futs[0].get().result.converged) check("daemon_warmup_converged", 1.0, 0.0);
+  }
+
+  int failures = 0;
+  for (const int clients : {1, 64, 1024}) {
+    // Per-client RHS generated outside the timed region; the timed lambda
+    // only copies (cheap next to a solve) so re-runs see identical inputs.
+    std::vector<std::vector<double>> rhs(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c)
+      rhs[static_cast<std::size_t>(c)] = batch_rhs(*p, 1, 100 + static_cast<std::uint64_t>(c));
+
+    const double s = time_min([&] {
+      std::vector<std::future<service::ColumnOutcome>> futs;
+      futs.reserve(static_cast<std::size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        std::vector<std::vector<double>> cols;
+        cols.push_back(rhs[static_cast<std::size_t>(c)]);
+        for (auto& f : ex.submit(h, p, spec, std::move(cols),
+                                 static_cast<std::uint64_t>(c) + 1))
+          futs.push_back(std::move(f));
+      }
+      for (auto& f : futs)
+        if (!f.get().result.converged) ++failures;
+    });
+    // seconds = amortized per-solve cost; the gbps column doubles as the
+    // throughput in solves/second.
+    rep.add("daemon_solve_c" + std::to_string(clients), n, nnz,
+            s / static_cast<double>(clients), static_cast<double>(clients) / s);
+    std::cout << "daemon " << clients << " client(s): " << s << " s total, "
+              << static_cast<double>(clients) / s << " solves/s\n";
+  }
+  check("daemon_all_clients_converged", static_cast<double>(failures), 0.0);
+
+  // Zero re-setup, proven by the counters: one session miss (the warm-up),
+  // every later lease a hit.  The gbps column carries the hit RATE, which
+  // tools/bench_diff.py gates against an absolute floor — a cold-cache
+  // regression cannot be grandfathered in by a bad baseline.
+  const service::SessionCache::Stats cs = ex.sessions().stats();
+  check("daemon_repeat_clients_paid_setup", static_cast<double>(cs.misses) - 1.0, 0.0);
+  const double leases = static_cast<double>(cs.hits + cs.misses);
+  rep.add("daemon_cache_hit_rate", static_cast<std::int64_t>(cs.hits + cs.misses), 0, 0.0,
+          leases > 0.0 ? static_cast<double>(cs.hits) / leases : 0.0);
+  std::cout << "daemon session cache: " << cs.hits << " hits / " << cs.misses
+            << " miss(es)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -928,6 +1013,8 @@ int main(int argc, char** argv) {
   bench_batched_solve(rep, n);
   bench_staggered_cg(rep, static_cast<index_t>(64 * scale));
   bench_staggered_fgmres(rep, static_cast<index_t>(32 * scale));
+
+  bench_daemon(rep);
 
   std::cout << "\nname, n, nnz, seconds, GB/s\n";
   for (const auto& r : rep.records())

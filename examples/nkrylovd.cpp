@@ -1,0 +1,90 @@
+// nkrylovd — the multi-client solver daemon.
+//
+//   nkrylovd --socket /tmp/nkrylov.sock [--threads 2] [--max-batch 32]
+//            [--cache 32]
+//
+// Listens on a Unix-domain socket and serves the protocol documented in
+// src/core/service/protocol.hpp: clients upload (or ask the daemon to
+// generate) matrices, get back content-addressed handles, and stream
+// right-hand sides at them.  Repeat matrices are never re-prepared, repeat
+// (matrix, spec) pairs never re-factorized, and concurrent requests for
+// the same pair merge into shared batched waves.  Exits on SIGINT/SIGTERM
+// or a client SHUTDOWN, draining queued solves first.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "base/env.hpp"
+#include "core/fault.hpp"
+#include "core/service/server.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--threads N] [--max-batch K] [--cache C]\n",
+               argv0);
+  return 2;
+}
+
+/// Strict full-token int parse for argv (same checked-parse policy as the
+/// wire and the env layer); returns false on garbage.
+bool parse_int_arg(const char* s, long min, long max, long& out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || v < min || v > max) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nk::service::ServerConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    long v = 0;
+    if (arg == "--socket" && has_value) {
+      cfg.socket_path = argv[++i];
+    } else if (arg == "--threads" && has_value && parse_int_arg(argv[++i], 1, 256, v)) {
+      cfg.executor.threads = static_cast<int>(v);
+    } else if (arg == "--max-batch" && has_value && parse_int_arg(argv[++i], 1, 4096, v)) {
+      cfg.executor.max_batch = static_cast<int>(v);
+    } else if (arg == "--cache" && has_value && parse_int_arg(argv[++i], 1, 4096, v)) {
+      cfg.executor.cache_capacity = static_cast<std::size_t>(v);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cfg.socket_path.empty()) return usage(argv[0]);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
+
+  // The "fault" precond kind is inert unless a spec names it; having it
+  // registered lets clients run resilience drills against a live daemon
+  // (and the smoke test prove a poisoned request cannot take nkrylovd down).
+  nk::register_fault_injection();
+
+  try {
+    nk::service::Server server(std::move(cfg));
+    server.start();
+    std::fprintf(stderr, "nkrylovd: listening on %s\n", server.socket_path().c_str());
+    server.wait(&g_stop);
+    std::fprintf(stderr, "nkrylovd: draining and shutting down\n");
+    server.stop();
+    std::fprintf(stderr, "nkrylovd: %s\n", server.stats_line().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nkrylovd: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

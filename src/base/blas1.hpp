@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "base/env.hpp"
 #include "base/half.hpp"
 #include "base/simd_fp16.hpp"
 
@@ -30,16 +31,11 @@ namespace blas {
 
 /// Minimum element count before a kernel opens an OpenMP parallel region.
 /// Override with the environment variable NKRYLOV_PAR_THRESHOLD (elements;
-/// 0 = always parallel).
+/// 0 = always parallel).  Malformed values ("4096x", negatives) warn once
+/// and keep the default — a set knob never silently half-applies.
 inline std::ptrdiff_t parallel_threshold() {
-  static const std::ptrdiff_t t = [] {
-    if (const char* s = std::getenv("NKRYLOV_PAR_THRESHOLD")) {
-      char* end = nullptr;
-      const long v = std::strtol(s, &end, 10);
-      if (end != s && v >= 0) return static_cast<std::ptrdiff_t>(v);
-    }
-    return std::ptrdiff_t{4096};
-  }();
+  static const std::ptrdiff_t t =
+      static_cast<std::ptrdiff_t>(env_long("NKRYLOV_PAR_THRESHOLD", 4096, 0));
   return t;
 }
 

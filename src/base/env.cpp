@@ -1,6 +1,12 @@
 #include "base/env.hpp"
 
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <set>
 #include <sstream>
+#include <string_view>
 
 #include "base/simd_fp16.hpp"
 
@@ -9,6 +15,50 @@
 #endif
 
 namespace nk {
+
+namespace {
+
+/// One warning per variable per process, however many times the knob is
+/// read (call sites additionally cache the parsed value in local statics,
+/// but the direct-parse test path calls these repeatedly).
+void warn_once(const char* var, const std::string& msg) {
+  static std::mutex mu;
+  static std::set<std::string> warned;
+  const std::lock_guard<std::mutex> lock(mu);
+  if (warned.insert(var).second) std::cerr << "nkrylov: " << msg << "\n";
+}
+
+}  // namespace
+
+long env_long(const char* var, long def, long min_value) {
+  const char* s = std::getenv(var);
+  if (s == nullptr) return def;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    warn_once(var, std::string(var) + "='" + s + "' is not an integer; using default " +
+                       std::to_string(def));
+    return def;
+  }
+  if (v < min_value) {
+    warn_once(var, std::string(var) + "=" + std::to_string(v) + " is below the minimum " +
+                       std::to_string(min_value) + "; using default " + std::to_string(def));
+    return def;
+  }
+  return v;
+}
+
+bool env_flag(const char* var, bool def) {
+  const char* s = std::getenv(var);
+  if (s == nullptr) return def;
+  const std::string_view v(s);
+  if (v == "0" || v == "off" || v == "false" || v == "no") return false;
+  if (v == "1" || v == "on" || v == "true" || v == "yes") return true;
+  warn_once(var, std::string(var) + "='" + s + "' is not a boolean (0|off|false|no / " +
+                     "1|on|true|yes); using default " + (def ? "on" : "off"));
+  return def;
+}
 
 int num_threads() {
 #ifdef _OPENMP

@@ -1,10 +1,32 @@
-// Runtime environment reporting: thread count, fp16 capability, build flags.
-// Benches print this header so results are interpretable later.
+// Runtime environment reporting and checked environment-variable parsing:
+// thread count, fp16 capability, build flags.  Benches print the summary
+// header so results are interpretable later.
 #pragma once
 
 #include <string>
 
 namespace nk {
+
+// ---------------------------------------------------------------------------
+// Checked env-knob parsers — the Options checked-parse policy applied to
+// getenv sites.  A knob that is SET but malformed used to be silently
+// truncated ("NKRYLOV_PAR_THRESHOLD=4096x" parsed as 4096) or silently
+// treated as truthy; now the whole value must parse, and a malformed value
+// warns ONCE on stderr naming the variable and the offending value before
+// falling back to the default.  Unset variables return the default without
+// any diagnostics.
+// ---------------------------------------------------------------------------
+
+/// Integer knob: full-string strict parse (no trailing garbage, no empty
+/// value), rejected when below `min_value`.  Malformed/out-of-range values
+/// warn once per variable and return `def`.
+long env_long(const char* var, long def, long min_value);
+
+/// Boolean knob: "0"/"off"/"false"/"no" are false, "1"/"on"/"true"/"yes"
+/// are true (lower case, matching the spellings the knobs documented).
+/// Anything else — including an empty value — warns once per variable and
+/// returns `def`.
+bool env_flag(const char* var, bool def);
 
 /// Number of OpenMP threads the kernels will use (1 in serial builds).
 int num_threads();

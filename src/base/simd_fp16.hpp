@@ -31,8 +31,8 @@
 
 #include <cstddef>
 #include <cstdlib>
-#include <string_view>
 
+#include "base/env.hpp"
 #include "base/half.hpp"
 
 #if defined(__AVX512FP16__)
@@ -60,14 +60,13 @@ namespace nk::simd_fp16 {
 }
 
 /// Runtime dispatch gate: compiled + CPU + env opt-in (NKRYLOV_AVX512FP16
-/// set to anything but "0"/"off").  Cached after first call.
+/// = 1|on|true|yes).  A malformed value warns once naming the variable and
+/// value and keeps the default (off) — garbage no longer silently opts the
+/// non-bit-identical native kernels in.  Cached after first call.
 [[nodiscard]] inline bool enabled() {
   static const bool on = [] {
-    if (!compiled() || !cpu_supported()) return false;
-    const char* e = std::getenv("NKRYLOV_AVX512FP16");
-    if (e == nullptr) return false;
-    const std::string_view v(e);
-    return v != "0" && v != "off" && v != "";
+    const bool opted_in = env_flag("NKRYLOV_AVX512FP16", false);
+    return compiled() && cpu_supported() && opted_in;
   }();
   return on;
 }

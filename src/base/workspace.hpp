@@ -58,6 +58,7 @@
 #include <string>
 #include <string_view>
 
+#include "base/env.hpp"
 #include "base/panel.hpp"
 
 namespace nk {
@@ -69,10 +70,10 @@ namespace workspace_detail {
 /// `parallel for schedule(static)` sweeps assign.  Tiny or env-disabled
 /// fills fall back to one memset.
 inline void first_touch_zero(std::byte* p, std::size_t bytes) {
-  static const bool enabled = [] {
-    const char* e = std::getenv("NKRYLOV_FIRST_TOUCH");
-    return e == nullptr || (std::string_view(e) != "0" && std::string_view(e) != "off");
-  }();
+  // Checked flag parse: a malformed NKRYLOV_FIRST_TOUCH warns once naming
+  // the variable and value, then keeps the default (on) — it no longer
+  // silently counts as truthy.
+  static const bool enabled = env_flag("NKRYLOV_FIRST_TOUCH", true);
   constexpr std::size_t kChunk = 1 << 16;  // per-slice granule: page-multiple
   if (!enabled || bytes < 2 * kChunk) {
     std::memset(p, 0, bytes);

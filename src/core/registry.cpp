@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 namespace nk {
 
@@ -15,43 +16,67 @@ std::string join(const std::vector<std::string>& xs) {
 
 }  // namespace
 
+// Copy-mutate-swap: writers serialize on write_mu_, clone the current
+// snapshot, apply the mutation, and publish the clone.  The displaced
+// snapshot is parked in retired_ so any info pointer a reader obtained from
+// it stays valid forever (registrations are rare; the list stays tiny).
+template <class Mutate>
+void Registry::update(Mutate&& mutate) {
+  const std::lock_guard<std::mutex> lock(write_mu_);
+  auto old = state_.load(std::memory_order_acquire);
+  auto next = std::make_shared<State>(*old);
+  mutate(*next);
+  retired_.push_back(std::move(old));
+  state_.store(std::shared_ptr<const State>(std::move(next)), std::memory_order_release);
+}
+
 void Registry::add_solver(SolverKindInfo info, SolverFactory factory) {
-  const std::string kind = info.kind;
-  if (solvers_.find(kind) == solvers_.end()) solver_order_.push_back(kind);
-  solvers_[kind] = {std::move(info), std::move(factory)};
+  update([&](State& s) {
+    const std::string kind = info.kind;
+    if (s.solvers.find(kind) == s.solvers.end()) s.solver_order.push_back(kind);
+    s.solvers[kind] = {std::move(info), std::move(factory)};
+  });
 }
 
 void Registry::add_precond(PrecondKindInfo info, PrecondFactory factory) {
-  const std::string kind = info.kind;
-  if (preconds_.find(kind) == preconds_.end()) precond_order_.push_back(kind);
-  preconds_[kind] = {std::move(info), std::move(factory)};
+  update([&](State& s) {
+    const std::string kind = info.kind;
+    if (s.preconds.find(kind) == s.preconds.end()) s.precond_order.push_back(kind);
+    s.preconds[kind] = {std::move(info), std::move(factory)};
+  });
 }
 
 const SolverKindInfo* Registry::solver_info(const std::string& kind) const {
-  const auto it = solvers_.find(kind);
-  return it == solvers_.end() ? nullptr : &it->second.info;
+  const auto s = snapshot();
+  const auto it = s->solvers.find(kind);
+  return it == s->solvers.end() ? nullptr : &it->second.info;
 }
 
 const PrecondKindInfo* Registry::precond_info(const std::string& kind) const {
-  const auto it = preconds_.find(kind);
-  return it == preconds_.end() ? nullptr : &it->second.info;
+  const auto s = snapshot();
+  const auto it = s->preconds.find(kind);
+  return it == s->preconds.end() ? nullptr : &it->second.info;
 }
 
-std::vector<std::string> Registry::solver_kinds() const { return solver_order_; }
+std::vector<std::string> Registry::solver_kinds() const { return snapshot()->solver_order; }
 
-std::vector<std::string> Registry::precond_kinds() const { return precond_order_; }
+std::vector<std::string> Registry::precond_kinds() const {
+  return snapshot()->precond_order;
+}
 
 std::vector<std::string> Registry::conformance_solver_kinds() const {
+  const auto s = snapshot();
   std::vector<std::string> out;
-  for (const auto& k : solver_order_)
-    if (solvers_.at(k).info.conformance) out.push_back(k);
+  for (const auto& k : s->solver_order)
+    if (s->solvers.at(k).info.conformance) out.push_back(k);
   return out;
 }
 
 std::vector<std::string> Registry::conformance_precond_kinds() const {
+  const auto s = snapshot();
   std::vector<std::string> out;
-  for (const auto& k : precond_order_)
-    if (preconds_.at(k).info.conformance) out.push_back(k);
+  for (const auto& k : s->precond_order)
+    if (s->preconds.at(k).info.conformance) out.push_back(k);
   return out;
 }
 
@@ -59,10 +84,14 @@ std::unique_ptr<SolverEngine> Registry::make_solver(const SolverSpec& spec,
                                                     const PreparedProblem& p,
                                                     std::shared_ptr<PrimaryPrecond> m,
                                                     SolverWorkspace* ws) const {
-  const auto it = solvers_.find(spec.kind);
-  if (it == solvers_.end())
+  // Hold the snapshot across the factory call: no lock is held, so a
+  // factory is free to re-enter the registry (the fault wrapper builds its
+  // inner kind this way) even while another thread registers.
+  const auto s = snapshot();
+  const auto it = s->solvers.find(spec.kind);
+  if (it == s->solvers.end())
     throw SpecError("unknown solver kind '" + spec.kind +
-                    "' (registered: " + join(solver_kinds()) + ")");
+                    "' (registered: " + join(s->solver_order) + ")");
   const SolverKindInfo& info = it->second.info;
   if (!info.takes_m && spec.m != 0)
     throw SpecError("solver kind '" + spec.kind + "' does not take an iteration count");
@@ -80,10 +109,11 @@ std::unique_ptr<SolverEngine> Registry::make_solver(const SolverSpec& spec,
 
 std::shared_ptr<PrimaryPrecond> Registry::make_precond(const PrecondSpec& spec,
                                                        const PreparedProblem& p) const {
-  const auto it = preconds_.find(spec.kind);
-  if (it == preconds_.end())
+  const auto s = snapshot();
+  const auto it = s->preconds.find(spec.kind);
+  if (it == s->preconds.end())
     throw SpecError("unknown preconditioner kind '" + spec.kind +
-                    "' (registered: " + join(precond_kinds()) + ")");
+                    "' (registered: " + join(s->precond_order) + ")");
   return it->second.factory(spec, p);
 }
 

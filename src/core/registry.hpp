@@ -19,9 +19,11 @@
 // hand-rolling nested loops.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,11 @@ struct PrecondKindInfo {
   bool conformance = false;
 };
 
+/// Thread-safety: lookups and factory calls are safe from any number of
+/// threads concurrently with registration — lookups are lock-free snapshot
+/// reads; add_solver/add_precond serialize on an internal mutex and
+/// publish a fresh immutable snapshot.  Metadata pointers returned by
+/// solver_info()/precond_info() stay valid for the process lifetime.
 class Registry {
  public:
   using SolverFactory = std::function<std::unique_ptr<SolverEngine>(
@@ -97,14 +104,39 @@ class Registry {
     PrecondKindInfo info;
     PrecondFactory factory;
   };
-  std::vector<std::string> solver_order_, precond_order_;
-  std::map<std::string, SolverEntry> solvers_;
-  std::map<std::string, PrecondEntry> preconds_;
+
+  // Thread-safety: the registry is read on every Session construction — in
+  // a daemon, from many threads at once — while registration happens rarely
+  // (the builtin kinds once at first use, the test-only fault kind on
+  // demand).  The kind tables therefore live in an IMMUTABLE State snapshot
+  // behind an atomic shared_ptr: lookups load the snapshot and never take a
+  // lock, writers copy-mutate-swap under `write_mu_`.  Retired snapshots
+  // are kept alive for the process lifetime (`retired_` — bounded by the
+  // number of registration calls, i.e. tiny) so the info pointers handed
+  // out by solver_info()/precond_info() can never dangle.
+  struct State {
+    std::vector<std::string> solver_order, precond_order;
+    std::map<std::string, SolverEntry> solvers;
+    std::map<std::string, PrecondEntry> preconds;
+  };
+
+  [[nodiscard]] std::shared_ptr<const State> snapshot() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  template <class Mutate>
+  void update(Mutate&& mutate);
+
+  std::atomic<std::shared_ptr<const State>> state_{std::make_shared<const State>()};
+  mutable std::mutex write_mu_;
+  std::vector<std::shared_ptr<const State>> retired_;
 };
 
 /// The process-wide registry, with every built-in kind registered on first
 /// use.  (Registration runs lazily from here rather than from static
 /// initializers so static-library builds cannot drop the registrars.)
+/// First use is thread-safe (C++ magic-static initialization), and later
+/// concurrent lookup/registration is covered by Registry's own contract —
+/// a daemon building Sessions from many threads needs no external locking.
 Registry& registry();
 
 namespace detail {

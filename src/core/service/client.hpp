@@ -1,0 +1,74 @@
+// Thin synchronous client for nkrylovd.  One Client is one connection;
+// it is NOT thread-safe (the wire is a strict request/reply stream) —
+// concurrency comes from many clients, which is exactly what the daemon
+// is for.  Server-side ERR replies surface as ProtocolError carrying the
+// wire error code; transport failures as std::runtime_error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/service/io.hpp"
+#include "core/service/protocol.hpp"
+#include "sparse/csr.hpp"
+
+namespace nk::service {
+
+class Client {
+ public:
+  /// Connect to a daemon at `socket_path`; throws std::runtime_error when
+  /// nothing listens there.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// HELLO — returns the server banner ("nkrylovd 1").
+  std::string hello();
+
+  struct Handle {
+    std::uint64_t handle = 0;
+    std::int64_t n = 0;
+    std::int64_t nnz = 0;
+    bool cached = false;  ///< the daemon already had this problem prepared
+  };
+  /// Upload a matrix (PUT).  `a` must be square CSR with sorted rows.
+  Handle put_matrix(const CsrMatrix<double>& a, bool symmetric);
+  /// Ask the daemon to generate a Table 2 stand-in (PUTGEN).
+  Handle put_standin(const std::string& name, int scale);
+
+  struct SolveReply {
+    std::vector<WireColumn> columns;  ///< per-column structured outcomes
+    std::vector<double> x;            ///< k columns of n, column-contiguous
+    std::int64_t n = 0;
+  };
+  /// SOLVE k right-hand sides (B column-contiguous, size k*n) under `spec`.
+  SolveReply solve(std::uint64_t handle, const std::string& spec,
+                   std::span<const double> B, int k, std::int64_t n);
+
+  /// STATS — the daemon's counters, parsed into key=value pairs.
+  std::map<std::string, std::uint64_t> stats();
+
+  /// FREE — drop a handle on the server.
+  void free_handle(std::uint64_t handle);
+
+  /// SHUTDOWN — ask the daemon to exit (it still drains queued work).
+  void shutdown_server();
+
+  /// Escape hatch for protocol tests: send one raw header line, return
+  /// the one reply line.  The caller owns stream-sync consequences.
+  std::string request_raw(const std::string& line);
+
+ private:
+  /// Read one reply line; throws ProtocolError on "ERR <code> <msg>".
+  std::string read_reply();
+  Handle parse_handle_reply(const std::string& line);
+
+  int fd_ = -1;
+  BufferedReader in_;
+};
+
+}  // namespace nk::service

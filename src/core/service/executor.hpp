@@ -1,0 +1,121 @@
+// SolveExecutor — the daemon's async solve engine.
+//
+// Every client SOLVE request is split into columns and queued under the
+// request's (matrix, spec) key.  A fixed pool of worker threads drains
+// those queues; when a worker claims a key it takes up to `max_batch`
+// pending columns AT ONCE — from however many client requests happen to
+// be waiting — leases the key's cached Session, and runs one solve_many
+// over the merged batch.  That is the paper's batched-kernel economics
+// applied across clients: ten clients solving the same matrix at once
+// cost one wave-scheduled batched solve, not ten scalar solves, and the
+// ragged-wave scheduler (";wave=N" in the spec) refills freed slots as
+// columns converge at different rates.
+//
+// Isolation comes from the PR 7 resilience layer, not from screening:
+// a poisoned column (NaN RHS, injected faults) is retired by the engine
+// with a structured per-column status while the other columns of the
+// SAME batch — possibly other clients' — converge bit-identically to a
+// solo solve.  The executor never inspects RHS values.
+//
+// Keys never contend: each key is in flight on at most one worker at a
+// time (the cached Session is single-solver-at-a-time), while distinct
+// keys solve fully in parallel.  Shutdown drains: the destructor stops
+// intake, finishes every queued column, then joins.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/service/session_cache.hpp"
+
+namespace nk::service {
+
+struct ExecutorConfig {
+  int threads = 2;                  ///< worker pool size
+  int max_batch = 32;               ///< max columns merged into one solve_many
+  std::size_t cache_capacity = 32;  ///< resident Session bound (SessionCache)
+  /// Hold the workers until resume(): lets a caller queue many requests
+  /// and have them meet in shared waves deterministically (tests, warm-up
+  /// bulk loads).  The destructor still drains a paused executor.
+  bool start_paused = false;
+};
+
+/// What one submitted column resolves to: its structured SolveResult and
+/// the solution vector (length n).
+struct ColumnOutcome {
+  SolveResult result;
+  std::vector<double> x;
+};
+
+class SolveExecutor {
+ public:
+  explicit SolveExecutor(ExecutorConfig cfg = {});
+  ~SolveExecutor();  ///< drains every queued column, then joins the pool
+  SolveExecutor(const SolveExecutor&) = delete;
+  SolveExecutor& operator=(const SolveExecutor&) = delete;
+
+  /// Queue one request's columns (each of length n = p->b.size(); the
+  /// caller has already validated sizes) for the (handle, spec) key.
+  /// `request_id` tags the columns so the stats can count how often a
+  /// batch merged columns from different requests.  Returns one future
+  /// per column, fulfilled when its batch completes.
+  /// Release workers held by ExecutorConfig::start_paused (idempotent).
+  void resume();
+
+  std::vector<std::future<ColumnOutcome>> submit(std::uint64_t handle,
+                                                 std::shared_ptr<const PreparedProblem> p,
+                                                 const SolverSpec& spec,
+                                                 std::vector<std::vector<double>> columns,
+                                                 std::uint64_t request_id);
+
+  struct Stats {
+    std::uint64_t columns = 0;        ///< columns solved
+    std::uint64_t batches = 0;        ///< solve_many calls issued
+    std::uint64_t merged_batches = 0; ///< batches that merged >1 client request
+    int widest_batch = 0;             ///< max columns in one solve_many
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] SessionCache& sessions() { return cache_; }
+  [[nodiscard]] const SessionCache& sessions() const { return cache_; }
+
+ private:
+  struct Column {
+    std::vector<double> b;
+    std::promise<ColumnOutcome> promise;
+    std::uint64_t request_id = 0;
+  };
+  /// One (matrix, spec) queue; `in_flight` serializes workers per key.
+  struct KeyQueue {
+    std::uint64_t handle = 0;
+    std::shared_ptr<const PreparedProblem> problem;
+    SolverSpec spec;
+    std::deque<Column> pending;
+    bool in_flight = false;
+  };
+
+  void worker_loop();
+  void run_batch(KeyQueue& q, std::vector<Column> batch);
+
+  SessionCache cache_;
+  ExecutorConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, KeyQueue> queues_;
+  bool stopping_ = false;
+  bool paused_ = false;
+  Stats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nk::service

@@ -1,0 +1,48 @@
+#include "core/service/fingerprint.hpp"
+
+namespace nk::service {
+
+std::uint64_t matrix_fingerprint(const CsrMatrix<double>& a, bool symmetric) {
+  std::uint64_t h = kFnvOffset;
+  const std::int64_t dims[2] = {a.nrows, a.ncols};
+  h = fingerprint_mix(dims, sizeof(dims), h);
+  h = fingerprint_mix(a.row_ptr.data(), a.row_ptr.size() * sizeof(index_t), h);
+  h = fingerprint_mix(a.col_idx.data(), a.col_idx.size() * sizeof(index_t), h);
+  h = fingerprint_mix(a.vals.data(), a.vals.size() * sizeof(double), h);
+  const unsigned char sym = symmetric ? 1 : 0;
+  return fingerprint_mix(&sym, 1, h);
+}
+
+std::uint64_t standin_fingerprint(const std::string& name, int scale) {
+  // Domain-separated from matrix fingerprints by the leading tag.
+  std::uint64_t h = fingerprint_mix("standin:", 8);
+  h = fingerprint_mix(name.data(), name.size(), h);
+  return fingerprint_mix(&scale, sizeof(scale), h);
+}
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[fp & 0xf];
+    fp >>= 4;
+  }
+  return s;
+}
+
+bool parse_fingerprint_hex(std::string_view text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else return false;
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace nk::service

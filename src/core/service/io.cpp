@@ -1,0 +1,78 @@
+#include "core/service/io.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nk::service {
+
+bool write_all(int fd, const void* data, std::size_t bytes) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t w = ::write(fd, p, bytes);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    p += w;
+    bytes -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool write_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  return write_all(fd, framed.data(), framed.size());
+}
+
+bool BufferedReader::refill() {
+  if (begin_ == end_) begin_ = end_ = 0;
+  if (end_ == buf_.size()) return false;  // caller's line overflowed kMaxLine
+  while (true) {
+    const ssize_t r = ::read(fd_, buf_.data() + end_, buf_.size() - end_);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF
+    end_ += static_cast<std::size_t>(r);
+    return true;
+  }
+}
+
+bool BufferedReader::read_line(std::string& out) {
+  out.clear();
+  while (true) {
+    for (std::size_t i = begin_; i < end_; ++i) {
+      if (buf_[i] == '\n') {
+        out.append(buf_.data() + begin_, i - begin_);
+        begin_ = i + 1;
+        return out.size() <= kMaxLine;
+      }
+    }
+    // No newline buffered yet: keep what we have as a prefix and refill.
+    out.append(buf_.data() + begin_, end_ - begin_);
+    begin_ = end_ = 0;
+    if (out.size() > kMaxLine) return false;
+    if (!refill()) return false;
+  }
+}
+
+bool BufferedReader::read_exact(void* data, std::size_t bytes) {
+  char* p = static_cast<char*>(data);
+  while (bytes > 0) {
+    if (begin_ == end_ && !refill()) return false;
+    const std::size_t have = end_ - begin_;
+    const std::size_t take = have < bytes ? have : bytes;
+    std::memcpy(p, buf_.data() + begin_, take);
+    begin_ += take;
+    p += take;
+    bytes -= take;
+  }
+  return true;
+}
+
+}  // namespace nk::service

@@ -1,0 +1,42 @@
+// Minimal blocking socket I/O shared by the daemon and the thin client:
+// a buffered reader that serves '\n'-terminated header lines AND the
+// binary payloads that follow them from one buffer (so a payload byte is
+// never lost to line buffering), and an EINTR-safe write_all.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nk::service {
+
+/// Write exactly `bytes` bytes to `fd`; false on any error / closed peer.
+bool write_all(int fd, const void* data, std::size_t bytes);
+
+/// Convenience: a header line + '\n'.
+bool write_line(int fd, const std::string& line);
+
+class BufferedReader {
+ public:
+  explicit BufferedReader(int fd) : fd_(fd) {}
+
+  /// Read up to the next '\n' (not included).  False on EOF/error before
+  /// a full line arrived.  Lines longer than `kMaxLine` fail the read —
+  /// header lines are small by construction.
+  bool read_line(std::string& out);
+
+  /// Read exactly `bytes` bytes (a binary payload), buffer first.
+  bool read_exact(void* data, std::size_t bytes);
+
+  static constexpr std::size_t kMaxLine = 1 << 16;
+
+ private:
+  bool refill();  ///< false on EOF or error
+
+  int fd_;
+  std::vector<char> buf_ = std::vector<char>(1 << 16);
+  std::size_t begin_ = 0;  ///< first unconsumed byte in buf_
+  std::size_t end_ = 0;    ///< one past last valid byte in buf_
+};
+
+}  // namespace nk::service

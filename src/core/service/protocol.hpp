@@ -1,0 +1,117 @@
+// The nkrylovd wire protocol (v1).
+//
+// Requests and responses travel over a Unix-domain stream socket as one
+// ASCII header line ('\n'-terminated, single-space-separated fields),
+// optionally followed by a little-endian binary payload whose size the
+// header fully determines — so the stream NEVER desynchronizes: a server
+// that rejects a request still knows exactly how many payload bytes to
+// drain.  Solver configurations ride in the existing spec grammar
+// (core/spec.hpp), so the daemon speaks the same language as the CLI
+// tools, the conformance catalog, and the bench JSON:
+//
+//   HELLO                       -> OK nkrylovd 1
+//   PUTGEN <standin> <scale>    -> HANDLE <hex16> <n> <nnz> CACHED|NEW
+//   PUT <n> <nnz> <sym:0|1>     -> HANDLE <hex16> <n> <nnz> CACHED|NEW
+//       payload: int32 row_ptr[n+1], int32 col_idx[nnz], fp64 vals[nnz]
+//   SOLVE <handle> <k> <n> <spec>  -> RESULT <k> <n>
+//       payload: fp64 B[k*n]          k lines: COL <c> <status> <iters> <relres> <site|->
+//                                     payload: fp64 X[k*n]
+//   STATS                       -> STATS key=value ...
+//   FREE <handle>               -> OK
+//   SHUTDOWN                    -> OK          (then the daemon exits)
+//
+// Any rejected request gets a one-line structured error instead:
+//
+//   ERR <code> <message>        codes: bad-request, unknown-handle,
+//                               bad-spec, bad-matrix, too-large, internal
+//
+// Solver FAILURES are not ERRs: a request that parses but does not
+// converge (breakdown, non-finite, stagnation, invalid RHS) still gets a
+// RESULT whose COL lines carry the structured per-column SolveStatus —
+// exactly the resilience taxonomy of PR 7, now per client request.
+//
+// Parsing here follows the repo's checked-parse policy everywhere: every
+// integer must consume its whole token (no "8x"), every field count must
+// match exactly, and all sizes are bounded (kMaxN/kMaxK/kMaxNnz) before a
+// single payload byte is allocated.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "krylov/history.hpp"
+
+namespace nk::service {
+
+inline constexpr int kProtocolVersion = 1;
+
+/// Hard request bounds: checked before any allocation, so one malformed
+/// or hostile header cannot OOM the daemon.
+inline constexpr std::int64_t kMaxN = std::int64_t{1} << 27;    ///< rows
+inline constexpr std::int64_t kMaxNnz = std::int64_t{1} << 30;  ///< nonzeros
+inline constexpr int kMaxK = 4096;                              ///< RHS per request
+
+/// Structured protocol failure: `code` is the wire error code, what() the
+/// human message after it.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+  [[nodiscard]] const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+/// Strict full-token integer parse in [min, max]; throws ProtocolError
+/// (code "bad-request") naming `what` on garbage, partial parses
+/// ("4096x"), or range violations.
+std::int64_t parse_i64_field(std::string_view tok, const char* what, std::int64_t min,
+                             std::int64_t max);
+
+/// One parsed request header.
+struct Request {
+  enum class Verb : std::uint8_t { kHello, kPut, kPutGen, kSolve, kStats, kFree, kShutdown };
+
+  Verb verb = Verb::kHello;
+  // PUTGEN
+  std::string standin;
+  int scale = 1;
+  // PUT (dimensions of the binary payload that follows)
+  std::int64_t n = 0;
+  std::int64_t nnz = 0;
+  bool symmetric = false;
+  // SOLVE / FREE
+  std::uint64_t handle = 0;
+  std::string spec;  ///< solver spec text (validated by SolverSpec::parse later)
+  int k = 0;
+};
+
+/// Parse one request header line (no trailing '\n').  Throws ProtocolError
+/// with code "bad-request" on unknown verbs, wrong field counts, malformed
+/// numbers, or bound violations.
+Request parse_request_line(const std::string& line);
+
+/// Canonical header line for `r` (no trailing '\n');
+/// parse_request_line(format_request_line(r)) round-trips.
+std::string format_request_line(const Request& r);
+
+/// One COL response line for column `c`.
+std::string format_col_line(int c, const SolveResult& r);
+
+/// Client-side view of one COL line.
+struct WireColumn {
+  int col = 0;
+  std::string status;   ///< status_name() spelling ("converged", "non_finite", ...)
+  int iterations = 0;
+  double relres = 0.0;
+  std::string failure;  ///< failure site, "" when the line carried "-"
+  [[nodiscard]] bool converged() const { return status == "converged"; }
+};
+
+/// Parse a COL line (strict, like everything here).  Throws ProtocolError.
+WireColumn parse_col_line(const std::string& line);
+
+}  // namespace nk::service

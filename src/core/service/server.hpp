@@ -1,0 +1,93 @@
+// nkrylovd's serving loop: a Unix-domain stream listener with one thread
+// per connection, all of them feeding the shared SolveExecutor.
+//
+// The server is the protocol boundary and nothing else: it parses header
+// lines (strictly — see protocol.hpp), bounds and drains payloads, maps
+// handles through the ProblemTable, and turns executor futures back into
+// RESULT/COL wire replies.  All solver intelligence — caching, batching
+// across clients, per-column fault retirement — lives below it.
+//
+// Error discipline:
+//   - a malformed HEADER desynchronizes the stream (the payload length is
+//     unknowable), so the reply is one ERR line and the connection closes;
+//   - a semantically bad but well-formed request (unknown handle, bad
+//     spec, inconsistent matrix) has a known payload size: it is drained,
+//     an ERR line is sent, and the connection stays usable;
+//   - a solver-level failure is NOT an error: the client gets a normal
+//     RESULT whose COL lines carry the structured per-column status.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/service/executor.hpp"
+#include "core/service/io.hpp"
+#include "core/service/protocol.hpp"
+#include "core/service/session_cache.hpp"
+
+namespace nk::service {
+
+struct ServerConfig {
+  std::string socket_path;  ///< Unix-domain socket path (unlinked on bind/close)
+  ExecutorConfig executor;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();  ///< stop() + join everything
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the accept thread.  Throws std::runtime_error
+  /// on socket/bind failures (stale socket files are unlinked first).
+  void start();
+
+  /// Block until a client sends SHUTDOWN, stop() is called, or
+  /// `external_stop` (poll-friendly for signal handlers) goes true.
+  void wait(const std::atomic<bool>* external_stop = nullptr);
+
+  /// Stop accepting, close the listener, join connection threads.
+  /// Queued solves still drain (executor destructor semantics).
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const { return cfg_.socket_path; }
+
+  /// The "STATS ..." payload (also what the STATS verb returns).
+  [[nodiscard]] std::string stats_line() const;
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// One request; false when the connection must close (EOF, I/O error,
+  /// header desync, SHUTDOWN).
+  bool serve_request(int fd, BufferedReader& in);
+  bool handle_put(int fd, BufferedReader& in, const Request& r);
+  bool handle_putgen(int fd, const Request& r);
+  bool handle_solve(int fd, BufferedReader& in, const Request& r);
+  bool send_err(int fd, const std::string& code, const std::string& msg);
+
+  ServerConfig cfg_;
+  ProblemTable problems_;
+  SolveExecutor executor_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  std::set<int> active_fds_;  ///< open connection fds, guarded by conn_mu_
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_request_id_{1};
+
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace nk::service

@@ -1,0 +1,151 @@
+// The daemon's two caches: prepared problems keyed by matrix fingerprint,
+// and Sessions keyed by (fingerprint, spec).
+//
+// The whole point of nkrylovd is that SETUP is the expensive part of a
+// Krylov solve (diagonal scaling, multi-precision stores, preconditioner
+// factorization, workspace slabs — the PR 3 setup/solve split), so repeat
+// clients must never re-pay it:
+//
+//   ProblemTable   fingerprint -> PreparedProblem.  A client PUTting a
+//                  matrix the daemon has already prepared gets the cached
+//                  handle back before any preparation work; a repeat
+//                  PUTGEN skips even generation (keyed by generator
+//                  coordinates, see fingerprint.hpp).
+//
+//   SessionCache   (fingerprint, spec.to_string()) -> Session, leased one
+//                  client at a time.  A Session is single-solver-at-a-time
+//                  (session.hpp's concurrency contract), so the cache
+//                  hands out RAII leases that hold the per-entry lock:
+//                  concurrent requests for the SAME (matrix, spec) pair
+//                  serialize on one Session and share its factorization;
+//                  requests for different pairs run fully in parallel.
+//                  Capacity-bounded with idle-only LRU eviction: an entry
+//                  whose lock is held (a solve in flight) is never evicted.
+//
+// Both caches publish hit/miss/eviction counters — the numbers the bench
+// and the acceptance tests use to PROVE repeat clients pay zero setup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/session.hpp"
+
+namespace nk::service {
+
+class ProblemTable {
+ public:
+  struct PutOutcome {
+    std::uint64_t handle = 0;
+    std::shared_ptr<const PreparedProblem> problem;
+    bool cached = false;  ///< true: the prepared problem was already resident
+  };
+
+  /// Fingerprint the RAW client matrix, then prepare only on a miss — a
+  /// cache hit returns before sort/scale/multi-precision conversion.
+  /// Concurrent puts of the same new matrix serialize on a per-handle
+  /// latch: exactly ONE pays preparation, the rest wait and count as hits.
+  PutOutcome put_matrix(CsrMatrix<double> a, bool symmetric);
+
+  /// Same, keyed by generator coordinates: a repeat PUTGEN skips
+  /// generation itself, not just preparation.  Throws (gen::make_problem)
+  /// on unknown stand-in names.
+  PutOutcome put_standin(const std::string& name, int scale);
+
+  /// nullptr when the handle is unknown (never issued, or freed).
+  [[nodiscard]] std::shared_ptr<const PreparedProblem> find(std::uint64_t handle) const;
+
+  /// Drop a handle; false if it was not resident.  In-flight solves keep
+  /// the problem alive through their own shared_ptr.
+  bool erase(std::uint64_t handle);
+
+  struct Stats {
+    std::uint64_t hits = 0;    ///< PUT/PUTGEN that found the problem resident
+    std::uint64_t misses = 0;  ///< PUT/PUTGEN that paid preparation
+    std::size_t resident = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  /// One problem slot; `mu` is the anti-stampede latch — the first
+  /// arrival prepares under it, concurrent arrivals block and then read.
+  struct Slot {
+    std::mutex mu;
+    std::shared_ptr<const PreparedProblem> problem;  ///< set once, under `mu`
+  };
+  template <class Build>
+  PutOutcome put(std::uint64_t fp, Build&& build);
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<Slot>> table_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+class SessionCache {
+ public:
+  /// `capacity` bounds RESIDENT sessions; leases beyond it are still
+  /// granted (eviction only reclaims idle entries, never blocks a client).
+  explicit SessionCache(std::size_t capacity = 32) : capacity_(capacity) {}
+
+  class Lease;
+
+  /// Lease the Session for (handle, spec), building it on first use.
+  /// Blocks while another client holds the same Session; distinct
+  /// (handle, spec) pairs never contend.  Construction failures (unknown
+  /// solver/precond kinds) propagate to the caller and leave no broken
+  /// entry behind.
+  [[nodiscard]] Lease lease(std::uint64_t handle, std::shared_ptr<const PreparedProblem> p,
+                            const SolverSpec& spec);
+
+  struct Stats {
+    std::uint64_t hits = 0;       ///< lease found a built Session (setup skipped)
+    std::uint64_t misses = 0;     ///< lease had to build a Session
+    std::uint64_t evictions = 0;  ///< idle sessions reclaimed by capacity
+    std::size_t resident = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    std::mutex mu;                     ///< the lease; held for the whole solve
+    std::unique_ptr<Session> session;  ///< built lazily under `mu`
+    std::uint64_t last_used = 0;       ///< LRU tick, guarded by the cache mutex
+  };
+
+  void evict_idle_locked(const std::string& keep_key);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+
+ public:
+  /// Movable RAII lease: exclusive use of one cached Session.  The entry
+  /// lock is held until destruction; the shared_ptr keeps the Session
+  /// alive even if capacity pressure evicts it from the map meanwhile.
+  class Lease {
+   public:
+    Lease(std::shared_ptr<Entry> e, std::unique_lock<std::mutex> lk)
+        : entry_(std::move(e)), lock_(std::move(lk)) {}
+    Lease(Lease&&) noexcept = default;
+    Lease& operator=(Lease&&) noexcept = default;
+    [[nodiscard]] Session& session() { return *entry_->session; }
+    /// True when this lease had to build the Session (a cache miss).
+    [[nodiscard]] bool built() const { return built_; }
+
+   private:
+    friend class SessionCache;
+    std::shared_ptr<Entry> entry_;
+    std::unique_lock<std::mutex> lock_;
+    bool built_ = false;
+  };
+};
+
+}  // namespace nk::service

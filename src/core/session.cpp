@@ -80,6 +80,12 @@ SolveResult Session::solve() {
 }
 
 SolveResult Session::solve(std::span<const double> b, std::span<double> x) {
+  const SolveSlot slot(*in_solve_);
+  if (!slot.claimed) return invalid_input("concurrent-use");
+  return solve_impl(b, x);
+}
+
+SolveResult Session::solve_impl(std::span<const double> b, std::span<double> x) {
   const std::size_t n = p_->a ? static_cast<std::size_t>(p_->a->size()) : 0;
   if (n == 0) return invalid_input("empty-system");
   if (b.size() != n || x.size() != n) return invalid_input("size-mismatch");
@@ -119,6 +125,10 @@ SolveResult Session::solve(std::span<const double> b, std::span<double> x) {
 std::vector<SolveResult> Session::solve_many(std::span<const double> B,
                                              std::span<double> X, int k) {
   if (k <= 0) return {};
+  const SolveSlot slot(*in_solve_);
+  if (!slot.claimed)
+    return std::vector<SolveResult>(static_cast<std::size_t>(k),
+                                    invalid_input("concurrent-use"));
   const std::size_t n = p_->a ? static_cast<std::size_t>(p_->a->size()) : 0;
   const std::size_t need = static_cast<std::size_t>(k) * n;
   if (n == 0) return std::vector<SolveResult>(static_cast<std::size_t>(k),
@@ -136,7 +146,8 @@ std::vector<SolveResult> Session::solve_many(std::span<const double> B,
       if (!retryable(res[c])) continue;
       std::span<double> xc = X.subspan(static_cast<std::size_t>(c) * n, n);
       std::fill(xc.begin(), xc.end(), 0.0);
-      res[c] = solve(B.subspan(static_cast<std::size_t>(c) * n, n), xc);
+      // solve_impl, not solve(): the batch already holds the solve slot.
+      res[c] = solve_impl(B.subspan(static_cast<std::size_t>(c) * n, n), xc);
     }
   }
   return res;

@@ -17,8 +17,22 @@
 // column alone bit-for-bit for the kinds with a batched kernel path (cg,
 // bicgstab, the nested tuples) — the guarantee the conformance and
 // BatchedCompaction tests pin.
+//
+// CONCURRENCY CONTRACT: a Session is single-solver-at-a-time.  Its
+// workspace slabs are grow-only SHARED state (workspace.hpp), its engine
+// holds spans into them, and the fallback ladder re-mints the engine in
+// place — two overlapping solves would silently alias each other's
+// buffers.  Rather than corrupt results, an overlapping solve()/
+// solve_many() call FAILS FAST: the loser returns SolveStatus::
+// kInvalidInput with failure site "concurrent-use" and does not touch the
+// engine or workspace.  Give each thread its own Session, or lease
+// Sessions through nk::service::SessionCache (the daemon's pattern), and
+// serialize externally if two threads must share one.  Sequential use from
+// different threads is fine (results are thread-count-dependent only
+// through OpenMP reassociation, like every kernel in the library).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <string>
@@ -72,7 +86,9 @@ class Session {
   /// (the experiment-runner path; the solution vector is internal).
   SolveResult solve();
 
-  /// Solve A x = b (x holds the initial guess).
+  /// Solve A x = b (x holds the initial guess).  Overlapping calls from
+  /// other threads fail fast (kInvalidInput, "concurrent-use") — see the
+  /// concurrency contract above.
   ///
   /// This is the resilience-policy entry point: inputs are validated first
   /// (empty system, size mismatch, non-finite b → SolveStatus::kInvalidInput
@@ -105,14 +121,31 @@ class Session {
 
  private:
   [[nodiscard]] SolveResult invalid_input(std::string why) const;
+  SolveResult solve_impl(std::span<const double> b, std::span<double> x);
+
+  /// RAII claim on the Session's single solve slot; `claimed` false on the
+  /// losing side of a race (the caller must fail fast, touching nothing).
+  struct SolveSlot {
+    explicit SolveSlot(std::atomic<bool>& busy)
+        : busy_(busy), claimed(!busy.exchange(true, std::memory_order_acquire)) {}
+    ~SolveSlot() {
+      if (claimed) busy_.store(false, std::memory_order_release);
+    }
+    SolveSlot(const SolveSlot&) = delete;
+    SolveSlot& operator=(const SolveSlot&) = delete;
+    std::atomic<bool>& busy_;
+    const bool claimed;
+  };
 
   // The problem and workspace live behind pointers so the engine's
-  // internal references survive moves of the Session itself.
+  // internal references survive moves of the Session itself — and so does
+  // the busy flag (std::atomic is immovable).
   std::shared_ptr<const PreparedProblem> p_;
   SolverSpec spec_;
   std::shared_ptr<PrimaryPrecond> m_;
   std::unique_ptr<SolverWorkspace> ws_;
   std::unique_ptr<SolverEngine> engine_;
+  std::unique_ptr<std::atomic<bool>> in_solve_ = std::make_unique<std::atomic<bool>>(false);
 };
 
 }  // namespace nk

@@ -1,6 +1,9 @@
 // Tests for the runtime-environment report printed by every bench header.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "base/env.hpp"
 #include "base/simd_fp16.hpp"
 
@@ -52,6 +55,76 @@ TEST(Env, Fp16KernelsFieldNamesTheActiveImplementation) {
 TEST(Env, SummaryIsStableAcrossCalls) {
   // The report describes the build/runtime, not per-call state.
   EXPECT_EQ(env_summary(), env_summary());
+}
+
+// ---------------------------------------------------------------------------
+// Checked env-knob parsers.  env_long/env_flag parse on every call (the
+// production call sites add their own one-time caching), so the tests can
+// drive them directly through setenv.  Only the RESULT is asserted; the
+// one-per-variable warning goes to stderr and is not captured here.
+// ---------------------------------------------------------------------------
+
+struct EnvVarGuard {
+  std::string name;
+  explicit EnvVarGuard(std::string n) : name(std::move(n)) {}
+  ~EnvVarGuard() { ::unsetenv(name.c_str()); }
+  void set(const char* v) { ::setenv(name.c_str(), v, 1); }
+};
+
+TEST(EnvChecked, LongParsesExactValues) {
+  EnvVarGuard g("NKRYLOV_TEST_LONG");
+  EXPECT_EQ(env_long("NKRYLOV_TEST_LONG", 42, 0), 42);  // unset -> default
+  g.set("0");
+  EXPECT_EQ(env_long("NKRYLOV_TEST_LONG", 42, 0), 0);
+  g.set("123456");
+  EXPECT_EQ(env_long("NKRYLOV_TEST_LONG", 42, 0), 123456);
+}
+
+TEST(EnvChecked, LongRejectsTrailingGarbage) {
+  // The PR 4 checked-parse policy: "4096x" must NOT parse as 4096.
+  EnvVarGuard g("NKRYLOV_TEST_LONG");
+  g.set("4096x");
+  EXPECT_EQ(env_long("NKRYLOV_TEST_LONG", 42, 0), 42);
+  g.set("x4096");
+  EXPECT_EQ(env_long("NKRYLOV_TEST_LONG", 42, 0), 42);
+  g.set("");
+  EXPECT_EQ(env_long("NKRYLOV_TEST_LONG", 42, 0), 42);
+  g.set("12 34");
+  EXPECT_EQ(env_long("NKRYLOV_TEST_LONG", 42, 0), 42);
+  g.set("999999999999999999999999999999");  // ERANGE
+  EXPECT_EQ(env_long("NKRYLOV_TEST_LONG", 42, 0), 42);
+}
+
+TEST(EnvChecked, LongEnforcesMinimum) {
+  EnvVarGuard g("NKRYLOV_TEST_LONG");
+  g.set("-3");
+  EXPECT_EQ(env_long("NKRYLOV_TEST_LONG", 42, 0), 42);   // below min -> default
+  EXPECT_EQ(env_long("NKRYLOV_TEST_LONG", 42, -10), -3); // within min -> value
+}
+
+TEST(EnvChecked, FlagParsesTheDocumentedSpellings) {
+  EnvVarGuard g("NKRYLOV_TEST_FLAG");
+  EXPECT_TRUE(env_flag("NKRYLOV_TEST_FLAG", true));    // unset -> default
+  EXPECT_FALSE(env_flag("NKRYLOV_TEST_FLAG", false));
+  for (const char* v : {"0", "off", "false", "no"}) {
+    g.set(v);
+    EXPECT_FALSE(env_flag("NKRYLOV_TEST_FLAG", true)) << v;
+  }
+  for (const char* v : {"1", "on", "true", "yes"}) {
+    g.set(v);
+    EXPECT_TRUE(env_flag("NKRYLOV_TEST_FLAG", false)) << v;
+  }
+}
+
+TEST(EnvChecked, FlagFallsBackOnGarbage) {
+  // Garbage used to silently count as truthy at the NKRYLOV_FIRST_TOUCH and
+  // NKRYLOV_AVX512FP16 sites; now it keeps the site's default.
+  EnvVarGuard g("NKRYLOV_TEST_FLAG");
+  for (const char* v : {"2", "ON", "tru", "enabled", ""}) {
+    g.set(v);
+    EXPECT_TRUE(env_flag("NKRYLOV_TEST_FLAG", true)) << v;
+    EXPECT_FALSE(env_flag("NKRYLOV_TEST_FLAG", false)) << v;
+  }
 }
 
 }  // namespace

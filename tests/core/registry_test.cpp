@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "core/runner.hpp"
 #include "core/session.hpp"
@@ -118,6 +120,48 @@ TEST(Registry, VariantAliasesMatchVariantConfig) {
     EXPECT_EQ(via_spec.iterations, via_cfg.iterations) << name;
     EXPECT_EQ(via_spec.converged, via_cfg.converged) << name;
   }
+}
+
+TEST(Registry, ConcurrentLookupAndRegistrationIsSafe) {
+  // A daemon builds Sessions (registry lookups + factory calls) from many
+  // threads while the test-only fault kind may still be registering: the
+  // copy-on-write snapshot must keep every reader on a consistent table and
+  // every info pointer valid.  Run registrations and lookups concurrently;
+  // TSan (the CI tsan job runs this binary) proves the absence of races.
+  const auto p = small_problem(true);
+  constexpr int kThreads = 8, kRounds = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        if (t % 4 == 0) {
+          // Writer: re-register a private kind (last-wins; harmless).
+          PrecondKindInfo info;
+          info.kind = "test-concurrent-" + std::to_string(t);
+          info.summary = "registry concurrency test kind";
+          registry().add_precond(info, [](const PrecondSpec& spec,
+                                          const PreparedProblem& prob) {
+            PrecondSpec inner = spec;
+            inner.kind = "jacobi";
+            return registry().make_precond(inner, prob);
+          });
+        }
+        const SolverKindInfo* si = registry().solver_info("cg");
+        if (si == nullptr || si->kind != "cg") ++failures;
+        if (registry().precond_info("bj") == nullptr) ++failures;
+        auto m = registry().make_precond(PrecondSpec::parse("jacobi"), p);
+        SolverWorkspace ws;
+        auto eng = registry().make_solver(SolverSpec::parse("cg"), p, m, &ws);
+        if (eng->name() != "fp64-CG") ++failures;
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The concurrently-registered kinds are usable afterwards.
+  EXPECT_NE(registry().precond_info("test-concurrent-0"), nullptr);
 }
 
 TEST(Registry, KrylovKindDispatchesOnSymmetry) {

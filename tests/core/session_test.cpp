@@ -8,6 +8,9 @@
 // escape hatch.
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #ifdef _OPENMP
@@ -191,6 +194,108 @@ TEST(Session, MakeRhsBatchMatchesBatchRhs) {
   EXPECT_EQ(s.make_rhs_batch(3, 7), batch_rhs(p, 3, 7));
   // Column 0 with the problem's own seed reproduces p.b.
   EXPECT_EQ(s.make_rhs_batch(1, 2), p.b);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency contract: a Session is single-solver-at-a-time; the loser of
+// an overlapping solve fails fast with kInvalidInput/"concurrent-use"
+// (session.hpp).  Deterministic via a preconditioner whose first apply
+// parks the in-flight solve on a gate while the main thread probes.
+// ---------------------------------------------------------------------------
+
+struct SolveGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+};
+
+class GatedPreconditioner final : public Preconditioner<double> {
+ public:
+  GatedPreconditioner(std::unique_ptr<Preconditioner<double>> inner,
+                      std::shared_ptr<SolveGate> gate)
+      : inner_(std::move(inner)), gate_(std::move(gate)) {}
+
+  void apply(std::span<const double> r, std::span<double> z) override {
+    if (!blocked_once_) {
+      blocked_once_ = true;
+      std::unique_lock<std::mutex> lock(gate_->mu);
+      gate_->entered = true;
+      gate_->cv.notify_all();
+      gate_->cv.wait(lock, [&] { return gate_->release; });
+    }
+    inner_->apply(r, z);
+  }
+  [[nodiscard]] index_t size() const override { return inner_->size(); }
+
+ private:
+  std::unique_ptr<Preconditioner<double>> inner_;
+  std::shared_ptr<SolveGate> gate_;
+  bool blocked_once_ = false;
+};
+
+class GatedPrimary final : public PrimaryPrecond {
+ public:
+  GatedPrimary(std::shared_ptr<PrimaryPrecond> inner, std::shared_ptr<SolveGate> gate)
+      : inner_(std::move(inner)), gate_(std::move(gate)) {}
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] index_t size() const override { return inner_->size(); }
+  std::unique_ptr<Preconditioner<double>> make_apply_fp64(Prec storage) override {
+    return std::make_unique<GatedPreconditioner>(inner_->make_apply_fp64(storage), gate_);
+  }
+  std::unique_ptr<Preconditioner<float>> make_apply_fp32(Prec storage) override {
+    return inner_->make_apply_fp32(storage);
+  }
+  std::unique_ptr<Preconditioner<half>> make_apply_fp16(Prec storage) override {
+    return inner_->make_apply_fp16(storage);
+  }
+
+ private:
+  std::shared_ptr<PrimaryPrecond> inner_;
+  std::shared_ptr<SolveGate> gate_;
+};
+
+TEST(Session, ConcurrentSolveFailsFastNotCorrupts) {
+  const auto p = sym_problem();
+  auto real = make_primary(p, PrecondKind::Jacobi);
+  auto gate = std::make_shared<SolveGate>();
+  Session s(p, SolverSpec::parse("cg"),
+            std::make_shared<GatedPrimary>(borrow_precond(*real), gate));
+
+  std::vector<double> x1(p.b.size(), 0.0);
+  SolveResult winner;
+  std::thread solver([&] { winner = s.solve(p.b, x1); });
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->cv.wait(lock, [&] { return gate->entered; });
+  }
+
+  // The solve slot is provably held: every overlapping call loses fast.
+  const SolveResult loser = s.solve();
+  EXPECT_EQ(loser.status, SolveStatus::kInvalidInput);
+  EXPECT_EQ(loser.failure, "concurrent-use");
+  EXPECT_FALSE(loser.converged);
+
+  const auto B = s.make_rhs_batch(2);
+  std::vector<double> X(B.size(), 0.0);
+  const auto losers = s.solve_many(B, X, 2);
+  ASSERT_EQ(losers.size(), 2u);
+  for (const auto& r : losers) {
+    EXPECT_EQ(r.status, SolveStatus::kInvalidInput);
+    EXPECT_EQ(r.failure, "concurrent-use");
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(gate->mu);
+    gate->release = true;
+  }
+  gate->cv.notify_all();
+  solver.join();
+  EXPECT_TRUE(winner.converged) << summarize(winner);
+
+  // The slot is released: the Session is fully usable again.
+  const SolveResult after = s.solve();
+  EXPECT_TRUE(after.converged) << summarize(after);
 }
 
 TEST(Session, ThrowsSpecErrorOnUnknownKinds) {

@@ -70,6 +70,26 @@ SOLVE_PAIRS = [
     ("fgmres_staggered16_compact_hpcg", "fgmres_staggered16_masked_hpcg"),
 ]
 
+# Daemon-throughput pairs: amortized per-solve seconds of N concurrent
+# clients vs the single-client cost, through the nkrylovd SolveExecutor.
+# Cross-request batching is what these measure — if merged waves stop
+# amortizing setup/sweeps, the c64/c1024 per-solve cost climbs back toward
+# c1's and the ratio regresses.  Scheduling noise is real at these
+# timescales, so they ride the 2x micro-pair tolerance.
+DAEMON_PAIRS = [
+    ("daemon_solve_c64", "daemon_solve_c1"),
+    ("daemon_solve_c1024", "daemon_solve_c1"),
+]
+
+# Absolute FLOOR gates on a single record's gbps column (no reference
+# record, no baseline-relative drift): the value itself must stay at or
+# above the floor.  daemon_cache_hit_rate carries the session-cache hit
+# rate in its gbps column — repeat clients must essentially never re-pay
+# setup, regardless of what a bad committed baseline happened to record.
+FLOOR_GATES = [
+    ("daemon_cache_hit_rate", 0.99),
+]
+
 # Guard-overhead gates: ABSOLUTE ceilings on the fresh guarded/unguarded
 # seconds ratio, not baseline-relative drift.  The resilience layer's
 # per-iteration non-finite panel scan must stay under 2% of the batched CG
@@ -99,12 +119,14 @@ def load(path):
 def gated_pairs(tolerance):
     """(fused, reference, tolerance, metric) for every gate."""
     micro = [(f.format(p=p), r.format(p=p)) for f, r in RATIO_PAIRS for p in PRECISIONS]
-    pairs = [(f, r, 2.0 * tolerance, "seconds") for f, r in micro + FP16_PAIRS]
+    pairs = [(f, r, 2.0 * tolerance, "seconds") for f, r in micro + FP16_PAIRS + DAEMON_PAIRS]
     pairs += [(f, r, tolerance, "seconds") for f, r in SPMM_PAIRS + SOLVE_PAIRS]
     pairs += [(f.format(p=p), r.format(p=p), 2.0 * tolerance, "gbps")
               for f, r in BANDWIDTH_PAIRS for p in PRECISIONS]
-    # Ceiling gates carry their own absolute limit in place of a tolerance.
+    # Ceiling/floor gates carry their own absolute limit in place of a
+    # tolerance; floor gates have no reference record at all.
     pairs += [(f, r, ceiling, "ceiling") for f, r, ceiling in GUARD_PAIRS]
+    pairs += [(f, None, floor, "floor") for f, floor in FLOOR_GATES]
     return pairs
 
 
@@ -112,7 +134,7 @@ def diff(fresh, base, tolerance, fresh_name="fresh", base_name="baseline"):
     """Core comparison on already-loaded record dicts; returns the exit code."""
     failures, missing, checked = [], [], 0
     for fused, ref, tol, metric in gated_pairs(tolerance):
-        names = (fused, ref)
+        names = (fused,) if ref is None else (fused, ref)
         # A record present in exactly one file is a rename/drop (or a new
         # kernel whose baseline was not refreshed): hard error.  A record
         # absent from BOTH files is a feature-conditional kernel on a
@@ -138,6 +160,19 @@ def diff(fresh, base, tolerance, fresh_name="fresh", base_name="baseline"):
         # gbps: higher is better, gate on the fused/ref ratio FALLING.
         # ceiling: the fresh seconds ratio must stay under `tol` ABSOLUTELY
         # (the baseline ratio is printed for context only).
+        # floor: the fresh record's own gbps value must stay >= `tol`
+        # ABSOLUTELY (single record, baseline printed for context only).
+        if metric == "floor":
+            fresh_val = fresh[fused]["gbps"]
+            base_val = base[fused]["gbps"]
+            checked += 1
+            regressed = fresh_val < tol
+            status = "FAIL" if regressed else "ok"
+            print(f"{status:4}  {fused:42} gbps value {fresh_val:7.3f} vs floor "
+                  f"{tol:.3f}  (baseline {base_val:.3f})")
+            if regressed:
+                failures.append(f"{fused} [{metric}]")
+            continue
         real_metric = "seconds" if metric == "ceiling" else metric
         fresh_ratio = fresh[fused][real_metric] / fresh[ref][real_metric]
         base_ratio = base[fused][real_metric] / base[ref][real_metric]
@@ -182,8 +217,10 @@ def self_test():
         for fused, ref, _tol, _metric in gated_pairs(0.25):
             # Fused kernels nominally 4x the reference bandwidth / 1/4 the
             # seconds; exact values are irrelevant, only the ratios matter.
+            # (gbps=4.0 also sits above every absolute floor gate.)
             recs.setdefault(fused, {"name": fused, "seconds": 0.25, "gbps": 4.0})
-            recs.setdefault(ref, {"name": ref, "seconds": 1.0, "gbps": 1.0})
+            if ref is not None:
+                recs.setdefault(ref, {"name": ref, "seconds": 1.0, "gbps": 1.0})
         return recs
 
     ok = True
@@ -214,6 +251,13 @@ def self_test():
         seconds=1.05 * heavy["solve_cg_batched_8rhs_laplace"]["seconds"])
     expect("guard overhead above the absolute ceiling fails",
            diff(heavy, dict(heavy), 0.25), 1)
+
+    # The cache-hit floor is absolute too: a daemon that makes repeat
+    # clients re-pay setup fails even against a baseline with the same rate.
+    cold = synthetic()
+    cold["daemon_cache_hit_rate"] = dict(cold["daemon_cache_hit_rate"], gbps=0.5)
+    expect("cache-hit rate below the absolute floor fails",
+           diff(cold, dict(cold), 0.25), 1)
 
     renamed = synthetic()
     del renamed["dot_cols_fp16_k8"]

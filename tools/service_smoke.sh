@@ -1,0 +1,80 @@
+#!/bin/sh
+# End-to-end smoke test for nkrylovd (wired as ctest "nkrylovd_smoke",
+# labels smoke;service).  Boots the daemon on a scratch socket and walks
+# the whole protocol through nk_client:
+#
+#   1. HELLO banner
+#   2. PUTGEN twice -> the second must be a cache HIT (zero re-setup)
+#   3. a batched SOLVE whose columns all converge
+#   4. a malformed raw line -> structured ERR, connection survives policy
+#   5. a fault-injected spec (nan@0) -> per-column structured failure,
+#      daemon stays up and keeps serving
+#   6. STATS counters prove the cache hits happened
+#   7. SHUTDOWN drains and exits 0
+#
+# Usage: service_smoke.sh NKRYLOVD NK_CLIENT WORKDIR
+set -eu
+
+NKRYLOVD=$1
+NK_CLIENT=$2
+WORKDIR=$3
+SOCK="$WORKDIR/nkrylovd-smoke-$$.sock"
+LOG="$WORKDIR/nkrylovd-smoke-$$.log"
+
+fail() {
+  echo "service_smoke: FAIL: $1" >&2
+  [ -f "$LOG" ] && sed 's/^/  daemon: /' "$LOG" >&2
+  kill "$DAEMON_PID" 2>/dev/null || true
+  exit 1
+}
+
+"$NKRYLOVD" --socket "$SOCK" --threads 2 --max-batch 8 >"$LOG" 2>&1 &
+DAEMON_PID=$!
+trap 'kill $DAEMON_PID 2>/dev/null || true; rm -f "$SOCK" "$LOG"' EXIT
+
+# Wait for the socket to appear (the daemon factorizes nothing at boot,
+# so this is fast; 10 s is a generous sanitizer allowance).
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && fail "daemon socket never appeared"
+  sleep 0.1
+done
+
+out=$("$NK_CLIENT" "$SOCK" hello) || fail "hello"
+echo "$out" | grep -q "nkrylovd 1" || fail "unexpected hello banner: $out"
+
+out=$("$NK_CLIENT" "$SOCK" put-gen hpcg_4_4_4 1) || fail "put-gen"
+echo "$out" | grep -q " NEW$" || fail "first put-gen not NEW: $out"
+
+out=$("$NK_CLIENT" "$SOCK" put-gen hpcg_4_4_4 1) || fail "repeat put-gen"
+echo "$out" | grep -q " CACHED$" || fail "repeat put-gen not CACHED: $out"
+
+out=$("$NK_CLIENT" "$SOCK" solve-gen hpcg_4_4_4 1 "cg/bj;nblocks=8" 4) \
+  || fail "batched solve did not converge"
+echo "$out" | grep -q "4/4 converged" || fail "unexpected solve output: $out"
+
+# Malformed header line -> one structured ERR (the connection then closes
+# by design; nk_client exits after the reply anyway).
+out=$("$NK_CLIENT" "$SOCK" raw "SOLVE nothex 4x") || fail "raw request"
+echo "$out" | grep -q "^ERR bad-request" || fail "malformed line not ERR'd: $out"
+
+# Poisoned request: the fault preconditioner injects a NaN into column
+# iteration 0, so every column fails STRUCTURALLY (non_finite) — the
+# daemon itself must survive and keep answering.
+# nk_client exits 1 here (not every column converged) — that exit code is
+# the client's report, not a script failure.
+out=$("$NK_CLIENT" "$SOCK" solve-gen hpcg_4_4_4 1 "cg/fault;inject=nan@0;inner=jacobi" 2 || true)
+echo "$out" | grep -q "non_finite" || fail "fault spec did not yield non_finite columns: $out"
+
+out=$("$NK_CLIENT" "$SOCK" hello) || fail "daemon died after poisoned request"
+
+# Four PUTGENs total (put-gen x2, solve-gen x2): exactly ONE generation+
+# preparation ever happened — every repeat was a cache hit.
+out=$("$NK_CLIENT" "$SOCK" stats) || fail "stats"
+echo "$out" | grep -q "problem_misses=1" || fail "expected problem_misses=1 in: $out"
+echo "$out" | grep -q "problem_hits=3" || fail "expected problem_hits=3 in: $out"
+
+"$NK_CLIENT" "$SOCK" shutdown || fail "shutdown"
+wait "$DAEMON_PID" || fail "daemon exited nonzero"
+echo "service_smoke: OK"
