@@ -52,6 +52,9 @@ struct BenchConfig {
 
 inline BenchConfig parse_bench_options(const Options& opt,
                                        std::vector<std::string> default_matrices) {
+  // A typo'd NKRYLOV_BACKEND must kill the bench up front, not tag hours
+  // of records with a backend the run never used.
+  require_backend_env_cli();
   BenchConfig c;
   c.matrices = opt.get_list("matrices", default_matrices);
   if (c.matrices.size() == 1 && c.matrices[0] == "all") {

@@ -42,6 +42,7 @@
 #include "base/rng.hpp"
 #include "base/simd_fp16.hpp"
 #include "base/timer.hpp"
+#include "backend/kernels.hpp"
 #include "bench_common.hpp"
 #include "core/problem.hpp"
 #include "core/service/executor.hpp"
@@ -893,6 +894,101 @@ void bench_spmv(bench::JsonReport& rep, const std::string& mat_name, CsrMatrix<d
 }
 
 // ---------------------------------------------------------------------------
+// Backend-tagged kernel records: the same SpMV / SpMM / dot_cols calls
+// routed through kern::Kernels for the host and serial backends.  The
+// serial column is the reference backend's cost of record (what a missing
+// device kernel would fall back to), and the host/serial agreement check
+// doubles as a standing oracle test on the dispatch seam itself — if a
+// Kernels branch ever routes a call to the wrong backend, the timings and
+// diffs here are where it shows.  tools/bench_diff.py treats these records
+// as soft (skip-if-absent): baselines predating the backend seam stay
+// diffable.
+// ---------------------------------------------------------------------------
+
+template <class MT, class XT>
+void bench_backend_combo(bench::JsonReport& rep, const CsrMatrix<MT>& a,
+                         std::span<const XT> x) {
+  const auto n = static_cast<std::int64_t>(a.nrows);
+  const auto nnz = static_cast<std::int64_t>(a.nnz());
+  const auto nn = static_cast<std::size_t>(a.nrows);
+  const int k = 8;
+  const std::string p =
+      std::string(tname<MT>()) + (std::is_same_v<MT, XT> ? "" : std::string("_") + tname<XT>());
+  const double csr_bytes = static_cast<double>(nnz) * (sizeof(MT) + 4.0);
+  const double vec_bytes = static_cast<double>(n) * sizeof(XT);
+
+  // One multi-vector panel feeds both spmm and dot_cols.
+  const auto pd = random_vector<double>(nn * static_cast<std::size_t>(k), 44, -1.0, 1.0);
+  const std::vector<XT> xp = converted<XT>(pd);
+  std::vector<XT> yh(nn), ysr(nn), yp(nn * static_cast<std::size_t>(k));
+  using S = acc_t<XT>;
+  std::vector<S> dh(static_cast<std::size_t>(k)), dsr(static_cast<std::size_t>(k));
+
+  const kern::Kernels khost{Backend::kHost};
+  const kern::Kernels kserial{Backend::kSerial};
+
+  // Agreement first: serial is the single-chain oracle; host may reassociate.
+  khost.spmv(a, x, std::span<XT>(yh));
+  kserial.spmv(a, x, std::span<XT>(ysr));
+  double dmax = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < nn; ++i) {
+    dmax = std::max(dmax, std::abs(static_cast<double>(yh[i]) - static_cast<double>(ysr[i])));
+    scale = std::max(scale, std::abs(static_cast<double>(ysr[i])));
+  }
+  check("backend_serial_vs_host_spmv_" + p, dmax, tol_for<MT>(scale));
+  khost.dot_cols(xp.data(), static_cast<std::ptrdiff_t>(nn), xp.data(),
+                 static_cast<std::ptrdiff_t>(nn), k, nn, dh.data());
+  kserial.dot_cols(xp.data(), static_cast<std::ptrdiff_t>(nn), xp.data(),
+                   static_cast<std::ptrdiff_t>(nn), k, nn, dsr.data());
+  dmax = 0.0;
+  for (int j = 0; j < k; ++j)
+    dmax = std::max(dmax, std::abs(static_cast<double>(dh[static_cast<std::size_t>(j)]) -
+                                   static_cast<double>(dsr[static_cast<std::size_t>(j)])));
+  check("backend_serial_vs_host_dot_cols_" + p, dmax,
+        tol_for<MT>(static_cast<double>(n)));
+
+  struct Be {
+    const char* name;
+    const kern::Kernels* kx;
+  };
+  for (const Be be : {Be{"host", &khost}, Be{"serial", &kserial}}) {
+    double t = time_min([&] {
+      be.kx->spmv(a, x, std::span<XT>(yh));
+      asm volatile("" ::"r"(yh.data()) : "memory");
+    });
+    rep.add("backend_" + std::string(be.name) + "_spmv_csr_" + p, n, nnz, t,
+            csr_bytes / t / 1e9);
+
+    t = time_min([&] {
+      be.kx->spmm(a, xp.data(), static_cast<std::ptrdiff_t>(nn), yp.data(),
+                  static_cast<std::ptrdiff_t>(nn), k);
+      asm volatile("" ::"r"(yp.data()) : "memory");
+    });
+    rep.add("backend_" + std::string(be.name) + "_spmm_csr_" + p + "_k8", n, nnz, t,
+            static_cast<double>(k) * csr_bytes / t / 1e9);
+
+    t = time_min([&] {
+      be.kx->dot_cols(xp.data(), static_cast<std::ptrdiff_t>(nn), xp.data(),
+                      static_cast<std::ptrdiff_t>(nn), k, nn, dh.data());
+      asm volatile("" ::"r"(dh.data()) : "memory");
+    });
+    rep.add("backend_" + std::string(be.name) + "_dot_cols_" + p + "_k8", n, 0, t,
+            2 * k * vec_bytes / t / 1e9);
+  }
+}
+
+void bench_backends(bench::JsonReport& rep, const CsrMatrix<double>& a64) {
+  const auto a32 = cast_matrix<float>(a64);
+  const auto a16 = cast_matrix<half>(a64);
+  const auto nn = static_cast<std::size_t>(a64.nrows);
+  const auto xd = random_vector<double>(nn, 43, -1.0, 1.0);
+  const auto xf = converted<float>(xd);
+  bench_backend_combo<double, double>(rep, a64, std::span<const double>(xd));
+  bench_backend_combo<float, float>(rep, a32, std::span<const float>(xf));
+  bench_backend_combo<half, float>(rep, a16, std::span<const float>(xf));
+}
+
+// ---------------------------------------------------------------------------
 // nkrylovd daemon throughput: N logical clients, one solve each, through the
 // service SolveExecutor (the daemon's engine minus the socket layer — what
 // the socket adds is per-request I/O, not solver scheduling).  All clients
@@ -1005,6 +1101,7 @@ int main(int argc, char** argv) {
   const index_t side = static_cast<index_t>(32 * scale);
   auto hpcg = gen::stencil27({.nx = side, .ny = side, .nz = side});
   bench_ilu_apply(rep, hpcg);
+  bench_backends(rep, hpcg);
   bench_spmm(rep, "hpcg", hpcg);
   bench_spmv(rep, "hpcg", std::move(hpcg));
   bench_spmv(rep, "hpgmp",

@@ -15,12 +15,14 @@
 // overrides it.
 #include <iostream>
 
+#include "base/env.hpp"
 #include "base/options.hpp"
 #include "core/runner.hpp"
 #include "sparse/io_matrix_market.hpp"
 #include "sparse/stats.hpp"
 
 int main(int argc, char** argv) {
+  nk::require_backend_env_cli();
   nk::Options opt(argc, argv);
   if (opt.positional().empty() || opt.wants_help()) {
     std::cerr << "usage: mm_solve FILE.mtx [--solver=f3r@fp16] [--rtol=1e-8]\n"

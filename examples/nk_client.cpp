@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "base/env.hpp"
 #include "base/rng.hpp"
 #include "core/service/client.hpp"
 #include "core/service/fingerprint.hpp"
@@ -63,6 +64,10 @@ int run_solve(nk::service::Client& client, std::uint64_t handle, std::int64_t n,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Solves run daemon-side, but a typo'd NKRYLOV_BACKEND in the client's
+  // environment is still the operator asking for something that does not
+  // exist — same one-line exit(2) as every other front-end.
+  nk::require_backend_env_cli();
   if (argc < 3) return usage();
   const std::string socket_path = argv[1];
   const std::string cmd = argv[2];

@@ -46,6 +46,9 @@ bool parse_int_arg(const char* s, long min, long max, long& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Fail before binding the socket if the operator asked for a backend
+  // this build does not know — not after the first solve.
+  nk::require_backend_env_cli();
   nk::service::ServerConfig cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

@@ -16,6 +16,7 @@
 // exit 2 with the registered kinds listed.
 #include <iostream>
 
+#include "base/env.hpp"
 #include "base/options.hpp"
 #include "base/table.hpp"
 #include "core/session.hpp"
@@ -23,6 +24,7 @@
 #include "sparse/stats.hpp"
 
 int main(int argc, char** argv) {
+  nk::require_backend_env_cli();
   nk::Options opt(argc, argv);
   if (opt.positional().empty() || opt.wants_help()) {
     std::cerr << "usage: solve_spec MATRIX [SPEC] [--scale=1] [--seed=7] [--sell] "

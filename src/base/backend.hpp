@@ -1,0 +1,58 @@
+// Execution-space backends — the dispatch axis behind the kernel layer.
+//
+// Every compute kernel the solvers touch (BLAS-1/column kernels, CSR/SELL
+// SpMV/SpMM, the block-triangular preconditioner sweeps, fp16 converts) is
+// reachable through a per-backend dispatch table (backend/kernels.hpp), so
+// an engine never names a kernel implementation.  Two backends ship:
+//
+//  * kHost   — the production backend: OpenMP-parallel loops, F16C bulk
+//              fp16 conversion, optional AVX-512 FP16 natives.  The
+//              default; leaves the committed conformance baseline
+//              byte-for-byte unchanged.
+//  * kSerial — the reference backend (backend/serial_kernels.hpp):
+//              independently written single-threaded loops, no OpenMP
+//              regions, no SIMD dispatch.  The bit-identity oracle for
+//              element-local kernels and the tolerance-tier cross-check
+//              for reductions; also what a -DNKRYLOV_OPENMP=OFF build
+//              exercises end to end.
+//
+// Adding a backend (omp-target, CUDA) is a drop-in directory: implement
+// the kernel set under src/backend/<name>/, add an enumerator + name
+// here, and extend the dispatch branches in backend/kernels.hpp — no
+// solver, engine, or service file changes.
+//
+// Selection: spec (`";backend=serial"` or the `":serial"` suffix) >
+// environment (`NKRYLOV_BACKEND`) > default (host).  Unknown names never
+// fall back silently: spec strings throw SpecError at parse (exit(2)
+// through the CLI wrappers), a bad environment value surfaces as
+// SolveStatus::kInvalidInput ("backend: ...") from Session::solve.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace nk {
+
+enum class Backend : std::uint8_t {
+  kHost = 0,    ///< OpenMP + SIMD production kernels (the default)
+  kSerial = 1,  ///< single-threaded reference kernels (the oracle)
+};
+
+[[nodiscard]] constexpr const char* backend_name(Backend b) {
+  return b == Backend::kSerial ? "serial" : "host";
+}
+
+/// Spec/env token → backend.  "omp" is accepted as an alias for the host
+/// backend (the spec-grammar spelling the ROADMAP sketched); the canonical
+/// name — what to_string and env_summary emit — is "host".
+[[nodiscard]] inline std::optional<Backend> parse_backend(std::string_view s) {
+  if (s == "host" || s == "omp") return Backend::kHost;
+  if (s == "serial") return Backend::kSerial;
+  return std::nullopt;
+}
+
+/// Known names, for error messages ("backend: unknown 'x' (known: ...)").
+[[nodiscard]] constexpr const char* backend_names() { return "host, omp, serial"; }
+
+}  // namespace nk

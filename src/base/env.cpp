@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "base/backend.hpp"
 #include "base/simd_fp16.hpp"
 
 #ifdef _OPENMP
@@ -60,6 +61,19 @@ bool env_flag(const char* var, bool def) {
   return def;
 }
 
+std::string env_str(const char* var, const std::string& def) {
+  const char* s = std::getenv(var);
+  return s == nullptr ? def : std::string(s);
+}
+
+void require_backend_env_cli() {
+  const char* s = std::getenv("NKRYLOV_BACKEND");
+  if (s == nullptr || parse_backend(s).has_value()) return;
+  std::cerr << "error: NKRYLOV_BACKEND='" << s
+            << "' is not a known backend (known: " << backend_names() << ")\n";
+  std::exit(2);
+}
+
 int num_threads() {
 #ifdef _OPENMP
   int n = 1;
@@ -109,6 +123,20 @@ std::string env_summary() {
   os << " fp16-kernels=";
   if (simd_fp16::enabled()) os << "avx512fp16";
   else os << (has_f16c() ? "f16c" : "scalar");
+  // Requested-vs-active backend: the active (canonical) name first; the
+  // requested spelling in parentheses whenever it differs — an alias
+  // ("omp") or an invalid value that Session will refuse to build with.
+  os << " backend=";
+  const char* req = std::getenv("NKRYLOV_BACKEND");
+  if (req == nullptr) {
+    os << backend_name(Backend::kHost);
+  } else {
+    const auto be = parse_backend(req);
+    if (!be.has_value()) os << "invalid(requested=" << req << ")";
+    else if (std::string_view(req) != backend_name(*be))
+      os << backend_name(*be) << "(requested=" << req << ")";
+    else os << backend_name(*be);
+  }
 #ifdef NDEBUG
   os << " build=release";
 #else

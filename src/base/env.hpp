@@ -28,6 +28,21 @@ long env_long(const char* var, long def, long min_value);
 /// returns `def`.
 bool env_flag(const char* var, bool def);
 
+/// String knob: the raw value when set (even if empty), `def` otherwise.
+/// Deliberately validation-free — knobs whose bad values must FAIL rather
+/// than warn-and-default (NKRYLOV_BACKEND: exit(2) in CLI front-ends,
+/// kInvalidInput through the library) validate at the use site, where the
+/// failure policy lives.
+std::string env_str(const char* var, const std::string& def);
+
+/// CLI front door for NKRYLOV_BACKEND: when the variable is set to an
+/// unknown backend name, print one line naming the variable, the value,
+/// and the known backends, then exit(2) — a daemon or bench must not come
+/// up on a silently different backend than the operator asked for.  Unset
+/// or valid values return normally.  (Library callers get the same
+/// strictness as SolveStatus::kInvalidInput through Session instead.)
+void require_backend_env_cli();
+
 /// Number of OpenMP threads the kernels will use (1 in serial builds).
 int num_threads();
 

@@ -58,6 +58,7 @@
 #include <string>
 #include <string_view>
 
+#include "base/backend.hpp"
 #include "base/env.hpp"
 #include "base/panel.hpp"
 
@@ -69,13 +70,17 @@ namespace workspace_detail {
 /// under schedule(static), exactly the slice shape the BLAS/SpMM kernels'
 /// `parallel for schedule(static)` sweeps assign.  Tiny or env-disabled
 /// fills fall back to one memset.
-inline void first_touch_zero(std::byte* p, std::size_t bytes) {
+inline void first_touch_zero(std::byte* p, std::size_t bytes, Backend be) {
   // Checked flag parse: a malformed NKRYLOV_FIRST_TOUCH warns once naming
   // the variable and value, then keeps the default (on) — it no longer
   // silently counts as truthy.
   static const bool enabled = env_flag("NKRYLOV_FIRST_TOUCH", true);
   constexpr std::size_t kChunk = 1 << 16;  // per-slice granule: page-multiple
-  if (!enabled || bytes < 2 * kChunk) {
+  // First-touch placement is a HOST-backend property: its per-thread slices
+  // mirror the OpenMP static schedule of the host kernels.  The serial
+  // backend streams every buffer from one thread, so its slabs take the
+  // plain memset (placement only — the zero fill is identical).
+  if (be != Backend::kHost || !enabled || bytes < 2 * kChunk) {
     std::memset(p, 0, bytes);
     return;
   }
@@ -111,7 +116,8 @@ class SolverWorkspace {
       SlabPtr grown(static_cast<std::byte*>(
           ::operator new(need, std::align_val_t{kSlabAlign})));
       if (slab.size > 0) std::memcpy(grown.get(), slab.mem.get(), slab.size);
-      workspace_detail::first_touch_zero(grown.get() + slab.size, need - slab.size);
+      workspace_detail::first_touch_zero(grown.get() + slab.size, need - slab.size,
+                                         backend_);
       slab.mem = std::move(grown);
       slab.size = need;
       ++allocations_;
@@ -145,6 +151,15 @@ class SolverWorkspace {
   [[nodiscard]] PanelLayout panel_layout() const { return panel_layout_; }
   void set_panel_layout(PanelLayout l) { panel_layout_ = l; }
 
+  /// Execution-space backend the owning pipeline was built for.  Solvers
+  /// and operators built over this workspace read it in setup(); Session
+  /// resolves it (spec > NKRYLOV_BACKEND > host) before minting the engine.
+  /// Also a slab property: first-touch NUMA placement applies to host
+  /// slabs only (serial slabs take a plain memset).  Defaults to host so
+  /// legacy/direct construction paths stay byte-identical.
+  [[nodiscard]] Backend backend() const { return backend_; }
+  void set_backend(Backend be) { backend_ = be; }
+
  private:
   struct AlignedDelete {
     void operator()(std::byte* p) const noexcept {
@@ -162,6 +177,7 @@ class SolverWorkspace {
   std::map<std::string, Slab, std::less<>> slabs_;
   std::uint64_t allocations_ = 0;
   PanelLayout panel_layout_ = PanelLayout::kRowMajor;
+  Backend backend_ = Backend::kHost;
 };
 
 }  // namespace nk

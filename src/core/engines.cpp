@@ -11,6 +11,8 @@
 #include <cmath>
 #include <limits>
 
+#include "backend/kernels.hpp"
+#include "base/backend.hpp"
 #include "base/timer.hpp"
 #include "core/f3r.hpp"
 #include "core/registry.hpp"
@@ -24,7 +26,6 @@
 #include "precond/jacobi.hpp"
 #include "precond/neumann.hpp"
 #include "precond/ssor.hpp"
-#include "sparse/spmv.hpp"
 
 namespace nk {
 
@@ -48,20 +49,28 @@ SolveResult timed_solve(PrimaryPrecond& m, const std::string& name, SolveFn&& fn
 /// = fp64 CG with an fp16-stored preconditioner).
 Prec eff_storage(const SolverSpec& s) { return s.precond.storage.value_or(s.prec); }
 
+/// Backend the engine's pipeline was built for: the workspace carries it
+/// (Session resolves spec > NKRYLOV_BACKEND > host before minting); a null
+/// workspace (direct factory use in tests) means the host default.
+Backend ws_backend(const SolverWorkspace* ws) {
+  return ws != nullptr ? ws->backend() : Backend::kHost;
+}
+
 /// Shared tail of the batched flat-solver paths: per-column true
 /// residuals, batch-total counters, and naming.
 void finalize_many(std::vector<SolveResult>& res, const PreparedProblem& p,
                    std::span<const double> B, std::span<const double> X,
                    const std::string& name, double rtol, double seconds,
-                   std::uint64_t m_calls, std::uint64_t spmvs) {
+                   std::uint64_t m_calls, std::uint64_t spmvs, Backend be) {
   const std::size_t n = p.b.size();
+  const kern::Kernels kx(be);
   for (std::size_t c = 0; c < res.size(); ++c) {
     res[c].solver = name;
     res[c].seconds = seconds;
     res[c].precond_invocations = m_calls;
     res[c].spmv_count = spmvs;
     res[c].final_relres =
-        relative_residual(p.a->csr_fp64(), X.subspan(c * n, n), B.subspan(c * n, n));
+        kx.relative_residual(p.a->csr_fp64(), X.subspan(c * n, n), B.subspan(c * n, n));
     // Demote a recurrence-claimed convergence the true fp64 residual
     // disagrees with: the taxonomy's kDiverged ("garbage labeled
     // converged" is exactly what a service must never hand back).
@@ -88,13 +97,15 @@ class FlatKrylovEngine final : public SolverEngine {
   }
 
   SolveResult solve(std::span<const double> b, std::span<double> x) override {
+    const Backend be = ws_backend(ws_);
     auto handle = m_->make_apply<double>(eff_storage(spec_));
+    handle->set_backend(be);
     // Honor the prepared problem's storage format (CSR or SELL).
-    auto op = p_->a->make_operator<double>(Prec::FP64);
+    auto op = p_->a->make_operator<double>(Prec::FP64, be);
     Solver solver(*op, *handle, config(), ws_);
     auto res = timed_solve(*m_, name(), [&] { return solver.solve(b, x); });
-    res.final_relres = relative_residual(p_->a->csr_fp64(),
-                                         std::span<const double>(x.data(), x.size()), b);
+    res.final_relres = kern::Kernels(be).relative_residual(
+        p_->a->csr_fp64(), std::span<const double>(x.data(), x.size()), b);
     if (res.converged && !(res.final_relres < spec_.rtol * 1.5))
       res.fail(SolveStatus::kDiverged, "true-residual");
     res.spmv_count = op->spmv_count();
@@ -103,15 +114,17 @@ class FlatKrylovEngine final : public SolverEngine {
 
   std::vector<SolveResult> solve_many(std::span<const double> B, std::span<double> X,
                                       int k) override {
+    const Backend be = ws_backend(ws_);
     auto handle = m_->make_apply<double>(eff_storage(spec_));
-    auto op = p_->a->make_operator<double>(Prec::FP64);
+    handle->set_backend(be);
+    auto op = p_->a->make_operator<double>(Prec::FP64, be);
     Solver solver(*op, *handle, config(), ws_);
     const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(p_->b.size());
     const std::uint64_t calls0 = m_->invocations();
     WallTimer t;
     auto res = solver.solve_many(B.data(), n, X.data(), n, k, spec_.wave);
     finalize_many(res, *p_, B, X, name(), spec_.rtol, t.seconds(),
-                  m_->invocations() - calls0, op->spmv_count());
+                  m_->invocations() - calls0, op->spmv_count(), be);
     return res;
   }
 
@@ -155,14 +168,17 @@ class FgmresEngine final : public SolverEngine {
   }
 
   SolveResult solve(std::span<const double> b, std::span<double> x) override {
+    const Backend be = ws_backend(ws_);
+    const kern::Kernels kx(be);
     auto handle = m_->make_apply<double>(eff_storage(spec_));
-    auto op_owned = p_->a->make_operator<double>(Prec::FP64);
+    handle->set_backend(be);
+    auto op_owned = p_->a->make_operator<double>(Prec::FP64, be);
     Operator<double>& op = *op_owned;
     FgmresSolver<double> solver(op, *handle, FgmresSolver<double>::Config{spec_.m}, ws_);
 
     auto res = timed_solve(*m_, name(), [&] {
       SolveResult r;
-      const double bnorm = static_cast<double>(blas::nrm2(b));
+      const double bnorm = static_cast<double>(kx.nrm2(b));
       const double bref = bnorm > 0.0 ? bnorm : 1.0;
       const double target = spec_.rtol * bref;
       std::vector<double> estimates;
@@ -174,7 +190,7 @@ class FgmresEngine final : public SolverEngine {
         const auto stats = solver.run(b, x, target, x_nonzero);
         r.iterations += stats.iters;
         x_nonzero = true;
-        const double relres = relative_residual(
+        const double relres = kx.relative_residual(
             p_->a->csr_fp64(), std::span<const double>(x.data(), x.size()), b);
         r.final_relres = relres;
         if (relres < spec_.rtol) {
@@ -284,17 +300,20 @@ class IrGmresEngine final : public SolverEngine {
   template <class VT>
   SolveResult impl(std::span<const double> b, std::span<double> x) {
     const std::size_t n = b.size();
+    const Backend be = ws_backend(ws_);
+    const kern::Kernels kx(be);
     // The matrix is stored at the inner working precision; only M's
     // storage honors a precond-token override.
-    auto op = p_->a->make_operator<VT>(spec_.prec);
+    auto op = p_->a->make_operator<VT>(spec_.prec, be);
     auto handle = m_->make_apply<VT>(eff_storage(spec_));
+    handle->set_backend(be);
     FgmresSolver<VT> inner(*op, *handle, typename FgmresSolver<VT>::Config{spec_.m}, ws_);
-    CsrOperator<double, double> op64(p_->a->csr_fp64());
+    CsrOperator<double, double> op64(p_->a->csr_fp64(), be);
 
     SolveResult r;
     std::vector<double> rd(n);
     std::vector<VT> rl(n), cl(n);
-    const double bnorm = static_cast<double>(blas::nrm2(b));
+    const double bnorm = static_cast<double>(kx.nrm2(b));
     const double bref = bnorm > 0.0 ? bnorm : 1.0;
     const int max_outer = std::max(1, spec_.max_iters / spec_.m);
     double stag_best = std::numeric_limits<double>::infinity();
@@ -302,7 +321,7 @@ class IrGmresEngine final : public SolverEngine {
     for (int outer = 0; outer < max_outer; ++outer) {
       op64.residual(b, std::span<const double>(x.data(), n), std::span<double>(rd));
       const double relres =
-          static_cast<double>(blas::nrm2(std::span<const double>(rd))) / bref;
+          static_cast<double>(kx.nrm2(std::span<const double>(rd))) / bref;
       r.final_relres = relres;
       if (spec_.record_history) r.history.push_back(relres);
       if (relres < spec_.rtol) {
@@ -325,11 +344,11 @@ class IrGmresEngine final : public SolverEngine {
       // Low-precision correction solve A c ≈ r.  The residual is normalized
       // before the downcast — late-stage residuals (~1e-8·‖b‖) would land in
       // fp16's subnormal range and stall the refinement otherwise.
-      const double rnorm = static_cast<double>(blas::nrm2(std::span<const double>(rd)));
-      if (rnorm > 0.0) blas::scal(1.0 / rnorm, std::span<double>(rd));
-      blas::convert(std::span<const double>(rd), std::span<VT>(rl));
+      const double rnorm = static_cast<double>(kx.nrm2(std::span<const double>(rd)));
+      if (rnorm > 0.0) kx.scal(1.0 / rnorm, std::span<double>(rd));
+      kx.convert(std::span<const double>(rd), std::span<VT>(rl));
       inner.apply(std::span<const VT>(rl), std::span<VT>(cl));
-      blas::axpy(rnorm, std::span<const VT>(cl), std::span<double>(x.data(), n));
+      kx.axpy(rnorm, std::span<const VT>(cl), std::span<double>(x.data(), n));
       r.iterations = outer + 1;
     }
     r.spmv_count = op->spmv_count() + op64.spmv_count();
@@ -399,7 +418,7 @@ class CountingIdentity final : public Preconditioner<VT> {
   CountingIdentity(index_t n, std::shared_ptr<InvocationCounter> c)
       : n_(n), counter_(std::move(c)) {}
   void apply(std::span<const VT> r, std::span<VT> z) override {
-    blas::copy(r, z);
+    this->kern_table().copy(r, z);
     ++counter_->count;
   }
   [[nodiscard]] index_t size() const override { return n_; }

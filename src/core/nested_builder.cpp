@@ -5,7 +5,6 @@
 
 #include "core/spec.hpp"
 #include "krylov/chebyshev.hpp"
-#include "sparse/spmv.hpp"
 
 namespace nk {
 
@@ -36,27 +35,30 @@ void MultiPrecMatrix::ensure(Prec mp) {
 }
 
 template <class VT>
-std::unique_ptr<Operator<VT>> MultiPrecMatrix::make_operator(Prec mp) {
+std::unique_ptr<Operator<VT>> MultiPrecMatrix::make_operator(Prec mp, Backend be) {
   ensure(mp);
   if (use_sell_) {
     switch (mp) {
-      case Prec::FP64: return std::make_unique<SellOperator<double, VT>>(*s64_);
-      case Prec::FP32: return std::make_unique<SellOperator<float, VT>>(*s32_);
-      case Prec::FP16: return std::make_unique<SellOperator<half, VT>>(*s16_);
+      case Prec::FP64: return std::make_unique<SellOperator<double, VT>>(*s64_, be);
+      case Prec::FP32: return std::make_unique<SellOperator<float, VT>>(*s32_, be);
+      case Prec::FP16: return std::make_unique<SellOperator<half, VT>>(*s16_, be);
     }
   } else {
     switch (mp) {
-      case Prec::FP64: return std::make_unique<CsrOperator<double, VT>>(a64_);
-      case Prec::FP32: return std::make_unique<CsrOperator<float, VT>>(*a32_);
-      case Prec::FP16: return std::make_unique<CsrOperator<half, VT>>(*a16_);
+      case Prec::FP64: return std::make_unique<CsrOperator<double, VT>>(a64_, be);
+      case Prec::FP32: return std::make_unique<CsrOperator<float, VT>>(*a32_, be);
+      case Prec::FP16: return std::make_unique<CsrOperator<half, VT>>(*a16_, be);
     }
   }
   throw std::logic_error("MultiPrecMatrix: bad precision");
 }
 
-template std::unique_ptr<Operator<double>> MultiPrecMatrix::make_operator<double>(Prec);
-template std::unique_ptr<Operator<float>> MultiPrecMatrix::make_operator<float>(Prec);
-template std::unique_ptr<Operator<half>> MultiPrecMatrix::make_operator<half>(Prec);
+template std::unique_ptr<Operator<double>> MultiPrecMatrix::make_operator<double>(Prec,
+                                                                                  Backend);
+template std::unique_ptr<Operator<float>> MultiPrecMatrix::make_operator<float>(Prec,
+                                                                                Backend);
+template std::unique_ptr<Operator<half>> MultiPrecMatrix::make_operator<half>(Prec,
+                                                                              Backend);
 
 std::size_t MultiPrecMatrix::value_bytes() const {
   std::size_t b = a64_.vals.size() * sizeof(double);
@@ -101,7 +103,8 @@ std::string tuple_notation(const NestedConfig& cfg) {
 NestedSolver::NestedSolver(std::shared_ptr<MultiPrecMatrix> a,
                            std::shared_ptr<PrimaryPrecond> m, NestedConfig cfg,
                            SolverWorkspace* ws, std::string ws_prefix)
-    : a_(std::move(a)), m_(std::move(m)), cfg_(std::move(cfg)), ws_(ws),
+    : a_(std::move(a)), m_(std::move(m)), cfg_(std::move(cfg)),
+      kx_(ws != nullptr ? ws->backend() : Backend::kHost), ws_(ws),
       ws_prefix_(std::move(ws_prefix)) {
   validate(cfg_);
   if (m_->size() != a_->size())
@@ -112,6 +115,7 @@ NestedSolver::NestedSolver(std::shared_ptr<MultiPrecMatrix> a,
   Preconditioner<double>* below;
   if (cfg_.levels.size() == 1) {
     auto handle = m_->make_apply<double>(cfg_.precond_storage);
+    handle->set_backend(kx_.backend());
     below = handle.get();
     owned_.push_back(std::shared_ptr<void>(std::move(handle)));
   } else {
@@ -141,7 +145,7 @@ NestedSolver::NestedSolver(std::shared_ptr<MultiPrecMatrix> a,
     }
   }
 
-  auto op = a_->make_operator<double>(cfg_.levels[0].mat);
+  auto op = a_->make_operator<double>(cfg_.levels[0].mat, kx_.backend());
   outer_op_ = op.get();
   owned_.push_back(std::shared_ptr<void>(std::move(op)));
   auto outer = std::make_shared<FgmresSolver<double>>(
@@ -156,7 +160,7 @@ Preconditioner<VT>* NestedSolver::build_level(std::size_t d) {
   const LevelSpec& lv = cfg_.levels[d];
   const std::string lvl_key = ws_prefix_ + "lvl" + std::to_string(d);
   // Operator for this level.
-  auto op_owned = a_->make_operator<VT>(lv.mat);
+  auto op_owned = a_->make_operator<VT>(lv.mat, kx_.backend());
   Operator<VT>* op = op_owned.get();
   owned_.push_back(std::shared_ptr<void>(std::move(op_owned)));
 
@@ -164,6 +168,7 @@ Preconditioner<VT>* NestedSolver::build_level(std::size_t d) {
   Preconditioner<VT>* below;
   if (d + 1 == cfg_.levels.size()) {
     auto handle = m_->make_apply<VT>(cfg_.precond_storage);
+    handle->set_backend(kx_.backend());
     below = handle.get();
     owned_.push_back(std::shared_ptr<void>(std::move(handle)));
   } else {
@@ -200,7 +205,7 @@ Preconditioner<VT>* NestedSolver::build_level(std::size_t d) {
     typename ChebyshevSolver<VT>::Config cc;
     cc.m = lv.m;
     cc.eig_ratio = lv.eig_ratio;
-    auto solver = std::make_shared<ChebyshevSolver<VT>>(*op, *below, cc);
+    auto solver = std::make_shared<ChebyshevSolver<VT>>(*op, *below, cc, kx_.backend());
     owned_.push_back(solver);
     return solver.get();
   }
@@ -209,7 +214,7 @@ Preconditioner<VT>* NestedSolver::build_level(std::size_t d) {
   // fp32-accumulating operator over the same (fp16) matrix storage.
   Operator<float>* op32 = nullptr;
   if constexpr (std::is_same_v<VT, half>) {
-    auto op32_owned = a_->make_operator<float>(lv.mat);
+    auto op32_owned = a_->make_operator<float>(lv.mat, kx_.backend());
     op32 = op32_owned.get();
     owned_.push_back(std::shared_ptr<void>(std::move(op32_owned)));
   }
@@ -237,7 +242,7 @@ SolveResult NestedSolver::solve(std::span<const double> b, std::span<double> x,
   const std::uint64_t m_calls0 = m_->invocations();
   const std::uint64_t spmv0 = outer_op_->spmv_count();
 
-  const double bnorm = static_cast<double>(blas::nrm2(b));
+  const double bnorm = static_cast<double>(kx_.nrm2(b));
   const double bref = bnorm > 0.0 ? bnorm : 1.0;
   const double target = term.rtol * bref;
 
@@ -249,13 +254,13 @@ SolveResult NestedSolver::solve(std::span<const double> b, std::span<double> x,
   // breakdown / non-finite norm) name WHY a failed attempt stopped.
   double stag_best = std::numeric_limits<double>::infinity();
   int stall = 0;
-  bool x_nonzero = blas::nrm2(std::span<const double>(x.data(), x.size())) > 0.0;
+  bool x_nonzero = kx_.nrm2(std::span<const double>(x.data(), x.size())) > 0.0;
   for (int cycle = 0; cycle <= term.max_restarts; ++cycle) {
     const auto stats = outer_->run(b, x, target, x_nonzero);
     res.iterations += stats.iters;
     res.restarts = cycle;
     x_nonzero = true;
-    const double relres = relative_residual(
+    const double relres = kx_.relative_residual(
         a_->csr_fp64(), std::span<const double>(x.data(), x.size()), b);
     res.final_relres = relres;
     if (relres < term.rtol) {

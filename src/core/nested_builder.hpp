@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "backend/kernels.hpp"
+#include "base/backend.hpp"
 #include "base/half.hpp"
 #include "base/timer.hpp"
 #include "base/workspace.hpp"
@@ -50,10 +52,11 @@ class MultiPrecMatrix {
   [[nodiscard]] const CsrMatrix<double>& csr_fp64() const { return a64_; }
   [[nodiscard]] bool uses_sell() const { return use_sell_; }
 
-  /// Create a typed operator (vector type VT over storage precision `mp`).
-  /// The operator references matrix data owned by this object.
+  /// Create a typed operator (vector type VT over storage precision `mp`)
+  /// whose products run on backend `be`.  The operator references matrix
+  /// data owned by this object.
   template <class VT>
-  std::unique_ptr<Operator<VT>> make_operator(Prec mp);
+  std::unique_ptr<Operator<VT>> make_operator(Prec mp, Backend be = Backend::kHost);
 
   /// Total bytes of matrix value storage materialized so far (the paper
   /// notes this replication "incurs an overhead" on cache-limited nodes).
@@ -86,6 +89,7 @@ class PrecisionBridge final : public Preconditioner<Outer> {
       : inner_(inner) {
     const std::size_t n = static_cast<std::size_t>(inner->size());
     SolverWorkspace& w = ws != nullptr ? *ws : own_;
+    this->set_backend(w.backend());  // converts dispatch with the pipeline
     rin_ = w.get<Inner>(key + ".rin", n);
     zin_ = w.get<Inner>(key + ".zin", n);
   }
@@ -96,10 +100,10 @@ class PrecisionBridge final : public Preconditioner<Outer> {
   PrecisionBridge& operator=(const PrecisionBridge&) = delete;
 
   void apply(std::span<const Outer> r, std::span<Outer> z) override {
-    blas::convert(r, rin_);
+    this->kern_table().convert(r, rin_);
     inner_->apply(std::span<const Inner>(rin_.data(), rin_.size()),
                   std::span<Inner>(zin_.data(), zin_.size()));
-    blas::convert(std::span<const Inner>(zin_.data(), zin_.size()), z);
+    this->kern_table().convert(std::span<const Inner>(zin_.data(), zin_.size()), z);
   }
   [[nodiscard]] index_t size() const override { return inner_->size(); }
 
@@ -202,6 +206,7 @@ class NestedSolver {
   std::shared_ptr<MultiPrecMatrix> a_;
   std::shared_ptr<PrimaryPrecond> m_;
   NestedConfig cfg_;
+  kern::Kernels kx_;               ///< outer-loop kernels on the build backend
   SolverWorkspace* ws_ = nullptr;  ///< external workspace (null → levels own theirs)
   std::string ws_prefix_;          ///< key prefix isolating this tuple in ws_
 

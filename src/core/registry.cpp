@@ -97,6 +97,9 @@ std::unique_ptr<SolverEngine> Registry::make_solver(const SolverSpec& spec,
     throw SpecError("solver kind '" + spec.kind + "' does not take an iteration count");
   if (!info.takes_prec && spec.prec != Prec::FP64)
     throw SpecError("solver kind '" + spec.kind + "' has fixed precisions (no @prec)");
+  if (spec.backend.has_value() && !info.supports_backend(*spec.backend))
+    throw SpecError("solver kind '" + spec.kind + "' does not support backend '" +
+                    backend_name(*spec.backend) + "'");
   if (info.takes_m && spec.m == 0) {
     // Resolve the kind's default m centrally so no factory can silently
     // build with a zero Krylov dimension.

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "base/backend.hpp"
 #include "core/engine.hpp"
 #include "core/problem.hpp"
 #include "core/spec.hpp"
@@ -44,6 +45,19 @@ struct SolverKindInfo {
   int default_m = 0;     ///< m used when the spec leaves it 0
   bool takes_prec = true;  ///< accepts '@prec' (false: Table 4 variants)
   bool conformance = false;  ///< enumerated by the conformance catalog
+  /// Execution-space backends the kind can build on.  Every built-in kind
+  /// dispatches below the engine layer and so runs on all of them — the
+  /// default (a default member initializer, so the positional aggregate
+  /// registrations stay valid) names the full set; a future device-resident
+  /// kind narrows this list and make_solver rejects the rest.
+  std::vector<Backend> backends{Backend::kHost, Backend::kSerial};
+
+  /// Whether `spec ";backend=NAME"` is buildable for this kind.
+  [[nodiscard]] bool supports_backend(Backend be) const {
+    for (const Backend b : backends)
+      if (b == be) return true;
+    return false;
+  }
 };
 
 /// Registration metadata for a preconditioner kind.

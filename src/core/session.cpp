@@ -3,18 +3,40 @@
 #include <algorithm>
 #include <iterator>
 
+#include "base/backend.hpp"
 #include "base/blas_block.hpp"
+#include "base/env.hpp"
 
 namespace nk {
 
 namespace {
 
+/// Resolution order: spec ";backend=" > NKRYLOV_BACKEND > host.  An
+/// unknown environment value is never a silent fallback: it is recorded in
+/// *err and every solve on the Session fails fast with kInvalidInput
+/// ("backend: ...").  The default-when-unset sentinel is "host" so a SET
+/// but empty NKRYLOV_BACKEND is rejected like any other unknown name.
+Backend resolve_session_backend(const std::optional<Backend>& from_spec,
+                                std::string* err) {
+  if (from_spec.has_value()) return *from_spec;
+  const std::string v = env_str("NKRYLOV_BACKEND", backend_name(Backend::kHost));
+  const auto be = parse_backend(v);
+  if (be.has_value()) return *be;
+  *err = "backend: unknown NKRYLOV_BACKEND value '" + v +
+         "' (known: " + std::string(backend_names()) + ")";
+  return Backend::kHost;
+}
+
 /// The spec's `;layout=` option doubles as the session workspace default,
 /// so solvers that resolve their layout from the workspace (nested tuples,
-/// FGMRES gather panels) honor it too.
-std::unique_ptr<SolverWorkspace> make_session_workspace(const SolverSpec& spec) {
+/// FGMRES gather panels) honor it too.  The resolved backend is likewise a
+/// workspace property: every engine, handle, and operator minted for this
+/// Session reads it from here (first-touch policy included).
+std::unique_ptr<SolverWorkspace> make_session_workspace(const SolverSpec& spec,
+                                                        std::string* backend_err) {
   auto ws = std::make_unique<SolverWorkspace>();
   if (spec.layout.has_value()) ws->set_panel_layout(*spec.layout);
+  ws->set_backend(resolve_session_backend(spec.backend, backend_err));
   return ws;
 }
 
@@ -37,7 +59,7 @@ Session::Session(std::shared_ptr<const PreparedProblem> p, const SolverSpec& spe
     : p_(std::move(p)),
       spec_(spec),
       m_(registry().make_precond(spec.precond, *p_)),
-      ws_(make_session_workspace(spec)),
+      ws_(make_session_workspace(spec, &backend_err_)),
       engine_(registry().make_solver(spec_, *p_, m_, ws_.get())) {}
 
 Session::Session(std::shared_ptr<const PreparedProblem> p, const SolverSpec& spec,
@@ -45,13 +67,15 @@ Session::Session(std::shared_ptr<const PreparedProblem> p, const SolverSpec& spe
     : p_(std::move(p)),
       spec_(spec),
       m_(std::move(m)),
-      ws_(make_session_workspace(spec)),
+      ws_(make_session_workspace(spec, &backend_err_)),
       engine_(registry().make_solver(spec_, *p_, m_, ws_.get())) {}
 
 Session::Session(std::shared_ptr<const PreparedProblem> p, NestedConfig cfg,
                  const Termination& term, std::shared_ptr<PrimaryPrecond> m)
     : p_(std::move(p)), m_(std::move(m)), ws_(std::make_unique<SolverWorkspace>()) {
   spec_.kind = cfg.name;  // reporting only; not a registered kind
+  // No spec to carry ";backend=" here, so the environment decides.
+  ws_->set_backend(resolve_session_backend(std::nullopt, &backend_err_));
   engine_ = detail::make_nested_engine(*p_, m_, std::move(cfg), term, ws_.get());
 }
 
@@ -69,7 +93,7 @@ Session::Session(PreparedProblem p, NestedConfig cfg, const Termination& term,
 
 SolveResult Session::invalid_input(std::string why) const {
   SolveResult r;
-  r.solver = engine_->name();
+  r.solver = engine_ != nullptr ? engine_->name() : spec_.kind;
   r.fail(SolveStatus::kInvalidInput, std::move(why));
   return r;
 }
@@ -86,6 +110,7 @@ SolveResult Session::solve(std::span<const double> b, std::span<double> x) {
 }
 
 SolveResult Session::solve_impl(std::span<const double> b, std::span<double> x) {
+  if (!backend_err_.empty()) return invalid_input(backend_err_);
   const std::size_t n = p_->a ? static_cast<std::size_t>(p_->a->size()) : 0;
   if (n == 0) return invalid_input("empty-system");
   if (b.size() != n || x.size() != n) return invalid_input("size-mismatch");
@@ -129,6 +154,9 @@ std::vector<SolveResult> Session::solve_many(std::span<const double> B,
   if (!slot.claimed)
     return std::vector<SolveResult>(static_cast<std::size_t>(k),
                                     invalid_input("concurrent-use"));
+  if (!backend_err_.empty())
+    return std::vector<SolveResult>(static_cast<std::size_t>(k),
+                                    invalid_input(backend_err_));
   const std::size_t n = p_->a ? static_cast<std::size_t>(p_->a->size()) : 0;
   const std::size_t need = static_cast<std::size_t>(k) * n;
   if (n == 0) return std::vector<SolveResult>(static_cast<std::size_t>(k),

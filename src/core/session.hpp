@@ -116,6 +116,11 @@ class Session {
   [[nodiscard]] const PreparedProblem& problem() const { return *p_; }
   [[nodiscard]] PrimaryPrecond& precond() { return *m_; }
   [[nodiscard]] SolverWorkspace& workspace() { return *ws_; }
+  /// The ACTIVE execution-space backend, after resolution (spec's
+  /// ";backend=" > NKRYLOV_BACKEND > host).  When NKRYLOV_BACKEND held an
+  /// unknown name this reports host, but every solve fails fast with
+  /// kInvalidInput ("backend: ...") rather than silently running there.
+  [[nodiscard]] Backend backend() const { return ws_->backend(); }
   /// The engine's reporting name ("fp16-CG", "fp64-FGMRES(64)", ...).
   [[nodiscard]] std::string solver_name() const;
 
@@ -143,6 +148,11 @@ class Session {
   std::shared_ptr<const PreparedProblem> p_;
   SolverSpec spec_;
   std::shared_ptr<PrimaryPrecond> m_;
+  /// Non-empty when NKRYLOV_BACKEND named an unknown backend at build time
+  /// (and the spec did not override it): solves fail fast with this
+  /// message instead of silently falling back.  Declared before ws_ so the
+  /// workspace factory can fill it from the constructor init list.
+  std::string backend_err_;
   std::unique_ptr<SolverWorkspace> ws_;
   std::unique_ptr<SolverEngine> engine_;
   std::unique_ptr<std::atomic<bool>> in_solve_ = std::make_unique<std::atomic<bool>>(false);

@@ -56,6 +56,19 @@ Prec parse_prec_token(const std::string& tok) {
   }
 }
 
+/// Shared by the ":NAME" head suffix and the ";backend=" option; a backend
+/// may be named at most once per spec, whichever spelling is used.
+void set_backend_token(const std::string& tok, SolverSpec* s) {
+  const auto be = parse_backend(tok);
+  if (!be.has_value())
+    throw SpecError("unknown backend '" + tok + "' in spec (known: " +
+                    std::string(backend_names()) + ")");
+  if (s->backend.has_value())
+    throw SpecError("backend given twice in spec (':" + tok +
+                    "' suffix and/or ';backend=')");
+  s->backend = *be;
+}
+
 /// Split "name[@prec]"; empty name / empty precision are errors.
 struct Token {
   std::string name;
@@ -161,6 +174,10 @@ void apply_option(const Option& o, SolverSpec* s, PrecondSpec* pc) {
       s->stagnate_window = parse_int_opt(o.key, require_value(o), 0);
       return;
     }
+    if (o.key == "backend") {
+      set_backend_token(require_value(o), s);
+      return;
+    }
     if (o.key == "fallback") {
       // Comma-separated precision ladder, e.g. "fallback=fp32,fp64".
       const std::string v = require_value(o);
@@ -203,7 +220,7 @@ void apply_option(const Option& o, SolverSpec* s, PrecondSpec* pc) {
       "unknown spec option '" + o.key +
       (s != nullptr
            ? "' (solver: rtol max-iters restarts wave masked nohist layout "
-             "stagnate-window fallback; "
+             "stagnate-window fallback backend; "
              "preconditioner: nblocks omega degree inject inner)"
            : "' (preconditioner options: nblocks omega degree inject inner)"));
 }
@@ -300,7 +317,19 @@ SolverSpec SolverSpec::parse(const std::string& text) {
   const std::string s = lower(text);
   SolverSpec out;
   const auto semi = s.find(';');
-  const std::string head = s.substr(0, semi);
+  std::string head = s.substr(0, semi);
+
+  // ":NAME" backend suffix on the head ("cg/jacobi@fp64:serial") — the
+  // short spelling of ";backend=NAME"; giving both is rejected below.
+  const auto colon = head.find(':');
+  if (colon != std::string::npos) {
+    const std::string be_tok = head.substr(colon + 1);
+    if (be_tok.empty()) throw SpecError("empty backend after ':' in spec '" + text + "'");
+    if (be_tok.find(':') != std::string::npos)
+      throw SpecError("more than one ':' in spec '" + text + "'");
+    set_backend_token(be_tok, &out);
+    head.resize(colon);
+  }
 
   const auto slash = head.find('/');
   const std::string solver_part = head.substr(0, slash);
@@ -343,6 +372,9 @@ std::string SolverSpec::to_string() const {
     for (std::size_t i = 0; i < fallback.size(); ++i)
       s += std::string(i > 0 ? "," : "") + prec_name(fallback[i]);
   }
+  // Canonical form is the option spelling; an unset backend emits nothing,
+  // so pre-backend spec strings round-trip byte-identically.
+  if (backend.has_value()) s += std::string(";backend=") + backend_name(*backend);
   if (precond.nblocks != pdef.nblocks) s += ";nblocks=" + std::to_string(precond.nblocks);
   if (precond.omega != pdef.omega) s += ";omega=" + fmt_double(precond.omega);
   if (precond.degree != pdef.degree) s += ";degree=" + std::to_string(precond.degree);

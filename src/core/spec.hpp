@@ -14,15 +14,20 @@
 //
 // Grammar (all names case-insensitive, canonicalized to lower case):
 //
-//   solver-spec  := solver-token [ '/' precond-token ] ( ';' option )*
+//   solver-spec  := solver-token [ '/' precond-token ] [ ':' backend ]
+//                   ( ';' option )*
 //   precond-spec := precond-token ( ';' option )*
 //   solver-token := name [ '@' prec ]      name may end in digits = m
 //   precond-token:= name [ '@' prec ]      (registered names match exactly)
 //   option       := key '=' value | flag
 //   prec         := fp64 | fp32 | fp16
+//   backend      := host | omp | serial    (base/backend.hpp)
 //
 // Solver options: rtol=, max-iters=, restarts=, wave=, masked, nohist,
-// layout= (rowmajor|colmajor survivor-panel storage; base/panel.hpp).
+// layout= (rowmajor|colmajor survivor-panel storage; base/panel.hpp),
+// backend= (execution-space backend; ":NAME" on the head is an alias, and
+// giving both is an error).  An unset backend means "resolve at build
+// time": Session falls back to NKRYLOV_BACKEND, then the host default.
 // Preconditioner options: nblocks=, omega=, degree=.  max-iters= caps the
 // flat solvers; the nested kinds bound their outer work by restarts=
 // instead (the outer FGMRES runs at most (restarts+1)·m1 iterations) and
@@ -50,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "base/backend.hpp"
 #include "base/half.hpp"
 #include "base/panel.hpp"
 
@@ -118,6 +124,12 @@ struct SolverSpec {
   /// each listed precision axis in order, recording the failed attempts in
   /// SolveResult::attempts.  Empty = no retries (default).
   std::vector<Prec> fallback;
+
+  /// Execution-space backend (";backend=serial" or the ":serial" suffix).
+  /// Unset = resolve at build time (Session: NKRYLOV_BACKEND env, else
+  /// host) — and to_string() omits it, so legacy spec strings stay
+  /// byte-identical.
+  std::optional<Backend> backend;
 
   PrecondSpec precond;       ///< the primary preconditioner M
 

@@ -14,13 +14,13 @@ SolveResult BiCgStabSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
   const auto n = b.size();
   std::span<VT> r(r_), rhat(rhat_), p(p_), v(v_), s(s_), t(t_), phat(phat_), shat(shat_);
 
-  const double bnorm = static_cast<double>(blas::nrm2(b));
+  const double bnorm = static_cast<double>(kx_.nrm2(b));
   const double bref = bnorm > 0.0 ? bnorm : 1.0;
   const double target = cfg_.rtol * bref;
 
   a_->residual(b, std::span<const VT>(x.data(), n), r);
-  blas::copy(std::span<const VT>(r_), rhat);
-  double rnorm = static_cast<double>(blas::nrm2(std::span<const VT>(r_)));
+  kx_.copy(std::span<const VT>(r_), rhat);
+  double rnorm = static_cast<double>(kx_.nrm2(std::span<const VT>(r_)));
   if (cfg_.record_history) res.history.push_back(rnorm / bref);
   if (!std::isfinite(bnorm) || !std::isfinite(rnorm)) {
     res.fail(SolveStatus::kNonFinite, !std::isfinite(bnorm) ? "b" : "rnorm");
@@ -35,12 +35,12 @@ SolveResult BiCgStabSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
   int stall = 0;
 
   S rho{1}, alpha{1}, omega{1};
-  blas::set_zero(p);
-  blas::set_zero(v);
+  kx_.set_zero(p);
+  kx_.set_zero(v);
 
   for (int it = 1; it <= cfg_.max_iters; ++it) {
     res.iterations = it;
-    const S rho_new = blas::dot(std::span<const VT>(rhat_), std::span<const VT>(r_));
+    const S rho_new = kx_.dot(std::span<const VT>(rhat_), std::span<const VT>(r_));
     if (!std::isfinite(static_cast<double>(rho_new)) || rho_new == S{0}) {
       res.fail(std::isfinite(static_cast<double>(rho_new)) ? SolveStatus::kBreakdown
                                                            : SolveStatus::kNonFinite,
@@ -48,18 +48,18 @@ SolveResult BiCgStabSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
       return res;
     }
     if (it == 1) {
-      blas::copy(std::span<const VT>(r_), p);
+      kx_.copy(std::span<const VT>(r_), p);
     } else {
       const S beta = (rho_new / rho) * (alpha / omega);
       // p = r + beta (p - omega v)
-      blas::axpy(-omega, std::span<const VT>(v_), p);
-      blas::axpby(S{1}, std::span<const VT>(r_), beta, p);
+      kx_.axpy(-omega, std::span<const VT>(v_), p);
+      kx_.axpby(S{1}, std::span<const VT>(r_), beta, p);
     }
     rho = rho_new;
 
     m_->apply(std::span<const VT>(p_), phat);
     a_->apply(std::span<const VT>(phat_), v);
-    const S rhat_v = blas::dot(std::span<const VT>(rhat_), std::span<const VT>(v_));
+    const S rhat_v = kx_.dot(std::span<const VT>(rhat_), std::span<const VT>(v_));
     if (!std::isfinite(static_cast<double>(rhat_v)) || rhat_v == S{0}) {
       res.fail(std::isfinite(static_cast<double>(rhat_v)) ? SolveStatus::kBreakdown
                                                           : SolveStatus::kNonFinite,
@@ -69,11 +69,11 @@ SolveResult BiCgStabSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
     alpha = rho / rhat_v;
 
     // s = r - alpha v
-    blas::copy(std::span<const VT>(r_), s);
-    blas::axpy(-alpha, std::span<const VT>(v_), s);
-    const double snorm = static_cast<double>(blas::nrm2(std::span<const VT>(s_)));
+    kx_.copy(std::span<const VT>(r_), s);
+    kx_.axpy(-alpha, std::span<const VT>(v_), s);
+    const double snorm = static_cast<double>(kx_.nrm2(std::span<const VT>(s_)));
     if (snorm <= target) {
-      blas::axpy(alpha, std::span<const VT>(phat_), x);
+      kx_.axpy(alpha, std::span<const VT>(phat_), x);
       if (cfg_.record_history) res.history.push_back(snorm / bref);
       res.mark_converged();
       return res;
@@ -81,23 +81,23 @@ SolveResult BiCgStabSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
 
     m_->apply(std::span<const VT>(s_), shat);
     a_->apply(std::span<const VT>(shat_), t);
-    const S tt = blas::dot(std::span<const VT>(t_), std::span<const VT>(t_));
+    const S tt = kx_.dot(std::span<const VT>(t_), std::span<const VT>(t_));
     if (!std::isfinite(static_cast<double>(tt)) || tt == S{0}) {
       res.fail(std::isfinite(static_cast<double>(tt)) ? SolveStatus::kBreakdown
                                                       : SolveStatus::kNonFinite,
                "tt");
       return res;
     }
-    omega = blas::dot(std::span<const VT>(t_), std::span<const VT>(s_)) / tt;
+    omega = kx_.dot(std::span<const VT>(t_), std::span<const VT>(s_)) / tt;
 
-    blas::axpy(alpha, std::span<const VT>(phat_), x);
-    blas::axpy(omega, std::span<const VT>(shat_), x);
+    kx_.axpy(alpha, std::span<const VT>(phat_), x);
+    kx_.axpy(omega, std::span<const VT>(shat_), x);
 
     // r = s - omega t
-    blas::copy(std::span<const VT>(s_), r);
-    blas::axpy(-omega, std::span<const VT>(t_), r);
+    kx_.copy(std::span<const VT>(s_), r);
+    kx_.axpy(-omega, std::span<const VT>(t_), r);
 
-    rnorm = static_cast<double>(blas::nrm2(std::span<const VT>(r_)));
+    rnorm = static_cast<double>(kx_.nrm2(std::span<const VT>(r_)));
     if (cfg_.record_history) res.history.push_back(rnorm / bref);
     if (!std::isfinite(rnorm)) {
       res.fail(SolveStatus::kNonFinite, "rnorm");
@@ -205,13 +205,13 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
     if (ilv)
       panel_copy_col(src.data(), pld, lay, j, dst.data(), pld, lay, j, nld);
     else
-      blas::copy(ccol(src, j), col(dst, j));
+      kx_.copy(ccol(src, j), col(dst, j));
   };
   auto zero_col = [&](std::span<VT> blk, int j) {
     if (ilv)
       for (std::ptrdiff_t i = 0; i < nld; ++i) blk[static_cast<std::size_t>(i * pld + j)] = VT{0};
     else
-      blas::set_zero(col(blk, j));
+      kx_.set_zero(col(blk, j));
   };
 
   int na = 0;    // live width
@@ -222,7 +222,7 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
   auto init_slot = [&](int j, int c) -> bool {
     map[j] = c;
     itc[j] = 0;
-    blas::nrm2_cols(b + static_cast<std::ptrdiff_t>(c) * ldb, ldb, 1, n_, &red[j]);
+    kx_.nrm2_cols(b + static_cast<std::ptrdiff_t>(c) * ldb, ldb, 1, n_, &red[j]);
     const double bnorm = static_cast<double>(red[j]);
     if (!std::isfinite(bnorm)) {
       // Poisoned RHS: retire the column before it ever occupies a slot.
@@ -238,7 +238,7 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
     a_->residual(std::span<const VT>(b + static_cast<std::ptrdiff_t>(c) * ldb, n_),
                  std::span<const VT>(x + static_cast<std::ptrdiff_t>(c) * ldx, n_),
                  std::span<VT>(r0, n_));
-    blas::nrm2_cols(r0, nld, 1, n_, &red[j]);
+    kx_.nrm2_cols(r0, nld, 1, n_, &red[j]);
     const double rnorm = static_cast<double>(red[j]);
     if (cfg_.record_history) res[c].history.push_back(rnorm / bref[j]);
     if (!std::isfinite(rnorm)) {
@@ -255,7 +255,7 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
       panel_copy_col(r0, nld, PanelLayout::kRowMajor, 0, R.data(), pld, lay, j, nld);
       panel_copy_col(r0, nld, PanelLayout::kRowMajor, 0, RH.data(), pld, lay, j, nld);
     } else {
-      blas::copy(ccol(R, j), col(RH, j));
+      kx_.copy(ccol(R, j), col(RH, j));
     }
     rho[j] = S{1};
     alpha[j] = S{1};
@@ -277,7 +277,7 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
       if (ilv)
         panel_copy_col(blk->data(), pld, lay, src, blk->data(), pld, lay, dst, nld);
       else
-        blas::copy(ccol(*blk, src), col(*blk, dst));
+        kx_.copy(ccol(*blk, src), col(*blk, dst));
     }
     rho[dst] = rho[src];
     alpha[dst] = alpha[src];
@@ -308,7 +308,7 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
     refill();
     if (na == 0) break;
 
-    blas::dot_cols(RH.data(), pld, R.data(), pld, na, n_, red.data(), nullptr, lay, lay);
+    kx_.dot_cols(RH.data(), pld, R.data(), pld, na, n_, red.data(), nullptr, lay, lay);
     for (int j = 0; j < na;) {
       const int it = ++itc[j];
       res[map[j]].iterations = it;
@@ -338,16 +338,16 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
     if (any_upd) {
       // p_j = r_j + beta_j (p_j − omega_j v_j) for slots past iteration 1
       // (freshly injected slots took p = r above, masked out here).
-      blas::axpy_cols(sc0.data(), V.data(), pld, P.data(), pld, na, n_, upd.data(),
+      kx_.axpy_cols(sc0.data(), V.data(), pld, P.data(), pld, na, n_, upd.data(),
                       nullptr, lay, lay);
       for (int j = 0; j < na; ++j) sc0[j] = S{1};
-      blas::axpby_cols(sc0.data(), R.data(), pld, sc1.data(), P.data(), pld, na, n_,
+      kx_.axpby_cols(sc0.data(), R.data(), pld, sc1.data(), P.data(), pld, na, n_,
                        upd.data(), lay, lay);
     }
 
     m_->apply_many_layout(P.data(), pld, PH.data(), pld, na, lay);
     a_->apply_many_layout(PH.data(), pld, V.data(), pld, na, lay, lay);
-    blas::dot_cols(RH.data(), pld, V.data(), pld, na, n_, red.data(), nullptr, lay, lay);
+    kx_.dot_cols(RH.data(), pld, V.data(), pld, na, n_, red.data(), nullptr, lay, lay);
     for (int j = 0; j < na;) {
       const S rhat_v = red[j];
       if (!std::isfinite(static_cast<double>(rhat_v)) || rhat_v == S{0}) {
@@ -364,21 +364,21 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
       ++j;
     }
     if (na == 0) continue;
-    blas::axpy_cols(sc0.data(), V.data(), pld, Sv.data(), pld, na, n_, nullptr, nullptr,
+    kx_.axpy_cols(sc0.data(), V.data(), pld, Sv.data(), pld, na, n_, nullptr, nullptr,
                     lay, lay);
-    blas::nrm2_cols(Sv.data(), pld, na, n_, red.data(), nullptr, lay);
+    kx_.nrm2_cols(Sv.data(), pld, na, n_, red.data(), nullptr, lay);
     for (int j = 0; j < na;) {
       const double snorm = static_cast<double>(red[j]);
       if (snorm <= target[j]) {
         const int c = map[j];
         // x_c += alpha_j phat_j: a width-1 column axpy.  On the interleaved
         // layout PH's column j is strided, so this goes through axpy_cols
-        // (the same element math/rounding as blas::axpy).
+        // (the same element math/rounding as kx_.axpy single-column).
         if (ilv)
-          blas::axpy_cols(&alpha[j], PH.data() + j, pld, x + static_cast<std::ptrdiff_t>(c) * ldx,
+          kx_.axpy_cols(&alpha[j], PH.data() + j, pld, x + static_cast<std::ptrdiff_t>(c) * ldx,
                           ldx, 1, n_, nullptr, nullptr, lay, PanelLayout::kRowMajor);
         else
-          blas::axpy(alpha[j], ccol(PH, j), xcol(c));
+          kx_.axpy(alpha[j], ccol(PH, j), xcol(c));
         if (cfg_.record_history) res[c].history.push_back(snorm / bref[j]);
         res[c].mark_converged();
         move_slot(j, --na);
@@ -390,8 +390,8 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
 
     m_->apply_many_layout(Sv.data(), pld, SH.data(), pld, na, lay);
     a_->apply_many_layout(SH.data(), pld, T.data(), pld, na, lay, lay);
-    blas::dot_cols(T.data(), pld, T.data(), pld, na, n_, red.data(), nullptr, lay, lay);
-    blas::dot_cols(T.data(), pld, Sv.data(), pld, na, n_, red2.data(), nullptr, lay, lay);
+    kx_.dot_cols(T.data(), pld, T.data(), pld, na, n_, red.data(), nullptr, lay, lay);
+    kx_.dot_cols(T.data(), pld, Sv.data(), pld, na, n_, red2.data(), nullptr, lay, lay);
     for (int j = 0; j < na;) {
       const S tt = red[j];
       if (!std::isfinite(static_cast<double>(tt)) || tt == S{0}) {
@@ -409,14 +409,14 @@ void BiCgStabSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT*
     if (na == 0) continue;
     // x_{map[j]} += alpha_j phat_j + omega_j shat_j (two chained scattered
     // updates, as in solve()); then r_j = s_j − omega_j t_j.
-    blas::axpy_cols(alpha.data(), PH.data(), pld, x, ldx, na, n_, nullptr, map.data(),
+    kx_.axpy_cols(alpha.data(), PH.data(), pld, x, ldx, na, n_, nullptr, map.data(),
                     lay, PanelLayout::kRowMajor);
-    blas::axpy_cols(omega.data(), SH.data(), pld, x, ldx, na, n_, nullptr, map.data(),
+    kx_.axpy_cols(omega.data(), SH.data(), pld, x, ldx, na, n_, nullptr, map.data(),
                     lay, PanelLayout::kRowMajor);
     for (int j = 0; j < na; ++j) copy_col(Sv, R, j);
-    blas::axpy_cols(sc0.data(), T.data(), pld, R.data(), pld, na, n_, nullptr, nullptr,
+    kx_.axpy_cols(sc0.data(), T.data(), pld, R.data(), pld, na, n_, nullptr, nullptr,
                     lay, lay);
-    blas::nrm2_cols(R.data(), pld, na, n_, red.data(), nullptr, lay);
+    kx_.nrm2_cols(R.data(), pld, na, n_, red.data(), nullptr, lay);
     for (int j = 0; j < na;) {
       const int c = map[j];
       const double rnorm = static_cast<double>(red[j]);
@@ -500,13 +500,13 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
   // reductions bit-for-bit with the column chains interleaved for ILP.
   int nactive = 0;
   a_->residual_many(b, ldb, x, ldx, R.data(), nld, k);
-  blas::nrm2_cols(b, ldb, k, n_, red.data());
-  blas::nrm2_cols(R.data(), nld, k, n_, red2.data());
+  kx_.nrm2_cols(b, ldb, k, n_, red.data());
+  kx_.nrm2_cols(R.data(), nld, k, n_, red2.data());
   for (int c = 0; c < k; ++c) {
     const double bnorm = static_cast<double>(red[c]);
     bref[c] = bnorm > 0.0 ? bnorm : 1.0;
     target[c] = cfg_.rtol * bref[c];
-    blas::copy(ccol(R, c), col(RH, c));
+    kx_.copy(ccol(R, c), col(RH, c));
     const double rnorm = static_cast<double>(red2[c]);
     if (cfg_.record_history) res[c].history.push_back(rnorm / bref[c]);
     if (!std::isfinite(bnorm) || !std::isfinite(rnorm)) {
@@ -524,8 +524,8 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
     rho[c] = S{1};
     alpha[c] = S{1};
     omega[c] = S{1};
-    blas::set_zero(col(P, c));
-    blas::set_zero(col(V, c));
+    kx_.set_zero(col(P, c));
+    kx_.set_zero(col(V, c));
     act[c] = 1;
     ++nactive;
   }
@@ -548,7 +548,7 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
   };
 
   for (int it = 1; it <= cfg_.max_iters && nactive > 0; ++it) {
-    blas::dot_cols(RH.data(), nld, R.data(), nld, k, n_, red.data(), act.data());
+    kx_.dot_cols(RH.data(), nld, R.data(), nld, k, n_, red.data(), act.data());
     for (int c = 0; c < k; ++c) {
       if (!act[c]) continue;
       res[c].iterations = it;
@@ -563,7 +563,7 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
         continue;
       }
       if (it == 1) {
-        blas::copy(ccol(R, c), col(P, c));
+        kx_.copy(ccol(R, c), col(P, c));
         sc0[c] = S{0};  // no direction update on the first iteration
       } else {
         sc0[c] = -omega[c];
@@ -573,15 +573,15 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
     }
     if (it > 1) {
       // p_c = r_c + beta_c (p_c − omega_c v_c), masked per column.
-      blas::axpy_cols(sc0.data(), V.data(), nld, P.data(), nld, k, n_, act.data());
+      kx_.axpy_cols(sc0.data(), V.data(), nld, P.data(), nld, k, n_, act.data());
       for (int c = 0; c < k; ++c) sc0[c] = S{1};
-      blas::axpby_cols(sc0.data(), R.data(), nld, sc1.data(), P.data(), nld, k, n_,
+      kx_.axpby_cols(sc0.data(), R.data(), nld, sc1.data(), P.data(), nld, k, n_,
                        act.data());
     }
 
     m_apply(P, PH);
     a_apply(PH, V);
-    blas::dot_cols(RH.data(), nld, V.data(), nld, k, n_, red.data(), act.data());
+    kx_.dot_cols(RH.data(), nld, V.data(), nld, k, n_, red.data(), act.data());
     for (int c = 0; c < k; ++c) {
       if (!act[c]) continue;
       const S rhat_v = red[c];
@@ -597,15 +597,15 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
       alpha[c] = rho[c] / rhat_v;
       sc0[c] = -alpha[c];
       // s_c = r_c − alpha_c v_c
-      blas::copy(ccol(R, c), col(Sv, c));
+      kx_.copy(ccol(R, c), col(Sv, c));
     }
-    blas::axpy_cols(sc0.data(), V.data(), nld, Sv.data(), nld, k, n_, act.data());
-    blas::nrm2_cols(Sv.data(), nld, k, n_, red.data(), act.data());
+    kx_.axpy_cols(sc0.data(), V.data(), nld, Sv.data(), nld, k, n_, act.data());
+    kx_.nrm2_cols(Sv.data(), nld, k, n_, red.data(), act.data());
     for (int c = 0; c < k; ++c) {
       if (!act[c]) continue;
       const double snorm = static_cast<double>(red[c]);
       if (snorm <= target[c]) {
-        blas::axpy(alpha[c], ccol(PH, c), xcol(c));
+        kx_.axpy(alpha[c], ccol(PH, c), xcol(c));
         if (cfg_.record_history) res[c].history.push_back(snorm / bref[c]);
         res[c].mark_converged();
         act[c] = 0;
@@ -616,8 +616,8 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
 
     m_apply(Sv, SH);
     a_apply(SH, T);
-    blas::dot_cols(T.data(), nld, T.data(), nld, k, n_, red.data(), act.data());
-    blas::dot_cols(T.data(), nld, Sv.data(), nld, k, n_, red2.data(), act.data());
+    kx_.dot_cols(T.data(), nld, T.data(), nld, k, n_, red.data(), act.data());
+    kx_.dot_cols(T.data(), nld, Sv.data(), nld, k, n_, red2.data(), act.data());
     for (int c = 0; c < k; ++c) {
       if (!act[c]) continue;
       const S tt = red[c];
@@ -637,12 +637,12 @@ void BiCgStabSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* 
     }
     // x_c += alpha_c phat_c + omega_c shat_c (two chained updates, as in
     // solve()); then r_c = s_c − omega_c t_c.
-    blas::axpy_cols(alpha.data(), PH.data(), nld, x, ldx, k, n_, act.data());
-    blas::axpy_cols(omega.data(), SH.data(), nld, x, ldx, k, n_, act.data());
+    kx_.axpy_cols(alpha.data(), PH.data(), nld, x, ldx, k, n_, act.data());
+    kx_.axpy_cols(omega.data(), SH.data(), nld, x, ldx, k, n_, act.data());
     for (int c = 0; c < k; ++c)
-      if (act[c]) blas::copy(ccol(Sv, c), col(R, c));
-    blas::axpy_cols(sc0.data(), T.data(), nld, R.data(), nld, k, n_, act.data());
-    blas::nrm2_cols(R.data(), nld, k, n_, red.data(), act.data());
+      if (act[c]) kx_.copy(ccol(Sv, c), col(R, c));
+    kx_.axpy_cols(sc0.data(), T.data(), nld, R.data(), nld, k, n_, act.data());
+    kx_.nrm2_cols(R.data(), nld, k, n_, red.data(), act.data());
     for (int c = 0; c < k; ++c) {
       if (!act[c]) continue;
       const double rnorm = static_cast<double>(red[c]);

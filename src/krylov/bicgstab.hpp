@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/kernels.hpp"
 #include "base/panel.hpp"
 #include "base/workspace.hpp"
 #include "krylov/history.hpp"
@@ -77,6 +78,7 @@ class BiCgStabSolver {
     m_ = &m;
     n_ = static_cast<std::size_t>(a.size());
     SolverWorkspace& w = wsref();
+    kx_ = kern::Kernels(w.backend());
     r_ = w.get<VT>(key_ + ".r", n_);
     rhat_ = w.get<VT>(key_ + ".rhat", n_);
     p_ = w.get<VT>(key_ + ".p", n_);
@@ -111,6 +113,7 @@ class BiCgStabSolver {
   SolverWorkspace* ws_ = nullptr;
   SolverWorkspace own_;
   std::string key_;
+  kern::Kernels kx_;
   std::span<VT> r_, rhat_, p_, v_, s_, t_, phat_, shat_;
 };
 

@@ -13,11 +13,11 @@ SolveResult CgSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
   const auto n = b.size();
   std::span<VT> r(r_), z(z_), p(p_), q(q_);
 
-  const double bnorm = static_cast<double>(blas::nrm2(b));
+  const double bnorm = static_cast<double>(kx_.nrm2(b));
   const double target = cfg_.rtol * (bnorm > 0.0 ? bnorm : 1.0);
 
   a_->residual(b, std::span<const VT>(x.data(), n), r);
-  double rnorm = static_cast<double>(blas::nrm2(std::span<const VT>(r_)));
+  double rnorm = static_cast<double>(kx_.nrm2(std::span<const VT>(r_)));
   if (cfg_.record_history) res.history.push_back(rnorm / (bnorm > 0.0 ? bnorm : 1.0));
   if (!std::isfinite(bnorm) || !std::isfinite(rnorm)) {
     res.fail(SolveStatus::kNonFinite, "rnorm");
@@ -32,12 +32,12 @@ SolveResult CgSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
   int stall = 0;
 
   m_->apply(std::span<const VT>(r_), z);
-  blas::copy(std::span<const VT>(z_), p);
-  auto rz = blas::dot(std::span<const VT>(r_), std::span<const VT>(z_));
+  kx_.copy(std::span<const VT>(z_), p);
+  auto rz = kx_.dot(std::span<const VT>(r_), std::span<const VT>(z_));
 
   for (int it = 1; it <= cfg_.max_iters; ++it) {
     a_->apply(std::span<const VT>(p_), q);
-    const auto pq = blas::dot(std::span<const VT>(p_), std::span<const VT>(q_));
+    const auto pq = kx_.dot(std::span<const VT>(p_), std::span<const VT>(q_));
     if (!(std::abs(static_cast<double>(pq)) > 0.0) ||
         !std::isfinite(static_cast<double>(pq))) {
       res.iterations = it;
@@ -47,10 +47,10 @@ SolveResult CgSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
       return res;  // breakdown (matrix not SPD w.r.t. p)
     }
     const auto alpha = rz / pq;
-    blas::axpy(alpha, std::span<const VT>(p_), x);
-    blas::axpy(-alpha, std::span<const VT>(q_), r);
+    kx_.axpy(alpha, std::span<const VT>(p_), x);
+    kx_.axpy(-alpha, std::span<const VT>(q_), r);
 
-    rnorm = static_cast<double>(blas::nrm2(std::span<const VT>(r_)));
+    rnorm = static_cast<double>(kx_.nrm2(std::span<const VT>(r_)));
     if (cfg_.record_history) res.history.push_back(rnorm / (bnorm > 0.0 ? bnorm : 1.0));
     res.iterations = it;
     if (!std::isfinite(rnorm)) {
@@ -72,10 +72,10 @@ SolveResult CgSolver<VT>::solve(std::span<const VT> b, std::span<VT> x) {
     }
 
     m_->apply(std::span<const VT>(r_), z);
-    const auto rz_new = blas::dot(std::span<const VT>(r_), std::span<const VT>(z_));
+    const auto rz_new = kx_.dot(std::span<const VT>(r_), std::span<const VT>(z_));
     const auto beta = rz_new / rz;
     rz = rz_new;
-    blas::axpby(static_cast<decltype(rz)>(1), std::span<const VT>(z_),
+    kx_.axpby(static_cast<decltype(rz)>(1), std::span<const VT>(z_),
                 static_cast<decltype(rz)>(beta), p);
   }
   return res;
@@ -164,7 +164,7 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
   auto init_slot = [&](int j, int c) -> bool {
     map[j] = c;
     itc[j] = 0;
-    blas::nrm2_cols(b + static_cast<std::ptrdiff_t>(c) * ldb, ldb, 1, n_, &red[j]);
+    kx_.nrm2_cols(b + static_cast<std::ptrdiff_t>(c) * ldb, ldb, 1, n_, &red[j]);
     const double bnorm = static_cast<double>(red[j]);
     if (!std::isfinite(bnorm)) {
       // Poisoned RHS: retire the column before it ever occupies a slot —
@@ -182,7 +182,7 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
     a_->residual(std::span<const VT>(b + static_cast<std::ptrdiff_t>(c) * ldb, n_),
                  std::span<const VT>(x + static_cast<std::ptrdiff_t>(c) * ldx, n_),
                  std::span<VT>(r0, n_));
-    blas::nrm2_cols(r0, nld, 1, n_, &red[j]);
+    kx_.nrm2_cols(r0, nld, 1, n_, &red[j]);
     const double rnorm = static_cast<double>(red[j]);
     if (cfg_.record_history) res[c].history.push_back(rnorm / bref[j]);
     if (!std::isfinite(rnorm)) {
@@ -199,7 +199,7 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
     if (ilv) {
       VT* z0 = scr.data() + n_;
       m_->apply(std::span<const VT>(r0, n_), std::span<VT>(z0, n_));
-      blas::dot_cols(r0, nld, z0, nld, 1, n_, &rz[j]);
+      kx_.dot_cols(r0, nld, z0, nld, 1, n_, &rz[j]);
       // Scatter r into R_j and z into P_j (Z is pass-local: rewritten by
       // the trailing preconditioner sweep before any read, so it needs no
       // initialization here).
@@ -207,8 +207,8 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
       panel_copy_col(z0, nld, PanelLayout::kRowMajor, 0, P.data(), pld, lay, j, nn);
     } else {
       m_->apply(ccol(R, j), col(Z, j));
-      blas::copy(ccol(Z, j), col(P, j));
-      blas::dot_cols(cptr(R, j), nld, cptr(Z, j), nld, 1, n_, &rz[j]);
+      kx_.copy(ccol(Z, j), col(P, j));
+      kx_.dot_cols(cptr(R, j), nld, cptr(Z, j), nld, 1, n_, &rz[j]);
     }
     return true;
   };
@@ -227,9 +227,9 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
       panel_copy_col(P.data(), pld, lay, src, P.data(), pld, lay, dst, nld);
       panel_copy_col(Q.data(), pld, lay, src, Q.data(), pld, lay, dst, nld);
     } else {
-      blas::copy(ccol(R, src), col(R, dst));
-      blas::copy(ccol(P, src), col(P, dst));
-      blas::copy(ccol(Q, src), col(Q, dst));
+      kx_.copy(ccol(R, src), col(R, dst));
+      kx_.copy(ccol(P, src), col(P, dst));
+      kx_.copy(ccol(Q, src), col(Q, dst));
     }
     rz[dst] = rz[src];
     red[dst] = red[src];
@@ -256,7 +256,7 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
     if (na == 0) break;
 
     a_->apply_many_layout(P.data(), pld, Q.data(), pld, na, lay, lay);
-    blas::dot_cols(P.data(), pld, Q.data(), pld, na, n_, red.data(), nullptr, lay, lay);
+    kx_.dot_cols(P.data(), pld, Q.data(), pld, na, n_, red.data(), nullptr, lay, lay);
     for (int j = 0; j < na;) {
       const int it = ++itc[j];
       const S pq = red[j];
@@ -278,17 +278,17 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
 
     // x_{map[j]} += α_j p_j (scattered through the index map into caller
     // columns); r_j −= α_j q_j.
-    blas::axpy_cols(alpha.data(), P.data(), pld, x, ldx, na, n_, nullptr, map.data(), lay,
+    kx_.axpy_cols(alpha.data(), P.data(), pld, x, ldx, na, n_, nullptr, map.data(), lay,
                     PanelLayout::kRowMajor);
-    blas::axpy_cols(nalpha.data(), Q.data(), pld, R.data(), pld, na, n_, nullptr, nullptr,
+    kx_.axpy_cols(nalpha.data(), Q.data(), pld, R.data(), pld, na, n_, nullptr, nullptr,
                     lay, lay);
-    blas::nrm2_cols(R.data(), pld, na, n_, red.data(), nullptr, lay);
+    kx_.nrm2_cols(R.data(), pld, na, n_, red.data(), nullptr, lay);
     // Belt-and-braces panel guard (benched; see Config::guard_panels).  The
     // rnorm check below already retires every poisoned column — a NaN/Inf
     // anywhere in r makes its norm non-finite — so the scan only sharpens
     // the failure site attribution; its cost is what the bench gate pins.
     const int badc = cfg_.guard_panels
-                         ? blas::first_nonfinite_col(R.data(), pld, na, n_, lay)
+                         ? kx_.first_nonfinite_col(R.data(), pld, na, n_, lay)
                          : -1;
     for (int j = 0; j < na;) {
       const int c = map[j];
@@ -322,13 +322,13 @@ void CgSolver<VT>::solve_many_compact(const VT* b, std::ptrdiff_t ldb, VT* x,
     // The trailing preconditioner apply and direction update run even on a
     // column's final iteration, exactly as solve()'s loop body does.
     m_->apply_many_layout(R.data(), pld, Z.data(), pld, na, lay);
-    blas::dot_cols(R.data(), pld, Z.data(), pld, na, n_, red.data(), nullptr, lay, lay);
+    kx_.dot_cols(R.data(), pld, Z.data(), pld, na, n_, red.data(), nullptr, lay, lay);
     for (int j = 0; j < na; ++j) {
       beta[j] = red[j] / rz[j];
       rz[j] = red[j];
     }
     // p_j = z_j + β_j p_j.
-    blas::axpby_cols(ones.data(), Z.data(), pld, beta.data(), P.data(), pld, na, n_,
+    kx_.axpby_cols(ones.data(), Z.data(), pld, beta.data(), P.data(), pld, na, n_,
                      nullptr, lay, lay);
   }
 }
@@ -377,8 +377,8 @@ void CgSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* x,
   // see blas_block.hpp.
   int nactive = 0;
   a_->residual_many(b, ldb, x, ldx, R.data(), nld, k);
-  blas::nrm2_cols(b, ldb, k, n_, beta.data());  // ‖b_c‖ (beta reused as scratch)
-  blas::nrm2_cols(R.data(), nld, k, n_, red.data());
+  kx_.nrm2_cols(b, ldb, k, n_, beta.data());  // ‖b_c‖ (beta reused as scratch)
+  kx_.nrm2_cols(R.data(), nld, k, n_, red.data());
   for (int c = 0; c < k; ++c) {
     ones[c] = S{1};
     const double bnorm = static_cast<double>(beta[c]);
@@ -414,8 +414,8 @@ void CgSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* x,
 
   precondition();
   for (int c = 0; c < k; ++c)
-    if (act[c]) blas::copy(ccol(Z, c), col(P, c));
-  blas::dot_cols(R.data(), nld, Z.data(), nld, k, n_, rz.data(), act.data());
+    if (act[c]) kx_.copy(ccol(Z, c), col(P, c));
+  kx_.dot_cols(R.data(), nld, Z.data(), nld, k, n_, rz.data(), act.data());
 
   for (int it = 1; it <= cfg_.max_iters && nactive > 0; ++it) {
     if (nactive == k) {
@@ -424,7 +424,7 @@ void CgSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* x,
       for (int c = 0; c < k; ++c)
         if (act[c]) a_->apply(ccol(P, c), col(Q, c));
     }
-    blas::dot_cols(P.data(), nld, Q.data(), nld, k, n_, red.data(), act.data());
+    kx_.dot_cols(P.data(), nld, Q.data(), nld, k, n_, red.data(), act.data());
     for (int c = 0; c < k; ++c) {
       if (!act[c]) continue;
       const S pq = red[c];
@@ -442,9 +442,9 @@ void CgSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* x,
       nalpha[c] = -alpha[c];
     }
     // x_c += α_c p_c, r_c −= α_c q_c (frozen columns masked out).
-    blas::axpy_cols(alpha.data(), P.data(), nld, x, ldx, k, n_, act.data());
-    blas::axpy_cols(nalpha.data(), Q.data(), nld, R.data(), nld, k, n_, act.data());
-    blas::nrm2_cols(R.data(), nld, k, n_, red.data(), act.data());
+    kx_.axpy_cols(alpha.data(), P.data(), nld, x, ldx, k, n_, act.data());
+    kx_.axpy_cols(nalpha.data(), Q.data(), nld, R.data(), nld, k, n_, act.data());
+    kx_.nrm2_cols(R.data(), nld, k, n_, red.data(), act.data());
     for (int c = 0; c < k; ++c) {
       if (!act[c]) continue;
       const double rnorm = static_cast<double>(red[c]);
@@ -480,14 +480,14 @@ void CgSolver<VT>::solve_many_masked(const VT* b, std::ptrdiff_t ldb, VT* x,
     // invocation counts (and any stateful M) in step with k sequential
     // solves.
     precondition();
-    blas::dot_cols(R.data(), nld, Z.data(), nld, k, n_, red.data(), act.data());
+    kx_.dot_cols(R.data(), nld, Z.data(), nld, k, n_, red.data(), act.data());
     for (int c = 0; c < k; ++c) {
       if (!act[c]) continue;
       beta[c] = red[c] / rz[c];
       rz[c] = red[c];
     }
     // p_c = z_c + β_c p_c.
-    blas::axpby_cols(ones.data(), Z.data(), nld, beta.data(), P.data(), nld, k, n_,
+    kx_.axpby_cols(ones.data(), Z.data(), nld, beta.data(), P.data(), nld, k, n_,
                      act.data());
   }
 }

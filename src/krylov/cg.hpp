@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/kernels.hpp"
 #include "base/panel.hpp"
 #include "base/workspace.hpp"
 #include "krylov/history.hpp"
@@ -98,12 +99,15 @@ class CgSolver {
   CgSolver(const CgSolver&) = delete;
   CgSolver& operator=(const CgSolver&) = delete;
 
-  /// Bind a system; acquires (or reuses) the workspace vectors.
+  /// Bind a system; acquires (or reuses) the workspace vectors.  The
+  /// kernel dispatch table is rebound here too: solvers run on whatever
+  /// backend the workspace was built for.
   void setup(Operator<VT>& a, Preconditioner<VT>& m) {
     a_ = &a;
     m_ = &m;
     n_ = static_cast<std::size_t>(a.size());
     SolverWorkspace& w = wsref();
+    kx_ = kern::Kernels(w.backend());
     r_ = w.get<VT>(key_ + ".r", n_);
     z_ = w.get<VT>(key_ + ".z", n_);
     p_ = w.get<VT>(key_ + ".p", n_);
@@ -140,6 +144,7 @@ class CgSolver {
   SolverWorkspace* ws_ = nullptr;
   SolverWorkspace own_;
   std::string key_;
+  kern::Kernels kx_;
   std::span<VT> r_, z_, p_, q_;
 };
 

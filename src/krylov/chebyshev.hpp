@@ -14,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "backend/kernels.hpp"
+#include "base/backend.hpp"
 #include "base/blas1.hpp"
 #include "krylov/operator.hpp"
 #include "precond/preconditioner.hpp"
@@ -24,20 +26,22 @@ namespace nk {
 /// recommended; the estimate only steers the Chebyshev ellipse).
 template <class VT>
 double estimate_lambda_max(Operator<VT>& a, Preconditioner<VT>& m, int iters,
-                           std::uint64_t seed = 1234) {
+                           std::uint64_t seed = 1234,
+                           Backend be = Backend::kHost) {
+  const kern::Kernels kx(be);
   const std::size_t n = static_cast<std::size_t>(a.size());
   std::vector<VT> v(n), av(n), mav(n);
   for (std::size_t i = 0; i < n; ++i)
     v[i] = static_cast<VT>(0.5 + 0.5 * std::sin(static_cast<double>(i + seed)));
   double lambda = 1.0;
   for (int k = 0; k < iters; ++k) {
-    const auto nv = blas::nrm2(std::span<const VT>(v));
+    const auto nv = kx.nrm2(std::span<const VT>(v));
     if (!(static_cast<double>(nv) > 0.0)) break;
-    blas::scal(decltype(nv){1} / nv, std::span<VT>(v));
+    kx.scal(decltype(nv){1} / nv, std::span<VT>(v));
     a.apply(std::span<const VT>(v), std::span<VT>(av));
     m.apply(std::span<const VT>(av), std::span<VT>(mav));
     lambda = static_cast<double>(
-        blas::dot(std::span<const VT>(v), std::span<const VT>(mav)));
+        kx.dot(std::span<const VT>(v), std::span<const VT>(mav)));
     std::swap(v, mav);
   }
   return std::abs(lambda);
@@ -55,14 +59,16 @@ class ChebyshevSolver final : public Preconditioner<VT> {
     double safety = 1.1;        ///< λmax inflation guard
   };
 
-  ChebyshevSolver(Operator<VT>& a, Preconditioner<VT>& m, Config cfg)
+  ChebyshevSolver(Operator<VT>& a, Preconditioner<VT>& m, Config cfg,
+                  Backend be = Backend::kHost)
       : a_(&a), m_(&m), cfg_(cfg) {
+    this->set_backend(be);
     const std::size_t n = static_cast<std::size_t>(a.size());
     r_.resize(n);
     z_.resize(n);
     p_.resize(n);
     double lmax = cfg_.lambda_max;
-    if (lmax <= 0.0) lmax = estimate_lambda_max(a, m, cfg_.power_iters);
+    if (lmax <= 0.0) lmax = estimate_lambda_max(a, m, cfg_.power_iters, 1234, be);
     lmax *= cfg_.safety;
     const double lmin = lmax / cfg_.eig_ratio;
     theta_ = 0.5 * (lmax + lmin);
@@ -74,22 +80,22 @@ class ChebyshevSolver final : public Preconditioner<VT> {
   /// preconditioning folded in).
   void apply(std::span<const VT> v, std::span<VT> x) override {
     using S = acc_t<VT>;
-    blas::set_zero(x);
-    blas::copy(v, std::span<VT>(r_));  // r = v − A·0
+    this->kern_table().set_zero(x);
+    this->kern_table().copy(v, std::span<VT>(r_));  // r = v − A·0
     const double sigma1 = theta_ / delta_;
     double rho = 1.0 / sigma1;
     // p = (1/θ) M r
     m_->apply(std::span<const VT>(r_), std::span<VT>(z_));
-    blas::copy(std::span<const VT>(z_), std::span<VT>(p_));
-    blas::scal(static_cast<S>(1.0 / theta_), std::span<VT>(p_));
+    this->kern_table().copy(std::span<const VT>(z_), std::span<VT>(p_));
+    this->kern_table().scal(static_cast<S>(1.0 / theta_), std::span<VT>(p_));
     for (int k = 0; k < cfg_.m; ++k) {
-      blas::axpy(S{1}, std::span<const VT>(p_), x);
+      this->kern_table().axpy(S{1}, std::span<const VT>(p_), x);
       if (k + 1 == cfg_.m) break;
       a_->residual(v, std::span<const VT>(x.data(), x.size()), std::span<VT>(r_));
       m_->apply(std::span<const VT>(r_), std::span<VT>(z_));
       const double rho_next = 1.0 / (2.0 * sigma1 - rho);
       // p ← ρ'ρ p + (2ρ'/δ) z
-      blas::axpby(static_cast<S>(2.0 * rho_next / delta_), std::span<const VT>(z_),
+      this->kern_table().axpby(static_cast<S>(2.0 * rho_next / delta_), std::span<const VT>(z_),
                   static_cast<S>(rho_next * rho), std::span<VT>(p_));
       rho = rho_next;
     }

@@ -121,6 +121,7 @@ class FgmresSolver final : public Preconditioner<VT> {
     n_ = static_cast<std::size_t>(a.size());
     const std::size_t mm = static_cast<std::size_t>(cfg_.m);
     SolverWorkspace& w = wsref();
+    this->set_backend(w.backend());  // kernel dispatch follows the workspace
     vbuf_ = w.get<VT>(key_ + ".V", (mm + 1) * n_);
     zbuf_ = w.get<VT>(key_ + ".Z", mm * n_);
     w_ = w.get<VT>(key_ + ".w", n_);
@@ -130,18 +131,18 @@ class FgmresSolver final : public Preconditioner<VT> {
     sn_ = w.get<S>(key_ + ".sn", mm);
     y_ = w.get<S>(key_ + ".y", mm);
     hcol_ = w.get<S>(key_ + ".hcol", mm + 1);
-    blas::set_zero(vbuf_);
-    blas::set_zero(zbuf_);
+    this->kern_table().set_zero(vbuf_);
+    this->kern_table().set_zero(zbuf_);
     std::fill(h_.begin(), h_.end(), S{0});
   }
 
   /// Inner-solver interface: z ≈ A⁻¹ v, zero initial guess, m iterations
   /// (fewer when Config::inner_rtol enables dynamic termination).
   void apply(std::span<const VT> v, std::span<VT> z) override {
-    blas::set_zero(z);
+    this->kern_table().set_zero(z);
     double target = 0.0;
     if (cfg_.inner_rtol > 0.0)
-      target = cfg_.inner_rtol * static_cast<double>(blas::nrm2(v));
+      target = cfg_.inner_rtol * static_cast<double>(this->kern_table().nrm2(v));
     run(v, z, target, /*x_nonzero=*/false);
   }
 
@@ -156,16 +157,16 @@ class FgmresSolver final : public Preconditioner<VT> {
     if (x_nonzero) {
       a_->residual(b, std::span<const VT>(x.data(), n), vcol(0));
     } else {
-      blas::copy(b, vcol(0));
+      this->kern_table().copy(b, vcol(0));
     }
-    const S beta = blas::nrm2(std::span<const VT>(vcol(0)));
+    const S beta = this->kern_table().nrm2(std::span<const VT>(vcol(0)));
     if (!(static_cast<double>(beta) > 0.0) || !std::isfinite(static_cast<double>(beta))) {
       stats.residual_est = static_cast<double>(beta);
       stats.non_finite = !std::isfinite(static_cast<double>(beta));
       stats.reached_target = static_cast<double>(beta) <= abs_target;
       return stats;
     }
-    blas::scal(S{1} / beta, vcol(0));
+    this->kern_table().scal(S{1} / beta, vcol(0));
     std::fill(g_.begin(), g_.end(), S{0});
     g_[0] = beta;
 
@@ -179,11 +180,11 @@ class FgmresSolver final : public Preconditioner<VT> {
       // Classical Gram-Schmidt: all projections against the ORIGINAL w,
       // fused — one sweep over the contiguous basis block for the j+1
       // dots, one read-modify-write of w for the j+1 corrections.
-      blas::dot_many(vbuf_.data(), static_cast<std::ptrdiff_t>(n_), j + 1,
+      this->kern_table().dot_many(vbuf_.data(), static_cast<std::ptrdiff_t>(n_), j + 1,
                      std::span<const VT>(w_.data(), n_), hcol_.data());
-      blas::axpy_many(vbuf_.data(), static_cast<std::ptrdiff_t>(n_), j + 1, hcol_.data(),
+      this->kern_table().axpy_many(vbuf_.data(), static_cast<std::ptrdiff_t>(n_), j + 1, hcol_.data(),
                       std::span<VT>(w_.data(), n_), /*subtract=*/true);
-      S hj1 = blas::nrm2(std::span<const VT>(w_.data(), n_));
+      S hj1 = this->kern_table().nrm2(std::span<const VT>(w_.data(), n_));
 
       const double res = givens_update(hcol_.data(), g_.data(), cs_.data(), sn_.data(),
                                        h_.data(), j, hj1);
@@ -201,7 +202,7 @@ class FgmresSolver final : public Preconditioner<VT> {
       // Normalize the next basis vector: v_{j+1} = w/h in a single write
       // (w is scratch and is rebuilt by the next A·z, so it need not be
       // scaled in place).
-      blas::scal_copy(S{1} / hj1, std::span<const VT>(w_.data(), n_), vcol(j + 1));
+      this->kern_table().scal_copy(S{1} / hj1, std::span<const VT>(w_.data(), n_), vcol(j + 1));
     }
     stats.iters = std::min(j, m);
     stats.residual_est = std::abs(static_cast<double>(g_[std::min(j, m)]));
@@ -209,7 +210,7 @@ class FgmresSolver final : public Preconditioner<VT> {
     // Back substitution R y = g and update x += Z y.
     back_substitute(h_.data(), g_.data(), y_.data(), stats.iters);
     if (stats.iters > 0)
-      blas::axpy_many(zbuf_.data(), static_cast<std::ptrdiff_t>(n_), stats.iters, y_.data(),
+      this->kern_table().axpy_many(zbuf_.data(), static_cast<std::ptrdiff_t>(n_), stats.iters, y_.data(),
                       std::span<VT>(x.data(), n_));  // bound by n_, x may be oversized
     return stats;
   }
@@ -286,12 +287,12 @@ class FgmresSolver final : public Preconditioner<VT> {
       a_->residual_many(b, ldb, x, ldx, VB.data(), static_cast<std::ptrdiff_t>(vstr), k);
     } else {
       for (int c = 0; c < k; ++c)
-        blas::copy(std::span<const VT>(b + static_cast<std::ptrdiff_t>(c) * ldb, n_),
+        this->kern_table().copy(std::span<const VT>(b + static_cast<std::ptrdiff_t>(c) * ldb, n_),
                    vc(c, 0));
     }
     int nactive = 0;
     for (int c = 0; c < k; ++c) {
-      beta[c] = blas::nrm2(std::span<const VT>(vc(c, 0)));
+      beta[c] = this->kern_table().nrm2(std::span<const VT>(vc(c, 0)));
       const double bd = static_cast<double>(beta[c]);
       if (!(bd > 0.0) || !std::isfinite(bd)) {
         stats[c].residual_est = bd;
@@ -300,7 +301,7 @@ class FgmresSolver final : public Preconditioner<VT> {
         act[c] = 0;
         continue;
       }
-      blas::scal(S{1} / beta[c], vc(c, 0));
+      this->kern_table().scal(S{1} / beta[c], vc(c, 0));
       S* g = GB.data() + static_cast<std::size_t>(c) * (mm + 1);
       std::fill(g, g + mm + 1, S{0});
       g[0] = beta[c];
@@ -355,14 +356,14 @@ class FgmresSolver final : public Preconditioner<VT> {
                            static_cast<std::ptrdiff_t>(n_));
         } else {
           for (int i = 0; i < nactive; ++i)
-            blas::copy(std::span<const VT>(vc(map[i], j)),
+            this->kern_table().copy(std::span<const VT>(vc(map[i], j)),
                        std::span<VT>(VS.data() + static_cast<std::size_t>(i) * n_, n_));
           m_->apply_many(VS.data(), static_cast<std::ptrdiff_t>(n_), ZS.data(),
                          static_cast<std::ptrdiff_t>(n_), nactive);
           a_->apply_many(ZS.data(), static_cast<std::ptrdiff_t>(n_), WB.data(),
                          static_cast<std::ptrdiff_t>(n_), nactive);
           for (int i = 0; i < nactive; ++i)
-            blas::copy(std::span<const VT>(ZS.data() + static_cast<std::size_t>(i) * n_, n_),
+            this->kern_table().copy(std::span<const VT>(ZS.data() + static_cast<std::size_t>(i) * n_, n_),
                        zc(map[i], j));
         }
       } else if (nactive == k) {
@@ -395,11 +396,11 @@ class FgmresSolver final : public Preconditioner<VT> {
         S* sn = SN.data() + static_cast<std::size_t>(c) * mm;
         S* h = HB.data() + static_cast<std::size_t>(c) * (mm + 1) * mm;
         const VT* vbase = VB.data() + static_cast<std::size_t>(c) * vstr;
-        blas::dot_many(vbase, static_cast<std::ptrdiff_t>(n_), j + 1,
+        this->kern_table().dot_many(vbase, static_cast<std::ptrdiff_t>(n_), j + 1,
                        std::span<const VT>(wc(slot)), hcol);
-        blas::axpy_many(vbase, static_cast<std::ptrdiff_t>(n_), j + 1, hcol, wc(slot),
+        this->kern_table().axpy_many(vbase, static_cast<std::ptrdiff_t>(n_), j + 1, hcol, wc(slot),
                         /*subtract=*/true);
-        const S hj1 = blas::nrm2(std::span<const VT>(wc(slot)));
+        const S hj1 = this->kern_table().nrm2(std::span<const VT>(wc(slot)));
         const double res = givens_update(hcol, g, cs, sn, h, j, hj1);
         ++total_iterations_;
         const bool breakdown =
@@ -414,7 +415,7 @@ class FgmresSolver final : public Preconditioner<VT> {
           if (!cfg_.compact) --nactive;
           continue;
         }
-        blas::scal_copy(S{1} / hj1, std::span<const VT>(wc(slot)), vc(c, j + 1));
+        this->kern_table().scal_copy(S{1} / hj1, std::span<const VT>(wc(slot)), vc(c, j + 1));
         if (cfg_.compact) map[nkeep++] = c;  // stable survivor compaction
       }
       if (cfg_.compact) nactive = nkeep;
@@ -428,7 +429,7 @@ class FgmresSolver final : public Preconditioner<VT> {
       S* h = HB.data() + static_cast<std::size_t>(c) * (mm + 1) * mm;
       S* y = YB.data() + static_cast<std::size_t>(c) * mm;
       back_substitute(h, g, y, kc);
-      blas::axpy_many(ZB.data() + static_cast<std::size_t>(c) * zstr,
+      this->kern_table().axpy_many(ZB.data() + static_cast<std::size_t>(c) * zstr,
                       static_cast<std::ptrdiff_t>(n_), kc, y,
                       std::span<VT>(x + static_cast<std::ptrdiff_t>(c) * ldx, n_));
     }

@@ -11,11 +11,11 @@
 #include <span>
 #include <vector>
 
+#include "backend/kernels.hpp"
+#include "base/backend.hpp"
 #include "base/half.hpp"
 #include "base/panel.hpp"
 #include "sparse/sell.hpp"
-#include "sparse/spmm.hpp"
-#include "sparse/spmv.hpp"
 
 namespace nk {
 
@@ -95,33 +95,36 @@ class Operator {
 };
 
 /// CSR-backed operator; MT is the storage precision of the matrix values.
+/// The backend chooses which kernel implementation performs the products —
+/// the operator itself never names one.
 template <class MT, class VT>
 class CsrOperator final : public Operator<VT> {
  public:
-  explicit CsrOperator(const CsrMatrix<MT>& a) : a_(&a) {}
+  explicit CsrOperator(const CsrMatrix<MT>& a, Backend be = Backend::kHost)
+      : a_(&a), kx_(be) {}
 
   void apply(std::span<const VT> x, std::span<VT> y) override {
     ++this->count_;
-    spmv(*a_, x, y);
+    kx_.spmv(*a_, x, y);
   }
   void residual(std::span<const VT> b, std::span<const VT> x, std::span<VT> r) override {
     ++this->count_;
-    nk::residual(*a_, x, b, r);
+    kx_.residual(*a_, x, b, r);
   }
   void apply_many(const VT* x, std::ptrdiff_t ldx, VT* y, std::ptrdiff_t ldy,
                   int k) override {
     this->count_ += static_cast<std::uint64_t>(k);  // k column-SpMVs, one A sweep
-    spmm(*a_, x, ldx, y, ldy, k);
+    kx_.spmm(*a_, x, ldx, y, ldy, k);
   }
   void residual_many(const VT* b, std::ptrdiff_t ldb, const VT* x, std::ptrdiff_t ldx,
                      VT* r, std::ptrdiff_t ldr, int k) override {
     this->count_ += static_cast<std::uint64_t>(k);
-    nk::residual_many(*a_, x, ldx, b, ldb, r, ldr, k);
+    kx_.residual_many(*a_, x, ldx, b, ldb, r, ldr, k);
   }
   void apply_many_layout(const VT* x, std::ptrdiff_t ldx, VT* y, std::ptrdiff_t ldy,
                          int k, PanelLayout lx, PanelLayout ly) override {
     this->count_ += static_cast<std::uint64_t>(k);
-    spmm(*a_, x, ldx, y, ldy, k, lx, ly);  // native: no transpose staging
+    kx_.spmm(*a_, x, ldx, y, ldy, k, lx, ly);  // native: no transpose staging
   }
   [[nodiscard]] index_t size() const override { return a_->nrows; }
 
@@ -129,36 +132,39 @@ class CsrOperator final : public Operator<VT> {
 
  private:
   const CsrMatrix<MT>* a_;
+  kern::Kernels kx_;
 };
 
 /// Sliced-ELLPACK-backed operator (the paper's GPU storage format).
 template <class MT, class VT>
 class SellOperator final : public Operator<VT> {
  public:
-  explicit SellOperator(const SellMatrix<MT>& a) : a_(&a) {}
+  explicit SellOperator(const SellMatrix<MT>& a, Backend be = Backend::kHost)
+      : a_(&a), kx_(be) {}
 
   void apply(std::span<const VT> x, std::span<VT> y) override {
     ++this->count_;
-    spmv(*a_, x, y);
+    kx_.spmv(*a_, x, y);
   }
   void residual(std::span<const VT> b, std::span<const VT> x, std::span<VT> r) override {
     ++this->count_;
-    nk::residual(*a_, x, b, r);
+    kx_.residual(*a_, x, b, r);
   }
   void apply_many(const VT* x, std::ptrdiff_t ldx, VT* y, std::ptrdiff_t ldy,
                   int k) override {
     this->count_ += static_cast<std::uint64_t>(k);
-    spmm(*a_, x, ldx, y, ldy, k);
+    kx_.spmm(*a_, x, ldx, y, ldy, k);
   }
   void residual_many(const VT* b, std::ptrdiff_t ldb, const VT* x, std::ptrdiff_t ldx,
                      VT* r, std::ptrdiff_t ldr, int k) override {
     this->count_ += static_cast<std::uint64_t>(k);
-    nk::residual_many(*a_, x, ldx, b, ldb, r, ldr, k);
+    kx_.residual_many(*a_, x, ldx, b, ldb, r, ldr, k);
   }
   [[nodiscard]] index_t size() const override { return a_->nrows; }
 
  private:
   const SellMatrix<MT>* a_;
+  kern::Kernels kx_;
 };
 
 }  // namespace nk

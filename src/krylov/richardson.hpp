@@ -85,6 +85,7 @@ class RichardsonSolver final : public Preconditioner<VT> {
     a32_ = a32;
     const std::size_t n = static_cast<std::size_t>(a.size());
     SolverWorkspace& w = wsref();
+    this->set_backend(w.backend());  // kernel dispatch follows the workspace
     r_ = w.get<VT>(key_ + ".r", n);
     mr_ = w.get<VT>(key_ + ".mr", n);
     amr_ = {};
@@ -99,7 +100,7 @@ class RichardsonSolver final : public Preconditioner<VT> {
   void apply(std::span<const VT> v, std::span<VT> z) override {
     ++cntr_;
     const bool update = cfg_.adaptive && (cntr_ % static_cast<std::uint64_t>(cfg_.cycle) == 0);
-    blas::set_zero(z);
+    this->kern_table().set_zero(z);
     for (int k = 0; k < cfg_.m; ++k) {
       // r_{k-1} = v − A z_{k-1};  r_0 = v without computation.
       std::span<const VT> r;
@@ -124,7 +125,7 @@ class RichardsonSolver final : public Preconditioner<VT> {
       } else {
         w = cfg_.adaptive ? weights_[k] : cfg_.fixed_weight;
       }
-      blas::axpy(w, std::span<const VT>(mr_.data(), mr_.size()), z);  // z += w · Mr
+      this->kern_table().axpy(w, std::span<const VT>(mr_.data(), mr_.size()), z);  // z += w · Mr
     }
   }
 
@@ -150,21 +151,21 @@ class RichardsonSolver final : public Preconditioner<VT> {
     if (a32_ != nullptr) {
       // fp32 path: convert r and Mr, run the fp32-vector SpMV (fp16 matrix,
       // fp32 accumulate), reduce in fp32.
-      blas::convert(r, std::span<float>(rf_.data(), rf_.size()));
-      blas::convert(std::span<const VT>(mr_.data(), mr_.size()),
+      this->kern_table().convert(r, std::span<float>(rf_.data(), rf_.size()));
+      this->kern_table().convert(std::span<const VT>(mr_.data(), mr_.size()),
                     std::span<float>(mrf_.data(), mrf_.size()));
       a32_->apply(std::span<const float>(mrf_.data(), mrf_.size()),
                   std::span<float>(amrf_.data(), amrf_.size()));
-      const float num = blas::dot(std::span<const float>(rf_.data(), rf_.size()),
+      const float num = this->kern_table().dot(std::span<const float>(rf_.data(), rf_.size()),
                                   std::span<const float>(amrf_.data(), amrf_.size()));
-      const float den = blas::dot(std::span<const float>(amrf_.data(), amrf_.size()),
+      const float den = this->kern_table().dot(std::span<const float>(amrf_.data(), amrf_.size()),
                                   std::span<const float>(amrf_.data(), amrf_.size()));
       return den > 0.0f ? num / den : 1.0f;
     }
     // Native path (VT is fp32 or fp64): amr uses a lazily-acquired buffer.
     a_->apply(std::span<const VT>(mr_.data(), mr_.size()), amr_native_workspace());
-    const auto num = blas::dot(r, std::span<const VT>(amr_.data(), amr_.size()));
-    const auto den = blas::dot(std::span<const VT>(amr_.data(), amr_.size()),
+    const auto num = this->kern_table().dot(r, std::span<const VT>(amr_.data(), amr_.size()));
+    const auto den = this->kern_table().dot(std::span<const VT>(amr_.data(), amr_.size()),
                                std::span<const VT>(amr_.data(), amr_.size()));
     return den > 0 ? static_cast<float>(num / den) : 1.0f;
   }

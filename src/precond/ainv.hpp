@@ -21,9 +21,10 @@
 #include <memory>
 #include <vector>
 
+#include "backend/kernels.hpp"
+#include "base/backend.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/csr.hpp"
-#include "sparse/spmv.hpp"
 
 namespace nk {
 
@@ -52,15 +53,20 @@ AinvFactors<Dst> cast_factors(const AinvFactors<Src>& f) {
 
 /// z = Z D⁻¹ Wᵀ r — two SpMVs + diagonal, all parallel.  `tmp` must have
 /// size n and serves as the intermediate in the apply's working precision.
+/// SpMVs dispatch per backend; the diagonal scaling is element-local and
+/// runs the identical loop with the OpenMP team suppressed when serial.
 template <class P, class VT, class W = promote_t<P, VT>>
 void ainv_apply(const AinvFactors<P>& f, std::span<const VT> r, std::span<VT> z,
-                std::span<VT> tmp) {
-  spmv(f.wt, r, tmp);  // tmp = Wᵀ r
+                std::span<VT> tmp, Backend be = Backend::kHost) {
+  const kern::Kernels kx(be);
+  kx.spmv(f.wt, r, tmp);  // tmp = Wᵀ r
   const std::ptrdiff_t n = f.n;
-#pragma omp parallel for schedule(static)
+  const bool par = be == Backend::kHost;
+  (void)par;  // referenced only from the pragma; unused without OpenMP
+#pragma omp parallel for schedule(static) if (par)
   for (std::ptrdiff_t i = 0; i < n; ++i)
     tmp[i] = static_cast<VT>(static_cast<W>(tmp[i]) * static_cast<W>(f.inv_d[i]));
-  spmv(f.z, std::span<const VT>(tmp.data(), tmp.size()), z);  // z = Z tmp
+  kx.spmv(f.z, std::span<const VT>(tmp.data(), tmp.size()), z);  // z = Z tmp
 }
 
 class SdAinv final : public PrimaryPrecond {
@@ -106,7 +112,7 @@ class AinvApplyHandle final : public Preconditioner<VT> {
 
   void apply(std::span<const VT> r, std::span<VT> z) override {
     ++cnt_->count;
-    ainv_apply(*f_, r, z, std::span<VT>(tmp_));
+    ainv_apply(*f_, r, z, std::span<VT>(tmp_), this->backend());
   }
   [[nodiscard]] index_t size() const override { return f_->n; }
 

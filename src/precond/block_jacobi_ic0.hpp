@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/backend.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/csr.hpp"
 
@@ -49,11 +50,16 @@ IcFactors<Dst> cast_factors(const IcFactors<Src>& f) {
   return out;
 }
 
-/// z = L^{-T} L^{-1} r, block-parallel, computed in W.
+/// z = L^{-T} L^{-1} r, block-parallel, computed in W.  Per-block
+/// substitution is thread-invariant, so the serial backend is the same
+/// sweep with the OpenMP team suppressed — bit-identical by construction.
 template <class P, class VT, class W = promote_t<P, VT>>
-void ic_solve(const IcFactors<P>& f, std::span<const VT> r, std::span<VT> z) {
+void ic_solve(const IcFactors<P>& f, std::span<const VT> r, std::span<VT> z,
+              Backend be = Backend::kHost) {
   const index_t nb = f.nblocks();
-#pragma omp parallel for schedule(static)
+  const bool par = be == Backend::kHost;
+  (void)par;  // referenced only from the pragma; unused without OpenMP
+#pragma omp parallel for schedule(static) if (par)
   for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nb); ++b) {
     const index_t b0 = f.block_start[b], b1 = f.block_start[b + 1];
     // Forward: L y = r (diagonal is the last entry of each L row).
@@ -114,7 +120,7 @@ class IcApplyHandle final : public Preconditioner<VT> {
 
   void apply(std::span<const VT> r, std::span<VT> z) override {
     ++cnt_->count;
-    ic_solve(*f_, r, z);
+    ic_solve(*f_, r, z, this->backend());
   }
   [[nodiscard]] index_t size() const override { return f_->n; }
 

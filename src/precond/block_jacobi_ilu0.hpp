@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/backend.hpp"
 #include "base/panel.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/csr.hpp"
@@ -60,10 +61,19 @@ IluFactors<Dst> cast_factors(const IluFactors<Src>& f) {
 }
 
 /// Block-parallel LU substitution:  z = U⁻¹ L⁻¹ r, computed in W.
+///
+/// Backend dispatch happens HERE, not in a separate kernel copy: the
+/// per-block substitution is thread-invariant (blocks are independent and
+/// each block's recurrence is a fixed serial chain), so the serial backend
+/// is the same math with the OpenMP team suppressed via the `if` clause —
+/// bit-identical to the host sweep by construction.
 template <class P, class VT, class W = promote_t<P, VT>>
-void ilu_solve(const IluFactors<P>& f, std::span<const VT> r, std::span<VT> z) {
+void ilu_solve(const IluFactors<P>& f, std::span<const VT> r, std::span<VT> z,
+               Backend be = Backend::kHost) {
   const index_t nb = f.nblocks();
-#pragma omp parallel for schedule(static)
+  const bool par = be == Backend::kHost;
+  (void)par;  // referenced only from the pragma; unused without OpenMP
+#pragma omp parallel for schedule(static) if (par)
   for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nb); ++b) {
     const index_t b0 = f.block_start[b], b1 = f.block_start[b + 1];
     // Forward: L y = r (unit diagonal), y written into z.
@@ -105,11 +115,13 @@ namespace ilu_detail {
 template <class P, class VT, class W, int KC,
           PanelLayout L = PanelLayout::kRowMajor>
 void solve_group(const IluFactors<P>& f, const VT* rg, std::ptrdiff_t ldr, VT* zg,
-                 std::ptrdiff_t ldz, int kc_dyn) {
+                 std::ptrdiff_t ldz, int kc_dyn, Backend be) {
   const int kc = KC > 0 ? KC : kc_dyn;
   const index_t nb = f.nblocks();
   constexpr bool ilv = L == PanelLayout::kColMajor;
-#pragma omp parallel for schedule(static)
+  const bool par = be == Backend::kHost;
+  (void)par;
+#pragma omp parallel for schedule(static) if (par)
   for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nb); ++b) {
     const index_t b0 = f.block_start[b], b1 = f.block_start[b + 1];
     W s[kIluMaxCols];
@@ -147,7 +159,7 @@ void solve_group(const IluFactors<P>& f, const VT* rg, std::ptrdiff_t ldr, VT* z
 
 template <PanelLayout L, class P, class VT, class W>
 void solve_many_dispatch(const IluFactors<P>& f, const VT* r, std::ptrdiff_t ldr, VT* z,
-                         std::ptrdiff_t ldz, int k) {
+                         std::ptrdiff_t ldz, int k, Backend be) {
   // Greedy 16/8/4 groups (blas::greedy_group) with the 1/2/3 tails pinned
   // too, so every compacted width — odd ones included — runs fully
   // unrolled; mirrors spmm's dispatch.
@@ -156,15 +168,15 @@ void solve_many_dispatch(const IluFactors<P>& f, const VT* r, std::ptrdiff_t ldr
     const VT* rg = L == PanelLayout::kColMajor ? r + c0 : r + static_cast<std::ptrdiff_t>(c0) * ldr;
     VT* zg = L == PanelLayout::kColMajor ? z + c0 : z + static_cast<std::ptrdiff_t>(c0) * ldz;
     switch (kc) {
-      case 1: solve_group<P, VT, W, 1, L>(f, rg, ldr, zg, ldz, kc); break;
-      case 2: solve_group<P, VT, W, 2, L>(f, rg, ldr, zg, ldz, kc); break;
-      case 3: solve_group<P, VT, W, 3, L>(f, rg, ldr, zg, ldz, kc); break;
-      case 4: solve_group<P, VT, W, 4, L>(f, rg, ldr, zg, ldz, kc); break;
-      case 8: solve_group<P, VT, W, 8, L>(f, rg, ldr, zg, ldz, kc); break;
+      case 1: solve_group<P, VT, W, 1, L>(f, rg, ldr, zg, ldz, kc, be); break;
+      case 2: solve_group<P, VT, W, 2, L>(f, rg, ldr, zg, ldz, kc, be); break;
+      case 3: solve_group<P, VT, W, 3, L>(f, rg, ldr, zg, ldz, kc, be); break;
+      case 4: solve_group<P, VT, W, 4, L>(f, rg, ldr, zg, ldz, kc, be); break;
+      case 8: solve_group<P, VT, W, 8, L>(f, rg, ldr, zg, ldz, kc, be); break;
       case kIluMaxCols:
-        solve_group<P, VT, W, kIluMaxCols, L>(f, rg, ldr, zg, ldz, kc);
+        solve_group<P, VT, W, kIluMaxCols, L>(f, rg, ldr, zg, ldz, kc, be);
         break;
-      default: solve_group<P, VT, W, 0, L>(f, rg, ldr, zg, ldz, kc); break;
+      default: solve_group<P, VT, W, 0, L>(f, rg, ldr, zg, ldz, kc, be); break;
     }
     c0 += kc;
   }
@@ -175,11 +187,14 @@ void solve_many_dispatch(const IluFactors<P>& f, const VT* r, std::ptrdiff_t ldr
 template <class P, class VT, class W = promote_t<P, VT>>
 void ilu_solve_many(const IluFactors<P>& f, const VT* r, std::ptrdiff_t ldr, VT* z,
                     std::ptrdiff_t ldz, int k,
-                    PanelLayout layout = PanelLayout::kRowMajor) {
+                    PanelLayout layout = PanelLayout::kRowMajor,
+                    Backend be = Backend::kHost) {
   if (layout == PanelLayout::kColMajor)
-    ilu_detail::solve_many_dispatch<PanelLayout::kColMajor, P, VT, W>(f, r, ldr, z, ldz, k);
+    ilu_detail::solve_many_dispatch<PanelLayout::kColMajor, P, VT, W>(f, r, ldr, z, ldz,
+                                                                     k, be);
   else
-    ilu_detail::solve_many_dispatch<PanelLayout::kRowMajor, P, VT, W>(f, r, ldr, z, ldz, k);
+    ilu_detail::solve_many_dispatch<PanelLayout::kRowMajor, P, VT, W>(f, r, ldr, z, ldz,
+                                                                     k, be);
 }
 
 class BlockJacobiIlu0 final : public PrimaryPrecond {
@@ -224,17 +239,17 @@ class IluApplyHandle final : public Preconditioner<VT> {
 
   void apply(std::span<const VT> r, std::span<VT> z) override {
     ++cnt_->count;
-    ilu_solve(*f_, r, z);
+    ilu_solve(*f_, r, z, this->backend());
   }
   void apply_many(const VT* r, std::ptrdiff_t ldr, VT* z, std::ptrdiff_t ldz,
                   int k) override {
     cnt_->count += static_cast<std::uint64_t>(k);
-    ilu_solve_many(*f_, r, ldr, z, ldz, k);
+    ilu_solve_many(*f_, r, ldr, z, ldz, k, PanelLayout::kRowMajor, this->backend());
   }
   void apply_many_layout(const VT* r, std::ptrdiff_t ldr, VT* z, std::ptrdiff_t ldz,
                          int k, PanelLayout layout) override {
     cnt_->count += static_cast<std::uint64_t>(k);
-    ilu_solve_many(*f_, r, ldr, z, ldz, k, layout);  // native: no staging
+    ilu_solve_many(*f_, r, ldr, z, ldz, k, layout, this->backend());  // native: no staging
   }
   [[nodiscard]] index_t size() const override { return f_->n; }
 

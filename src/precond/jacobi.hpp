@@ -52,11 +52,16 @@ class JacobiApplyHandle final : public Preconditioner<VT> {
                     std::shared_ptr<InvocationCounter> cnt)
       : f_(std::move(f)), cnt_(std::move(cnt)) {}
 
+  // The diagonal scaling is element-local, so the serial backend is the
+  // identical loop with the OpenMP team suppressed (`if` clause) —
+  // bit-identical results on either backend.
   void apply(std::span<const VT> r, std::span<VT> z) override {
     ++cnt_->count;
     using W = promote_t<SP, VT>;
     const std::ptrdiff_t n = f_->n;
-#pragma omp parallel for schedule(static)
+    const bool par = this->backend() == Backend::kHost;
+    (void)par;  // referenced only from the pragma; unused without OpenMP
+#pragma omp parallel for schedule(static) if (par)
     for (std::ptrdiff_t i = 0; i < n; ++i)
       z[i] = static_cast<VT>(static_cast<W>(r[i]) * static_cast<W>(f_->inv_diag[i]));
   }
@@ -68,7 +73,9 @@ class JacobiApplyHandle final : public Preconditioner<VT> {
     using W = promote_t<SP, VT>;
     const std::ptrdiff_t n = f_->n;
     const SP* __restrict d = f_->inv_diag.data();
-#pragma omp parallel for schedule(static)
+    const bool par = this->backend() == Backend::kHost;
+    (void)par;
+#pragma omp parallel for schedule(static) if (par)
     for (std::ptrdiff_t i = 0; i < n; ++i) {
       const W di = static_cast<W>(d[i]);
       for (int c = 0; c < k; ++c)
@@ -88,7 +95,9 @@ class JacobiApplyHandle final : public Preconditioner<VT> {
     using W = promote_t<SP, VT>;
     const std::ptrdiff_t n = f_->n;
     const SP* __restrict d = f_->inv_diag.data();
-#pragma omp parallel for schedule(static)
+    const bool par = this->backend() == Backend::kHost;
+    (void)par;
+#pragma omp parallel for schedule(static) if (par)
     for (std::ptrdiff_t i = 0; i < n; ++i) {
       const W di = static_cast<W>(d[i]);
       for (int c = 0; c < k; ++c)

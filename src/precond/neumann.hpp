@@ -15,9 +15,10 @@
 #include <memory>
 #include <vector>
 
+#include "backend/kernels.hpp"
+#include "base/backend.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/csr.hpp"
-#include "sparse/spmv.hpp"
 
 namespace nk {
 
@@ -41,18 +42,23 @@ NeumannData<Dst> cast_factors(const NeumannData<Src>& f) {
 }
 
 /// z = Σ_{k≤degree} (I − D⁻¹A)ᵏ D⁻¹ r via Horner; tmp must have size n.
+/// The element updates are backend-invariant (same loop, OpenMP team
+/// suppressed for serial); the interior SpMV dispatches per backend.
 template <class P, class VT, class W = promote_t<P, VT>>
 void neumann_apply(const NeumannData<P>& f, std::span<const VT> r, std::span<VT> z,
-                   std::span<VT> tmp) {
+                   std::span<VT> tmp, Backend be = Backend::kHost) {
   const std::ptrdiff_t n = f.n;
+  const kern::Kernels kx(be);
+  const bool par = be == Backend::kHost;
+  (void)par;  // referenced only from the pragma; unused without OpenMP
   // z ← D⁻¹ r
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (par)
   for (std::ptrdiff_t i = 0; i < n; ++i)
     z[i] = static_cast<VT>(static_cast<W>(r[i]) * static_cast<W>(f.inv_diag[i]));
   for (int k = 0; k < f.degree; ++k) {
     // tmp ← A z;  z ← D⁻¹ r + z − D⁻¹ tmp
-    spmv(f.a, std::span<const VT>(z.data(), z.size()), tmp);
-#pragma omp parallel for schedule(static)
+    kx.spmv(f.a, std::span<const VT>(z.data(), z.size()), tmp);
+#pragma omp parallel for schedule(static) if (par)
     for (std::ptrdiff_t i = 0; i < n; ++i) {
       const W d = static_cast<W>(f.inv_diag[i]);
       z[i] = static_cast<VT>(d * static_cast<W>(r[i]) + static_cast<W>(z[i]) -
@@ -94,7 +100,7 @@ class NeumannApplyHandle final : public Preconditioner<VT> {
 
   void apply(std::span<const VT> r, std::span<VT> z) override {
     ++cnt_->count;
-    neumann_apply(*f_, r, z, std::span<VT>(tmp_));
+    neumann_apply(*f_, r, z, std::span<VT>(tmp_), this->backend());
   }
   [[nodiscard]] index_t size() const override { return f_->n; }
 

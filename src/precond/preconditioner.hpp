@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "backend/kernels.hpp"
+#include "base/backend.hpp"
 #include "base/half.hpp"
 #include "base/blas1.hpp"
 #include "base/panel.hpp"
@@ -76,8 +78,19 @@ class Preconditioner {
 
   [[nodiscard]] virtual index_t size() const = 0;
 
+  /// Execution-space backend this handle's kernels run on.  Set by the
+  /// minting site (engines, nested builder) right after make_apply; the
+  /// default host keeps direct construction paths byte-identical.
+  void set_backend(Backend be) { kx_ = kern::Kernels(be); }
+  [[nodiscard]] Backend backend() const { return kx_.backend(); }
+
  protected:
+  [[nodiscard]] const kern::Kernels& kern_table() const { return kx_; }
+
   std::vector<VT> stage_;  ///< grow-only transpose scratch of the staged default
+
+ private:
+  kern::Kernels kx_;
 };
 
 /// Identity "preconditioner" (un-preconditioned solves in tests/benches).
@@ -85,7 +98,9 @@ template <class VT>
 class IdentityPrecond final : public Preconditioner<VT> {
  public:
   explicit IdentityPrecond(index_t n) : n_(n) {}
-  void apply(std::span<const VT> r, std::span<VT> z) override { blas::copy(r, z); }
+  void apply(std::span<const VT> r, std::span<VT> z) override {
+    this->kern_table().copy(r, z);
+  }
   [[nodiscard]] index_t size() const override { return n_; }
 
  private:

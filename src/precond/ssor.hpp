@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/backend.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/csr.hpp"
 
@@ -48,11 +49,16 @@ SsorData<Dst> cast_factors(const SsorData<Src>& f) {
 }
 
 /// One SSOR application: forward sweep, diagonal scaling, backward sweep.
+/// Per-block sweeps are thread-invariant, so the serial backend runs the
+/// identical loop with the OpenMP team suppressed — bit-identical results.
 template <class P, class VT, class W = promote_t<P, VT>>
-void ssor_solve(const SsorData<P>& f, std::span<const VT> r, std::span<VT> z) {
+void ssor_solve(const SsorData<P>& f, std::span<const VT> r, std::span<VT> z,
+                Backend be = Backend::kHost) {
   const index_t nb = f.nblocks();
   const W om = static_cast<W>(f.omega);
-#pragma omp parallel for schedule(static)
+  const bool par = be == Backend::kHost;
+  (void)par;  // referenced only from the pragma; unused without OpenMP
+#pragma omp parallel for schedule(static) if (par)
   for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nb); ++b) {
     const index_t b0 = f.block_start[b], b1 = f.block_start[b + 1];
     // Forward: (D/ω + L) y = r.
@@ -111,7 +117,7 @@ class SsorApplyHandle final : public Preconditioner<VT> {
 
   void apply(std::span<const VT> r, std::span<VT> z) override {
     ++cnt_->count;
-    ssor_solve(*f_, r, z);
+    ssor_solve(*f_, r, z, this->backend());
   }
   [[nodiscard]] index_t size() const override { return f_->n; }
 

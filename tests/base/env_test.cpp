@@ -57,6 +57,31 @@ TEST(Env, SummaryIsStableAcrossCalls) {
   EXPECT_EQ(env_summary(), env_summary());
 }
 
+TEST(Env, SummaryBackendFieldTracksRequestedVsActive) {
+  // The backend= field reports the ACTIVE (canonical) backend, with the
+  // requested spelling appended whenever it differs — an alias or a value
+  // Session will refuse to build with.  Consistency contract: what the
+  // summary names must be exactly what resolve-at-build-time would pick.
+  ::unsetenv("NKRYLOV_BACKEND");
+  EXPECT_NE(env_summary().find("backend=host"), std::string::npos) << env_summary();
+
+  struct Guard {
+    ~Guard() { ::unsetenv("NKRYLOV_BACKEND"); }
+  } guard;
+  ::setenv("NKRYLOV_BACKEND", "serial", 1);
+  EXPECT_NE(env_summary().find("backend=serial"), std::string::npos) << env_summary();
+  ::setenv("NKRYLOV_BACKEND", "host", 1);
+  EXPECT_NE(env_summary().find("backend=host"), std::string::npos) << env_summary();
+  // Alias: active host, requested omp — both visible.
+  ::setenv("NKRYLOV_BACKEND", "omp", 1);
+  EXPECT_NE(env_summary().find("backend=host(requested=omp)"), std::string::npos)
+      << env_summary();
+  // Invalid: no silent fallback in the report either.
+  ::setenv("NKRYLOV_BACKEND", "cuda", 1);
+  EXPECT_NE(env_summary().find("backend=invalid(requested=cuda)"), std::string::npos)
+      << env_summary();
+}
+
 // ---------------------------------------------------------------------------
 // Checked env-knob parsers.  env_long/env_flag parse on every call (the
 // production call sites add their own one-time caching), so the tests can
@@ -125,6 +150,18 @@ TEST(EnvChecked, FlagFallsBackOnGarbage) {
     EXPECT_TRUE(env_flag("NKRYLOV_TEST_FLAG", true)) << v;
     EXPECT_FALSE(env_flag("NKRYLOV_TEST_FLAG", false)) << v;
   }
+}
+
+TEST(EnvChecked, StrReturnsRawValueOrDefault) {
+  // env_str is deliberately validation-free: the raw value when set (even
+  // empty — a SET-but-empty knob is distinguishable from unset via the
+  // default sentinel), the default otherwise.
+  EnvVarGuard g("NKRYLOV_TEST_STR");
+  EXPECT_EQ(env_str("NKRYLOV_TEST_STR", "fallback"), "fallback");
+  g.set("serial");
+  EXPECT_EQ(env_str("NKRYLOV_TEST_STR", "fallback"), "serial");
+  g.set("");
+  EXPECT_EQ(env_str("NKRYLOV_TEST_STR", "fallback"), "");
 }
 
 }  // namespace

@@ -34,6 +34,14 @@
 //   --baseline=path     committed table to compare against ("" = skip)
 //   --out=path          where to write this run's rows ("" = skip)
 //   --write-baseline=path  write rows in baseline format and exit 0
+//   --backend=name      append ";backend=name" to every cell spec and run
+//                       the whole grid there (host|omp|serial; "" = spec
+//                       default).  The comparison still runs against the
+//                       SAME committed host baseline: serial reductions
+//                       round differently, so iteration counts may move
+//                       within the 20%+5 band, but convergence must not
+//                       regress — that is the cross-backend conformance
+//                       contract.  Unknown names exit 2 up front.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -44,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "base/backend.hpp"
 #include "base/options.hpp"
 #include "core/session.hpp"
 #include "sparse/gen/suite_standins.hpp"
@@ -135,7 +144,7 @@ std::string fmt(double v) {
 /// test pins that); the baseline keys stay the legacy cell names, which
 /// the solve's reporting name maps each spec back to.
 std::string cell_spec(const std::string& solver_kind, const std::string& prec,
-                      double rtol, int max_iters) {
+                      double rtol, int max_iters, const std::string& backend) {
   std::string s = solver_kind;
   if (solver_kind == "fgmres") s += "64";  // the paper's FGMRES(64) baseline
   s += "@" + prec;
@@ -148,11 +157,12 @@ std::string cell_spec(const std::string& solver_kind, const std::string& prec,
   } else {
     s += ";max-iters=" + std::to_string(max_iters);
   }
+  if (!backend.empty()) s += ";backend=" + backend;
   return s;
 }
 
 std::vector<Cell> run_grid(const std::vector<std::string>& matrices, int scale,
-                           double rtol, int max_iters) {
+                           double rtol, int max_iters, const std::string& backend) {
   std::vector<Cell> rows;
   // The grid's axes come from the registry: every solver/preconditioner
   // kind tagged `conformance`, in registration order (krylov = CG|BiCGStab
@@ -170,7 +180,8 @@ std::vector<Cell> run_grid(const std::vector<std::string>& matrices, int scale,
         const std::string mk = m->name();
         for (const std::string& prec : precs) {
           for (const std::string& sk : solver_kinds) {
-            Session s(borrow_problem(p), SolverSpec::parse(cell_spec(sk, prec, rtol, max_iters)),
+            Session s(borrow_problem(p),
+                      SolverSpec::parse(cell_spec(sk, prec, rtol, max_iters, backend)),
                       m);
             const SolveResult r = s.solve();
             rows.push_back(to_cell(cell_id(name, r.solver, mk, format), r));
@@ -257,7 +268,8 @@ int main(int argc, char** argv) {
   Options opt(argc, argv);
   if (opt.wants_help()) {
     std::cout << "conformance_sweep --scale=-4 --max-iters=800 --rtol=1e-8 "
-                 "--matrices=all --baseline=path --out=path --write-baseline=path\n";
+                 "--matrices=all --baseline=path --out=path --write-baseline=path "
+                 "--backend=host|serial\n";
     return 0;
   }
   const int scale = opt.get_int("scale", -4);
@@ -266,6 +278,12 @@ int main(int argc, char** argv) {
   const std::string baseline = opt.get("baseline", "");
   const std::string out = opt.get("out", "");
   const std::string write_base = opt.get("write-baseline", "");
+  const std::string backend = opt.get("backend", "");
+  if (!backend.empty() && !parse_backend(backend).has_value()) {
+    std::cerr << "error: invalid value '" << backend << "' for --backend (known: "
+              << backend_names() << ")\n";
+    return 2;
+  }
 
   std::vector<std::string> matrices = opt.get_list("matrices", {"all"});
   bool full_grid = false;
@@ -276,8 +294,9 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "conformance sweep: " << matrices.size() << " matrices, scale=" << scale
-            << ", rtol=" << rtol << ", max-iters=" << max_iters << "\n";
-  const auto rows = run_grid(matrices, scale, rtol, max_iters);
+            << ", rtol=" << rtol << ", max-iters=" << max_iters
+            << ", backend=" << (backend.empty() ? "(spec default)" : backend) << "\n";
+  const auto rows = run_grid(matrices, scale, rtol, max_iters, backend);
 
   if (!write_base.empty()) {
     std::ofstream f(write_base);

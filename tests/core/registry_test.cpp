@@ -106,6 +106,81 @@ TEST(Registry, EveryConformanceCellConstructibleFromSpecStringAlone) {
   }
 }
 
+TEST(Registry, EveryKindSupportsBothBackendsByDefault) {
+  for (const std::string& k : registry().solver_kinds()) {
+    const SolverKindInfo* info = registry().solver_info(k);
+    ASSERT_NE(info, nullptr) << k;
+    EXPECT_TRUE(info->supports_backend(Backend::kHost)) << k;
+    EXPECT_TRUE(info->supports_backend(Backend::kSerial)) << k;
+  }
+}
+
+TEST(Registry, MakeSolverRejectsUnsupportedBackend) {
+  // A device-resident kind narrows its backends list; asking for one it
+  // cannot build on is a SpecError naming the backend, not a silent host
+  // build.  Registered here as a host-only alias of cg.
+  SolverKindInfo info;
+  info.kind = "test-host-only";
+  info.summary = "registry backend-narrowing test kind";
+  info.backends = {Backend::kHost};
+  registry().add_solver(info, [](const SolverSpec& spec, const PreparedProblem& prob,
+                                 std::shared_ptr<PrimaryPrecond> m, SolverWorkspace* ws) {
+    SolverSpec inner = spec;
+    inner.kind = "cg";
+    inner.backend.reset();
+    return registry().make_solver(inner, prob, std::move(m), ws);
+  });
+  const auto p = small_problem(true);
+  auto m = registry().make_precond(PrecondSpec::parse("jacobi"), p);
+  SolverWorkspace ws;
+  SolverSpec ok;
+  ok.kind = "test-host-only";
+  ok.backend = Backend::kHost;
+  EXPECT_NE(registry().make_solver(ok, p, m, &ws), nullptr);
+  SolverSpec bad = ok;
+  bad.backend = Backend::kSerial;
+  try {
+    [[maybe_unused]] auto unused = registry().make_solver(bad, p, m, &ws);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("serial"), std::string::npos) << e.what();
+  }
+}
+
+/// Acceptance pin for the backend seam: every conformance cell is also
+/// constructible with an EXPLICIT backend — the serial reference backend
+/// converges on the same easy problems, and the Session reports the
+/// backend the spec asked for.
+TEST(Registry, EveryConformanceCellConstructibleWithExplicitBackend) {
+  for (const bool symmetric : {true, false}) {
+    const auto p = small_problem(symmetric);
+    for (const std::string& sk : registry().conformance_solver_kinds()) {
+      for (const std::string& pk : registry().conformance_precond_kinds()) {
+        for (const char* prec : {"fp64", "fp32", "fp16"}) {
+          const std::string head =
+              sk + std::string(sk == "fgmres" ? "64" : "") + "@" + prec + "/" + pk;
+          const std::string opts = ";nblocks=4;rtol=1e-08";
+          {
+            SCOPED_TRACE(head + opts + ";backend=serial");
+            Session s(p, SolverSpec::parse(head + opts + ";backend=serial"));
+            EXPECT_EQ(s.backend(), Backend::kSerial);
+            const SolveResult r = s.solve();
+            EXPECT_TRUE(r.converged) << r.solver << " relres " << r.final_relres;
+          }
+          {
+            // The ':backend' suffix rides the head, before any options.
+            SCOPED_TRACE(head + ":host" + opts);
+            Session s(p, SolverSpec::parse(head + ":host" + opts));
+            EXPECT_EQ(s.backend(), Backend::kHost);
+            const SolveResult r = s.solve();
+            EXPECT_TRUE(r.converged) << r.solver << " relres " << r.final_relres;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(Registry, VariantAliasesMatchVariantConfig) {
   // The Table 4 variants are registered spec aliases: solving through the
   // registry kind must report the canonical variant name and match the

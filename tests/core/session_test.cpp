@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -306,6 +307,75 @@ TEST(Session, ThrowsSpecErrorOnUnknownKinds) {
   SolverSpec badpc = SolverSpec::parse("cg");
   badpc.precond.kind = "ilut";
   EXPECT_THROW(Session(p, badpc), SpecError);
+}
+
+struct BackendEnvGuard {
+  ~BackendEnvGuard() { ::unsetenv("NKRYLOV_BACKEND"); }
+  static void set(const char* v) { ::setenv("NKRYLOV_BACKEND", v, 1); }
+};
+
+TEST(Session, BackendResolutionOrderIsSpecThenEnvThenHost) {
+  const BackendEnvGuard guard;
+  const auto p = sym_problem();
+  // Default: host.
+  ::unsetenv("NKRYLOV_BACKEND");
+  EXPECT_EQ(Session(p, SolverSpec::parse("cg")).backend(), Backend::kHost);
+  // Env overrides the default ("omp" aliases host).
+  BackendEnvGuard::set("serial");
+  EXPECT_EQ(Session(p, SolverSpec::parse("cg")).backend(), Backend::kSerial);
+  BackendEnvGuard::set("omp");
+  EXPECT_EQ(Session(p, SolverSpec::parse("cg")).backend(), Backend::kHost);
+  // Spec overrides the env, whichever spelling.
+  BackendEnvGuard::set("host");
+  EXPECT_EQ(Session(p, SolverSpec::parse("cg;backend=serial")).backend(),
+            Backend::kSerial);
+  BackendEnvGuard::set("serial");
+  EXPECT_EQ(Session(p, SolverSpec::parse("cg:host")).backend(), Backend::kHost);
+  // And the env-selected backend actually solves.
+  Session s(p, SolverSpec::parse("cg"));
+  EXPECT_EQ(s.backend(), Backend::kSerial);
+  const SolveResult r = s.solve();
+  EXPECT_TRUE(r.converged) << summarize(r);
+}
+
+TEST(Session, UnknownBackendEnvFailsFastNotSilently) {
+  // An unknown NKRYLOV_BACKEND must never silently run on host: the
+  // Session builds (construction stays throw-free for env problems) but
+  // every solve fails fast with kInvalidInput naming the backend — the
+  // library-path twin of the CLI front-ends' exit(2).
+  const BackendEnvGuard guard;
+  BackendEnvGuard::set("cuda");
+  const auto p = sym_problem();
+  Session s(p, SolverSpec::parse("cg"));
+  const SolveResult r = s.solve();
+  EXPECT_EQ(r.status, SolveStatus::kInvalidInput);
+  EXPECT_NE(r.failure.find("backend"), std::string::npos) << r.failure;
+  EXPECT_NE(r.failure.find("cuda"), std::string::npos) << r.failure;
+  std::vector<double> B(p.b.size() * 2), X(p.b.size() * 2);
+  for (const SolveResult& c : s.solve_many(B, X, 2))
+    EXPECT_EQ(c.status, SolveStatus::kInvalidInput);
+  // A spec-level backend sidesteps the poisoned environment entirely.
+  Session ok(p, SolverSpec::parse("cg;backend=serial"));
+  EXPECT_EQ(ok.backend(), Backend::kSerial);
+  EXPECT_TRUE(ok.solve().converged);
+}
+
+TEST(Session, SerialBackendSolvesMatchHostWithinTolerance) {
+  // The serial backend is an independently written reference: same
+  // algorithm, single-chain reductions.  Iterate streams may differ in
+  // rounding, but both must converge to the same rtol on the same problem
+  // and report the same solver name.
+  const auto p = sym_problem();
+  for (const char* spec : {"cg@fp16", "fgmres32", "f3r@fp16"}) {
+    SCOPED_TRACE(spec);
+    const SolveResult host = Session(p, SolverSpec::parse(spec)).solve();
+    const SolveResult serial =
+        Session(p, SolverSpec::parse(std::string(spec) + ";backend=serial")).solve();
+    EXPECT_EQ(host.solver, serial.solver);
+    EXPECT_TRUE(host.converged) << summarize(host);
+    EXPECT_TRUE(serial.converged) << summarize(serial);
+    EXPECT_LE(serial.final_relres, 1e-8);
+  }
 }
 
 }  // namespace

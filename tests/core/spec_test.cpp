@@ -86,7 +86,8 @@ TEST(Spec, LegacyPaperNamesAreAliases) {
 }
 
 /// Round-trip sweep: every registered solver kind × precision × batching
-/// combination, with non-default termination and precond fields mixed in.
+/// combination, with non-default termination, precond, and backend fields
+/// mixed in (the backend cycles unset/host/serial across cells).
 TEST(Spec, RoundTripAllRegisteredKinds) {
   const auto precond_kinds = registry().precond_kinds();
   std::size_t cells = 0, pidx = 0;
@@ -111,6 +112,11 @@ TEST(Spec, RoundTripAllRegisteredKinds) {
           s.precond.storage = (cells % 2 == 0) ? std::optional<Prec>(Prec::FP16)
                                                : std::nullopt;
           s.precond.nblocks = static_cast<int>(cells % 3) * 8;
+          switch (cells % 3) {
+            case 0: s.backend.reset(); break;
+            case 1: s.backend = Backend::kHost; break;
+            default: s.backend = Backend::kSerial; break;
+          }
           const std::string text = s.to_string();
           EXPECT_EQ(SolverSpec::parse(text), s) << text;
           ++cells;
@@ -119,6 +125,79 @@ TEST(Spec, RoundTripAllRegisteredKinds) {
     }
   }
   EXPECT_GT(cells, 80u);  // the grid actually swept something
+}
+
+TEST(Spec, BackendOptionRoundTripsAndDefaultsUnset) {
+  // Unset (the default) means "resolve at build time", and to_string omits
+  // it, so pre-backend spec strings re-render byte-identically.
+  EXPECT_FALSE(SolverSpec::parse("cg").backend.has_value());
+  EXPECT_EQ(SolverSpec::parse("cg/jacobi;wave=8").to_string(), "cg/jacobi;wave=8");
+
+  const SolverSpec ser = SolverSpec::parse("cg;backend=serial");
+  ASSERT_TRUE(ser.backend.has_value());
+  EXPECT_EQ(*ser.backend, Backend::kSerial);
+  EXPECT_EQ(ser.to_string(), "cg;backend=serial");
+  EXPECT_EQ(SolverSpec::parse(ser.to_string()), ser);
+
+  // "omp" is an accepted alias for the host backend; the canonical form —
+  // what to_string emits — is "host".
+  const SolverSpec omp = SolverSpec::parse("cg;backend=omp");
+  ASSERT_TRUE(omp.backend.has_value());
+  EXPECT_EQ(*omp.backend, Backend::kHost);
+  EXPECT_EQ(omp.to_string(), "cg;backend=host");
+  EXPECT_EQ(omp, SolverSpec::parse("cg;backend=host"));
+}
+
+TEST(Spec, BackendSuffixAliasEveryKindTimesPrecision) {
+  // ":NAME" on the head is the short spelling of ";backend=NAME" — pinned
+  // for every registered kind × precision so no kind's token resolution
+  // (trailing digits, fpNN- prefixes, Table 4 names) eats the suffix.
+  for (const std::string& kind : registry().solver_kinds()) {
+    const SolverKindInfo* info = registry().solver_info(kind);
+    ASSERT_NE(info, nullptr) << kind;
+    for (const Prec prec : {Prec::FP64, Prec::FP32, Prec::FP16}) {
+      if (!info->takes_prec && prec != Prec::FP64) continue;
+      std::string head = kind;
+      if (prec != Prec::FP64) head += std::string("@") + prec_name(prec);
+      for (const char* be : {"host", "omp", "serial"}) {
+        const SolverSpec via_suffix = SolverSpec::parse(head + ":" + be);
+        const SolverSpec via_option = SolverSpec::parse(head + ";backend=" + be);
+        EXPECT_EQ(via_suffix, via_option) << head << ":" << be;
+        ASSERT_TRUE(via_suffix.backend.has_value()) << head;
+        EXPECT_EQ(SolverSpec::parse(via_suffix.to_string()), via_suffix) << head;
+      }
+    }
+  }
+  // The suffix follows the whole head, precond part included, and survives
+  // an option tail and mixed case.
+  const SolverSpec full = SolverSpec::parse("fgmres64/bj-ilu0@fp16:serial;rtol=1e-06");
+  EXPECT_EQ(full.kind, "fgmres");
+  EXPECT_EQ(full.precond.kind, "bj-ilu0");
+  ASSERT_TRUE(full.backend.has_value());
+  EXPECT_EQ(*full.backend, Backend::kSerial);
+  EXPECT_EQ(SolverSpec::parse("CG:SERIAL"), SolverSpec::parse("cg;backend=serial"));
+}
+
+TEST(Spec, RejectsBadBackendTokens) {
+  // Unknown names — the message lists the known backends.
+  try {
+    SolverSpec::parse("cg;backend=cuda");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("serial"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(SolverSpec::parse("cg:cuda"), SpecError);
+  // Structurally broken suffixes.
+  EXPECT_THROW(SolverSpec::parse("cg:"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg:serial:host"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;backend="), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;backend"), SpecError);
+  // A backend may be named at most once, whichever spellings are used.
+  EXPECT_THROW(SolverSpec::parse("cg:serial;backend=serial"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg:host;backend=serial"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("cg;backend=serial;backend=host"), SpecError);
+  // backend= is a solver-level option only.
+  EXPECT_THROW(PrecondSpec::parse("bj;backend=serial"), SpecError);
 }
 
 TEST(Spec, PrecondRoundTripAllRegisteredKinds) {

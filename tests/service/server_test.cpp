@@ -72,6 +72,50 @@ TEST_F(ServerTest, PutSolveRoundTripMatchesLocalSession) {
     ASSERT_EQ(reply.x[j], x[j]) << "daemon and local solve diverged at " << j;
 }
 
+TEST_F(ServerTest, SerialBackendSpecRoundTripsThroughTheDaemon) {
+  // The backend seam reaches the service layer through the spec string
+  // alone: a ";backend=serial" request runs on the reference backend
+  // daemon-side and must match a LOCAL serial Session bit for bit (the
+  // daemon adds no kernels of its own).  Unknown backends come back as a
+  // structured per-column failure, not a dead connection.
+  const CsrMatrix<double> a = test::scaled_laplace2d(16, 16);
+  const std::size_t n = static_cast<std::size_t>(a.nrows);
+
+  Client c(path_);
+  const Client::Handle h = c.put_matrix(a, true);
+  const std::string spec = "cg/jacobi@fp64;backend=serial";
+  std::vector<double> B(n);
+  for (std::size_t i = 0; i < n; ++i)
+    B[i] = 0.5 + 0.25 * std::sin(static_cast<double>(i));
+  const Client::SolveReply reply = c.solve(h.handle, spec, B, 1, h.n);
+  ASSERT_EQ(reply.columns.size(), 1u);
+  EXPECT_TRUE(reply.columns[0].converged());
+
+  // The executor solves every request through the batched path, so the
+  // local reference is solve_many(k=1) on a serial Session — same code
+  // path, same bits.
+  const PreparedProblem p = prepare_problem("local", a, true, 1.0, 1.0, 7);
+  Session s(borrow_problem(p), SolverSpec::parse(spec));
+  EXPECT_EQ(s.backend(), Backend::kSerial);
+  std::vector<double> x(n, 0.0);
+  const std::vector<SolveResult> local =
+      s.solve_many(std::span<const double>(B.data(), n), x, 1);
+  ASSERT_EQ(local.size(), 1u);
+  ASSERT_TRUE(local[0].converged);
+  for (std::size_t j = 0; j < n; ++j)
+    ASSERT_EQ(reply.x[j], x[j]) << "daemon and local serial solve diverged at " << j;
+
+  // Unknown backend in the spec: the bad-spec semantic-error discipline —
+  // ERR returned, connection stays usable.
+  try {
+    c.solve(h.handle, "cg/jacobi;backend=cuda", B, 1, h.n);
+    FAIL() << "expected bad-spec";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), "bad-spec");
+  }
+  EXPECT_TRUE(c.solve(h.handle, spec, B, 1, h.n).columns[0].converged());
+}
+
 TEST_F(ServerTest, RepeatPutIsCachedAcrossConnections) {
   const CsrMatrix<double> a = test::scaled_laplace2d(12, 12);
   {

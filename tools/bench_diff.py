@@ -55,6 +55,22 @@ FP16_PAIRS = [
     ("dot_fp16_avx512fp16", "dot_fp16"),
 ]
 
+# Backend-tagged kernel records: the serial reference backend's cost over
+# the host backend's, for the same kern::Kernels call.  The ratio mostly
+# measures how much the host's OpenMP/SIMD paths buy on the bench box, so
+# it gets the generous micro-pair tolerance.  These records are SOFT:
+# absent from either file (e.g. a committed baseline predating the backend
+# seam, or a bench built without the seam) the pair is skipped with a note
+# instead of tripping the rename/drop hard error.
+BACKEND_PAIRS = [
+    ("backend_serial_spmv_csr_{p}", "backend_host_spmv_csr_{p}"),
+    ("backend_serial_spmm_csr_{p}_k8", "backend_host_spmm_csr_{p}_k8"),
+    ("backend_serial_dot_cols_{p}_k8", "backend_host_dot_cols_{p}_k8"),
+]
+BACKEND_PRECISIONS = ["fp64", "fp32", "fp16_fp32"]
+SOFT_RECORDS = {f.format(p=p)
+                for pair in BACKEND_PAIRS for f in pair for p in BACKEND_PRECISIONS}
+
 # Matrix-kernel pairs (suffix carries precision + matrix name).
 SPMM_PAIRS = [
     ("spmm_csr_fp64_k8/hpcg", "spmv_x8_csr_fp64_k8/hpcg"),
@@ -119,7 +135,10 @@ def load(path):
 def gated_pairs(tolerance):
     """(fused, reference, tolerance, metric) for every gate."""
     micro = [(f.format(p=p), r.format(p=p)) for f, r in RATIO_PAIRS for p in PRECISIONS]
-    pairs = [(f, r, 2.0 * tolerance, "seconds") for f, r in micro + FP16_PAIRS + DAEMON_PAIRS]
+    backend = [(f.format(p=p), r.format(p=p))
+               for f, r in BACKEND_PAIRS for p in BACKEND_PRECISIONS]
+    pairs = [(f, r, 2.0 * tolerance, "seconds")
+             for f, r in micro + FP16_PAIRS + DAEMON_PAIRS + backend]
     pairs += [(f, r, tolerance, "seconds") for f, r in SPMM_PAIRS + SOLVE_PAIRS]
     pairs += [(f.format(p=p), r.format(p=p), 2.0 * tolerance, "gbps")
               for f, r in BANDWIDTH_PAIRS for p in PRECISIONS]
@@ -140,6 +159,13 @@ def diff(fresh, base, tolerance, fresh_name="fresh", base_name="baseline"):
         # absent from BOTH files is a feature-conditional kernel on a
         # machine without the feature: skip its pair.
         ok = True
+        # Soft records (backend-tagged pairs) skip on one-sided absence too:
+        # a baseline committed before the backend seam must stay diffable.
+        if any(n in SOFT_RECORDS and (n not in fresh or n not in base) for n in names):
+            absent = [n for n in names if n not in fresh or n not in base]
+            print(f"SKIP  {fused} vs {ref}: soft backend record(s) "
+                  f"{', '.join(absent)} absent")
+            continue
         for n in names:
             if n in fresh and n not in base:
                 print(f"MISSING  record '{n}' absent from {base_name} — new kernel; "
@@ -266,6 +292,15 @@ def self_test():
     stale = synthetic()
     del stale["axpy_many_fp32_k8"]
     expect("record missing from baseline exits 2", diff(synthetic(), stale, 0.25), 2)
+
+    # Soft backend records: one-sided absence (a pre-seam baseline) skips
+    # the pair instead of exiting 2 like a rename/drop would.
+    pre_seam = synthetic()
+    for name in list(pre_seam):
+        if name in SOFT_RECORDS:
+            del pre_seam[name]
+    expect("soft backend records absent from baseline skip",
+           diff(synthetic(), pre_seam, 0.25), 0)
 
     both = synthetic()
     conditional = [f for f, _r in FP16_PAIRS]
