@@ -47,6 +47,10 @@
 #include "core/problem.hpp"
 #include "core/service/executor.hpp"
 #include "core/service/fingerprint.hpp"
+#include "core/session.hpp"
+#include "core/tune/features.hpp"
+#include "core/tune/perf_db.hpp"
+#include "core/tune/shortlist.hpp"
 #include "krylov/cg.hpp"
 #include "krylov/fgmres.hpp"
 #include "krylov/operator.hpp"
@@ -54,6 +58,7 @@
 #include "precond/jacobi.hpp"
 #include "sparse/gen/laplace.hpp"
 #include "sparse/gen/stencil.hpp"
+#include "sparse/gen/suite_standins.hpp"
 #include "sparse/scaling.hpp"
 #include "sparse/sell.hpp"
 #include "sparse/spmm.hpp"
@@ -1068,6 +1073,87 @@ void bench_daemon(bench::JsonReport& rep) {
             << " miss(es)\n";
 }
 
+// ---------------------------------------------------------------------------
+// Autotuner quality: Session("auto") vs the best fixed spec on the whole
+// stand-in catalog (the ISSUE 10 acceptance margin, bench form).  Both
+// sides are measured in MODELED WORK — M applications x modeled accesses
+// per application — the machine-independent currency the tuner itself
+// optimizes; the aggregate auto/best ratio is what bench_diff.py soft-gates
+// against an absolute ceiling (auto_vs_best_fixed_* records, skipped when
+// absent from either file).
+// ---------------------------------------------------------------------------
+
+void bench_auto_tuner(bench::JsonReport& rep) {
+  tune::tune_db().clear();  // cold cache even under NKRYLOV_TUNE_DB
+  const std::vector<std::string> sym_universe = {
+      "cg", "cg@fp32", "cg@fp16", "fgmres64", "fgmres64@fp16",
+      "f3r@fp16", "f3r@fp32", "ir-gmres8@fp32"};
+  const std::vector<std::string> nonsym_universe = {
+      "bicgstab", "bicgstab@fp32", "bicgstab@fp16", "fgmres64", "fgmres64@fp16",
+      "f3r@fp16", "f3r@fp32", "ir-gmres8@fp32"};
+
+  double total_auto = 0.0, total_best = 0.0, worst_cell = 0.0;
+  std::int64_t total_n = 0, total_nnz = 0;
+  int cells = 0, unconverged = 0, margin_violations = 0;
+  WallTimer tw;
+  for (const gen::ProblemSpec& ps : gen::standin_catalog()) {
+    const auto p =
+        std::make_shared<const PreparedProblem>(prepare_standin(ps.paper_name, -4));
+    const tune::TuneFeatures f = tune::extract_features(*p);
+
+    double best = std::numeric_limits<double>::infinity();
+    for (const std::string& text : ps.symmetric ? sym_universe : nonsym_universe) {
+      const SolverSpec spec = SolverSpec::parse(text);
+      Session s(p, spec);
+      const SolveResult r = s.solve();
+      if (!r.converged) continue;
+      best = std::min(best, static_cast<double>(r.precond_invocations) *
+                                tune::unit_cost(f, spec));
+    }
+
+    Session sa(p, "auto");
+    const SolveResult ra = sa.solve();
+    if (!ra.converged) {
+      std::cerr << "auto did not converge on " << ps.paper_name << "\n";
+      ++unconverged;
+      continue;
+    }
+    std::string db_text;
+    if (!tune::tune_db().lookup(p->fingerprint, db_text)) continue;
+    const double auto_work = static_cast<double>(ra.precond_invocations) *
+                             tune::unit_cost(f, SolverSpec::parse(db_text));
+    if (!std::isfinite(best)) continue;  // no fixed spec converged: auto-only cell
+    ++cells;
+    total_auto += auto_work;
+    total_best += best;
+    total_n += static_cast<std::int64_t>(p->b.size());
+    total_nnz += static_cast<std::int64_t>(p->a->csr_fp64().nnz());
+    worst_cell = std::max(worst_cell, auto_work / best);
+    // The tuning-labeled test's per-cell margin, re-asserted here so the
+    // perf-smoke job catches a tuner quality regression without gtest.
+    if (auto_work > 1.2 * best + 64.0) {
+      std::cerr << "auto margin violation on " << ps.paper_name << ": chose "
+                << db_text << " work " << auto_work << " vs best fixed " << best
+                << "\n";
+      ++margin_violations;
+    }
+  }
+  check("auto_converges_on_every_catalog_cell", static_cast<double>(unconverged), 0.0);
+  check("auto_within_margin_of_best_fixed", static_cast<double>(margin_violations), 0.0);
+
+  // seconds column carries MODELED WORK (not wall time): the pair ratio
+  // bench_diff.py computes is then exactly total_auto / total_best.
+  rep.add("auto_vs_best_fixed_work", total_n, total_nnz, total_auto, 0.0);
+  rep.add("auto_vs_best_fixed_ref", total_n, total_nnz, total_best, 0.0);
+  // Informational: worst single-cell ratio rides the gbps column.
+  rep.add("auto_vs_best_fixed_worst_cell", static_cast<std::int64_t>(cells), 0,
+          tw.seconds(), worst_cell);
+  std::cout << "auto vs best fixed (" << cells << " catalog cells): modeled work "
+            << total_auto << " vs " << total_best << "  ("
+            << total_auto / std::max(total_best, 1.0) << "x, worst cell "
+            << worst_cell << "x, " << tw.seconds() << " s)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1112,6 +1198,7 @@ int main(int argc, char** argv) {
   bench_staggered_fgmres(rep, static_cast<index_t>(32 * scale));
 
   bench_daemon(rep);
+  bench_auto_tuner(rep);
 
   std::cout << "\nname, n, nnz, seconds, GB/s\n";
   for (const auto& r : rep.records())

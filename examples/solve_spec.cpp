@@ -10,27 +10,67 @@
 //   ./solve_spec ecology2 "fgmres64/bj-ilu0@fp16"
 //   ./solve_spec sherman.mtx "ir-gmres8@fp32;rtol=1e-6"
 //   ./solve_spec hpcg_4_4_4 "cg/jacobi;wave=4" --rhs=8
+//   ./solve_spec ecology2 auto                 (the autotuner picks)
+//   ./solve_spec --list
 //
 // With --rhs=K the spec is solved for K seeded right-hand sides through
-// Session::solve_many (one row per column).  Malformed or unknown specs
+// Session::solve_many (one row per column).  --list prints every
+// registered solver and preconditioner kind with its registry metadata
+// (the strings the SPEC grammar accepts).  Malformed or unknown specs
 // exit 2 with the registered kinds listed.
 #include <iostream>
 
 #include "base/env.hpp"
 #include "base/options.hpp"
 #include "base/table.hpp"
+#include "core/fingerprint.hpp"
 #include "core/session.hpp"
 #include "sparse/io_matrix_market.hpp"
 #include "sparse/stats.hpp"
 
+namespace {
+
+/// `--list`: the registry's contents as two metadata tables — the
+/// discovery surface for "what can a spec string say on this build".
+int list_kinds() {
+  nk::Registry& reg = nk::registry();
+  nk::Table st({"kind", "m?", "default-m", "@prec?", "conf?", "backends", "summary"});
+  for (const std::string& kind : reg.solver_kinds()) {
+    const nk::SolverKindInfo* info = reg.solver_info(kind);
+    std::string backends;
+    for (const nk::Backend be : info->backends)
+      backends += std::string(backends.empty() ? "" : ",") + nk::backend_name(be);
+    st.add_row({kind, info->takes_m ? "yes" : "no",
+                info->takes_m ? nk::Table::fmt_int(info->default_m) : "-",
+                info->takes_prec ? "yes" : "no", info->conformance ? "yes" : "no",
+                backends, info->summary});
+  }
+  std::cout << "solver kinds:\n";
+  st.print(std::cout);
+
+  nk::Table pt({"kind", "conf?", "summary"});
+  for (const std::string& kind : reg.precond_kinds()) {
+    const nk::PrecondKindInfo* info = reg.precond_info(kind);
+    pt.add_row({kind, info->conformance ? "yes" : "no", info->summary});
+  }
+  std::cout << "\npreconditioner kinds:\n";
+  pt.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   nk::require_backend_env_cli();
   nk::Options opt(argc, argv);
+  if (opt.get_bool("list", false)) return list_kinds();
   if (opt.positional().empty() || opt.wants_help()) {
     std::cerr << "usage: solve_spec MATRIX [SPEC] [--scale=1] [--seed=7] [--sell] "
                  "[--rhs=K]\n"
+                 "       solve_spec --list\n"
                  "  MATRIX: stand-in name (e.g. hpcg_4_4_4) or a .mtx file\n"
-                 "  SPEC:   solver spec string, default f3r@fp16\n";
+                 "  SPEC:   solver spec string, default f3r@fp16\n"
+                 "  --list: print the registered solver/preconditioner kinds\n";
     return opt.wants_help() ? 0 : 2;
   }
   const std::string matrix = opt.positional()[0];
@@ -65,7 +105,9 @@ int main(int argc, char** argv) {
     nk::Session session(std::move(p), spec);
     std::cout << "problem " << session.problem().name
               << ": n=" << session.problem().a->size()
-              << ", nnz=" << session.problem().a->csr_fp64().nnz() << "\n";
+              << ", nnz=" << session.problem().a->csr_fp64().nnz()
+              << ", fingerprint=" << nk::fingerprint_hex(session.problem().fingerprint)
+              << "\n";
     std::cout << "spec " << spec.to_string() << " -> solver " << session.solver_name()
               << ", M = " << session.precond().name() << "\n";
     if (rhs > 1) {

@@ -66,6 +66,10 @@ std::string env_str(const char* var, const std::string& def) {
   return s == nullptr ? def : std::string(s);
 }
 
+long tune_probes_env() { return env_long("NKRYLOV_TUNE_PROBES", 4, 0); }
+
+std::string tune_db_env() { return env_str("NKRYLOV_TUNE_DB", ""); }
+
 void require_backend_env_cli() {
   const char* s = std::getenv("NKRYLOV_BACKEND");
   if (s == nullptr || parse_backend(s).has_value()) return;
@@ -137,6 +141,12 @@ std::string env_summary() {
       os << backend_name(*be) << "(requested=" << req << ")";
     else os << backend_name(*be);
   }
+  // Autotuner knobs, through the same checked parsers the tuner itself
+  // uses — the summary reports what WILL happen, not the raw env text
+  // (a malformed NKRYLOV_TUNE_PROBES shows the default it fell back to).
+  os << " tune-probes=" << tune_probes_env();
+  const std::string db = tune_db_env();
+  os << " tune-db=" << (db.empty() ? "none" : db);
 #ifdef NDEBUG
   os << " build=release";
 #else

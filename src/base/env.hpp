@@ -43,6 +43,18 @@ std::string env_str(const char* var, const std::string& def);
 /// strictness as SolveStatus::kInvalidInput through Session instead.)
 void require_backend_env_cli();
 
+/// NKRYLOV_TUNE_PROBES — the autotuner's probe budget: how many shortlist
+/// candidates get a capped trial solve before the winner is chosen
+/// (core/tune/).  0 = model-only selection (no probes at all).  Checked
+/// parse via env_long: malformed or negative values warn once and fall
+/// back to the default (4).
+long tune_probes_env();
+
+/// NKRYLOV_TUNE_DB — path of the autotuner's persistent perf-DB file
+/// (core/tune/perf_db.hpp).  Empty/unset = in-memory only: the tuner never
+/// writes a file the operator did not ask for.
+std::string tune_db_env();
+
 /// Number of OpenMP threads the kernels will use (1 in serial builds).
 int num_threads();
 

@@ -16,6 +16,7 @@
 #include "base/timer.hpp"
 #include "core/f3r.hpp"
 #include "core/registry.hpp"
+#include "core/tune/tuner.hpp"
 #include "core/variants.hpp"
 #include "krylov/bicgstab.hpp"
 #include "krylov/cg.hpp"
@@ -578,6 +579,18 @@ void register_builtin_kinds(Registry& r) {
                                                          termination_of(s), ws);
                  });
   }
+
+  // --- the autotuner meta-kind (core/tune/) ---
+  // takes_prec=true so "auto@fp16" parses: a non-fp64 '@prec' PINS the
+  // shortlist's precision axis rather than naming a fixed storage choice
+  // (fp64 itself cannot be pinned — it reads as "no pin").  Not in the
+  // conformance catalog: its cell would be whatever kind it delegates to.
+  r.add_solver({"auto", "autotuned choice: cost-model shortlist + probe solves + perf-DB",
+                false, 0, true, false},
+               [](const SolverSpec& s, const PreparedProblem& p,
+                  std::shared_ptr<PrimaryPrecond> m, SolverWorkspace* ws) {
+                 return tune::make_auto_engine(s, p, std::move(m), ws);
+               });
 }
 
 }  // namespace detail

@@ -1,6 +1,6 @@
-#include "core/service/fingerprint.hpp"
+#include "core/fingerprint.hpp"
 
-namespace nk::service {
+namespace nk {
 
 std::uint64_t matrix_fingerprint(const CsrMatrix<double>& a, bool symmetric) {
   std::uint64_t h = kFnvOffset;
@@ -45,4 +45,4 @@ bool parse_fingerprint_hex(std::string_view text, std::uint64_t& out) {
   return true;
 }
 
-}  // namespace nk::service
+}  // namespace nk

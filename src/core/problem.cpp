@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/rng.hpp"
+#include "core/fingerprint.hpp"
 #include "sparse/gen/suite_standins.hpp"
 #include "sparse/scaling.hpp"
 
@@ -21,6 +22,7 @@ PreparedProblem prepare_problem(std::string name, CsrMatrix<double> a, bool symm
   const index_t n = a.nrows;
   p.a = std::make_shared<MultiPrecMatrix>(std::move(a), use_sell);
   p.b = random_vector<double>(static_cast<std::size_t>(n), rhs_seed, 0.0, 1.0);
+  p.fingerprint = matrix_fingerprint(p.a->csr_fp64(), symmetric);
   return p;
 }
 

@@ -27,6 +27,13 @@ struct PreparedProblem {
   double alpha_ainv = 1.0;
   std::shared_ptr<MultiPrecMatrix> a;
   std::vector<double> b;
+  /// FNV-1a fingerprint of the prepared (sorted, diagonally scaled) fp64
+  /// matrix + symmetry flag (core/fingerprint.hpp) — the autotuner's
+  /// perf-DB key.  prepare_problem fills it; hand-assembled problems may
+  /// leave it 0 (the tuner recomputes on demand).  Computed AFTER scaling,
+  /// so the library path and the daemon path (which keys its ProblemTable
+  /// on the RAW client bytes) agree on the identity of what is solved.
+  std::uint64_t fingerprint = 0;
 };
 
 /// Scale `a` symmetrically, build the RHS, wrap in MultiPrecMatrix.

@@ -1,57 +1,20 @@
-// Matrix fingerprinting — the cache key of the solver service.
-//
-// nkrylovd caches prepared problems (scaling, multi-precision stores,
-// format conversion) and Sessions (preconditioner factorization, solver
-// workspaces) across client requests.  The key is a 64-bit FNV-1a hash of
-// the matrix a client uploads — dimensions, structure, values, and the
-// symmetry flag — so two clients PUTting the same system share one handle
-// and the second one pays nothing for setup.  Server-generated stand-in
-// matrices are keyed by their generator coordinates (name, scale) instead,
-// so a repeat PUTGEN does not even pay generation.
-//
-// FNV-1a over the raw little-endian bytes is deliberate: the daemon and
-// its clients share one machine (Unix-domain socket), so byte-identical
-// input data IS the equality we want — no canonicalization pass, no
-// tolerance.  A hash collision between distinct matrices is accepted at
-// the usual 2^-64 odds, like every content-addressed cache.
+// Compatibility header: matrix fingerprinting moved to core/fingerprint.hpp
+// (PR 10 hoisted it out of the service layer so library-only builds can
+// fingerprint matrices — the autotuner's perf-DB keys on it).  The daemon
+// and its tests keep speaking nk::service::matrix_fingerprint through the
+// aliases below; new code should include core/fingerprint.hpp directly.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <string>
-#include <string_view>
-
-#include "sparse/csr.hpp"
+#include "core/fingerprint.hpp"
 
 namespace nk::service {
 
-inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
-/// Fold `bytes` raw bytes into a running FNV-1a state.
-[[nodiscard]] inline std::uint64_t fingerprint_mix(const void* data, std::size_t bytes,
-                                                   std::uint64_t h = kFnvOffset) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-/// Fingerprint of a client-supplied CSR matrix (+ its symmetry claim —
-/// the same values solved as SPD and as general are different problems).
-[[nodiscard]] std::uint64_t matrix_fingerprint(const CsrMatrix<double>& a, bool symmetric);
-
-/// Fingerprint of a server-generated stand-in, keyed by generator
-/// coordinates so repeat PUTGENs skip generation entirely.
-[[nodiscard]] std::uint64_t standin_fingerprint(const std::string& name, int scale);
-
-/// Canonical 16-digit lower-case hex form (the wire/handle spelling).
-[[nodiscard]] std::string fingerprint_hex(std::uint64_t fp);
-
-/// Strict inverse of fingerprint_hex: exactly 1–16 lower/upper hex digits,
-/// no sign, no prefix, no trailing garbage.  Returns false on anything else.
-[[nodiscard]] bool parse_fingerprint_hex(std::string_view text, std::uint64_t& out);
+using nk::kFnvOffset;
+using nk::kFnvPrime;
+using nk::fingerprint_mix;
+using nk::matrix_fingerprint;
+using nk::standin_fingerprint;
+using nk::fingerprint_hex;
+using nk::parse_fingerprint_hex;
 
 }  // namespace nk::service

@@ -14,6 +14,7 @@
 
 #include "core/service/fingerprint.hpp"
 #include "core/spec.hpp"
+#include "core/tune/perf_db.hpp"
 
 namespace nk::service {
 
@@ -283,6 +284,11 @@ std::string Server::stats_line() const {
      << " session_resident=" << ss.resident << " columns=" << xs.columns
      << " batches=" << xs.batches << " merged_batches=" << xs.merged_batches
      << " widest_batch=" << xs.widest_batch;
+  // Autotuner counters (process-wide; nonzero only once a client has sent
+  // a "auto" spec): DB answers vs cold tuning runs vs probe solves burned.
+  const tune::TuneDbStats ts = tune::tune_db().stats();
+  os << " tuner_hits=" << ts.hits << " tuner_misses=" << ts.misses
+     << " tuner_probes=" << ts.probes;
   return os.str();
 }
 

@@ -79,8 +79,15 @@ Session::Session(std::shared_ptr<const PreparedProblem> p, NestedConfig cfg,
   engine_ = detail::make_nested_engine(*p_, m_, std::move(cfg), term, ws_.get());
 }
 
+Session::Session(std::shared_ptr<const PreparedProblem> p, const std::string& spec_text)
+    : Session(std::move(p), SolverSpec::parse(spec_text)) {}
+
 Session::Session(PreparedProblem p, const SolverSpec& spec)
     : Session(std::make_shared<const PreparedProblem>(std::move(p)), spec) {}
+
+Session::Session(PreparedProblem p, const std::string& spec_text)
+    : Session(std::make_shared<const PreparedProblem>(std::move(p)),
+              SolverSpec::parse(spec_text)) {}
 
 Session::Session(PreparedProblem p, const SolverSpec& spec,
                  std::shared_ptr<PrimaryPrecond> m)

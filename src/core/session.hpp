@@ -66,6 +66,12 @@ class Session {
   Session(PreparedProblem p, const SolverSpec& spec);
   Session(std::shared_ptr<const PreparedProblem> p, const SolverSpec& spec);
 
+  /// Spec-text conveniences, so the autotuner's one-liner reads as the
+  /// paper intends: `nk::Session s(p, "auto");`.  Exactly equivalent to
+  /// parsing first; SpecError propagates on malformed text.
+  Session(PreparedProblem p, const std::string& spec_text);
+  Session(std::shared_ptr<const PreparedProblem> p, const std::string& spec_text);
+
   /// Same, but solve through a caller-supplied M (the spec's precond part
   /// is ignored except for its storage-precision override).
   Session(PreparedProblem p, const SolverSpec& spec, std::shared_ptr<PrimaryPrecond> m);

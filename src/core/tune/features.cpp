@@ -1,0 +1,44 @@
+#include "core/tune/features.hpp"
+
+#include <sstream>
+
+#include "core/fingerprint.hpp"
+
+namespace nk::tune {
+
+TuneFeatures extract_features(const PreparedProblem& p) {
+  TuneFeatures f;
+  if (!p.a) return f;
+  const CsrMatrix<double>& a = p.a->csr_fp64();
+  const MatrixStats s = analyze(a);
+  f.n = s.n;
+  f.nnz = s.nnz;
+  f.nnz_per_row = s.nnz_per_row;
+  f.symmetric = p.symmetric;
+  f.diag_dominance_min = s.diag_dominance_min;
+  f.fp16_overflow_fraction = s.fp16_overflow_fraction;
+  f.bandwidth = s.bandwidth;
+  f.row_nnz_stddev = s.row_nnz_stddev;
+  f.uses_sell = p.a->uses_sell();
+  f.fingerprint = p.fingerprint != 0 ? p.fingerprint : matrix_fingerprint(a, p.symmetric);
+  return f;
+}
+
+bool prefers_sell(const TuneFeatures& f) {
+  if (f.nnz_per_row <= 0.0) return false;
+  return f.row_nnz_stddev <= 0.1 * f.nnz_per_row;
+}
+
+std::string features_summary(const TuneFeatures& f) {
+  std::ostringstream os;
+  os << "n=" << f.n << " nnz/row=" << f.nnz_per_row
+     << " sym=" << (f.symmetric ? "yes" : "no")
+     << " diag_dom_min=" << f.diag_dominance_min
+     << " fp16_overflow=" << f.fp16_overflow_fraction << " bandwidth=" << f.bandwidth
+     << " row_nnz_stddev=" << f.row_nnz_stddev
+     << " format=" << (f.uses_sell ? "sell" : "csr")
+     << " prefer=" << (prefers_sell(f) ? "sell" : "csr");
+  return os.str();
+}
+
+}  // namespace nk::tune

@@ -1,0 +1,54 @@
+// Layer 1 of the autotuner (core/tune/): feature extraction.
+//
+// TuneFeatures is the structural record every later layer keys on: the
+// cost-model shortlist reads size/density/symmetry, the @fp16 gate reads
+// the overflow fraction of the SCALED matrix, and the CSR-vs-SELL
+// recommendation reads the row-length variance (SELL pads every row of a
+// chunk to the chunk maximum — uniform rows make it free, ragged rows make
+// it pay pure padding).  Extraction is one nk::analyze() pass (O(nnz) plus
+// a transpose) over the prepared fp64 matrix — cheap next to a
+// preconditioner factorization, and cached behind the perf-DB anyway.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/problem.hpp"
+#include "sparse/stats.hpp"
+
+namespace nk::tune {
+
+struct TuneFeatures {
+  index_t n = 0;
+  index_t nnz = 0;
+  double nnz_per_row = 0.0;
+  /// The prepared problem's symmetry CLAIM (what the solve will assume) —
+  /// not re-derived from the values, so a matrix solved "as general"
+  /// shortlists BiCGStab/FGMRES even if its values happen to be symmetric.
+  bool symmetric = false;
+  double diag_dominance_min = 0.0;
+  /// Fraction of scaled values outside binary16 range: any overflow at all
+  /// gates every @fp16 candidate out of the shortlist.
+  double fp16_overflow_fraction = 0.0;
+  index_t bandwidth = 0;
+  double row_nnz_stddev = 0.0;
+  /// What the prepared problem already stores (format is fixed at
+  /// preparation time; the tuner can only RECOMMEND the other one).
+  bool uses_sell = false;
+  /// Perf-DB key (core/fingerprint.hpp); recomputed when the problem was
+  /// hand-assembled with fingerprint 0.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Extract features from a prepared problem (one analyze() pass).
+TuneFeatures extract_features(const PreparedProblem& p);
+
+/// The format recommendation derived from row-length variance: true when
+/// rows are uniform enough (stddev <= ~10% of the mean row length) that
+/// sliced-ELLPACK padding is near-free and its SIMD sweeps win.
+[[nodiscard]] bool prefers_sell(const TuneFeatures& f);
+
+/// One-line rendering for logs and the --list/--explain surfaces.
+std::string features_summary(const TuneFeatures& f);
+
+}  // namespace nk::tune

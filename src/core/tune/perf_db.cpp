@@ -1,0 +1,108 @@
+#include "core/tune/perf_db.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "base/env.hpp"
+#include "core/fingerprint.hpp"
+
+namespace nk::tune {
+
+namespace {
+
+constexpr const char* kHeader = "# nkrylov-tune-db-v1";
+
+}  // namespace
+
+bool TuneDb::lookup(std::uint64_t fingerprint, std::string& spec_text) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  spec_text = it->second;
+  return true;
+}
+
+void TuneDb::store(std::uint64_t fingerprint, const std::string& spec_text) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_[fingerprint] = spec_text;
+  if (!path_.empty()) save_locked();
+}
+
+void TuneDb::note_probes(std::uint64_t n) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  probes_ += n;
+}
+
+TuneDbStats TuneDb::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  TuneDbStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.probes = probes_;
+  s.entries = entries_.size();
+  return s;
+}
+
+void TuneDb::attach_file(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  path_ = path;
+  if (path_.empty()) return;
+  std::ifstream in(path_);
+  if (!in) return;  // absent file is fine: created on first store()
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.find(' ');
+    std::uint64_t key = 0;
+    // A valid entry is exactly `<16-hex> <nonempty spec>`; anything else
+    // is skipped with a warning naming the file and line — a corrupt
+    // cache degrades to a cold cache, never to a failed solve.
+    if (sp == std::string::npos || sp + 1 >= line.size() ||
+        !parse_fingerprint_hex(line.substr(0, sp), key)) {
+      std::cerr << "nkrylov: tune-db " << path_ << ":" << lineno
+                << ": malformed entry skipped: '" << line << "'\n";
+      continue;
+    }
+    entries_[key] = line.substr(sp + 1);
+  }
+}
+
+void TuneDb::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  path_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  probes_ = 0;
+}
+
+void TuneDb::save_locked() {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    // Warn (every rewrite — the situation may be transient) but keep the
+    // in-memory entries working; persistence is best-effort.
+    std::cerr << "nkrylov: tune-db: cannot write '" << path_ << "'\n";
+    return;
+  }
+  out << kHeader << "\n";
+  for (const auto& [key, spec] : entries_) out << fingerprint_hex(key) << " " << spec << "\n";
+}
+
+TuneDb& tune_db() {
+  static TuneDb db;
+  static std::once_flag attached;
+  std::call_once(attached, [] {
+    const std::string path = tune_db_env();
+    if (!path.empty()) db.attach_file(path);
+  });
+  return db;
+}
+
+}  // namespace nk::tune

@@ -1,0 +1,79 @@
+// Layer 4 of the autotuner: the fingerprint-keyed perf-DB.
+//
+// The expensive part of tuning is the probe solves; the matrix fingerprint
+// (core/fingerprint.hpp, FNV-1a over the prepared structure+values) makes
+// their outcome reusable: once a winning spec is known for a matrix, every
+// later Session("auto") on the same matrix — in this process or, with
+// NKRYLOV_TUNE_DB set, in any later process — skips the probes entirely.
+//
+// The store is deliberately a cache, not a baseline: entries are advisory
+// (a stale or hand-seeded spec that no longer converges is simply beaten
+// by the escalation ladder at solve time), and a corrupt DB file must
+// never break a solve — malformed lines are warned about and skipped.
+//
+// File format (one entry per line, '#' comments, versioned header):
+//
+//   # nkrylov-tune-db-v1
+//   <16-hex-digit fingerprint> <spec text>
+//
+// e.g. `d2a0a1fe90132abc f3r@fp16/bj`.  Pre-seeding is just writing such
+// lines by hand (fingerprints are printed by the tuner's log line and by
+// examples/solve_spec).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace nk::tune {
+
+/// Process-wide tuning statistics (reported by nkrylovd STATS).
+struct TuneDbStats {
+  std::uint64_t hits = 0;    ///< lookups answered from the DB
+  std::uint64_t misses = 0;  ///< lookups that forced a tuning run
+  std::uint64_t probes = 0;  ///< probe solves executed
+  std::size_t entries = 0;   ///< current resident entry count
+};
+
+/// Thread-safe fingerprint -> spec-text store with optional file backing.
+class TuneDb {
+ public:
+  /// Look up the stored spec text for `fingerprint`.  Counts a hit or a
+  /// miss; returns true and fills `spec_text` on a hit.
+  bool lookup(std::uint64_t fingerprint, std::string& spec_text);
+
+  /// Record (or overwrite) the winning spec for `fingerprint` and, when a
+  /// backing file is attached, rewrite it.  Write failures warn once and
+  /// leave the in-memory entry intact.
+  void store(std::uint64_t fingerprint, const std::string& spec_text);
+
+  /// Count `n` executed probe solves (STATS surface).
+  void note_probes(std::uint64_t n);
+
+  TuneDbStats stats() const;
+
+  /// Attach a backing file: load its entries (merging over the resident
+  /// map) and rewrite it on every store().  An empty path detaches.
+  void attach_file(const std::string& path);
+
+  /// Drop every entry, detach the backing file, and zero the counters
+  /// (test isolation; the backing file itself is left untouched).
+  void clear();
+
+ private:
+  void save_locked();  ///< requires mu_ held
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::string> entries_;
+  std::string path_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+/// The process-wide DB.  First use attaches NKRYLOV_TUNE_DB when set
+/// (base/env.hpp) — later attach_file()/clear() calls can redirect it.
+TuneDb& tune_db();
+
+}  // namespace nk::tune

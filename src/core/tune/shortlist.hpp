@@ -1,0 +1,59 @@
+// Layer 2 of the autotuner: the cost-model shortlist.
+//
+// The paper's whole point (Section 4.1) is that the right solver /
+// precision / nesting choice is predictable from a memory-access cost
+// model.  This layer turns that model into a RANKING: enumerate the
+// candidate specs the features admit (symmetry gates CG vs BiCGStab, the
+// fp16-overflow fraction gates every @fp16 candidate, diagonal dominance
+// gates the cheap Jacobi preconditioner), price each one in modeled
+// memory accesses PER PRIMARY-M APPLICATION via cost_fgmres/cost_nested
+// (core/cost_model.hpp), and sort ascending.
+//
+// Per-M-apply is the deliberate currency.  The paper's Table 3 compares
+// solvers by preconditioner applications because outer-iteration counts
+// are not comparable across kinds (10 F3R outer iterations ≈ 640 M
+// applications ≈ 300 CG iterations); under the paper's observation that
+// well-chosen configurations need a SIMILAR number of M applications to
+// converge, the cheapest-per-apply candidate is the predicted winner, and
+// the probe layer (tuner.hpp) settles what the model cannot know — the
+// actual convergence rate of each shortlisted spec on this matrix.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "core/tune/features.hpp"
+
+namespace nk::tune {
+
+/// One ranked candidate: a minimal spec (kind / precision axis / m /
+/// precond — termination and batching stay at the caller's settings) plus
+/// its model price and the reasoning trail.
+struct Candidate {
+  SolverSpec spec;
+  double unit_cost = 0.0;  ///< modeled accesses per primary-M application
+  std::string why;         ///< one-line gate/pricing rationale
+};
+
+/// User pins carried from the "auto" spec: an explicit '@prec' restricts
+/// the precision axis, an explicit '/precond' restricts the precond kind.
+struct Constraints {
+  std::optional<Prec> pin_prec;
+  std::string pin_precond;  ///< empty = tuner's choice
+};
+
+/// Modeled memory accesses per primary-M application for `spec` on a
+/// matrix with these features (the shortlist's pricing function, exposed
+/// for tests and for converting probe M-apply counts into modeled work).
+[[nodiscard]] double unit_cost(const TuneFeatures& f, const SolverSpec& spec);
+
+/// The full gated, priced, ascending-cost candidate list.  Never empty
+/// for a non-empty problem: the fp64 FGMRES(64)/bj workhorse is always
+/// admitted (unless the pins exclude it, in which case the pinned
+/// equivalents are).  Deterministic: same features -> same order.
+[[nodiscard]] std::vector<Candidate> shortlist(const TuneFeatures& f,
+                                               const Constraints& c = {});
+
+}  // namespace nk::tune

@@ -1,0 +1,65 @@
+// Layer 3 of the autotuner: probe solves and the "auto" meta-engine.
+//
+// The cost model ranks candidates by modeled memory accesses per primary-M
+// application, but it cannot know each candidate's CONVERGENCE RATE on
+// this matrix — that is what the probes measure.  tune() runs a budget of
+// short, capped solves (NKRYLOV_TUNE_PROBES, default 4; 0 = model-only)
+// over the top of the shortlist, all against the problem's own RHS and all
+// drawing buffers from ONE shared SolverWorkspace (sequential engine
+// rebuild reuses the slabs — the Session fallback ladder's trick), and
+// scores them in MODELED WORK, never wall-clock:
+//
+//   converged probe:  work  = precond_invocations x unit_cost   (less wins)
+//   capped probe:     rate  = residual digits gained / work     (more wins)
+//
+// so a tuning run is deterministic for a fixed thread count and never
+// rewards a machine's momentary load.  The winner's minimal spec is
+// written to the fingerprint-keyed perf-DB (perf_db.hpp); the next
+// Session("auto") on the same matrix skips the probes entirely.
+//
+// Session("auto") reaches this layer through the registered meta-kind:
+// make_auto_engine tunes at construction, delegates every solve to the
+// chosen engine, and — because a DB entry is advisory, not a guarantee —
+// escalates through the remaining ranked candidates if a solve fails.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/tune/shortlist.hpp"
+
+namespace nk::tune {
+
+/// Outcome of one tuning run (exposed for tests and the CLI surfaces).
+struct TuneResult {
+  /// Winning minimal spec: kind / precision axis / m / precond kind only —
+  /// termination, batching, and backend stay whatever the caller set.
+  SolverSpec chosen;
+  /// The full model ranking (ascending unit cost), for escalation.
+  std::vector<Candidate> ranked;
+  TuneFeatures features;
+  bool db_hit = false;  ///< chosen came from the perf-DB, probes skipped
+  int probes_run = 0;
+  std::string log;      ///< human-readable reasoning trail
+};
+
+/// Tune `p`: features -> perf-DB lookup -> (on miss) shortlist + probes.
+/// `rtol` is the caller's convergence target (probes stop there); `ws` is
+/// the workspace probes draw slabs from — nullptr skips the probes and
+/// falls back to the pure model ranking.
+TuneResult tune(const PreparedProblem& p, const Constraints& c, double rtol,
+                SolverWorkspace* ws);
+
+/// Factory behind the registered "auto" kind (core/engines.cpp).  `spec`
+/// is the user's auto spec: its '@prec' (when not fp64) and non-default
+/// '/precond' become shortlist pins, its option tail is copied onto the
+/// winner.  `m` is the Session-minted default preconditioner, reused
+/// whenever the winner wants the same one.
+std::unique_ptr<SolverEngine> make_auto_engine(const SolverSpec& spec,
+                                               const PreparedProblem& p,
+                                               std::shared_ptr<PrimaryPrecond> m,
+                                               SolverWorkspace* ws);
+
+}  // namespace nk::tune

@@ -55,6 +55,7 @@
 #include "core/cost_model.hpp"
 #include "core/engine.hpp"
 #include "core/f3r.hpp"
+#include "core/fingerprint.hpp"
 #include "core/nested_builder.hpp"
 #include "core/problem.hpp"
 #include "core/registry.hpp"
@@ -62,3 +63,10 @@
 #include "core/session.hpp"
 #include "core/spec.hpp"
 #include "core/variants.hpp"
+
+// core/tune: the Session("auto") autotuner (features -> cost-model
+// shortlist -> probe solves -> fingerprint-keyed perf-DB)
+#include "core/tune/features.hpp"
+#include "core/tune/perf_db.hpp"
+#include "core/tune/shortlist.hpp"
+#include "core/tune/tuner.hpp"

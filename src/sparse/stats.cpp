@@ -18,15 +18,20 @@ MatrixStats analyze(const CsrMatrix<double>& a) {
   s.diag_dominance_min = 1e300;
   s.min_abs_nonzero = std::numeric_limits<double>::max();
 
+  double rn_sum = 0.0, rn_sumsq = 0.0;
   for (index_t i = 0; i < a.nrows; ++i) {
     const index_t rn = a.row_ptr[i + 1] - a.row_ptr[i];
     s.min_row_nnz = std::min(s.min_row_nnz, rn);
     s.max_row_nnz = std::max(s.max_row_nnz, rn);
+    rn_sum += static_cast<double>(rn);
+    rn_sumsq += static_cast<double>(rn) * static_cast<double>(rn);
     double diag = 0.0, off = 0.0;
     bool saw_diag = false;
     for (index_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
       const double v = a.vals[k];
       const double av = std::abs(v);
+      const index_t band = a.col_idx[k] > i ? a.col_idx[k] - i : i - a.col_idx[k];
+      s.bandwidth = std::max(s.bandwidth, band);
       if (av > s.max_abs) s.max_abs = av;
       if (av > 0.0 && av < s.min_abs_nonzero) s.min_abs_nonzero = av;
       if (av > static_cast<double>(fp_limits<half>::max)) s.fp16_overflow_fraction += 1.0;
@@ -43,6 +48,11 @@ MatrixStats analyze(const CsrMatrix<double>& a) {
   }
   if (s.nnz > 0) s.fp16_overflow_fraction /= static_cast<double>(s.nnz);
   if (s.min_abs_nonzero == std::numeric_limits<double>::max()) s.min_abs_nonzero = 0.0;
+  if (a.nrows > 0) {
+    const double mean = rn_sum / static_cast<double>(a.nrows);
+    const double var = std::max(0.0, rn_sumsq / static_cast<double>(a.nrows) - mean * mean);
+    s.row_nnz_stddev = std::sqrt(var);
+  }
 
   // Symmetry checks (pattern and values).
   const CsrMatrix<double> at = transpose(a);

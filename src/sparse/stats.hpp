@@ -13,6 +13,14 @@ struct MatrixStats {
   double nnz_per_row = 0.0;
   index_t max_row_nnz = 0;
   index_t min_row_nnz = 0;
+  /// Max |i - j| over stored entries — small for stencil/banded structure,
+  /// large for circuit-like scattered patterns.
+  index_t bandwidth = 0;
+  /// Population standard deviation of the per-row nnz counts.  The
+  /// CSR-vs-SELL signal: sliced ELLPACK pads every row of a chunk to the
+  /// chunk maximum, so uniform row lengths (stddev ≈ 0) make SELL free and
+  /// ragged rows make it pay pure padding.
+  double row_nnz_stddev = 0.0;
   bool structurally_symmetric = false;
   bool numerically_symmetric = false;
   bool has_full_diagonal = false;   ///< every row stores its diagonal entry

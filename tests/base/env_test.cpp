@@ -152,6 +152,42 @@ TEST(EnvChecked, FlagFallsBackOnGarbage) {
   }
 }
 
+TEST(EnvChecked, TuneProbesKnobParsesAndClamps) {
+  EnvVarGuard g("NKRYLOV_TUNE_PROBES");
+  EXPECT_EQ(tune_probes_env(), 4);  // unset -> default budget
+  g.set("0");
+  EXPECT_EQ(tune_probes_env(), 0);  // 0 = model-only, explicitly legal
+  g.set("9");
+  EXPECT_EQ(tune_probes_env(), 9);
+  g.set("-2");
+  EXPECT_EQ(tune_probes_env(), 4);  // below minimum -> default, not -2
+  g.set("lots");
+  EXPECT_EQ(tune_probes_env(), 4);  // garbage -> default
+}
+
+TEST(EnvChecked, TuneDbKnobIsAPlainPath) {
+  EnvVarGuard g("NKRYLOV_TUNE_DB");
+  EXPECT_EQ(tune_db_env(), "");  // unset -> in-memory only
+  g.set("/tmp/nkrylov-tune.db");
+  EXPECT_EQ(tune_db_env(), "/tmp/nkrylov-tune.db");
+}
+
+TEST(EnvChecked, SummaryReportsTunerKnobsTruthfully) {
+  // Truth-in-reporting: the summary shows the PARSED values — a malformed
+  // NKRYLOV_TUNE_PROBES reports the default it fell back to, and an unset
+  // DB path reports "none", never an empty field.
+  EnvVarGuard probes("NKRYLOV_TUNE_PROBES");
+  EnvVarGuard db("NKRYLOV_TUNE_DB");
+  EXPECT_NE(env_summary().find("tune-probes=4"), std::string::npos) << env_summary();
+  EXPECT_NE(env_summary().find("tune-db=none"), std::string::npos) << env_summary();
+  probes.set("bogus");
+  EXPECT_NE(env_summary().find("tune-probes=4"), std::string::npos) << env_summary();
+  probes.set("2");
+  db.set("/tmp/t.db");
+  EXPECT_NE(env_summary().find("tune-probes=2"), std::string::npos) << env_summary();
+  EXPECT_NE(env_summary().find("tune-db=/tmp/t.db"), std::string::npos) << env_summary();
+}
+
 TEST(EnvChecked, StrReturnsRawValueOrDefault) {
   // env_str is deliberately validation-free: the raw value when set (even
   // empty — a SET-but-empty knob is distinguishable from unset via the

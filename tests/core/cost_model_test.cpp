@@ -138,5 +138,88 @@ TEST(CostModel, RichardsonLimitRespected) {
   EXPECT_EQ(adv.inner_kind, 'F');
 }
 
+TEST(CostModel, DegenerateMOne) {
+  // m = 1 collapses every formula to its floor: FGMRES(1) is one SpMV +
+  // one M apply + one 2.5-access orthogonalization step; Richardson(1)
+  // is one M apply alone (zero initial guess saves the SpMV).
+  const double ca = 45.0, cm = 45.0;
+  EXPECT_DOUBLE_EQ(cost_fgmres(ca, cm, 1), ca + cm + 2.5);
+  EXPECT_DOUBLE_EQ(cost_richardson(ca, cm, 1), cm);
+  // And the advisor must not propose splitting a 1-deep cycle.
+  const auto adv = advise_split(ca, cm, 1);
+  EXPECT_FALSE(adv.split);
+  EXPECT_DOUBLE_EQ(adv.best_cost, adv.flat_cost);
+}
+
+TEST(CostModel, NonDivisorSplitWellDefined) {
+  // The model's minimizing m̄ = 10 does NOT divide m = 64 (the paper
+  // remarks on exactly this): Eq (2) stays well-defined with a fractional
+  // m̿ = 6.4, costs less than flat F64, and less than both neighboring
+  // integer-m̿ splits' worse halves.
+  const double ca = 45.0, cm = 45.0;
+  const double split10 = cost_nested_ff(ca, cm, 10, 6.4);
+  EXPECT_GT(split10, 0.0);
+  EXPECT_LT(split10, cost_fgmres(ca, cm, 64));
+  EXPECT_LE(split10, cost_nested_ff(ca, cm, 8, 8.0));
+  EXPECT_LE(split10, cost_nested_ff(ca, cm, 16, 4.0));
+}
+
+TEST(CostModel, ExtremeDensities) {
+  // cA at the catalog's density extremes: a diagonal-ish 1 nnz/row matrix
+  // and a dense-ish 200 nnz/row one.  The constants stay finite, ordered
+  // by byte width, and the advisor still hands back a configuration no
+  // worse than flat at both ends.
+  for (const double nnzr : {1.0, 200.0}) {
+    const double ca64 = access_constant(nnzr, 8);
+    const double ca16 = access_constant(nnzr, 2);
+    EXPECT_DOUBLE_EQ(ca64, nnzr * 12.0 / 8.0);
+    EXPECT_LT(ca16, ca64);
+    EXPECT_GT(ca16, 0.0);
+  }
+  const auto sparse_adv = advise_split(access_constant(1.0, 8), 1.0, 64);
+  const auto dense_adv = advise_split(access_constant(200.0, 8), 300.0, 64);
+  EXPECT_TRUE(sparse_adv.split);
+  EXPECT_TRUE(dense_adv.split);
+  EXPECT_LE(sparse_adv.best_cost, sparse_adv.flat_cost);
+  EXPECT_LE(dense_adv.best_cost, dense_adv.flat_cost);
+  EXPECT_GT(dense_adv.flat_cost, sparse_adv.flat_cost);
+  // A structural property of the R-inner advice worth pinning: once the
+  // inner solver is Richardson at a fixed (m̄, m̿), the split streams the
+  // SAME number of A and M accesses as flat FGMRES(m̄·m̿) — the whole
+  // saving is orthogonalization (2.5·m² vs 2.5·(m̄²+m̿²·0) + 4-access
+  // Richardson updates) and is therefore INDEPENDENT of cA.
+  EXPECT_EQ(sparse_adv.inner_kind, 'R');
+  EXPECT_EQ(dense_adv.inner_kind, 'R');
+}
+
+TEST(CostModel, AdviseSplitMonotoneInBudget) {
+  // Both the flat cost and the advised best cost increase strictly with
+  // the preconditioner budget m, and the advised saving never decreases:
+  // the deeper the flat cycle, the more its 2.5·m² term has to give.
+  double prev_flat = -1.0, prev_best = -1.0, prev_saving = -1.0;
+  for (const int m : {2, 4, 8, 16, 32, 64, 128}) {
+    const auto adv = advise_split(45.0, 45.0, m);
+    EXPECT_GT(adv.flat_cost, prev_flat) << "m=" << m;
+    EXPECT_GT(adv.best_cost, prev_best) << "m=" << m;
+    EXPECT_GE(adv.flat_cost - adv.best_cost, prev_saving) << "m=" << m;
+    prev_flat = adv.flat_cost;
+    prev_best = adv.best_cost;
+    prev_saving = adv.flat_cost - adv.best_cost;
+  }
+}
+
+TEST(CostModel, RichardsonSplitSavingIndependentOfAccessConstant) {
+  // The cA-independence property in isolation: sweeping cA by two orders
+  // of magnitude with cM = cA leaves the advised saving over flat
+  // FGMRES(64) exactly unchanged (the advisor keeps the same (m̄, m̿, R)
+  // and every cA access it adds is one the flat cycle also pays).
+  const auto base = advise_split(1.5, 1.5, 64);
+  const double base_saving = base.flat_cost - base.best_cost;
+  for (const double ca : {5.0, 45.0, 180.0, 300.0}) {
+    const auto adv = advise_split(ca, ca, 64);
+    EXPECT_NEAR(adv.flat_cost - adv.best_cost, base_saving, 1e-9) << "cA=" << ca;
+  }
+}
+
 }  // namespace
 }  // namespace nk

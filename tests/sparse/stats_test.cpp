@@ -1,6 +1,9 @@
 // Tests for the matrix analysis used in Table 2 reporting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "sparse/gen/convdiff.hpp"
 #include "sparse/gen/stencil.hpp"
 #include "sparse/stats.hpp"
@@ -56,6 +59,52 @@ TEST(Stats, MissingDiagonalDetected) {
   a.vals = {1.0, 1.0};
   const auto s = analyze(a);
   EXPECT_FALSE(s.has_full_diagonal);
+}
+
+TEST(Stats, BandwidthAndRowVariance) {
+  // Tridiagonal: bandwidth exactly 1; rows are 2-2-...-2-3-...-3-2 so the
+  // row-length stddev is small but nonzero.
+  const int n = 8;
+  CsrMatrix<double> a(n, n);
+  a.row_ptr.assign(1, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = std::max(0, i - 1); j <= std::min(n - 1, i + 1); ++j) {
+      a.col_idx.push_back(j);
+      a.vals.push_back(i == j ? 2.0 : -1.0);
+    }
+    a.row_ptr.push_back(static_cast<index_t>(a.col_idx.size()));
+  }
+  const auto s = analyze(a);
+  EXPECT_EQ(s.bandwidth, 1);
+  // 2 rows of 2 nnz, 6 rows of 3 nnz: mean 22/8, population variance
+  // 2·(2−μ)² + 6·(3−μ)² over 8.
+  const double mu = 22.0 / 8.0;
+  const double var = (2.0 * (2.0 - mu) * (2.0 - mu) + 6.0 * (3.0 - mu) * (3.0 - mu)) / 8.0;
+  EXPECT_NEAR(s.row_nnz_stddev, std::sqrt(var), 1e-12);
+}
+
+TEST(Stats, BandwidthSeesOffDiagonalBlocks) {
+  // An arrow pattern: row 0 reaches column n-1, so bandwidth = n-1, and
+  // row lengths are maximally ragged vs the all-diagonal remainder.
+  CsrMatrix<double> a(4, 4);
+  a.row_ptr = {0, 4, 5, 6, 7};
+  a.col_idx = {0, 1, 2, 3, 1, 2, 3};
+  a.vals = {4.0, 1.0, 1.0, 1.0, 4.0, 4.0, 4.0};
+  const auto s = analyze(a);
+  EXPECT_EQ(s.bandwidth, 3);
+  EXPECT_GT(s.row_nnz_stddev, 1.0);
+}
+
+TEST(Stats, UniformStencilHasZeroRowVariance) {
+  // Every interior-only uniform pattern: stddev identically 0 (the signal
+  // the SELL-format recommendation keys on).
+  CsrMatrix<double> a(3, 3);
+  a.row_ptr = {0, 1, 2, 3};
+  a.col_idx = {0, 1, 2};
+  a.vals = {1.0, 1.0, 1.0};
+  const auto s = analyze(a);
+  EXPECT_DOUBLE_EQ(s.row_nnz_stddev, 0.0);
+  EXPECT_EQ(s.bandwidth, 0);
 }
 
 TEST(Stats, SummaryContainsKeyFields) {

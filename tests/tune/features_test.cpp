@@ -1,0 +1,73 @@
+// Autotuner layer 1: TuneFeatures extraction (core/tune/features.hpp).
+#include <gtest/gtest.h>
+
+#include "core/fingerprint.hpp"
+#include "core/problem.hpp"
+#include "core/tune/features.hpp"
+#include "support/problems.hpp"
+
+namespace nk::tune {
+namespace {
+
+TEST(TuneFeatures, ExtractsStandinStructure) {
+  const PreparedProblem p = prepare_standin("ecology2", -4);
+  const TuneFeatures f = extract_features(p);
+  EXPECT_EQ(f.n, p.a->size());
+  EXPECT_EQ(f.nnz, p.a->csr_fp64().nnz());
+  EXPECT_GT(f.nnz_per_row, 0.0);
+  EXPECT_TRUE(f.symmetric);
+  EXPECT_GT(f.bandwidth, 0);
+  EXPECT_GE(f.row_nnz_stddev, 0.0);
+  EXPECT_FALSE(f.uses_sell);
+  // prepare_problem stamped the fingerprint; extraction reuses it.
+  EXPECT_NE(f.fingerprint, 0u);
+  EXPECT_EQ(f.fingerprint, p.fingerprint);
+}
+
+TEST(TuneFeatures, SymmetryIsTheClaimNotTheValues) {
+  // A numerically symmetric matrix prepared "as general" must feature as
+  // nonsymmetric: the solve will not assume symmetry, so neither may the
+  // shortlist (it would pick CG for a solve path that runs BiCGStab).
+  CsrMatrix<double> a = test::scaled_laplace2d(12, 12);
+  const PreparedProblem p =
+      prepare_problem("laplace-as-general", std::move(a), /*symmetric=*/false, 1.0, 1.0, 7);
+  EXPECT_FALSE(extract_features(p).symmetric);
+}
+
+TEST(TuneFeatures, FingerprintRecomputedWhenUnset) {
+  // Hand-assembled problems may carry fingerprint 0; extraction falls back
+  // to hashing the prepared matrix itself.
+  PreparedProblem p = prepare_standin("thermal2", -4);
+  const std::uint64_t stamped = p.fingerprint;
+  p.fingerprint = 0;
+  const TuneFeatures f = extract_features(p);
+  EXPECT_EQ(f.fingerprint, stamped);
+  EXPECT_EQ(f.fingerprint, matrix_fingerprint(p.a->csr_fp64(), p.symmetric));
+}
+
+TEST(TuneFeatures, DistinctMatricesDistinctFingerprints) {
+  const TuneFeatures f1 = extract_features(prepare_standin("ecology2", -4));
+  const TuneFeatures f2 = extract_features(prepare_standin("thermal2", -4));
+  EXPECT_NE(f1.fingerprint, f2.fingerprint);
+}
+
+TEST(TuneFeatures, PrefersSellOnUniformRows) {
+  TuneFeatures f;
+  f.nnz_per_row = 27.0;
+  f.row_nnz_stddev = 1.0;  // ~4% ragged: SELL padding is near-free
+  EXPECT_TRUE(prefers_sell(f));
+  f.row_nnz_stddev = 9.0;  // a third of the mean: padding dominates
+  EXPECT_FALSE(prefers_sell(f));
+  f.nnz_per_row = 0.0;  // empty matrix: no recommendation
+  EXPECT_FALSE(prefers_sell(f));
+}
+
+TEST(TuneFeatures, SummaryNamesTheSignals) {
+  const std::string s = features_summary(extract_features(prepare_standin("ecology2", -4)));
+  for (const char* token : {"n=", "nnz/row=", "sym=", "diag_dom_min=", "fp16_overflow=",
+                            "bandwidth=", "row_nnz_stddev=", "format=", "prefer="})
+    EXPECT_NE(s.find(token), std::string::npos) << "missing '" << token << "' in: " << s;
+}
+
+}  // namespace
+}  // namespace nk::tune

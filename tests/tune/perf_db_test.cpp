@@ -1,0 +1,113 @@
+// Autotuner layer 4: the fingerprint-keyed perf-DB (core/tune/perf_db.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/tune/perf_db.hpp"
+
+namespace nk::tune {
+namespace {
+
+std::string temp_db_path(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(TuneDb, LookupStoreAndCounters) {
+  TuneDb db;
+  std::string spec;
+  EXPECT_FALSE(db.lookup(0xabcu, spec));
+  db.store(0xabcu, "cg@fp16");
+  EXPECT_TRUE(db.lookup(0xabcu, spec));
+  EXPECT_EQ(spec, "cg@fp16");
+  db.store(0xabcu, "f3r@fp16");  // overwrite wins
+  EXPECT_TRUE(db.lookup(0xabcu, spec));
+  EXPECT_EQ(spec, "f3r@fp16");
+  db.note_probes(3);
+  const TuneDbStats s = db.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.probes, 3u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(TuneDb, FileRoundTrip) {
+  const std::string path = temp_db_path("roundtrip.db");
+  std::remove(path.c_str());
+  {
+    TuneDb db;
+    db.attach_file(path);  // absent file: fine, created on first store
+    db.store(0x00ffu, "cg@fp16");
+    db.store(0xffff0000ffff0000u, "fgmres64/bj@fp16;nblocks=4");
+  }
+  // Versioned header plus one sorted line per entry.
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("# nkrylov-tune-db-v1"), std::string::npos);
+  EXPECT_NE(text.find("00000000000000ff cg@fp16"), std::string::npos);
+  EXPECT_NE(text.find("ffff0000ffff0000 fgmres64/bj@fp16;nblocks=4"), std::string::npos);
+
+  TuneDb other;
+  other.attach_file(path);
+  std::string spec;
+  EXPECT_TRUE(other.lookup(0x00ffu, spec));
+  EXPECT_EQ(spec, "cg@fp16");
+  EXPECT_TRUE(other.lookup(0xffff0000ffff0000u, spec));
+  EXPECT_EQ(spec, "fgmres64/bj@fp16;nblocks=4");
+  std::remove(path.c_str());
+}
+
+TEST(TuneDb, MalformedLinesSkippedNotFatal) {
+  const std::string path = temp_db_path("corrupt.db");
+  {
+    std::ofstream out(path);
+    out << "# nkrylov-tune-db-v1\n"
+        << "\n"                                  // blank: skipped silently
+        << "# a comment\n"                       // comment: skipped silently
+        << "not-hex-at-all cg@fp16\n"            // bad key
+        << "00000000000000aa\n"                  // no spec field
+        << "00000000000000bb \n"                 // empty spec field
+        << "00000000000000cc f3r@fp16\n";        // the one good entry
+  }
+  TuneDb db;
+  db.attach_file(path);
+  std::string spec;
+  EXPECT_TRUE(db.lookup(0xccu, spec));
+  EXPECT_EQ(spec, "f3r@fp16");
+  EXPECT_FALSE(db.lookup(0xaau, spec));
+  EXPECT_FALSE(db.lookup(0xbbu, spec));
+  EXPECT_EQ(db.stats().entries, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TuneDb, ClearDetachesAndZeroes) {
+  const std::string path = temp_db_path("clear.db");
+  TuneDb db;
+  db.attach_file(path);
+  db.store(1u, "cg");
+  db.clear();
+  const TuneDbStats s = db.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.probes, 0u);
+  // Detached: a store after clear() must not touch the old file.
+  const std::string before = slurp(path);
+  db.store(2u, "f3r@fp16");
+  EXPECT_EQ(slurp(path), before);
+  std::remove(path.c_str());
+}
+
+TEST(TuneDb, ProcessSingletonIsStable) {
+  TuneDb& a = tune_db();
+  TuneDb& b = tune_db();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace nk::tune

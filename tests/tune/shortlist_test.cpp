@@ -1,0 +1,134 @@
+// Autotuner layer 2: the cost-model shortlist and its gates
+// (core/tune/shortlist.hpp).  All pure-function tests over hand-built
+// feature records — no solves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/tune/shortlist.hpp"
+
+namespace nk::tune {
+namespace {
+
+/// A benign mid-catalog feature record every gate passes.
+TuneFeatures benign(bool symmetric) {
+  TuneFeatures f;
+  f.n = 4096;
+  f.nnz = 4096 * 27;
+  f.nnz_per_row = 27.0;
+  f.symmetric = symmetric;
+  f.diag_dominance_min = 1.0;
+  f.fp16_overflow_fraction = 0.0;
+  f.bandwidth = 64;
+  f.row_nnz_stddev = 1.0;
+  f.fingerprint = 0x1234;
+  return f;
+}
+
+bool has_kind(const std::vector<Candidate>& cs, const std::string& kind) {
+  return std::any_of(cs.begin(), cs.end(),
+                     [&](const Candidate& c) { return c.spec.kind == kind; });
+}
+
+TEST(Shortlist, SymmetryGatesFlatKind) {
+  const auto sym = shortlist(benign(true));
+  EXPECT_TRUE(has_kind(sym, "cg"));
+  EXPECT_FALSE(has_kind(sym, "bicgstab"));
+  const auto gen = shortlist(benign(false));
+  EXPECT_TRUE(has_kind(gen, "bicgstab"));
+  EXPECT_FALSE(has_kind(gen, "cg"));
+  // The robust baselines ride along either way.
+  for (const auto& cs : {sym, gen}) {
+    EXPECT_TRUE(has_kind(cs, "fgmres"));
+    EXPECT_TRUE(has_kind(cs, "f3r"));
+    EXPECT_TRUE(has_kind(cs, "ir-gmres"));
+  }
+}
+
+TEST(Shortlist, Fp16OverflowGatesEveryFp16Candidate) {
+  TuneFeatures f = benign(true);
+  f.fp16_overflow_fraction = 1e-6;  // ANY overflow disqualifies fp16
+  const auto cs = shortlist(f);
+  EXPECT_FALSE(cs.empty());
+  for (const Candidate& c : cs)
+    EXPECT_NE(c.spec.prec, Prec::FP16) << c.spec.to_string();
+}
+
+TEST(Shortlist, WeakDiagonalGatesJacobi) {
+  TuneFeatures f = benign(true);
+  f.diag_dominance_min = 0.2;
+  for (const Candidate& c : shortlist(f))
+    EXPECT_NE(c.spec.precond.kind, "jacobi") << c.spec.to_string();
+  f.diag_dominance_min = 1.0;
+  bool any_jacobi = false;
+  for (const Candidate& c : shortlist(f)) any_jacobi |= c.spec.precond.kind == "jacobi";
+  EXPECT_TRUE(any_jacobi);
+}
+
+TEST(Shortlist, SortedAscendingByModelCost) {
+  for (const bool sym : {true, false}) {
+    const auto cs = shortlist(benign(sym));
+    ASSERT_GE(cs.size(), 2u);
+    for (std::size_t i = 1; i < cs.size(); ++i)
+      EXPECT_LE(cs[i - 1].unit_cost, cs[i].unit_cost)
+          << cs[i - 1].spec.to_string() << " vs " << cs[i].spec.to_string();
+    for (const Candidate& c : cs) {
+      EXPECT_GT(c.unit_cost, 0.0);
+      EXPECT_FALSE(c.why.empty());
+    }
+  }
+}
+
+TEST(Shortlist, LowerStoragePrecisionIsCheaper) {
+  // The paper's premise, reflected by the pricing: the same kind with a
+  // narrower M storage costs fewer modeled accesses per application.
+  const TuneFeatures f = benign(true);
+  SolverSpec s16 = SolverSpec::parse("cg@fp16");
+  SolverSpec s64 = SolverSpec::parse("cg");
+  EXPECT_LT(unit_cost(f, s16), unit_cost(f, s64));
+}
+
+TEST(Shortlist, PrecisionPinRestrictsTheAxis) {
+  Constraints c;
+  c.pin_prec = Prec::FP32;
+  const auto cs = shortlist(benign(true), c);
+  EXPECT_FALSE(cs.empty());
+  for (const Candidate& cand : cs)
+    EXPECT_EQ(cand.spec.prec, Prec::FP32) << cand.spec.to_string();
+}
+
+TEST(Shortlist, PrecondPinReplacesTheDefault) {
+  Constraints c;
+  c.pin_precond = "sd-ainv";
+  const auto cs = shortlist(benign(true), c);
+  EXPECT_FALSE(cs.empty());
+  for (const Candidate& cand : cs)
+    EXPECT_EQ(cand.spec.precond.kind, "sd-ainv") << cand.spec.to_string();
+}
+
+TEST(Shortlist, UserPinOutranksTheFp16Gate) {
+  // '@fp16' pinned on an overflowing matrix: the gated list would be
+  // empty, so the gate yields and the probes get to judge.
+  TuneFeatures f = benign(true);
+  f.fp16_overflow_fraction = 0.5;
+  Constraints c;
+  c.pin_prec = Prec::FP16;
+  const auto cs = shortlist(f, c);
+  EXPECT_FALSE(cs.empty());
+  for (const Candidate& cand : cs)
+    EXPECT_EQ(cand.spec.prec, Prec::FP16) << cand.spec.to_string();
+}
+
+TEST(Shortlist, EveryCandidateSpecParsesBack) {
+  // DB entries are candidate spec texts — each must round-trip through
+  // the grammar (the perf-DB's persistence contract).
+  for (const bool sym : {true, false}) {
+    for (const Candidate& c : shortlist(benign(sym))) {
+      const std::string text = c.spec.to_string();
+      EXPECT_EQ(SolverSpec::parse(text), c.spec) << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nk::tune

@@ -68,8 +68,20 @@ BACKEND_PAIRS = [
     ("backend_serial_dot_cols_{p}_k8", "backend_host_dot_cols_{p}_k8"),
 ]
 BACKEND_PRECISIONS = ["fp64", "fp32", "fp16_fp32"]
+
+# Autotuner quality records: Session("auto")'s total MODELED WORK over the
+# stand-in catalog vs the best fixed spec's, both in the seconds column.
+# The gate is an ABSOLUTE ceiling on the fresh auto/best ratio (the tuner
+# must stay within the acceptance margin regardless of the baseline), and
+# the records are SOFT like the backend ones: a baseline committed before
+# the autotuner existed skips the pair instead of hard-failing.
+AUTO_PAIRS = [
+    ("auto_vs_best_fixed_work", "auto_vs_best_fixed_ref", 1.2),
+]
+
 SOFT_RECORDS = {f.format(p=p)
                 for pair in BACKEND_PAIRS for f in pair for p in BACKEND_PRECISIONS}
+SOFT_RECORDS |= {name for pair in AUTO_PAIRS for name in pair[:2]}
 
 # Matrix-kernel pairs (suffix carries precision + matrix name).
 SPMM_PAIRS = [
@@ -144,7 +156,7 @@ def gated_pairs(tolerance):
               for f, r in BANDWIDTH_PAIRS for p in PRECISIONS]
     # Ceiling/floor gates carry their own absolute limit in place of a
     # tolerance; floor gates have no reference record at all.
-    pairs += [(f, r, ceiling, "ceiling") for f, r, ceiling in GUARD_PAIRS]
+    pairs += [(f, r, ceiling, "ceiling") for f, r, ceiling in GUARD_PAIRS + AUTO_PAIRS]
     pairs += [(f, None, floor, "floor") for f, floor in FLOOR_GATES]
     return pairs
 
@@ -284,6 +296,23 @@ def self_test():
     cold["daemon_cache_hit_rate"] = dict(cold["daemon_cache_hit_rate"], gbps=0.5)
     expect("cache-hit rate below the absolute floor fails",
            diff(cold, dict(cold), 0.25), 1)
+
+    # The autotuner margin is absolute as well: auto costing 1.5x the best
+    # fixed spec fails even when the committed baseline carries the same
+    # ratio (the acceptance margin, not drift, is the contract).
+    detuned = synthetic()
+    detuned["auto_vs_best_fixed_work"] = dict(
+        detuned["auto_vs_best_fixed_work"],
+        seconds=1.5 * detuned["auto_vs_best_fixed_ref"]["seconds"])
+    expect("auto/best-fixed work ratio above the ceiling fails",
+           diff(detuned, dict(detuned), 0.25), 1)
+
+    # ...but the records are soft: a baseline committed before the
+    # autotuner existed skips the pair rather than exiting 2.
+    pre_auto = synthetic()
+    for name in ("auto_vs_best_fixed_work", "auto_vs_best_fixed_ref"):
+        del pre_auto[name]
+    expect("auto records absent from baseline skip", diff(synthetic(), pre_auto, 0.25), 0)
 
     renamed = synthetic()
     del renamed["dot_cols_fp16_k8"]
